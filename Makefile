@@ -1,0 +1,42 @@
+# Development entry points. Everything is plain `go` underneath; the
+# targets just bundle the common invocations.
+
+GO ?= go
+
+.PHONY: all build test test-race cover bench experiments fuzz fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/... .
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem -run xxx .
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/experiments -all
+
+# Continuous fuzzing of the two parsers (Ctrl-C to stop).
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/pathexpr
+	$(GO) test -fuzz=FuzzParseSDL -fuzztime=30s ./internal/sdl
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,386 @@
+package pathcomplete_test
+
+// One benchmark per exhibit of the paper's evaluation (see DESIGN.md
+// §5), plus ablations of the design choices Algorithm 2 relies on.
+// Figure-level benches report the paper's own metrics (recall,
+// precision, answers, traverse calls) via b.ReportMetric, so
+//
+//	go test -bench=Figure -benchmem
+//
+// regenerates the numbers behind Figures 5–7 alongside the time/op.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"pathcomplete/internal/connector"
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/cupid"
+	"pathcomplete/internal/experiment"
+	"pathcomplete/internal/label"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/server"
+	"pathcomplete/internal/uni"
+)
+
+// Shared CUPID-scale fixtures, built once.
+var (
+	fixtureOnce sync.Once
+	fixtureW    *cupid.Workload
+	fixtureR    *experiment.Runner
+	fixtureErr  error
+)
+
+func fixtures(b *testing.B) (*cupid.Workload, *experiment.Runner) {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		fixtureW, fixtureErr = cupid.Generate(cupid.DefaultConfig())
+		if fixtureErr != nil {
+			return
+		}
+		fixtureR, fixtureErr = experiment.NewRunner(fixtureW, 42, 10)
+	})
+	if fixtureErr != nil {
+		b.Fatal(fixtureErr)
+	}
+	return fixtureW, fixtureR
+}
+
+// BenchmarkTable1ConC measures the CON_c connector composition (Table
+// 1): all 196 pairs per iteration.
+func BenchmarkTable1ConC(b *testing.B) {
+	cs := connector.All()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, x := range cs {
+			for _, y := range cs {
+				_ = connector.Con(x, y)
+			}
+		}
+	}
+}
+
+// BenchmarkLabelCon measures whole-path label composition with
+// semantic-length bookkeeping.
+func BenchmarkLabelCon(b *testing.B) {
+	prims := connector.Primaries()
+	edges := make([]label.Label, len(prims))
+	for i, c := range prims {
+		edges[i] = label.MustEdge(c)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := label.Identity()
+		for k := 0; k < 15; k++ {
+			l = label.Con(l, edges[k%len(edges)])
+		}
+		_ = l.Key()
+	}
+}
+
+// BenchmarkAggStar measures the AGG* reduction on a mixed label set.
+func BenchmarkAggStar(b *testing.B) {
+	var ks []label.Key
+	for _, c := range connector.All() {
+		for f := 0; f < 5; f++ {
+			ks = append(ks, label.Key{Conn: c, SemLen: f})
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = label.AggStar(ks, 3)
+	}
+}
+
+// BenchmarkUniversityTaName measures the paper's flagship completion
+// on the Figure 2 schema.
+func BenchmarkUniversityTaName(b *testing.B) {
+	s := uni.New()
+	e := pathexpr.MustParse("ta~name")
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"paper", core.Paper()},
+		{"safe", core.Safe()},
+		{"exact", core.Exact()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			c := core.New(s, tc.opts)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := c.Complete(e)
+				if err != nil || len(res.Completions) != 2 {
+					b.Fatalf("res=%v err=%v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure5Recall regenerates the Figure 5 series: average
+// recall at each E over the 10-query oracle workload. Recall is
+// reported as a metric; the paper's value is ~0.90, flat in E.
+func BenchmarkFigure5Recall(b *testing.B) {
+	_, r := fixtures(b)
+	for _, e := range []int{1, 2, 3, 4, 5} {
+		b.Run(benchE(e), func(b *testing.B) {
+			var pt experiment.EPoint
+			var err error
+			for i := 0; i < b.N; i++ {
+				pt, err = r.Point(e, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(pt.Recall, "recall")
+			b.ReportMetric(pt.AvgAnswers, "answers")
+		})
+	}
+}
+
+// BenchmarkFigure6Precision regenerates the Figure 6 series: average
+// precision at each E, domain independent and with the hub exclusions.
+// The paper: 1.00 falling to ~0.55 without domain knowledge, staying
+// ~0.93 with it.
+func BenchmarkFigure6Precision(b *testing.B) {
+	w, r := fixtures(b)
+	for _, dk := range []bool{false, true} {
+		name := "domain-independent"
+		if dk {
+			name = "domain-knowledge"
+		}
+		b.Run(name, func(b *testing.B) {
+			for _, e := range []int{1, 5} {
+				b.Run(benchE(e), func(b *testing.B) {
+					opts := r.Base
+					opts.E = e
+					if dk {
+						opts.Exclude = w.ExcludeHubs()
+					}
+					cmp := core.New(w.Schema, opts)
+					var prec float64
+					for i := 0; i < b.N; i++ {
+						prec = 0
+						for qi, q := range r.Queries {
+							res, err := cmp.Complete(q.Expr)
+							if err != nil {
+								b.Fatal(err)
+							}
+							_, p := experiment.RecallPrecision(r.Truth(qi), res.Strings())
+							prec += p
+						}
+						prec /= float64(len(r.Queries))
+					}
+					b.ReportMetric(prec, "precision")
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7ResponseTime regenerates Figure 7: the ten oracle
+// queries at E=5, reporting average traverse calls per query (the
+// paper's complexity measure) alongside wall-clock time.
+func BenchmarkFigure7ResponseTime(b *testing.B) {
+	w, r := fixtures(b)
+	opts := r.Base
+	opts.E = 5
+	cmp := core.New(w.Schema, opts)
+	b.ReportAllocs()
+	var calls int
+	for i := 0; i < b.N; i++ {
+		calls = 0
+		for _, q := range r.Queries {
+			res, err := cmp.Complete(q.Expr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			calls += res.Stats.Calls
+		}
+	}
+	b.ReportMetric(float64(calls)/float64(len(r.Queries)), "calls/query")
+}
+
+// BenchmarkEngineComparison compares the three presets and the naive
+// enumerator on a mid-sized workload — the cost of exactness.
+func BenchmarkEngineComparison(b *testing.B) {
+	w, err := cupid.Generate(cupid.Config{Seed: 3, Classes: 40, RelPairs: 80, Hubs: 2, HubFanout: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := cupid.NewOracle(w, 9)
+	qs, err := o.Queries(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, complete func(pathexpr.Expr) (*core.Result, error)) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				if _, err := complete(q.Expr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("paper", func(b *testing.B) {
+		c := core.New(w.Schema, core.Paper())
+		run(b, c.Complete)
+	})
+	b.Run("safe", func(b *testing.B) {
+		c := core.New(w.Schema, core.Safe())
+		run(b, c.Complete)
+	})
+	b.Run("exact", func(b *testing.B) {
+		c := core.New(w.Schema, core.Exact())
+		run(b, c.Complete)
+	})
+	b.Run("naive", func(b *testing.B) {
+		run(b, func(e pathexpr.Expr) (*core.Result, error) {
+			return core.NaiveComplete(w.Schema, e, core.Exact(), 0)
+		})
+	})
+}
+
+// BenchmarkAblation quantifies the individual optimizations of
+// Algorithm 2 on the CUPID-scale workload at E=1: the best[T] bound,
+// the per-node best[u] test, caution sets, and early target
+// exploration.
+func BenchmarkAblation(b *testing.B) {
+	w, r := fixtures(b)
+	variants := []struct {
+		name string
+		mut  func(*core.Options)
+	}{
+		{"full", func(o *core.Options) {}},
+		{"no-bestT", func(o *core.Options) { o.DisableBestT = true }},
+		{"no-bestU", func(o *core.Options) { o.DisableBestU = true }},
+		{"no-caution", func(o *core.Options) { o.Caution = core.CautionOff }},
+		{"no-early-target", func(o *core.Options) { o.NoEarlyTarget = true }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			opts := core.Paper()
+			v.mut(&opts)
+			cmp := core.New(w.Schema, opts)
+			var calls, answers int
+			for i := 0; i < b.N; i++ {
+				calls, answers = 0, 0
+				for _, q := range r.Queries {
+					res, err := cmp.Complete(q.Expr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					calls += res.Stats.Calls
+					answers += len(res.Completions)
+				}
+			}
+			b.ReportMetric(float64(calls)/float64(len(r.Queries)), "calls/query")
+			b.ReportMetric(float64(answers)/float64(len(r.Queries)), "answers/query")
+		})
+	}
+}
+
+// BenchmarkSchemaScaling sweeps the generator size: completion cost as
+// the schema grows.
+func BenchmarkSchemaScaling(b *testing.B) {
+	for _, n := range []int{25, 50, 100, 200} {
+		b.Run(benchN(n), func(b *testing.B) {
+			w, err := cupid.Generate(cupid.Config{
+				Seed: 5, Classes: n, RelPairs: 2 * n, Hubs: 2, HubFanout: 6,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			o := cupid.NewOracle(w, 13)
+			qs, err := o.Queries(3)
+			if err != nil {
+				b.Skip("oracle could not build queries at this size")
+			}
+			cmp := core.New(w.Schema, core.Paper())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range qs {
+					if _, err := cmp.Complete(q.Expr); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerComplete measures the HTTP front end: a cold
+// completion (fresh server per iteration set, first request computes)
+// versus the memoized hot path an interactive loop sees.
+func BenchmarkServerComplete(b *testing.B) {
+	body := `{"expr":"ta~name"}`
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sv := server.New(uni.New(), nil, core.Exact())
+			ts := httptest.NewServer(sv.Handler())
+			resp, err := http.Post(ts.URL+"/complete", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			ts.Close()
+		}
+	})
+	b.Run("hot", func(b *testing.B) {
+		sv := server.New(uni.New(), nil, core.Exact())
+		ts := httptest.NewServer(sv.Handler())
+		defer ts.Close()
+		// Warm the cache.
+		if resp, err := http.Post(ts.URL+"/complete", "application/json", strings.NewReader(body)); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(ts.URL+"/complete", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+}
+
+// BenchmarkEvalStore measures path-expression evaluation over the
+// sample object store (the Figure 1 evaluator).
+func BenchmarkEvalStore(b *testing.B) {
+	st := uni.SampleStore()
+	r, err := pathexpr.Resolve(st.Schema(), pathexpr.MustParse("department$>professor@>teacher.teach.name"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := st.Eval(r); len(got) != 2 {
+			b.Fatalf("eval = %v", got)
+		}
+	}
+}
+
+func benchE(e int) string { return "E=" + string(rune('0'+e)) }
+
+func benchN(n int) string {
+	switch n {
+	case 25:
+		return "classes=25"
+	case 50:
+		return "classes=50"
+	case 100:
+		return "classes=100"
+	default:
+		return "classes=200"
+	}
+}

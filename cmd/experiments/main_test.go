@@ -1,0 +1,86 @@
+package main
+
+import "testing"
+
+// TestRunStatic covers the table/figure printers, which have no
+// workload dependency.
+func TestRunStatic(t *testing.T) {
+	if err := run(false, true, true, false, false, false, false, false, false, 0,
+		1, 1, 2, 30, 60, 2, "paper", "", 1000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRunSweepSmall drives the Figure 5/6/7 paths on a reduced
+// workload, including CSV emission.
+func TestRunSweepSmall(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(false, false, false, true, true, true, false, false, false, 0,
+		5, 5, 3, 25, 50, 2, "paper", dir, 1000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRunStatsSmall drives the in-text statistics path with a tight
+// enumeration cap.
+func TestRunStatsSmall(t *testing.T) {
+	if err := run(false, false, false, false, false, false, true, false, false, 0,
+		5, 5, 3, 25, 50, 2, "safe", "", 500); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRunScalingSmall drives the scaling sweep path... with the fixed
+// size list this is the slowest cmd test, so it stays at E=1.
+func TestRunScalingSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep in -short mode")
+	}
+	if err := run(false, false, false, false, false, false, false, false, true, 0,
+		5, 5, 2, 25, 50, 1, "paper", "", 1000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRunOrdersSmall drives the ordering ablation path.
+func TestRunOrdersSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ordering ablation in -short mode")
+	}
+	if err := run(false, false, false, false, false, false, false, true, false, 0,
+		1994, 42, 3, 30, 60, 2, "paper", "", 1000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestRunErrors covers configuration validation.
+func TestRunErrors(t *testing.T) {
+	if err := run(false, false, false, true, false, false, false, false, false, 0,
+		1, 1, 2, 30, 60, 2, "nope", "", 1000); err == nil {
+		t.Error("unknown engine should error")
+	}
+	if err := run(false, false, false, true, false, false, false, false, false, 0,
+		1, 1, 2, 3, 2, 2, "paper", "", 1000); err == nil {
+		t.Error("impossible generator config should error")
+	}
+}
+
+// TestRunMultiSubjectSmall drives the multi-subject path with two
+// subjects on a reduced workload.
+func TestRunMultiSubjectSmall(t *testing.T) {
+	if err := run(false, false, false, false, false, false, false, false, false, 2,
+		5, 5, 3, 25, 50, 2, "paper", "", 1000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestPreset(t *testing.T) {
+	for _, name := range []string{"paper", "safe", "exact"} {
+		if _, err := preset(name); err != nil {
+			t.Errorf("preset(%s): %v", name, err)
+		}
+	}
+	if _, err := preset("zzz"); err == nil {
+		t.Error("unknown preset should error")
+	}
+}

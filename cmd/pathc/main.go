@@ -1,0 +1,246 @@
+// Command pathc completes incomplete path expressions against a
+// schema:
+//
+//	pathc -schema university 'ta~name'
+//	pathc -schema parts 'motor~shaft'
+//	pathc -sdl my_schema.sdl 'order~total'
+//	pathc -schema university            # interactive: one expression per line
+//
+// Flags select the engine preset (-engine paper|safe|exact), the AGG*
+// parameter (-e), excluded classes (-exclude a,b,c), and whether to
+// evaluate the completions against the built-in sample data (-eval,
+// university schema only).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/cupid"
+	"pathcomplete/internal/fox"
+	"pathcomplete/internal/objstore"
+	"pathcomplete/internal/parts"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
+	"pathcomplete/internal/sdl"
+	"pathcomplete/internal/uni"
+)
+
+func main() {
+	var (
+		schemaName = flag.String("schema", "university", "built-in schema: university, parts, or cupid")
+		sdlPath    = flag.String("sdl", "", "load the schema from an SDL file instead")
+		engine     = flag.String("engine", "paper", "engine preset: paper, safe, or exact")
+		e          = flag.Int("e", 1, "AGG* parameter: keep the E lowest semantic lengths")
+		exclude    = flag.String("exclude", "", "comma-separated classes to exclude (domain knowledge)")
+		eval       = flag.Bool("eval", false, "evaluate completions against sample data (university only)")
+		stats      = flag.Bool("stats", false, "print traversal statistics")
+		explain    = flag.Bool("explain", false, "print the label derivation of each completion")
+		specific   = flag.Bool("specific", false, "prefer more specific classes among label ties")
+		why        = flag.Bool("why", false, "compare exactly two complete expressions instead of completing")
+		storePath  = flag.String("store", "", "load object data from a snapshot (requires -sdl; enables -eval)")
+		dot        = flag.Bool("dot", false, "emit the schema in DOT form with the completions' edges highlighted")
+	)
+	flag.Parse()
+	if *why {
+		if err := runWhy(*schemaName, *sdlPath, flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "pathc:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(config{
+		schemaName: *schemaName, sdlPath: *sdlPath, engine: *engine, e: *e,
+		exclude: *exclude, eval: *eval, stats: *stats, explain: *explain,
+		specific: *specific, storePath: *storePath, dot: *dot,
+	}, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "pathc:", err)
+		os.Exit(1)
+	}
+}
+
+// config carries the parsed flags.
+type config struct {
+	schemaName, sdlPath, engine, exclude, storePath string
+	e                                               int
+	eval, stats, explain, specific, dot             bool
+}
+
+// runWhy handles -why: explain the AGG comparison of two complete
+// expressions.
+func runWhy(schemaName, sdlPath string, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("-why takes exactly two complete path expressions")
+	}
+	s, _, err := loadSchema(schemaName, sdlPath)
+	if err != nil {
+		return err
+	}
+	a, err := pathexpr.Parse(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := pathexpr.Parse(args[1])
+	if err != nil {
+		return err
+	}
+	out, err := core.Why(s, a, b)
+	if err != nil {
+		return err
+	}
+	fmt.Println(out)
+	return nil
+}
+
+func run(cfg config, args []string) error {
+	s, store, err := loadSchema(cfg.schemaName, cfg.sdlPath)
+	if err != nil {
+		return err
+	}
+	if cfg.storePath != "" {
+		f, err := os.Open(cfg.storePath)
+		if err != nil {
+			return err
+		}
+		store, err = objstore.Load(s, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	opts, err := preset(cfg.engine)
+	if err != nil {
+		return err
+	}
+	opts.E = cfg.e
+	opts.PreferSpecific = cfg.specific
+	if cfg.exclude != "" {
+		opts.Exclude = make(map[schema.ClassID]bool)
+		for _, name := range strings.Split(cfg.exclude, ",") {
+			c, ok := s.ClassByName(strings.TrimSpace(name))
+			if !ok {
+				return fmt.Errorf("unknown excluded class %q", name)
+			}
+			opts.Exclude[c.ID] = true
+		}
+	}
+	eval, stats := cfg.eval, cfg.stats
+	cmp := core.New(s, opts)
+
+	runOne := func(src string) {
+		expr, err := pathexpr.Parse(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "  error:", err)
+			return
+		}
+		res, err := cmp.Complete(expr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "  error:", err)
+			return
+		}
+		if len(res.Completions) == 0 {
+			fmt.Println("  (no consistent completion)")
+			return
+		}
+		for _, c := range res.Completions {
+			fmt.Printf("  %-60s %s\n", c.Path, c.Label)
+			if cfg.explain {
+				if err := core.Explain(os.Stdout, c); err != nil {
+					fmt.Fprintln(os.Stderr, "  explain error:", err)
+				}
+			}
+		}
+		if res.Truncated {
+			fmt.Println("  (answer set truncated)")
+		}
+		if cfg.dot {
+			hl := make(map[schema.RelID]bool)
+			for _, c := range res.Completions {
+				for _, rid := range c.Path.Rels {
+					hl[rid] = true
+				}
+			}
+			if err := s.WriteDOTHighlighted(os.Stdout, hl); err != nil {
+				fmt.Fprintln(os.Stderr, "  dot error:", err)
+			}
+		}
+		if stats {
+			fmt.Printf("  calls=%d offers=%d prunedT=%d prunedU=%d cautionSaves=%d\n",
+				res.Stats.Calls, res.Stats.Offers, res.Stats.PrunedBestT,
+				res.Stats.PrunedBestU, res.Stats.CautionSaves)
+		}
+		if eval && store != nil {
+			in := fox.New(store, opts, fox.AcceptAll)
+			ans, err := in.Query(src)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "  eval error:", err)
+				return
+			}
+			fmt.Printf("  answer objects: %v\n", ans.Values)
+		}
+	}
+
+	if len(args) > 0 {
+		for _, src := range args {
+			fmt.Printf("%s\n", src)
+			runOne(src)
+		}
+		return nil
+	}
+	fmt.Printf("schema %s: %d classes, %d relationships. Enter path expressions (one per line):\n",
+		s.Name(), s.NumUserClasses(), s.NumRels())
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line == "quit" || line == "exit" {
+			if line != "" {
+				break
+			}
+			continue
+		}
+		runOne(line)
+	}
+	return sc.Err()
+}
+
+func loadSchema(name, sdlPath string) (*schema.Schema, *objstore.Store, error) {
+	if sdlPath != "" {
+		f, err := os.Open(sdlPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		s, err := sdl.Parse(f)
+		return s, nil, err
+	}
+	switch name {
+	case "university":
+		st := uni.SampleStore()
+		return st.Schema(), st, nil
+	case "parts":
+		return parts.New(), nil, nil
+	case "cupid":
+		w, err := cupid.Generate(cupid.DefaultConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		return w.Schema, nil, nil
+	}
+	return nil, nil, fmt.Errorf("unknown schema %q (want university, parts, or cupid)", name)
+}
+
+func preset(name string) (core.Options, error) {
+	switch name {
+	case "paper":
+		return core.Paper(), nil
+	case "safe":
+		return core.Safe(), nil
+	case "exact":
+		return core.Exact(), nil
+	}
+	return core.Options{}, fmt.Errorf("unknown engine %q (want paper, safe, or exact)", name)
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunOneShot(t *testing.T) {
+	cfg := config{schemaName: "university", engine: "exact", e: 1, eval: true, stats: true, explain: true}
+	if err := run(cfg, []string{"ta~name", "department~course"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunExclude(t *testing.T) {
+	cfg := config{schemaName: "university", engine: "paper", e: 1, exclude: "employee"}
+	if err := run(cfg, []string{"ta~name"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	cfg.exclude = "nosuchclass"
+	if err := run(cfg, []string{"ta~name"}); err == nil || !strings.Contains(err.Error(), "unknown excluded class") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(config{schemaName: "nope", engine: "paper", e: 1}, nil); err == nil {
+		t.Error("unknown schema should error")
+	}
+	if err := run(config{schemaName: "university", engine: "nope", e: 1}, nil); err == nil {
+		t.Error("unknown engine should error")
+	}
+}
+
+func TestRunSDLAndStore(t *testing.T) {
+	dir := t.TempDir()
+	sdlPath := filepath.Join(dir, "s.sdl")
+	src := "schema tiny\nisa a b\nattr b v I\n"
+	if err := os.WriteFile(sdlPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := config{sdlPath: sdlPath, engine: "safe", e: 2}
+	if err := run(cfg, []string{"a~v"}); err != nil {
+		t.Fatalf("run with SDL: %v", err)
+	}
+	// Bad paths error cleanly.
+	cfg.sdlPath = filepath.Join(dir, "missing.sdl")
+	if err := run(cfg, []string{"a~v"}); err == nil {
+		t.Error("missing SDL file should error")
+	}
+	cfg.sdlPath = sdlPath
+	cfg.storePath = filepath.Join(dir, "missing.json")
+	if err := run(cfg, []string{"a~v"}); err == nil {
+		t.Error("missing store file should error")
+	}
+}
+
+func TestRunWhy(t *testing.T) {
+	if err := runWhy("university", "", []string{
+		"ta@>grad@>student@>person.name",
+		"ta@>grad@>student.take.name",
+	}); err != nil {
+		t.Fatalf("runWhy: %v", err)
+	}
+	if err := runWhy("university", "", []string{"only-one"}); err == nil {
+		t.Error("one argument should error")
+	}
+	if err := runWhy("university", "", []string{"ta..x", "ta~y"}); err == nil {
+		t.Error("unparsable expression should error")
+	}
+	if err := runWhy("university", "", []string{"ta@>grad", "ta~name"}); err == nil {
+		t.Error("incomplete expression should error")
+	}
+}
+
+func TestPresetValues(t *testing.T) {
+	for _, name := range []string{"paper", "safe", "exact"} {
+		if _, err := preset(name); err != nil {
+			t.Errorf("preset(%s): %v", name, err)
+		}
+	}
+	if _, err := preset("x"); err == nil {
+		t.Error("unknown preset should error")
+	}
+}

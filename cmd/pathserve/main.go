@@ -1,0 +1,116 @@
+// Command pathserve serves the disambiguation mechanism over
+// HTTP/JSON — the backend an interactive query interface (the paper's
+// Figure 1) would call:
+//
+//	pathserve -addr :8080 -schema university -sample
+//	curl -s localhost:8080/complete -d '{"expr":"ta~name"}'
+//	curl -s localhost:8080/evaluate -d '{"expr":"ta~name","approve":[0]}'
+//	curl -s localhost:8080/schema
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/cupid"
+	"pathcomplete/internal/objstore"
+	"pathcomplete/internal/parts"
+	"pathcomplete/internal/schema"
+	"pathcomplete/internal/sdl"
+	"pathcomplete/internal/server"
+	"pathcomplete/internal/uni"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		schemaName = flag.String("schema", "university", "built-in schema: university, parts, or cupid")
+		sdlPath    = flag.String("sdl", "", "load the schema from an SDL file instead")
+		storePath  = flag.String("store", "", "load object data from a snapshot file")
+		sample     = flag.Bool("sample", false, "mount the built-in sample data (university only)")
+		engine     = flag.String("engine", "paper", "engine preset: paper, safe, or exact")
+		e          = flag.Int("e", 1, "AGG* parameter")
+	)
+	flag.Parse()
+	if err := run(*addr, *schemaName, *sdlPath, *storePath, *sample, *engine, *e); err != nil {
+		fmt.Fprintln(os.Stderr, "pathserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, schemaName, sdlPath, storePath string, sample bool, engine string, e int) error {
+	sv, s, err := build(schemaName, sdlPath, storePath, sample, engine, e)
+	if err != nil {
+		return err
+	}
+	log.Printf("pathserve: schema %s (%d classes, %d relationships) on %s",
+		s.Name(), s.NumUserClasses(), s.NumRels(), addr)
+	return http.ListenAndServe(addr, sv.Handler())
+}
+
+// build assembles the server from the flag values; split from run so
+// the wiring is testable without binding a port.
+func build(schemaName, sdlPath, storePath string, sample bool, engine string, e int) (*server.Server, *schema.Schema, error) {
+	var (
+		s     *schema.Schema
+		store *objstore.Store
+	)
+	switch {
+	case sdlPath != "":
+		f, err := os.Open(sdlPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err = sdl.Parse(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+	case schemaName == "university":
+		if sample {
+			store = uni.SampleStore()
+			s = store.Schema()
+		} else {
+			s = uni.New()
+		}
+	case schemaName == "parts":
+		s = parts.New()
+	case schemaName == "cupid":
+		w, err := cupid.Generate(cupid.DefaultConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		s = w.Schema
+	default:
+		return nil, nil, fmt.Errorf("unknown schema %q", schemaName)
+	}
+	if storePath != "" {
+		f, err := os.Open(storePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		store, err = objstore.Load(s, f)
+		f.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	var opts core.Options
+	switch engine {
+	case "paper":
+		opts = core.Paper()
+	case "safe":
+		opts = core.Safe()
+	case "exact":
+		opts = core.Exact()
+	default:
+		return nil, nil, fmt.Errorf("unknown engine %q", engine)
+	}
+	opts.E = e
+	return server.New(s, store, opts), s, nil
+}

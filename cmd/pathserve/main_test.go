@@ -1,0 +1,74 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildVariants(t *testing.T) {
+	cases := []struct {
+		name, schema string
+		sample       bool
+		engine       string
+	}{
+		{"university", "university", false, "paper"},
+		{"university sample", "university", true, "exact"},
+		{"parts", "parts", false, "safe"},
+	}
+	for _, tc := range cases {
+		sv, s, err := build(tc.schema, "", "", tc.sample, tc.engine, 1)
+		if err != nil {
+			t.Errorf("%s: build: %v", tc.name, err)
+			continue
+		}
+		if sv == nil || s == nil {
+			t.Errorf("%s: nil result", tc.name)
+			continue
+		}
+		// The handler answers health checks.
+		ts := httptest.NewServer(sv.Handler())
+		resp, err := ts.Client().Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Errorf("%s: healthz: %v", tc.name, err)
+		} else {
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("%s: healthz status %d", tc.name, resp.StatusCode)
+			}
+		}
+		ts.Close()
+	}
+}
+
+func TestBuildSDL(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "s.sdl")
+	if err := os.WriteFile(p, []byte("schema tiny\nisa a b\nattr b v I\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, s, err := build("", p, "", false, "paper", 1)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if s.Name() != "tiny" {
+		t.Errorf("schema name = %q", s.Name())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, _, err := build("nope", "", "", false, "paper", 1); err == nil || !strings.Contains(err.Error(), "unknown schema") {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := build("university", "", "", false, "warp", 1); err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := build("", "/nonexistent.sdl", "", false, "paper", 1); err == nil {
+		t.Error("missing SDL should error")
+	}
+	if _, _, err := build("university", "", "/nonexistent.json", false, "paper", 1); err == nil {
+		t.Error("missing store should error")
+	}
+}

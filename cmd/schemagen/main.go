@@ -1,0 +1,65 @@
+// Command schemagen emits schemas in SDL or Graphviz DOT form:
+//
+//	schemagen -schema cupid -seed 7 > cupid.sdl
+//	schemagen -schema university -format dot | dot -Tpng > uni.png
+//	schemagen -schema cupid -classes 200 -relpairs 400 -format summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pathcomplete/internal/cupid"
+	"pathcomplete/internal/parts"
+	"pathcomplete/internal/schema"
+	"pathcomplete/internal/sdl"
+	"pathcomplete/internal/uni"
+)
+
+func main() {
+	var (
+		name     = flag.String("schema", "cupid", "schema: university, parts, or cupid")
+		format   = flag.String("format", "sdl", "output format: sdl, dot, or summary")
+		seed     = flag.Int64("seed", 1994, "generator seed (cupid only)")
+		classes  = flag.Int("classes", 92, "user classes (cupid only)")
+		relpairs = flag.Int("relpairs", 182, "relationship pairs (cupid only)")
+		hubs     = flag.Int("hubs", 3, "hub classes (cupid only)")
+		fanout   = flag.Int("fanout", 8, "hub fanout (cupid only)")
+	)
+	flag.Parse()
+	if err := run(*name, *format, *seed, *classes, *relpairs, *hubs, *fanout); err != nil {
+		fmt.Fprintln(os.Stderr, "schemagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name, format string, seed int64, classes, relpairs, hubs, fanout int) error {
+	var s *schema.Schema
+	switch name {
+	case "university":
+		s = uni.New()
+	case "parts":
+		s = parts.New()
+	case "cupid":
+		w, err := cupid.Generate(cupid.Config{
+			Seed: seed, Classes: classes, RelPairs: relpairs, Hubs: hubs, HubFanout: fanout,
+		})
+		if err != nil {
+			return err
+		}
+		s = w.Schema
+	default:
+		return fmt.Errorf("unknown schema %q", name)
+	}
+	switch format {
+	case "sdl":
+		return sdl.Write(os.Stdout, s)
+	case "dot":
+		return s.WriteDOT(os.Stdout)
+	case "summary":
+		fmt.Printf("schema %s\n%s\n", s.Name(), s.ComputeStats())
+		return nil
+	}
+	return fmt.Errorf("unknown format %q (want sdl, dot, or summary)", format)
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunFormats(t *testing.T) {
+	for _, schema := range []string{"university", "parts", "cupid"} {
+		for _, format := range []string{"sdl", "dot", "summary"} {
+			cfgClasses, cfgPairs := 92, 182
+			if schema == "cupid" {
+				cfgClasses, cfgPairs = 30, 60 // keep the test quick
+			}
+			if err := run(schema, format, 1, cfgClasses, cfgPairs, 2, 5); err != nil {
+				t.Errorf("run(%s, %s): %v", schema, format, err)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "sdl", 1, 92, 182, 3, 8); err == nil {
+		t.Error("unknown schema should error")
+	}
+	if err := run("university", "nope", 1, 92, 182, 3, 8); err == nil {
+		t.Error("unknown format should error")
+	}
+	if err := run("cupid", "sdl", 1, 3, 2, 1, 1); err == nil {
+		t.Error("impossible generator config should error")
+	}
+}

@@ -1,0 +1,107 @@
+package pathcomplete_test
+
+import (
+	"fmt"
+	"os"
+
+	"pathcomplete"
+)
+
+// The flagship example of the paper: disambiguating "ta ~ name" on the
+// Figure 2 university schema.
+func Example() {
+	s := pathcomplete.University()
+	c := pathcomplete.NewCompleter(s, pathcomplete.Exact())
+	res, err := c.Complete(pathcomplete.MustParseExpr("ta~name"))
+	if err != nil {
+		panic(err)
+	}
+	for _, comp := range res.Completions {
+		fmt.Println(comp.Path, comp.Label)
+	}
+	// Output:
+	// ta@>grad@>student@>person.name [., 1]
+	// ta@>instructor@>teacher@>employee@>person.name [., 1]
+}
+
+// Completing to a class instead of a relationship name (the
+// node-to-node form of the paper's Section 3).
+func ExampleCompleter_CompleteToClass() {
+	s := pathcomplete.Parts()
+	c := pathcomplete.NewCompleter(s, pathcomplete.Exact())
+	res, err := c.CompleteToClass("engine", "chassis")
+	if err != nil {
+		panic(err)
+	}
+	for _, comp := range res.Completions {
+		fmt.Println(comp.Path, comp.Label)
+	}
+	// Output:
+	// engine$>screw<$chassis [.SB, 2]
+	// engine<$car$>chassis [.SP, 2]
+}
+
+// The full query loop of the paper's Figure 1: parse, complete, let
+// the user approve, evaluate against the object store.
+func ExampleInterp_Query() {
+	store := pathcomplete.UniversityStore()
+	in := pathcomplete.NewInterp(store, pathcomplete.Exact(), pathcomplete.AcceptFirst)
+	ans, err := in.Query("ta ~ name")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("chosen:", ans.Chosen[0].Path)
+	fmt.Println("answer:", ans.Values)
+	// Output:
+	// chosen: ta@>grad@>student@>person.name
+	// answer: [Yezdi]
+}
+
+// Explaining a completion's label derivation, edge by edge.
+func ExampleExplain() {
+	s := pathcomplete.University()
+	c := pathcomplete.NewCompleter(s, pathcomplete.Exact())
+	res, err := c.Complete(pathcomplete.MustParseExpr("university~ssn"))
+	if err != nil {
+		panic(err)
+	}
+	if err := pathcomplete.Explain(os.Stdout, res.Completions[0]); err != nil {
+		panic(err)
+	}
+	// Output:
+	// university$>department$>professor@>teacher@>employee@>person.ssn
+	//   step                         from             to               conn   semlen
+	//   $>department                 university       department       $>     1
+	//   $>professor                  department       professor        $>     1
+	//   @>teacher                    professor        teacher          $>     1
+	//   @>employee                   teacher          employee         $>     1
+	//   @>person                     employee         person           $>     1
+	//   .ssn                         person           I                ..     2
+	//   label [.., 2] (connector strength tier 4, semantic length 2)
+}
+
+// Building a schema programmatically and widening the answer set with
+// the E parameter of AGG* (Section 4.4).
+func ExampleOptions() {
+	b := pathcomplete.NewSchemaBuilder("library")
+	b.Isa("novel", "book")
+	b.Assoc("reader", "book", "borrows", "borrowed_by")
+	b.Assoc("reader", "novel", "reviews", "reviewed_by")
+	b.Attr("book", "title", "C")
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	opts := pathcomplete.Exact()
+	opts.E = 2
+	res, err := pathcomplete.NewCompleter(s, opts).Complete(pathcomplete.MustParseExpr("reader~title"))
+	if err != nil {
+		panic(err)
+	}
+	for _, comp := range res.Completions {
+		fmt.Println(comp.Path, comp.Label)
+	}
+	// Output:
+	// reader.borrows.title [.., 2]
+	// reader.reviews@>book.title [.., 2]
+}

@@ -1,0 +1,67 @@
+// Cupid exercises the completer at the scale of the paper's
+// experiments: the synthetic 92-class / 364-relationship plant-growth
+// schema, with per-query traversal statistics and the
+// domain-knowledge effect.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pathcomplete"
+)
+
+func main() {
+	w, err := pathcomplete.GenerateCupid(pathcomplete.DefaultCupidConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := w.Schema
+	fmt.Printf("CUPID-scale schema: %d user classes, %d relationships, hubs: ",
+		s.NumUserClasses(), s.NumRels())
+	for _, h := range w.Hubs {
+		fmt.Printf("%s ", s.Class(h).Name)
+	}
+	fmt.Println()
+
+	queries := []string{
+		"canopy~temperature",
+		"experiment~leaf_area_index",
+		"soil_profile~value",
+		"plant_model~conductance",
+	}
+
+	run := func(title string, opts pathcomplete.Options) {
+		fmt.Printf("\n== %s ==\n", title)
+		c := pathcomplete.NewCompleter(s, opts)
+		for _, q := range queries {
+			start := time.Now()
+			res, err := c.Complete(pathcomplete.MustParseExpr(q))
+			if err != nil {
+				fmt.Printf("%-35s error: %v\n", q, err)
+				continue
+			}
+			fmt.Printf("%-35s %3d answers, %6d calls, %8s\n",
+				q, len(res.Completions), res.Stats.Calls, time.Since(start).Round(time.Microsecond))
+			for i, comp := range res.Completions {
+				if i == 2 {
+					fmt.Printf("    ... and %d more\n", len(res.Completions)-2)
+					break
+				}
+				fmt.Printf("    %-72s %s\n", comp.Path, comp.Label)
+			}
+		}
+	}
+
+	run("paper algorithm, E=1", pathcomplete.Paper())
+
+	e5 := pathcomplete.Paper()
+	e5.E = 5
+	run("paper algorithm, E=5 (wider answer sets)", e5)
+
+	dk := pathcomplete.Paper()
+	dk.E = 5
+	dk.Exclude = w.ExcludeHubs()
+	run("E=5 with domain knowledge (hub classes excluded)", dk)
+}

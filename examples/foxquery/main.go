@@ -1,0 +1,53 @@
+// Foxquery runs the complete query loop of the paper's Figure 1
+// against a populated object store: parse → complete → (simulated)
+// user approval → evaluate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathcomplete"
+)
+
+func main() {
+	store := pathcomplete.UniversityStore()
+
+	// The chooser plays the user in the approval loop. Here: approve
+	// everything, and show what each reading would return.
+	in := pathcomplete.NewInterp(store, pathcomplete.Exact(), pathcomplete.AcceptAll)
+
+	for _, q := range []string{
+		"ta ~ name",           // names of teaching assistants
+		"department ~ course", // the motivating question of Section 1
+		"university ~ ssn",    // soc-sec numbers of everyone at the university
+		"student.take.name",   // complete queries evaluate directly
+	} {
+		ans, err := in.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query: %s\n", q)
+		for _, c := range ans.Candidates {
+			fmt.Printf("  candidate: %-55s %s\n", c.Path, c.Label)
+		}
+		fmt.Printf("  answer: %v\n\n", ans.Values)
+	}
+
+	// A pickier user: approve only the top-ranked reading.
+	first := pathcomplete.NewInterp(store, pathcomplete.Exact(), pathcomplete.AcceptFirst)
+	ans, err := first.Query("department~course")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("department~course, first reading only: %s\n  answer: %v\n\n",
+		ans.Chosen[0].Path, ans.Values)
+
+	// Selection predicates filter the evaluated answers: the
+	// departments' courses worth more than 3 credits.
+	sel, err := in.Query("department ~ course where credits > 3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with a where clause (%v): %v\n", sel.Where, sel.Values)
+}

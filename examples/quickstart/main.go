@@ -1,0 +1,52 @@
+// Quickstart: build a small schema, ask an ambiguous question, get the
+// plausible readings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathcomplete"
+)
+
+func main() {
+	// An online-shop schema: orders contain line items, customers
+	// place orders, products have prices.
+	b := pathcomplete.NewSchemaBuilder("shop")
+	b.Isa("premium_customer", "customer")
+	b.Assoc("customer", "order", "places", "placed_by")
+	b.HasPart("order", "line_item")
+	b.Assoc("line_item", "product", "product", "ordered_in")
+	b.Attr("product", "price", "R")
+	b.Attr("line_item", "price", "R") // the negotiated per-line price
+	b.Attr("customer", "name", "C")
+	b.Attr("order", "total", "R")
+	s, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// "The prices of a premium customer" — of what, exactly? Let the
+	// completer fill the gap.
+	c := pathcomplete.NewCompleter(s, pathcomplete.Exact())
+	res, err := c.Complete(pathcomplete.MustParseExpr("premium_customer~price"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("premium_customer ~ price:")
+	for _, comp := range res.Completions {
+		fmt.Printf("  %-70s %s\n", comp.Path, comp.Label)
+	}
+
+	// Raise E to see the next-best readings too.
+	opts := pathcomplete.Exact()
+	opts.E = 2
+	res, err = pathcomplete.NewCompleter(s, opts).Complete(pathcomplete.MustParseExpr("premium_customer~price"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("... and with E=2:")
+	for _, comp := range res.Completions {
+		fmt.Printf("  %-70s %s\n", comp.Path, comp.Label)
+	}
+}

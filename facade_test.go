@@ -1,0 +1,160 @@
+package pathcomplete_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pathcomplete"
+)
+
+// TestFacadeQuickstart exercises the documented public API end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	s := pathcomplete.University()
+	c := pathcomplete.NewCompleter(s, pathcomplete.Exact())
+	res, err := c.Complete(pathcomplete.MustParseExpr("ta~name"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	want := []string{
+		"ta@>grad@>student@>person.name",
+		"ta@>instructor@>teacher@>employee@>person.name",
+	}
+	if got := res.Strings(); !reflect.DeepEqual(got, want) {
+		t.Errorf("completions = %v", got)
+	}
+}
+
+// TestFacadeBuilderAndSDL round-trips a schema built through the
+// facade.
+func TestFacadeBuilderAndSDL(t *testing.T) {
+	b := pathcomplete.NewSchemaBuilder("shop")
+	b.Assoc("customer", "order", "places", "placed_by")
+	b.HasPart("order", "line_item")
+	b.Attr("line_item", "qty", "I")
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := pathcomplete.WriteSDL(&buf, s); err != nil {
+		t.Fatalf("WriteSDL: %v", err)
+	}
+	s2, err := pathcomplete.ParseSDLString(buf.String())
+	if err != nil {
+		t.Fatalf("ParseSDLString: %v", err)
+	}
+	if s2.NumRels() != s.NumRels() {
+		t.Errorf("round trip changed rel count: %d vs %d", s2.NumRels(), s.NumRels())
+	}
+	res, err := pathcomplete.NewCompleter(s2, pathcomplete.Paper()).
+		Complete(pathcomplete.MustParseExpr("customer~qty"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if got := res.Strings(); !reflect.DeepEqual(got, []string{"customer.places$>line_item.qty"}) {
+		t.Errorf("completions = %v", got)
+	}
+}
+
+// TestFacadeQueryLoop runs the Figure 1 interpreter through the
+// facade.
+func TestFacadeQueryLoop(t *testing.T) {
+	store := pathcomplete.UniversityStore()
+	in := pathcomplete.NewInterp(store, pathcomplete.Exact(), pathcomplete.AcceptFirst)
+	ans, err := in.Query("ta~name")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !reflect.DeepEqual(ans.Values, []any{"Yezdi"}) {
+		t.Errorf("values = %v", ans.Values)
+	}
+	if len(pathcomplete.AcceptAll(ans.Candidates)) != len(ans.Candidates) {
+		t.Error("AcceptAll should approve everything")
+	}
+}
+
+// TestFacadeExplain covers the derivation writer.
+func TestFacadeExplain(t *testing.T) {
+	s := pathcomplete.Parts()
+	res, err := pathcomplete.NewCompleter(s, pathcomplete.Exact()).
+		Complete(pathcomplete.MustParseExpr("engine~chassis"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	var sb strings.Builder
+	if err := pathcomplete.Explain(&sb, res.Completions[0]); err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if !strings.Contains(sb.String(), ".SB") {
+		t.Errorf("explain output:\n%s", sb.String())
+	}
+}
+
+// TestFacadeFeedback covers the learner through the facade.
+func TestFacadeFeedback(t *testing.T) {
+	s := pathcomplete.University()
+	l := pathcomplete.NewFeedbackLearner(s)
+	c := pathcomplete.NewCompleter(s, pathcomplete.Exact())
+	opts := pathcomplete.Exact()
+	opts.E = 2
+	wide, err := pathcomplete.NewCompleter(s, opts).Complete(pathcomplete.MustParseExpr("ta~course"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	narrow, err := c.Complete(pathcomplete.MustParseExpr("ta~course"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	good := make(map[string]bool)
+	for _, comp := range narrow.Completions {
+		good[comp.Path.String()] = true
+	}
+	for _, comp := range wide.Completions {
+		if good[comp.Path.String()] {
+			err = l.Observe([]*pathcomplete.Resolved{comp.Path}, nil)
+		} else {
+			err = l.Observe(nil, []*pathcomplete.Resolved{comp.Path})
+		}
+		if err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	if len(l.Report()) == 0 {
+		t.Error("learner accumulated no evidence")
+	}
+}
+
+// TestFacadeCupid covers the generator.
+func TestFacadeCupid(t *testing.T) {
+	cfg := pathcomplete.DefaultCupidConfig()
+	cfg.Classes = 30
+	cfg.RelPairs = 60
+	cfg.Hubs = 1
+	w, err := pathcomplete.GenerateCupid(cfg)
+	if err != nil {
+		t.Fatalf("GenerateCupid: %v", err)
+	}
+	if w.Schema.NumUserClasses() != 30 {
+		t.Errorf("classes = %d", w.Schema.NumUserClasses())
+	}
+	if len(w.ExcludeHubs()) != 1 {
+		t.Errorf("exclusions = %v", w.ExcludeHubs())
+	}
+}
+
+// TestFacadePresets sanity-checks the three presets differ as
+// documented.
+func TestFacadePresets(t *testing.T) {
+	p, sf, ex := pathcomplete.Paper(), pathcomplete.Safe(), pathcomplete.Exact()
+	if p.SemLenSlack || !sf.SemLenSlack {
+		t.Error("slack should be off in Paper and on in Safe")
+	}
+	if !ex.DisableBestU {
+		t.Error("Exact should disable best[u] pruning")
+	}
+	if p.E != 1 || sf.E != 1 || ex.E != 1 {
+		t.Error("presets should default to E=1")
+	}
+}

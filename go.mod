@@ -1,0 +1,3 @@
+module pathcomplete
+
+go 1.22

@@ -1,0 +1,124 @@
+// Package algebra implements the generic path-computation formalism of
+// Carré that Section 3.1 of Ioannidis & Lashkari (SIGMOD 1994) builds
+// on: labeled directed graphs, a binary CON function composing labels
+// along a path, and an AGG function selecting optimal labels among
+// paths.
+//
+// The package provides the formalism itself (Algebra, Graph), checkers
+// for the seven properties the paper enumerates, classic instances
+// (shortest path, most reliable path, widest path, bill of materials),
+// and the reference depth-first search of Algorithm 1 for traditional
+// path-computation problems. The paper's own connector/semantic-length
+// algebra lives in packages connector and label; its search — which
+// must cope with the failure of property 6 — lives in package core.
+package algebra
+
+// Algebra bundles the CON function, the preference relation underlying
+// AGG, and the identity label Θ. Better must be a strict partial
+// order; AGG keeps the non-dominated labels of a set.
+type Algebra[L comparable] struct {
+	// Con composes the labels of two adjacent path segments.
+	Con func(a, b L) L
+	// Better reports that a is strictly preferable to b.
+	Better func(a, b L) bool
+	// Identity is Θ, the identity of Con.
+	Identity L
+}
+
+// Agg is the AGG function induced by Better: the subset of ls not
+// dominated by any member, deduplicated, in first-seen order.
+func (alg Algebra[L]) Agg(ls []L) []L {
+	var out []L
+	seen := make(map[L]bool, len(ls))
+	for _, l := range ls {
+		if seen[l] {
+			continue
+		}
+		dominated := false
+		for _, o := range ls {
+			if alg.Better(o, l) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// In reports whether l survives Agg(append(ls, l)).
+func (alg Algebra[L]) In(l L, ls []L) bool {
+	for _, o := range ls {
+		if alg.Better(o, l) {
+			return false
+		}
+	}
+	return true
+}
+
+// Edge is a labeled directed edge.
+type Edge[L comparable] struct {
+	To    int
+	Label L
+}
+
+// Graph is a labeled directed graph over nodes 0..N-1.
+type Graph[L comparable] struct {
+	adj [][]Edge[L]
+}
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph[L comparable](n int) *Graph[L] {
+	return &Graph[L]{adj: make([][]Edge[L], n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph[L]) N() int { return len(g.adj) }
+
+// AddEdge adds a directed edge from u to v with the given label.
+func (g *Graph[L]) AddEdge(u, v int, l L) {
+	g.adj[u] = append(g.adj[u], Edge[L]{To: v, Label: l})
+}
+
+// Out returns the outgoing edges of u. The slice is shared.
+func (g *Graph[L]) Out(u int) []Edge[L] { return g.adj[u] }
+
+// Classic instances.
+
+// ShortestPath returns the shortest-path algebra: CON is addition over
+// non-negative integer weights, AGG is min, Θ is 0.
+func ShortestPath() Algebra[int] {
+	return Algebra[int]{
+		Con:      func(a, b int) int { return a + b },
+		Better:   func(a, b int) bool { return a < b },
+		Identity: 0,
+	}
+}
+
+// MostReliable returns the most-reliable-path algebra: CON is
+// multiplication over probabilities in [0, 1], AGG is max, Θ is 1.
+func MostReliable() Algebra[float64] {
+	return Algebra[float64]{
+		Con:      func(a, b float64) float64 { return a * b },
+		Better:   func(a, b float64) bool { return a > b },
+		Identity: 1,
+	}
+}
+
+// Widest returns the widest-path (maximum bottleneck) algebra: CON is
+// min over capacities, AGG is max, Θ is the given infinite capacity.
+func Widest(inf int) Algebra[int] {
+	return Algebra[int]{
+		Con: func(a, b int) int {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		Better:   func(a, b int) bool { return a > b },
+		Identity: inf,
+	}
+}

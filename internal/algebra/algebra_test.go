@@ -1,0 +1,217 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestShortestPathProperties(t *testing.T) {
+	rep := Check(ShortestPath(), []int{0, 1, 2, 3, 5, 8})
+	if !rep.AllTraditional() {
+		t.Errorf("shortest path should satisfy all traditional properties: %+v", rep)
+	}
+}
+
+func TestMostReliableProperties(t *testing.T) {
+	// Dyadic probabilities keep float products exact, so associativity
+	// can be checked with equality.
+	rep := Check(MostReliable(), []float64{1, 0.5, 0.25, 0.125})
+	if !rep.AllTraditional() {
+		t.Errorf("most reliable path should satisfy all traditional properties: %+v", rep)
+	}
+}
+
+func TestWidestProperties(t *testing.T) {
+	rep := Check(Widest(1000), []int{1000, 7, 5, 3, 1})
+	// Widest path is associative, monotone, and has identity and
+	// annihilator, but min does NOT distribute over max-selection in
+	// the strict sense checked here when ties collapse; verify the
+	// core properties individually.
+	if !rep.Associative || !rep.Identity || !rep.Monotone || !rep.Annihilator || !rep.Fixpoint {
+		t.Errorf("widest path core properties: %+v", rep)
+	}
+}
+
+func TestAggNonDominated(t *testing.T) {
+	alg := ShortestPath()
+	got := alg.Agg([]int{5, 3, 9, 3})
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("Agg = %v, want [3]", got)
+	}
+	if alg.In(2, []int{3}) != true {
+		t.Error("2 should survive against {3}")
+	}
+	if alg.In(4, []int{3}) != false {
+		t.Error("4 should not survive against {3}")
+	}
+	if got := alg.Agg(nil); len(got) != 0 {
+		t.Errorf("Agg(nil) = %v", got)
+	}
+}
+
+// randGraph builds a random weighted digraph.
+func randGraph(r *rand.Rand, n, m int) *Graph[int] {
+	g := NewGraph[int](n)
+	for k := 0; k < m; k++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		g.AddEdge(u, v, 1+r.Intn(9))
+	}
+	return g
+}
+
+// dijkstra is an independent shortest-path oracle (O(n²) variant).
+func dijkstra(g *Graph[int], s int) []int {
+	const inf = 1 << 30
+	dist := make([]int, g.N())
+	done := make([]bool, g.N())
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[s] = 0
+	for {
+		u, best := -1, inf
+		for i, d := range dist {
+			if !done[i] && d < best {
+				u, best = i, d
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		for _, e := range g.Out(u) {
+			if d := dist[u] + e.Label; d < dist[e.To] {
+				dist[e.To] = d
+			}
+		}
+	}
+	return dist
+}
+
+// TestAlgorithm1MatchesDijkstra cross-checks the generic DFS against
+// Dijkstra on random graphs.
+func TestAlgorithm1MatchesDijkstra(t *testing.T) {
+	alg := ShortestPath()
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(6)
+		g := randGraph(r, n, 2*n)
+		s, tt := r.Intn(n), r.Intn(n)
+		if s == tt {
+			continue
+		}
+		dist := dijkstra(g, s)
+		got := OptimalLabels(g, alg, s, tt)
+		const inf = 1 << 30
+		switch {
+		case dist[tt] == inf:
+			if len(got) != 0 {
+				t.Errorf("seed %d: unreachable target but labels %v", seed, got)
+			}
+		default:
+			if len(got) != 1 || got[0] != dist[tt] {
+				t.Errorf("seed %d: OptimalLabels = %v, Dijkstra = %d", seed, got, dist[tt])
+			}
+		}
+	}
+}
+
+// TestAlgorithm1MostReliable cross-checks against brute-force path
+// enumeration for the multiplicative algebra.
+func TestAlgorithm1MostReliable(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(4)
+		g := NewGraph[float64](n)
+		for k := 0; k < 2*n; k++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 0.1+0.9*r.Float64())
+			}
+		}
+		s, tt := 0, n-1
+		want := bruteBest(g, s, tt)
+		got := OptimalLabels(g, MostReliable(), s, tt)
+		switch {
+		case want < 0:
+			if len(got) != 0 {
+				t.Errorf("seed %d: unreachable but labels %v", seed, got)
+			}
+		default:
+			if len(got) != 1 || abs(got[0]-want) > 1e-12 {
+				t.Errorf("seed %d: OptimalLabels = %v, brute force = %v", seed, got, want)
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// bruteBest enumerates all simple paths and returns the max product,
+// or -1 if t is unreachable.
+func bruteBest(g *Graph[float64], s, t int) float64 {
+	best := -1.0
+	visited := make([]bool, g.N())
+	var dfs func(v int, p float64)
+	dfs = func(v int, p float64) {
+		visited[v] = true
+		for _, e := range g.Out(v) {
+			if e.To == t {
+				if q := p * e.Label; q > best {
+					best = q
+				}
+				continue
+			}
+			if !visited[e.To] {
+				dfs(e.To, p*e.Label)
+			}
+		}
+		visited[v] = false
+	}
+	dfs(s, 1)
+	return best
+}
+
+// TestBillOfMaterials checks the classic quantity rollup on the
+// engine/assembly example shape.
+func TestBillOfMaterials(t *testing.T) {
+	// 0=car, 1=engine, 2=wheel, 3=screw.
+	g := NewGraph[int](4)
+	g.AddEdge(0, 1, 1)  // car has 1 engine
+	g.AddEdge(0, 2, 4)  // car has 4 wheels
+	g.AddEdge(1, 3, 20) // engine has 20 screws
+	g.AddEdge(2, 3, 5)  // wheel has 5 screws
+	if got := BillOfMaterials(g, 0, 3); got != 40 {
+		t.Errorf("BOM(car, screw) = %d, want 40", got)
+	}
+	if got := BillOfMaterials(g, 2, 3); got != 5 {
+		t.Errorf("BOM(wheel, screw) = %d, want 5", got)
+	}
+	if got := BillOfMaterials(g, 3, 0); got != 0 {
+		t.Errorf("BOM(screw, car) = %d, want 0", got)
+	}
+}
+
+// TestSelfTargetIgnoresEmptyPath checks that s == t asks for a real
+// cycle, which the acyclic semantics rejects.
+func TestSelfTargetIgnoresEmptyPath(t *testing.T) {
+	g := NewGraph[int](2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 0, 1)
+	if got := OptimalLabels(g, ShortestPath(), 0, 0); len(got) != 1 || got[0] != 2 {
+		// The only s→s path is the 2-cycle through node 1... which
+		// revisits s only as the endpoint; Algorithm 1 reaches t via
+		// the edge 1→0 while s is no longer on the stack? It is: s
+		// stays visited for the whole search, but edges INTO t are
+		// always allowed. So the cycle 0→1→0 is found with weight 2.
+		t.Errorf("OptimalLabels(s==t) = %v, want [2]", got)
+	}
+}

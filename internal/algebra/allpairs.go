@@ -1,0 +1,46 @@
+package algebra
+
+// AllPairs computes the optimal labels between every pair of nodes —
+// the transitive-closure formulation of the path-computation
+// literature the paper builds on (Agrawal/Dar/Jagadish 1990,
+// Ioannidis/Ramakrishnan/Winger 1993). It is the matrix counterpart of
+// the single-pair DFS of Algorithm 1 and requires the traditional
+// properties 1–6 plus monotonicity, under which optimal walk labels
+// coincide with optimal path labels.
+//
+// The computation is a Floyd–Warshall-style relaxation generalized to
+// label sets: result[i][j] holds the non-dominated labels of i→j
+// paths, nil when j is unreachable from i. Self entries report
+// optimal non-empty cycles, matching OptimalLabels(g, alg, v, v).
+func AllPairs[L comparable](g *Graph[L], alg Algebra[L]) [][][]L {
+	n := g.N()
+	d := make([][][]L, n)
+	for i := range d {
+		d[i] = make([][]L, n)
+	}
+	for u := 0; u < n; u++ {
+		for _, e := range g.Out(u) {
+			d[u][e.To] = alg.Agg(append(d[u][e.To], e.Label))
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if len(d[i][k]) == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if len(d[k][j]) == 0 {
+					continue
+				}
+				cur := d[i][j]
+				for _, a := range d[i][k] {
+					for _, b := range d[k][j] {
+						cur = append(cur, alg.Con(a, b))
+					}
+				}
+				d[i][j] = alg.Agg(cur)
+			}
+		}
+	}
+	return d
+}

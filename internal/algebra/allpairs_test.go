@@ -1,0 +1,84 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAllPairsMatchesDijkstra cross-checks the closure against the
+// independent oracle for every source.
+func TestAllPairsMatchesDijkstra(t *testing.T) {
+	const inf = 1 << 30
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(6)
+		g := randGraph(r, n, 2*n)
+		d := AllPairs(g, ShortestPath())
+		for s := 0; s < n; s++ {
+			dist := dijkstra(g, s)
+			for tt := 0; tt < n; tt++ {
+				if s == tt {
+					continue // self entries report cycles, not the empty path
+				}
+				got := d[s][tt]
+				switch {
+				case dist[tt] == inf:
+					if len(got) != 0 {
+						t.Errorf("seed %d: d[%d][%d] = %v for unreachable pair", seed, s, tt, got)
+					}
+				default:
+					if len(got) != 1 || got[0] != dist[tt] {
+						t.Errorf("seed %d: d[%d][%d] = %v, want [%d]", seed, s, tt, got, dist[tt])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAllPairsMatchesSinglePair cross-checks against Algorithm 1 for
+// the multiplicative algebra, including self pairs (optimal cycles).
+func TestAllPairsMatchesSinglePair(t *testing.T) {
+	for seed := int64(50); seed < 65; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(4)
+		g := NewGraph[float64](n)
+		for k := 0; k < 2*n; k++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 0.5) // equal weights keep float products exact
+			}
+		}
+		alg := MostReliable()
+		d := AllPairs(g, alg)
+		for s := 0; s < n; s++ {
+			for tt := 0; tt < n; tt++ {
+				single := OptimalLabels(g, alg, s, tt)
+				pair := d[s][tt]
+				switch {
+				case len(single) == 0:
+					if len(pair) != 0 {
+						t.Errorf("seed %d: d[%d][%d] = %v, single-pair found none", seed, s, tt, pair)
+					}
+				default:
+					if len(pair) != 1 || len(single) != 1 || pair[0] != single[0] {
+						t.Errorf("seed %d: d[%d][%d] = %v, single-pair %v", seed, s, tt, pair, single)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAllPairsEmptyGraph covers the degenerate cases.
+func TestAllPairsEmptyGraph(t *testing.T) {
+	g := NewGraph[int](3)
+	d := AllPairs(g, ShortestPath())
+	for i := range d {
+		for j := range d[i] {
+			if len(d[i][j]) != 0 {
+				t.Errorf("edge-free graph has label at [%d][%d]", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package algebra
+
+// This file implements checkers for the seven properties of Sections
+// 3.1 and 3.5, evaluated over a finite sample of labels. The checkers
+// drive both the unit tests of the classic instances and the
+// documentation claim that the paper's own algebra satisfies
+// properties 1–5 and 7 but not 6.
+
+// Report summarizes which properties hold over the sampled labels. A
+// true field means no counterexample was found in the sample.
+type Report struct {
+	Associative  bool // property 1: CON(L1, CON(L2, L3)) = CON(CON(L1, L2), L3)
+	AggCoherent  bool // property 2: pairwise AGG reduction is order-independent
+	Fixpoint     bool // property 3: AGG({L}) = {L}
+	Identity     bool // property 4: CON(Θ, L) = CON(L, Θ) = L
+	Annihilator  bool // property 5: AGG(S ∪ {Θ}) = {Θ}
+	Distributive bool // property 6: AGG({CON(L1,L3), CON(L2,L3)}) = CON(AGG({L1,L2}), L3)
+	Monotone     bool // property 7: extending a path never improves its label
+}
+
+// AllTraditional reports whether every property required by
+// traditional path-computation algorithms (1–6) holds, plus
+// monotonicity (7).
+func (r Report) AllTraditional() bool {
+	return r.Associative && r.AggCoherent && r.Fixpoint && r.Identity &&
+		r.Annihilator && r.Distributive && r.Monotone
+}
+
+// Check evaluates the seven properties of alg over all combinations of
+// the sample labels (cubic in len(samples); keep samples small).
+func Check[L comparable](alg Algebra[L], samples []L) Report {
+	r := Report{
+		Associative:  true,
+		AggCoherent:  true,
+		Fixpoint:     true,
+		Identity:     true,
+		Annihilator:  true,
+		Distributive: true,
+		Monotone:     true,
+	}
+	eqSet := func(a, b []L) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		m := make(map[L]int, len(a))
+		for _, x := range a {
+			m[x]++
+		}
+		for _, x := range b {
+			if m[x] == 0 {
+				return false
+			}
+			m[x]--
+		}
+		return true
+	}
+	for _, l1 := range samples {
+		if !eqSet(alg.Agg([]L{l1}), []L{l1}) {
+			r.Fixpoint = false
+		}
+		if alg.Con(alg.Identity, l1) != l1 || alg.Con(l1, alg.Identity) != l1 {
+			r.Identity = false
+		}
+		if !eqSet(alg.Agg([]L{l1, alg.Identity}), []L{alg.Identity}) && l1 != alg.Identity {
+			r.Annihilator = false
+		}
+		for _, l2 := range samples {
+			// Property 7: AGG({L1, CON(L1, L2)}) is {L1} or both.
+			if alg.Better(alg.Con(l1, l2), l1) {
+				r.Monotone = false
+			}
+			for _, l3 := range samples {
+				if alg.Con(l1, alg.Con(l2, l3)) != alg.Con(alg.Con(l1, l2), l3) {
+					r.Associative = false
+				}
+				// Property 2 over three-element sets: reduce in two
+				// groupings.
+				all := alg.Agg([]L{l1, l2, l3})
+				grouped := alg.Agg(append(alg.Agg([]L{l1, l2}), l3))
+				if !eqSet(all, grouped) {
+					r.AggCoherent = false
+				}
+				// Property 6.
+				lhs := alg.Agg([]L{alg.Con(l1, l3), alg.Con(l2, l3)})
+				var rhs []L
+				for _, l := range alg.Agg([]L{l1, l2}) {
+					rhs = append(rhs, alg.Con(l, l3))
+				}
+				if !eqSet(lhs, alg.Agg(rhs)) {
+					r.Distributive = false
+				}
+			}
+		}
+	}
+	return r
+}

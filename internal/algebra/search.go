@@ -1,0 +1,121 @@
+package algebra
+
+import "sort"
+
+// This file implements Algorithm 1 of the paper: the reference
+// depth-first search for traditional path-computation problems, whose
+// AGG and CON satisfy properties 1–6 (and 7, monotonicity, which
+// enables the best[T] bound). Its output is the set of optimal labels
+// of paths from S to T, as is customary in the path-computation
+// literature; the paper's own Algorithm 2 (package core) extends this
+// routine to return the paths themselves and to survive the loss of
+// property 6.
+
+// searcher carries the state of one Algorithm 1 run.
+type searcher[L comparable] struct {
+	g       *Graph[L]
+	alg     Algebra[L]
+	t       int
+	visited []bool
+	best    [][]L // best[v]: optimal labels of explored paths S→v
+	bestT   []L
+}
+
+// OptimalLabels runs Algorithm 1 on g from s to t and returns the
+// optimal labels of s→t paths (nil if t is unreachable). The zero-edge
+// path is not considered even when s == t, matching the paper's
+// semantics where cyclic paths are ignored.
+func OptimalLabels[L comparable](g *Graph[L], alg Algebra[L], s, t int) []L {
+	sr := &searcher[L]{
+		g:       g,
+		alg:     alg,
+		t:       t,
+		visited: make([]bool, g.N()),
+		best:    make([][]L, g.N()),
+	}
+	sr.traverse(s, alg.Identity)
+	return sr.bestT
+}
+
+func (sr *searcher[L]) traverse(v int, lv L) {
+	sr.visited[v] = true // line (1)
+	edges := sr.sortedChildren(v)
+	// Lines (2)–(4): explore edges into T out of order, so complete
+	// labels can block useless paths early.
+	for _, e := range edges {
+		if e.To != sr.t {
+			continue
+		}
+		lT := sr.alg.Con(lv, e.Label)
+		sr.bestT = sr.alg.Agg(append([]L{lT}, sr.bestT...))
+	}
+	// Lines (6)–(12).
+	for _, e := range edges {
+		u := e.To
+		if u == sr.t {
+			continue
+		}
+		lu := sr.alg.Con(lv, e.Label)
+		if sr.visited[u] { // line (8): acyclicity (property 5)
+			continue
+		}
+		if !sr.alg.In(lu, sr.bestT) { // line (8): monotonicity (property 7)
+			continue
+		}
+		if !sr.newAt(u, lu) { // line (9): distributivity (property 6)
+			continue
+		}
+		sr.best[u] = sr.alg.Agg(append([]L{lu}, sr.best[u]...)) // line (10)
+		sr.traverse(u, lu)                                      // line (11)
+	}
+	sr.visited[v] = false // line (13)
+}
+
+// newAt reports whether lu changes best[u] — the distributivity-based
+// test of line (9): if lu is dominated by or equal to a label already
+// explored through u, the subpaths beyond u need not be re-examined.
+func (sr *searcher[L]) newAt(u int, lu L) bool {
+	for _, l := range sr.best[u] {
+		if l == lu || sr.alg.Better(l, lu) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedChildren returns v's edges best-label-first (the children[]
+// ordering of the paper, which strengthens branch-and-bound).
+func (sr *searcher[L]) sortedChildren(v int) []Edge[L] {
+	edges := append([]Edge[L](nil), sr.g.Out(v)...)
+	sort.SliceStable(edges, func(i, j int) bool {
+		return sr.alg.Better(edges[i].Label, edges[j].Label)
+	})
+	return edges
+}
+
+// BillOfMaterials computes the classic non-selective path computation
+// the paper cites alongside shortest and most-reliable paths: the
+// total quantity of part t contained in one s, over a DAG whose edge
+// labels are per-assembly quantities. Here CON is multiplication along
+// a path and the aggregate is summation over paths — an AGG that is
+// not a selection, which is why it falls outside the Better-based
+// Algebra type. The graph must be acyclic along s→t paths.
+func BillOfMaterials(g *Graph[int], s, t int) int {
+	memo := make(map[int]int, g.N())
+	var count func(v int) int
+	count = func(v int) int {
+		if v == t {
+			return 1
+		}
+		if c, ok := memo[v]; ok {
+			return c
+		}
+		total := 0
+		for _, e := range g.Out(v) {
+			total += e.Label * count(e.To)
+		}
+		memo[v] = total
+		return total
+	}
+	return count(s)
+}

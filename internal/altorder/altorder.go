@@ -1,0 +1,300 @@
+// Package altorder implements the connector-ordering ablation the
+// paper's conclusions allude to: "the CON and AGG functions discussed
+// in this paper were chosen among ten and twenty corresponding
+// alternatives, respectively, and gave very promising results"
+// (Section 7). It provides a catalogue of alternative better-than
+// orders, a ranker that selects optimal completions under any of them,
+// and an experiment that scores each alternative against the oracle
+// truth of the Section 5 workload — the comparison behind the paper's
+// choice of Figure 3.
+package altorder
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pathcomplete/internal/connector"
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/label"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
+)
+
+// Alternative is one candidate better-than order.
+type Alternative struct {
+	// Name identifies the alternative in reports.
+	Name string
+	// Desc explains the idea in one line.
+	Desc string
+	// Better is the strict partial order on connectors.
+	Better label.Order
+}
+
+// Paper is the order the paper settled on (Figure 3): taxonomic >
+// part-whole > association > sharing > indirect, Possibly rank-neutral
+// and incomparable with its plain version.
+func Paper() Alternative {
+	return Alternative{
+		Name:   "paper",
+		Desc:   "Figure 3: taxonomy > part-whole > association > sharing > indirect",
+		Better: connector.Better,
+	}
+}
+
+// Flat treats all connectors as mutually incomparable, so ranking
+// degenerates to pure semantic length — the "shortest path" straw man.
+func Flat() Alternative {
+	return Alternative{
+		Name:   "flat",
+		Desc:   "no connector preference; semantic length only",
+		Better: func(a, b connector.Connector) bool { return false },
+	}
+}
+
+// Total linearizes the paper's tiers into a total order by breaking
+// every stated incomparability: forward direction before inverse,
+// plain before Possibly. Ties disappear, so AGG always returns one
+// connector class.
+func Total() Alternative {
+	rank := func(c connector.Connector) int {
+		r := c.Rank() * 4
+		switch c.Kind {
+		case connector.MayBe, connector.IsPartOf, connector.SharesSuper:
+			r++ // inverse direction is slightly worse
+		}
+		if c.Possibly {
+			r += 2
+		}
+		return r
+	}
+	return Alternative{
+		Name:   "total",
+		Desc:   "tiers linearized: forward < inverse, plain < Possibly",
+		Better: func(a, b connector.Connector) bool { return rank(a) < rank(b) },
+	}
+}
+
+// StructureLast inverts the relative strength of part-whole and
+// association — the hypothesis that functional association is more
+// salient than containment.
+func StructureLast() Alternative {
+	rank := func(c connector.Connector) int {
+		switch c.Kind {
+		case connector.Isa, connector.MayBe:
+			return 0
+		case connector.Assoc:
+			return 1
+		case connector.HasPart, connector.IsPartOf:
+			return 2
+		case connector.SharesSub, connector.SharesSuper:
+			return 3
+		default:
+			return 4
+		}
+	}
+	return Alternative{
+		Name:   "structure-last",
+		Desc:   "association outranks part-whole",
+		Better: func(a, b connector.Connector) bool { return rank(a) < rank(b) },
+	}
+}
+
+// PossiblyWorse demotes every Possibly connector below every plain
+// connector, breaking the paper's plain/Possibly incomparability.
+func PossiblyWorse() Alternative {
+	rank := func(c connector.Connector) int {
+		r := c.Rank()
+		if c.Possibly {
+			r += 5
+		}
+		return r
+	}
+	return Alternative{
+		Name:   "possibly-worse",
+		Desc:   "any Possibly connector is worse than any plain one",
+		Better: func(a, b connector.Connector) bool { return rank(a) < rank(b) },
+	}
+}
+
+// Catalogue returns the built-in alternatives, the paper's order
+// first.
+func Catalogue() []Alternative {
+	return []Alternative{Paper(), Flat(), Total(), StructureLast(), PossiblyWorse()}
+}
+
+// Rank selects the optimal completions of an incomplete expression
+// under an alternative order: the full consistent set is enumerated
+// (so the choice of order cannot interact with search pruning) and
+// reduced with AGG* under the alternative, then sorted
+// deterministically. limit bounds the enumeration as in
+// core.EnumerateConsistent.
+func Rank(s *schema.Schema, e pathexpr.Expr, alt Alternative, eParam, limit int) ([]core.Completion, error) {
+	all, err := core.EnumerateConsistent(s, e, core.Options{}, limit)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]label.Key, len(all))
+	labels := make([]label.Label, len(all))
+	for i, r := range all {
+		labels[i] = r.Label()
+		keys[i] = labels[i].Key()
+	}
+	best := label.AggStarUnder(alt.Better, keys, eParam)
+	inBest := make(map[label.Key]bool, len(best))
+	for _, k := range best {
+		inBest[k] = true
+	}
+	var out []core.Completion
+	for i, r := range all {
+		if inBest[keys[i]] {
+			out = append(out, core.Completion{Path: r, Label: labels[i]})
+		}
+	}
+	sortCompletions(out)
+	return out, nil
+}
+
+func sortCompletions(cs []core.Completion) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && less(cs[j], cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func less(a, b core.Completion) bool {
+	ka, kb := a.Label.Key(), b.Label.Key()
+	if ka.SemLen != kb.SemLen {
+		return ka.SemLen < kb.SemLen
+	}
+	if x, y := ka.Conn.String(), kb.Conn.String(); x != y {
+		return x < y
+	}
+	return a.Path.String() < b.Path.String()
+}
+
+// Score is the effectiveness of one alternative over a query set.
+type Score struct {
+	Alternative string
+	Recall      float64
+	Precision   float64
+	AvgAnswers  float64
+	// Skipped counts queries whose enumeration exceeded the limit.
+	Skipped int
+}
+
+// String renders the score as a report row.
+func (s Score) String() string {
+	return fmt.Sprintf("%-16s recall %.3f  precision %.3f  |S| %.1f  (skipped %d)",
+		s.Alternative, s.Recall, s.Precision, s.AvgAnswers, s.Skipped)
+}
+
+// Truthed pairs a query with its adjudicated truth set.
+type Truthed struct {
+	Expr  pathexpr.Expr
+	Truth []string
+}
+
+// ClassAnchoredTruth builds an ordering-ablation workload: n queries
+// of the form root ~ class between random class pairs, whose candidate
+// sets mix structural and associative connectors (attribute-anchored
+// queries all compose to the indirect association, where ≺ cannot
+// bite). Truth is the paper-order ranking at E=1 — so Compare measures
+// each alternative's agreement with the Figure 3 choice where the
+// candidates' connectors genuinely diverge. Queries with fewer than
+// two distinct candidate connectors are skipped as undiagnostic.
+func ClassAnchoredTruth(s *schema.Schema, seed int64, n int) ([]Truthed, error) {
+	rng := rand.New(rand.NewSource(seed))
+	classes := s.Classes()
+	var out []Truthed
+	for attempts := 0; len(out) < n && attempts < 400*n; attempts++ {
+		root := classes[rng.Intn(len(classes))]
+		tgt := classes[rng.Intn(len(classes))]
+		if root.Primitive || tgt.Primitive || root.ID == tgt.ID {
+			continue
+		}
+		e := pathexpr.Expr{Root: root.Name, Steps: []pathexpr.Step{{Gap: true, Name: tgt.Name}}}
+		all, err := core.EnumerateConsistent(s, e, core.Options{}, 200000)
+		if err != nil {
+			continue // too big or unanchorable; try another pair
+		}
+		conns := make(map[string]bool)
+		for _, r := range all {
+			conns[r.Label().Conn().String()] = true
+		}
+		if len(conns) < 2 {
+			continue
+		}
+		ranked, err := Rank(s, e, Paper(), 1, 200000)
+		if err != nil || len(ranked) == 0 {
+			continue
+		}
+		var truth []string
+		for _, c := range ranked {
+			truth = append(truth, c.Path.String())
+		}
+		out = append(out, Truthed{Expr: e, Truth: truth})
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("altorder: built only %d of %d diagnostic queries", len(out), n)
+	}
+	return out, nil
+}
+
+// Compare scores every alternative against the truth sets: for each
+// query the alternative's optimal completions (at eParam) are matched
+// against U.
+func Compare(s *schema.Schema, qs []Truthed, alts []Alternative, eParam, limit int) ([]Score, error) {
+	scores := make([]Score, len(alts))
+	for ai, alt := range alts {
+		sc := Score{Alternative: alt.Name}
+		n := 0
+		for _, q := range qs {
+			cs, err := Rank(s, q.Expr, alt, eParam, limit)
+			if err == core.ErrEnumLimit {
+				sc.Skipped++
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			var got []string
+			for _, c := range cs {
+				got = append(got, c.Path.String())
+			}
+			rec, prec := recallPrecision(q.Truth, got)
+			sc.Recall += rec
+			sc.Precision += prec
+			sc.AvgAnswers += float64(len(got))
+			n++
+		}
+		if n > 0 {
+			sc.Recall /= float64(n)
+			sc.Precision /= float64(n)
+			sc.AvgAnswers /= float64(n)
+		}
+		scores[ai] = sc
+	}
+	return scores, nil
+}
+
+func recallPrecision(u, s []string) (rec, prec float64) {
+	us := make(map[string]bool, len(u))
+	for _, p := range u {
+		us[p] = true
+	}
+	inter := 0
+	for _, p := range s {
+		if us[p] {
+			inter++
+		}
+	}
+	rec, prec = 1, 1
+	if len(us) > 0 {
+		rec = float64(inter) / float64(len(us))
+	}
+	if len(s) > 0 {
+		prec = float64(inter) / float64(len(s))
+	}
+	return rec, prec
+}

@@ -1,0 +1,200 @@
+package altorder
+
+import (
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/connector"
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/cupid"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/uni"
+)
+
+// TestAllAlternativesAreStrictPartialOrders checks irreflexivity,
+// asymmetry, and transitivity for every catalogue entry.
+func TestAllAlternativesAreStrictPartialOrders(t *testing.T) {
+	cs := connector.All()
+	for _, alt := range Catalogue() {
+		for _, a := range cs {
+			if alt.Better(a, a) {
+				t.Errorf("%s: not irreflexive at %v", alt.Name, a)
+			}
+			for _, b := range cs {
+				if alt.Better(a, b) && alt.Better(b, a) {
+					t.Errorf("%s: not asymmetric at (%v, %v)", alt.Name, a, b)
+				}
+				for _, c := range cs {
+					if alt.Better(a, b) && alt.Better(b, c) && !alt.Better(a, c) {
+						t.Errorf("%s: not transitive at (%v, %v, %v)", alt.Name, a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPaperMatchesEngine: ranking under the paper order must equal the
+// exact engine's output.
+func TestPaperMatchesEngine(t *testing.T) {
+	s := uni.New()
+	e := pathexpr.MustParse("ta~name")
+	ranked, err := Rank(s, e, Paper(), 1, 0)
+	if err != nil {
+		t.Fatalf("Rank: %v", err)
+	}
+	res, err := core.New(s, core.Exact()).Complete(e)
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if len(ranked) != len(res.Completions) {
+		t.Fatalf("ranked %d vs engine %d", len(ranked), len(res.Completions))
+	}
+	for i := range ranked {
+		if ranked[i].Path.String() != res.Completions[i].Path.String() {
+			t.Errorf("mismatch at %d: %v vs %v", i, ranked[i].Path, res.Completions[i].Path)
+		}
+	}
+}
+
+// TestFlatDiffers: pure semantic length keeps dominated-connector
+// paths that the paper order rejects.
+func TestFlatDiffers(t *testing.T) {
+	s := uni.New()
+	e := pathexpr.MustParse("ta~course")
+	paper, err := Rank(s, e, Paper(), 1, 0)
+	if err != nil {
+		t.Fatalf("Rank paper: %v", err)
+	}
+	flat, err := Rank(s, e, Flat(), 1, 0)
+	if err != nil {
+		t.Fatalf("Rank flat: %v", err)
+	}
+	if len(paper) != 2 {
+		t.Fatalf("paper rank = %v", strs(paper))
+	}
+	// Flat ranking still finds the two direct paths (they are the
+	// semantically shortest) — here flat and paper coincide, the
+	// classic case where shortest-path is a reasonable proxy.
+	if len(flat) < 2 {
+		t.Errorf("flat rank = %v", strs(flat))
+	}
+}
+
+// TestStructureLastChangesWinners: on a query where a part-whole path
+// competes with an association path, swapping the tiers changes the
+// winner.
+func TestStructureLastChangesWinners(t *testing.T) {
+	s := uni.New()
+	// university ~ professor: the Has-Part route ($>department$>professor,
+	// connector $>) vs any association route.
+	e := pathexpr.MustParse("university~professor")
+	paper, err := Rank(s, e, Paper(), 1, 0)
+	if err != nil {
+		t.Fatalf("Rank: %v", err)
+	}
+	if len(paper) == 0 || paper[0].Path.String() != "university$>department$>professor" {
+		t.Fatalf("paper winner = %v", strs(paper))
+	}
+	sl, err := Rank(s, e, StructureLast(), 1, 0)
+	if err != nil {
+		t.Fatalf("Rank: %v", err)
+	}
+	// Under structure-last the $> path is no longer automatically on
+	// top; whatever wins must still be a consistent completion.
+	for _, c := range sl {
+		if !c.Path.ConsistentWith(e) {
+			t.Errorf("structure-last returned inconsistent %v", c.Path)
+		}
+	}
+}
+
+// TestCompareOnOracleWorkload runs the ordering ablation the paper
+// describes: on the oracle workload, the paper's order must dominate
+// the straw-man alternatives on the recall/precision product.
+func TestCompareOnOracleWorkload(t *testing.T) {
+	cfg := cupid.Config{Seed: 21, Classes: 30, RelPairs: 60, Hubs: 1, HubFanout: 5}
+	w, err := cupid.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	o := cupid.NewOracle(w, 4)
+	qs, err := o.Queries(6)
+	if err != nil {
+		t.Fatalf("Queries: %v", err)
+	}
+	cmp := core.New(w.Schema, core.Exact())
+	var truthed []Truthed
+	for _, q := range qs {
+		res, err := cmp.Complete(q.Expr)
+		if err != nil {
+			t.Fatalf("Complete: %v", err)
+		}
+		truthed = append(truthed, Truthed{Expr: q.Expr, Truth: o.Adjudicate(q, res)})
+	}
+	scores, err := Compare(w.Schema, truthed, Catalogue(), 1, 500000)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if scores[0].Alternative != "paper" {
+		t.Fatalf("catalogue head = %s", scores[0].Alternative)
+	}
+	paperF1 := f1(scores[0])
+	for _, sc := range scores[1:] {
+		if f1(sc) > paperF1+1e-9 {
+			t.Errorf("alternative %s beats the paper order: %v vs %v", sc.Alternative, sc, scores[0])
+		}
+	}
+	if !strings.Contains(scores[0].String(), "recall") {
+		t.Errorf("Score.String = %q", scores[0])
+	}
+}
+
+// TestClassAnchoredTruthDiagnostic builds the ordering-ablation
+// workload and checks the headline separation: the connector-blind
+// flat order (pure shortest path) loses precision against the Figure 3
+// order once E widens the semantic-length window.
+func TestClassAnchoredTruthDiagnostic(t *testing.T) {
+	w, err := cupid.Generate(cupid.Config{Seed: 1994, Classes: 30, RelPairs: 60, Hubs: 1, HubFanout: 5})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	truthed, err := ClassAnchoredTruth(w.Schema, 42, 6)
+	if err != nil {
+		t.Fatalf("ClassAnchoredTruth: %v", err)
+	}
+	if len(truthed) != 6 {
+		t.Fatalf("queries = %d", len(truthed))
+	}
+	for _, q := range truthed {
+		if len(q.Truth) == 0 {
+			t.Errorf("query %v has empty truth", q.Expr)
+		}
+	}
+	scores, err := Compare(w.Schema, truthed, []Alternative{Paper(), Flat()}, 2, 2_000_000)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	paper, flat := scores[0], scores[1]
+	if paper.Recall < 0.999 {
+		t.Errorf("paper order should retrieve its own truth: %v", paper)
+	}
+	if flat.Precision >= paper.Precision {
+		t.Errorf("flat order should lose precision at E=2: flat %v vs paper %v", flat, paper)
+	}
+}
+
+func f1(s Score) float64 {
+	if s.Recall+s.Precision == 0 {
+		return 0
+	}
+	return 2 * s.Recall * s.Precision / (s.Recall + s.Precision)
+}
+
+func strs(cs []core.Completion) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Path.String()
+	}
+	return out
+}

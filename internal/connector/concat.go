@@ -1,0 +1,158 @@
+package connector
+
+// This file implements the CON_c function of the paper (Table 1 in
+// Section 3.3.1): the composition of two connectors into the connector
+// describing the combined, end-to-end relationship.
+//
+// The printed table covers the eight plain connectors; the three
+// implied Possibly tables are identical except that every entry is the
+// Possibly version of the plain entry. Equivalently: once either
+// argument is a Possibly connector, the result is a Possibly
+// connector. A handful of cells are illegible in our source copy of
+// the paper; they are filled by the table's own generating principles
+// (see DESIGN.md §3), and the exhaustive associativity test in
+// concat_test.go pins the reconstruction down.
+//
+// Generating principles, each grounded in an example from the paper:
+//
+//   - Isa (@>) is a two-sided identity: specializing either end of a
+//     relationship does not change its kind.
+//   - May-Be (<@) weakens: composing with <@ on either side yields the
+//     Possibly version (course . teacher, teacher <@ professor ⟹
+//     course .* professor). <@ absorbed into itself or Isa stays <@.
+//   - The four structural connectors are idempotent:
+//     $>∘$> = $>, <$∘<$ = <$ (a chain of Has-Part is a Has-Part).
+//   - $>∘<$ = .SB (engine $> screw, screw <$ chassis ⟹ engine .SB
+//     chassis) and <$∘$> = .SP (motor <$ assembly, assembly $> shaft ⟹
+//     motor .SP shaft).
+//   - Sharing propagates through containment on the appropriate side:
+//     $>∘.SB = .SB, .SB∘<$ = .SB, <$∘.SP = .SP, .SP∘$> = .SP.
+//   - Every other mixed composition degrades to the indirect
+//     association ".." (dept . student, student . course ⟹ dept ..
+//     course).
+
+// pair is an entry of the base composition table: the resulting kind
+// and whether the composition itself introduces the Possibly
+// qualifier (it does exactly when one operand is May-Be and the result
+// is neither Isa nor May-Be).
+type pair struct {
+	kind Kind
+	star bool
+}
+
+// conTable[a][b] is CON_c applied to plain connectors of kinds a and b.
+var conTable = [numKinds][numKinds]pair{
+	Isa: {
+		Isa:         {Isa, false},
+		MayBe:       {MayBe, false},
+		HasPart:     {HasPart, false},
+		IsPartOf:    {IsPartOf, false},
+		Assoc:       {Assoc, false},
+		SharesSub:   {SharesSub, false},
+		SharesSuper: {SharesSuper, false},
+		Indirect:    {Indirect, false},
+	},
+	MayBe: {
+		Isa:         {MayBe, false},
+		MayBe:       {MayBe, false},
+		HasPart:     {HasPart, true},
+		IsPartOf:    {IsPartOf, true},
+		Assoc:       {Assoc, true},
+		SharesSub:   {SharesSub, true},
+		SharesSuper: {SharesSuper, true},
+		Indirect:    {Indirect, true},
+	},
+	HasPart: {
+		Isa:         {HasPart, false},
+		MayBe:       {HasPart, true},
+		HasPart:     {HasPart, false},
+		IsPartOf:    {SharesSub, false},
+		Assoc:       {Indirect, false},
+		SharesSub:   {SharesSub, false},
+		SharesSuper: {Indirect, false},
+		Indirect:    {Indirect, false},
+	},
+	IsPartOf: {
+		Isa:         {IsPartOf, false},
+		MayBe:       {IsPartOf, true},
+		HasPart:     {SharesSuper, false},
+		IsPartOf:    {IsPartOf, false},
+		Assoc:       {Indirect, false},
+		SharesSub:   {Indirect, false},
+		SharesSuper: {SharesSuper, false},
+		Indirect:    {Indirect, false},
+	},
+	Assoc: {
+		Isa:         {Assoc, false},
+		MayBe:       {Assoc, true},
+		HasPart:     {Indirect, false},
+		IsPartOf:    {Indirect, false},
+		Assoc:       {Indirect, false},
+		SharesSub:   {Indirect, false},
+		SharesSuper: {Indirect, false},
+		Indirect:    {Indirect, false},
+	},
+	SharesSub: {
+		Isa:         {SharesSub, false},
+		MayBe:       {SharesSub, true},
+		HasPart:     {Indirect, false},
+		IsPartOf:    {SharesSub, false},
+		Assoc:       {Indirect, false},
+		SharesSub:   {Indirect, false},
+		SharesSuper: {Indirect, false},
+		Indirect:    {Indirect, false},
+	},
+	SharesSuper: {
+		Isa:         {SharesSuper, false},
+		MayBe:       {SharesSuper, true},
+		HasPart:     {SharesSuper, false},
+		IsPartOf:    {Indirect, false},
+		Assoc:       {Indirect, false},
+		SharesSub:   {Indirect, false},
+		SharesSuper: {Indirect, false},
+		Indirect:    {Indirect, false},
+	},
+	Indirect: {
+		Isa:         {Indirect, false},
+		MayBe:       {Indirect, true},
+		HasPart:     {Indirect, false},
+		IsPartOf:    {Indirect, false},
+		Assoc:       {Indirect, false},
+		SharesSub:   {Indirect, false},
+		SharesSuper: {Indirect, false},
+		Indirect:    {Indirect, false},
+	},
+}
+
+// Con is the CON_c function of the paper: it composes the connectors
+// of two adjacent path segments into the connector of their
+// concatenation. Σ is closed under Con, Con is associative, and CIsa
+// (@>) is its two-sided identity; these properties are verified
+// exhaustively in tests.
+func Con(a, b Connector) Connector {
+	e := conTable[a.Kind][b.Kind]
+	c := Connector{Kind: e.kind, Possibly: a.Possibly || b.Possibly || e.star}
+	// Isa and May-Be have no Possibly versions; a May-Be result can
+	// only come from Isa/May-Be operands, which are never Possibly,
+	// and the table never sets star for such results. Guard anyway so
+	// an invalid connector can never escape.
+	if c.Kind == Isa || c.Kind == MayBe {
+		c.Possibly = false
+	}
+	return c
+}
+
+// ConSeq folds Con over a sequence of connectors, returning the
+// identity @> for an empty sequence.
+func ConSeq(cs ...Connector) Connector {
+	out := CIsa
+	for _, c := range cs {
+		out = Con(out, c)
+	}
+	return out
+}
+
+// Identity returns the identity connector of Con, the Isa connector
+// @> (the Θ of the paper's path-algebra formalism has this connector
+// and semantic length zero).
+func Identity() Connector { return CIsa }

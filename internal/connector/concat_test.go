@@ -1,0 +1,258 @@
+package connector
+
+import "testing"
+
+// TestAllMembers checks the canonical enumeration of Σ: eight plain
+// connectors plus six Possibly connectors, all valid and distinct.
+func TestAllMembers(t *testing.T) {
+	cs := All()
+	if len(cs) != 14 {
+		t.Fatalf("|Σ| = %d, want 14", len(cs))
+	}
+	seen := make(map[Connector]bool)
+	for _, c := range cs {
+		if !c.Valid() {
+			t.Errorf("All() contains invalid connector %v", c)
+		}
+		if seen[c] {
+			t.Errorf("All() contains duplicate %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+// TestInvalidPossibly checks that Isa and May-Be reject the Possibly
+// qualifier.
+func TestInvalidPossibly(t *testing.T) {
+	if (Connector{Kind: Isa, Possibly: true}).Valid() {
+		t.Error("Possibly-Isa should be invalid")
+	}
+	if (Connector{Kind: MayBe, Possibly: true}).Valid() {
+		t.Error("Possibly-May-Be should be invalid")
+	}
+}
+
+// TestConClosure verifies Σ is closed under Con.
+func TestConClosure(t *testing.T) {
+	for _, a := range All() {
+		for _, b := range All() {
+			if c := Con(a, b); !c.Valid() {
+				t.Errorf("Con(%v, %v) = %v is not in Σ", a, b, c)
+			}
+		}
+	}
+}
+
+// TestConAssociative verifies CON_c property 1 exhaustively over all
+// 14³ triples.
+func TestConAssociative(t *testing.T) {
+	for _, a := range All() {
+		for _, b := range All() {
+			for _, c := range All() {
+				l, r := Con(Con(a, b), c), Con(a, Con(b, c))
+				if l != r {
+					t.Fatalf("Con not associative: Con(Con(%v,%v),%v)=%v but Con(%v,Con(%v,%v))=%v",
+						a, b, c, l, a, b, c, r)
+				}
+			}
+		}
+	}
+}
+
+// TestConIdentity verifies property 4: @> is a two-sided identity.
+func TestConIdentity(t *testing.T) {
+	for _, c := range All() {
+		if got := Con(Identity(), c); got != c {
+			t.Errorf("Con(@>, %v) = %v, want %v", c, got, c)
+		}
+		if got := Con(c, Identity()); got != c {
+			t.Errorf("Con(%v, @>) = %v, want %v", c, got, c)
+		}
+	}
+}
+
+// TestPossiblyContagious verifies the paper's rule that once any
+// argument of CON_c is a Possibly connector, the result is a Possibly
+// connector.
+func TestPossiblyContagious(t *testing.T) {
+	for _, a := range All() {
+		for _, b := range All() {
+			if a.Possibly || b.Possibly {
+				if got := Con(a, b); !got.Possibly {
+					t.Errorf("Con(%v, %v) = %v lost the Possibly qualifier", a, b, got)
+				}
+			}
+		}
+	}
+}
+
+// TestTable1KnownCells pins every cell of Table 1 that is legible in
+// our copy of the paper.
+func TestTable1KnownCells(t *testing.T) {
+	cases := []struct{ a, b, want string }{
+		// Row @> (identity row).
+		{"@>", "@>", "@>"}, {"@>", "<@", "<@"}, {"@>", "$>", "$>"}, {"@>", "<$", "<$"},
+		{"@>", ".", "."}, {"@>", ".SB", ".SB"}, {"@>", ".SP", ".SP"}, {"@>", "..", ".."},
+		// Row <@ (weakening row).
+		{"<@", "@>", "<@"}, {"<@", "<@", "<@"}, {"<@", "$>", "$>*"}, {"<@", "<$", "<$*"},
+		{"<@", ".", ".*"}, {"<@", ".SB", ".SB*"}, {"<@", ".SP", ".SP*"}, {"<@", "..", "..*"},
+		// Row $>.
+		{"$>", "@>", "$>"}, {"$>", "<@", "$>*"}, {"$>", "$>", "$>"}, {"$>", "<$", ".SB"},
+		{"$>", ".SB", ".SB"}, {"$>", ".SP", ".."},
+		// Row <$.
+		{"<$", "@>", "<$"}, {"<$", "<@", "<$*"}, {"<$", "$>", ".SP"}, {"<$", "<$", "<$"},
+		{"<$", ".", ".."}, {"<$", ".SP", ".SP"},
+		// Row . .
+		{".", "@>", "."}, {".", "<@", ".*"}, {".", ".", ".."},
+		// Row .SB.
+		{".SB", "@>", ".SB"}, {".SB", "<@", ".SB*"}, {".SB", "<$", ".SB"},
+		{".SB", ".SB", ".."}, {".SB", ".SP", ".."},
+		// Row .SP.
+		{".SP", "@>", ".SP"}, {".SP", "<@", ".SP*"}, {".SP", "$>", ".SP"}, {".SP", ".SP", ".."},
+		// Row .. .
+		{"..", "<@", "..*"},
+	}
+	for _, tc := range cases {
+		got := Con(MustParse(tc.a), MustParse(tc.b))
+		if got != MustParse(tc.want) {
+			t.Errorf("Con(%s, %s) = %v, want %s", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestPaperCompositionExamples checks the worked examples of Section
+// 3.3.1.
+func TestPaperCompositionExamples(t *testing.T) {
+	// engine Has-Part screw, screw Is-Part-Of chassis ⟹
+	// engine Shares-SubParts-With chassis.
+	if got := Con(CHasPart, CIsPartOf); got != CSharesSub {
+		t.Errorf("$> ∘ <$ = %v, want .SB", got)
+	}
+	// motor Is-Part-Of assembly, assembly Has-Part shaft ⟹
+	// motor Shares-SuperParts-With shaft.
+	if got := Con(CIsPartOf, CHasPart); got != CSharesSuper {
+		t.Errorf("<$ ∘ $> = %v, want .SP", got)
+	}
+	// dept Is-Associated-With student, student Is-Associated-With
+	// course ⟹ dept Is-Indirectly-Associated-With course.
+	if got := Con(CAssoc, CAssoc); got != CIndirect {
+		t.Errorf(". ∘ . = %v, want ..", got)
+	}
+	// course Is-Associated-With teacher, teacher May-Be professor ⟹
+	// course Possibly-Is-Associated-With professor.
+	if got := Con(CAssoc, CMayBe); got != CPossiblyAssoc {
+		t.Errorf(". ∘ <@ = %v, want .*", got)
+	}
+	// If A Has-Part B and B Has-Part C, then A Has-Part C.
+	if got := Con(CHasPart, CHasPart); got != CHasPart {
+		t.Errorf("$> ∘ $> = %v, want $>", got)
+	}
+}
+
+// TestIdempotentStructural checks the connectors on which CON_c is
+// idempotent (Section 3.3.2, step 1).
+func TestIdempotentStructural(t *testing.T) {
+	for _, c := range []Connector{CIsa, CMayBe, CHasPart, CIsPartOf} {
+		if got := Con(c, c); got != c {
+			t.Errorf("Con(%v, %v) = %v, want %v", c, c, got, c)
+		}
+	}
+	// The association dot is NOT idempotent.
+	if got := Con(CAssoc, CAssoc); got == CAssoc {
+		t.Error(". must not be idempotent under Con")
+	}
+}
+
+// TestConSeq checks folding, including the empty fold.
+func TestConSeq(t *testing.T) {
+	if got := ConSeq(); got != CIsa {
+		t.Errorf("ConSeq() = %v, want @>", got)
+	}
+	// ta @> grad @> student . take — connector of "courses taken by
+	// TAs" style paths is the association dot.
+	if got := ConSeq(CIsa, CIsa, CAssoc); got != CAssoc {
+		t.Errorf("ConSeq(@>,@>,.) = %v, want .", got)
+	}
+	if got := ConSeq(CIsa, CAssoc, CAssoc); got != CIndirect {
+		t.Errorf("ConSeq(@>,.,.) = %v, want ..", got)
+	}
+}
+
+// TestInverse verifies the inverse pairs of Section 2.1 and that
+// Inverse is an involution preserving Possibly.
+func TestInverse(t *testing.T) {
+	pairs := map[Connector]Connector{
+		CIsa:         CMayBe,
+		CHasPart:     CIsPartOf,
+		CAssoc:       CAssoc,
+		CSharesSub:   CSharesSub,
+		CSharesSuper: CSharesSuper,
+		CIndirect:    CIndirect,
+	}
+	for a, b := range pairs {
+		if got := a.Inverse(); got != b {
+			t.Errorf("Inverse(%v) = %v, want %v", a, got, b)
+		}
+	}
+	for _, c := range All() {
+		if got := c.Inverse().Inverse(); got != c {
+			t.Errorf("Inverse is not an involution at %v", c)
+		}
+		if c.Inverse().Possibly != c.Possibly {
+			t.Errorf("Inverse(%v) changed the Possibly qualifier", c)
+		}
+	}
+}
+
+// TestParseStringRoundTrip checks Parse ∘ String = id over Σ.
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, c := range All() {
+		got, err := Parse(c.String())
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.String(), err)
+			continue
+		}
+		if got != c {
+			t.Errorf("Parse(String(%v)) = %v", c, got)
+		}
+	}
+}
+
+// TestParseErrors checks rejection of malformed connector symbols.
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "@", ">@", "@>*", "<@*", "$", "...", "SB", "*"} {
+		if c, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", s, c)
+		}
+	}
+}
+
+// TestEdgeSemLen checks Section 3.2: Isa and May-Be edges have
+// semantic length 0, everything else 1.
+func TestEdgeSemLen(t *testing.T) {
+	for _, c := range All() {
+		want := 1
+		if c.Kind == Isa || c.Kind == MayBe {
+			want = 0
+		}
+		if got := c.EdgeSemLen(); got != want {
+			t.Errorf("EdgeSemLen(%v) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+// TestKindNames spot-checks naming.
+func TestKindNames(t *testing.T) {
+	if HasPart.String() != "Has-Part" {
+		t.Errorf("HasPart.String() = %q", HasPart.String())
+	}
+	if CPossiblyHasPart.Name() != "Possibly-Has-Part" {
+		t.Errorf("Possibly-Has-Part name = %q", CPossiblyHasPart.Name())
+	}
+	if CPossiblyHasPart.String() != "$>*" {
+		t.Errorf("Possibly-Has-Part symbol = %q", CPossiblyHasPart.String())
+	}
+	if Kind(200).Valid() {
+		t.Error("Kind(200) should be invalid")
+	}
+}

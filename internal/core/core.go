@@ -1,0 +1,335 @@
+// Package core implements the path expression completion mechanism of
+// Ioannidis & Lashkari, "Incomplete Path Expressions and their
+// Disambiguation" (SIGMOD 1994) — the paper's primary contribution.
+//
+// Given an incomplete path expression such as "ta ~ name", the
+// Completer searches the schema graph for the acyclic complete path
+// expressions consistent with it and returns those with optimal labels
+// under the AGG*/CON path algebra of Sections 3–4, e.g.
+//
+//	ta@>grad@>student@>person.name
+//	ta@>instructor@>teacher@>employee@>person.name
+//
+// The search is the depth-first Algorithm 2 of Section 4: it prunes
+// against the best complete labels found so far (best[T]) and the best
+// labels per intermediate node (best[u]), escapes over-pruning with
+// caution sets (Section 4.1), tracks paths rather than just labels
+// (Section 4.2), applies the Inheritance Semantics Criterion (Section
+// 4.3), and generalizes AGG to keep the E lowest semantic lengths
+// (Section 4.4). Incomplete expressions with several ~ gaps and
+// interleaved explicit steps (the general case of the paper, deferred
+// to [17]) are handled by running the same search over a product of
+// the schema graph and the expression's step sequence.
+package core
+
+import (
+	"fmt"
+
+	"pathcomplete/internal/connector"
+	"pathcomplete/internal/label"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
+)
+
+// CautionMode selects how the search escapes the best[u] pruning of
+// Algorithm 2 when AGG does not distribute over CON.
+type CautionMode int
+
+const (
+	// CautionPaper uses the caution sets exactly as defined in Section
+	// 4.1: a blocked label is re-explored when a better label at the
+	// node can diverge into an incomparable label under some extension.
+	CautionPaper CautionMode = iota
+	// CautionExtendedMode additionally re-explores when a better label
+	// can diverge into an equal or even reversed label — divergences
+	// our reconstructed ≺ admits but the paper's definition does not
+	// cover. See connector.CautionExtended.
+	CautionExtendedMode
+	// CautionOff disables the escape entirely (an ablation; Algorithm 1
+	// behaviour, which can lose plausible answers).
+	CautionOff
+)
+
+// Options configure a Completer. The zero value is a usable
+// configuration equivalent to Paper() except that every knob is at its
+// paper default (E=1 via normalization, paper caution sets, no slack).
+type Options struct {
+	// E is the AGG* parameter of Section 4.4: how many of the lowest
+	// distinct semantic lengths to keep among incomparable connectors.
+	// Values below 1 are treated as 1.
+	E int
+
+	// Caution selects the best[u] escape-hatch mode.
+	Caution CautionMode
+
+	// SemLenSlack widens the best[u] pruning test by one unit of
+	// semantic length. A path label dominated on semantic length alone
+	// can catch up by at most one when the two paths are extended by a
+	// common suffix (the junction of the restructuring rules), so the
+	// paper's test without slack can lose equally-optimal paths.
+	SemLenSlack bool
+
+	// NoPreemption disables the Inheritance Semantics Criterion of
+	// Section 4.3.
+	NoPreemption bool
+
+	// DisableBestT disables pruning against the best complete labels
+	// (line 9 of Algorithm 2). Ablation only.
+	DisableBestT bool
+
+	// DisableBestU disables pruning against per-node best labels
+	// (lines 10–12 of Algorithm 2). Ablation only.
+	DisableBestU bool
+
+	// NoEarlyTarget disables the out-of-order exploration of edges
+	// that complete the expression (line 2 of Algorithm 2). Ablation
+	// only.
+	NoEarlyTarget bool
+
+	// Exclude lists classes that may not appear anywhere on a
+	// completion except as its root — the domain-specific knowledge of
+	// Section 5.2 ("auxiliary classes ... without much inherent
+	// semantic content").
+	Exclude map[schema.ClassID]bool
+
+	// MaxPaths caps the number of optimal completions retained (0
+	// means unlimited). The cap exists to bound memory on adversarial
+	// schemas; the paper reports 2–3 answers per query at E=1.
+	MaxPaths int
+
+	// PreferSpecific enables the specificity discrimination sketched
+	// in the paper's conclusions: psychological studies indicate that
+	// "when confronted with two homonymous concepts of widely
+	// differing sizes, humans tend to prefer the more specific or
+	// focused concept". Among completions whose labels tie, only those
+	// traversing the most specific classes (greatest average Isa depth)
+	// are kept.
+	PreferSpecific bool
+
+	// MaxCalls caps the number of recursive traverse calls (0 means
+	// unlimited) — an interactive-latency budget in the spirit of the
+	// paper's Section 5.4 concern that "a user should not wait too
+	// long". When the budget is exhausted the search stops and the
+	// Result reports Exhausted; the completions found so far are valid
+	// consistent paths but optimality is no longer guaranteed.
+	MaxCalls int
+}
+
+// Paper returns the configuration matching the published Algorithm 2:
+// per-node best[u] pruning with paper-definition caution sets and no
+// semantic-length slack.
+func Paper() Options { return Options{E: 1, Caution: CautionPaper} }
+
+// Exact returns the configuration under which the search provably
+// returns the definitional answer set (the same completions as the
+// naive enumerator): only the best[T] bound prunes. Per-node best[u]
+// pruning — with or without caution sets — is inherently heuristic on
+// simple paths: the prefix that dominates at a node may be unable to
+// reuse the pruned prefix's completing suffix, because that suffix
+// revisits classes on the dominating prefix. (The best[T] bound is
+// safe because it compares against realized complete labels, and
+// extension can never improve a label: connector rank and semantic
+// length are both monotone under CON.)
+func Exact() Options { return Options{E: 1, DisableBestU: true} }
+
+// Safe returns the near-exact heuristic configuration: per-node
+// pruning stays on, but with the extended caution sets and the
+// semantic-length slack, which close every label-divergence gap the
+// paper's conditions leave open. What remains heuristic is only the
+// suffix-feasibility effect described at Exact; in practice Safe
+// almost always matches Exact at a fraction of the cost.
+func Safe() Options { return Options{E: 1, Caution: CautionExtendedMode, SemLenSlack: true} }
+
+func (o Options) e() int {
+	if o.E < 1 {
+		return 1
+	}
+	return o.E
+}
+
+// Stats reports traversal effort, the quantities behind Figure 7 of
+// the paper.
+type Stats struct {
+	// Calls counts invocations of the recursive traverse routine (one
+	// per explored node state), the paper's per-query cost metric.
+	Calls int
+	// Offers counts complete consistent paths handed to update().
+	Offers int
+	// PrunedBestT counts children skipped by the best[T] bound.
+	PrunedBestT int
+	// PrunedBestU counts children skipped by the best[u] test.
+	PrunedBestU int
+	// CautionSaves counts children that failed the best[u] test but
+	// were explored anyway because of a caution-set intersection.
+	CautionSaves int
+	// Enumerated is set by NaiveComplete: the total number of acyclic
+	// consistent completions (|Ψ| of Section 3).
+	Enumerated int
+}
+
+// Completion is one optimal complete path expression together with its
+// label.
+type Completion struct {
+	Path  *pathexpr.Resolved
+	Label label.Label
+}
+
+// String renders the completion as "expr  [conn, semlen]".
+func (c Completion) String() string {
+	return fmt.Sprintf("%s  %s", c.Path.String(), c.Label.String())
+}
+
+// Result is the outcome of completing one incomplete path expression.
+type Result struct {
+	// Completions holds the optimal consistent completions, sorted by
+	// label (shortest semantic length first) and then lexically.
+	Completions []Completion
+	// Best holds the optimal labels (the contents of best[T]).
+	Best []label.Key
+	// Stats reports traversal effort.
+	Stats Stats
+	// Truncated reports that MaxPaths discarded completions.
+	Truncated bool
+	// Exhausted reports that the MaxCalls budget stopped the search
+	// early; the completions are consistent but possibly suboptimal
+	// and incomplete.
+	Exhausted bool
+}
+
+// Exprs returns the completions as plain expressions, in result order.
+func (r *Result) Exprs() []pathexpr.Expr {
+	out := make([]pathexpr.Expr, len(r.Completions))
+	for i, c := range r.Completions {
+		out[i] = c.Path.Expr()
+	}
+	return out
+}
+
+// Strings returns the completions rendered in query syntax, in result
+// order.
+func (r *Result) Strings() []string {
+	out := make([]string, len(r.Completions))
+	for i, c := range r.Completions {
+		out[i] = c.Path.String()
+	}
+	return out
+}
+
+// Completer completes incomplete path expressions over one schema.
+// A Completer is immutable and safe for concurrent use.
+type Completer struct {
+	s    *schema.Schema
+	opts Options
+}
+
+// New returns a Completer for the given schema and options.
+func New(s *schema.Schema, opts Options) *Completer {
+	return &Completer{s: s, opts: opts}
+}
+
+// Schema returns the schema the completer searches.
+func (c *Completer) Schema() *schema.Schema { return c.s }
+
+// Options returns the completer's configuration.
+func (c *Completer) Options() Options { return c.opts }
+
+// Complete disambiguates the incomplete path expression e: it returns
+// the acyclic complete path expressions consistent with e whose labels
+// are optimal under AGG* (Section 3), with the Inheritance Semantics
+// Criterion applied. A complete input is returned unchanged (resolved)
+// if it is valid.
+func (c *Completer) Complete(e pathexpr.Expr) (*Result, error) {
+	if !e.Incomplete() {
+		r, err := pathexpr.Resolve(c.s, e)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Completions: []Completion{{Path: r, Label: r.Label()}},
+			Best:        []label.Key{r.Label().Key()},
+		}, nil
+	}
+	pat, err := compile(c.s, e)
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(c.s, pat, c.opts).run(), nil
+}
+
+// CompleteToClass disambiguates the node-to-node form of Section 3:
+// it finds the optimal acyclic paths from the root class to the target
+// class, both given by name.
+func (c *Completer) CompleteToClass(root, target string) (*Result, error) {
+	rc, ok := c.s.ClassByName(root)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown root class %q", root)
+	}
+	if rc.Primitive {
+		return nil, fmt.Errorf("core: root class %q is primitive", root)
+	}
+	tc, ok := c.s.ClassByName(target)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown target class %q", target)
+	}
+	pat := &pattern{root: rc.ID, segs: []segment{{kind: segGapClass, class: tc.ID}}}
+	return newEngine(c.s, pat, c.opts).run(), nil
+}
+
+// segKind discriminates pattern segments.
+type segKind int
+
+const (
+	segExplicit segKind = iota // one relationship with a given name and connector
+	segGapName                 // ~name: a path whose last relationship is named name
+	segGapClass                // a path ending at a given class (node-to-node form)
+)
+
+// segment is one step of the compiled pattern.
+type segment struct {
+	kind segKind
+	conn connector.Connector // segExplicit
+	name string              // segExplicit, segGapName
+	// class is the target class for segGapClass. For segGapName it is
+	// the class named name, if one exists: since relationship names
+	// default to their target class name (Section 2.1), a gap anchored
+	// on a class name also ends at any edge into that class.
+	class schema.ClassID
+}
+
+// pattern is an incomplete path expression compiled against a schema:
+// a root class plus a segment sequence. The search runs over states
+// (class, segment index); reaching segment index len(segs) completes a
+// path.
+type pattern struct {
+	root schema.ClassID
+	segs []segment
+}
+
+// compile checks the expression against the schema and builds the
+// pattern.
+func compile(s *schema.Schema, e pathexpr.Expr) (*pattern, error) {
+	rc, ok := s.ClassByName(e.Root)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown root class %q", e.Root)
+	}
+	if rc.Primitive {
+		return nil, fmt.Errorf("core: root class %q is primitive", e.Root)
+	}
+	pat := &pattern{root: rc.ID}
+	for _, st := range e.Steps {
+		if st.Gap {
+			seg := segment{kind: segGapName, name: st.Name, class: schema.NoClass}
+			if cls, ok := s.ClassByName(st.Name); ok {
+				seg.class = cls.ID
+			}
+			if seg.class == schema.NoClass && len(s.RelsNamed(st.Name)) == 0 {
+				return nil, fmt.Errorf("core: no relationship or class named %q anywhere in schema %s",
+					st.Name, s.Name())
+			}
+			pat.segs = append(pat.segs, seg)
+			continue
+		}
+		pat.segs = append(pat.segs, segment{kind: segExplicit, conn: st.Conn, name: st.Name})
+	}
+	return pat, nil
+}

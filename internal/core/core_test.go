@@ -1,0 +1,428 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
+	"pathcomplete/internal/uni"
+)
+
+// TestTaName reproduces the paper's flagship example (Section 2.2.2):
+// "ta ~ name" must complete to exactly the two Isa-chain paths to
+// person.name.
+func TestTaName(t *testing.T) {
+	s := uni.New()
+	for _, opts := range []Options{Paper(), Exact()} {
+		res, err := New(s, opts).Complete(pathexpr.MustParse("ta~name"))
+		if err != nil {
+			t.Fatalf("Complete: %v", err)
+		}
+		want := []string{
+			"ta@>grad@>student@>person.name",
+			"ta@>instructor@>teacher@>employee@>person.name",
+		}
+		if got := res.Strings(); !reflect.DeepEqual(got, want) {
+			t.Errorf("opts %+v: completions = %v, want %v", opts, got, want)
+		}
+		for _, c := range res.Completions {
+			if got := c.Label.String(); got != "[., 1]" {
+				t.Errorf("label = %s, want [., 1]", got)
+			}
+		}
+	}
+}
+
+// TestTaNameE2 checks E-sensitivity on ta~name: every longer
+// completion (take.name, department.name, ...) composes to the
+// indirect-association connector "..", which the direct association of
+// the Isa-chain answers dominates outright — so raising E changes
+// nothing. This is the mechanism behind the paper's flat recall curve
+// (Figure 5): the extra answers a larger E could admit are exactly the
+// implausible ones, and here there are none that survive the connector
+// ordering.
+func TestTaNameE2(t *testing.T) {
+	s := uni.New()
+	opts := Exact()
+	opts.E = 2
+	res, err := New(s, opts).Complete(pathexpr.MustParse("ta~name"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	want := []string{
+		"ta@>grad@>student@>person.name",
+		"ta@>instructor@>teacher@>employee@>person.name",
+	}
+	if got := res.Strings(); !reflect.DeepEqual(got, want) {
+		t.Errorf("E=2 completions = %v, want %v", got, want)
+	}
+}
+
+// TestTaCourseEGrowth checks that E does widen the answer set when
+// incomparable connectors exist: the May-Be detours to ta's courses
+// compose to the Possibly association .*, incomparable with the plain
+// association of the direct answers, and enter at E=2.
+func TestTaCourseEGrowth(t *testing.T) {
+	s := uni.New()
+	e1 := Exact()
+	res1, err := New(s, e1).Complete(pathexpr.MustParse("ta~course"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	want1 := []string{
+		"ta@>grad@>student.take",
+		"ta@>instructor@>teacher.teach",
+	}
+	if got := res1.Strings(); !reflect.DeepEqual(got, want1) {
+		t.Fatalf("E=1 completions = %v, want %v", got, want1)
+	}
+	e2 := Exact()
+	e2.E = 2
+	res2, err := New(s, e2).Complete(pathexpr.MustParse("ta~course"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	got := res2.Strings()
+	if len(got) <= 2 {
+		t.Fatalf("E=2 should admit the Possibly detours, got %v", got)
+	}
+	if !reflect.DeepEqual(got[:2], want1) {
+		t.Errorf("E=2 head = %v, want %v", got[:2], want1)
+	}
+	found := false
+	for _, p := range got[2:] {
+		if p == "ta@>grad@>student@>person<@employee<@teacher.teach" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("E=2 should include the employee May-Be detour, got %v", got)
+	}
+}
+
+// TestDeptCourse checks the motivating example of the introduction:
+// the courses of a department.
+func TestDeptCourse(t *testing.T) {
+	s := uni.New()
+	res, err := New(s, Exact()).Complete(pathexpr.MustParse("department~course"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	got := res.Strings()
+	// Two equally plausible readings survive at E=1: courses taught by
+	// the department's faculty, and courses taken by its students.
+	want := []string{
+		"department$>professor@>teacher.teach",
+		"department.student.take",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("completions = %v, want %v", got, want)
+	}
+}
+
+// TestCompleteToClass exercises the node-to-node form of Section 3.
+func TestCompleteToClass(t *testing.T) {
+	s := uni.New()
+	res, err := New(s, Exact()).CompleteToClass("ta", "person")
+	if err != nil {
+		t.Fatalf("CompleteToClass: %v", err)
+	}
+	want := []string{
+		"ta@>grad@>student@>person",
+		"ta@>instructor@>teacher@>employee@>person",
+	}
+	if got := res.Strings(); !reflect.DeepEqual(got, want) {
+		t.Errorf("completions = %v, want %v", got, want)
+	}
+	// Isa-only paths: the strongest possible label.
+	for _, c := range res.Completions {
+		if got := c.Label.String(); got != "[@>, 0]" {
+			t.Errorf("label = %s, want [@>, 0]", got)
+		}
+	}
+}
+
+// TestCompleteToClassErrors checks input validation.
+func TestCompleteToClassErrors(t *testing.T) {
+	s := uni.New()
+	c := New(s, Exact())
+	if _, err := c.CompleteToClass("nosuch", "person"); err == nil {
+		t.Error("unknown root should error")
+	}
+	if _, err := c.CompleteToClass("ta", "nosuch"); err == nil {
+		t.Error("unknown target should error")
+	}
+	if _, err := c.CompleteToClass("C", "person"); err == nil {
+		t.Error("primitive root should error")
+	}
+}
+
+// TestCompleteCompleteInput checks that a complete expression passes
+// through resolved and unchanged.
+func TestCompleteCompleteInput(t *testing.T) {
+	s := uni.New()
+	res, err := New(s, Paper()).Complete(pathexpr.MustParse("student.take.teacher"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if got := res.Strings(); !reflect.DeepEqual(got, []string{"student.take.teacher"}) {
+		t.Errorf("completions = %v", got)
+	}
+	if _, err := New(s, Paper()).Complete(pathexpr.MustParse("student.nosuch")); err == nil {
+		t.Error("invalid complete expression should error")
+	}
+}
+
+// TestCompileErrors checks incomplete-expression validation.
+func TestCompileErrors(t *testing.T) {
+	s := uni.New()
+	c := New(s, Exact())
+	cases := []struct{ src, want string }{
+		{"nosuch~name", "unknown root class"},
+		{"C~name", "primitive"},
+		{"ta~nosuchname", "no relationship or class named"},
+	}
+	for _, tc := range cases {
+		_, err := c.Complete(pathexpr.MustParse(tc.src))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Complete(%q) err = %v, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+// TestCyclicExplicitPrefix checks that a user-written prefix that
+// revisits a class yields no completions (node-simple paths only).
+func TestCyclicExplicitPrefix(t *testing.T) {
+	s := uni.New()
+	res, err := New(s, Exact()).Complete(pathexpr.MustParse("student.take.student~name"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if len(res.Completions) != 0 {
+		t.Errorf("cyclic prefix produced completions: %v", res.Strings())
+	}
+}
+
+// TestMixedStepsAfterGap checks an incomplete expression with an
+// explicit step after the gap: the gap must land exactly where the
+// explicit step is defined.
+func TestMixedStepsAfterGap(t *testing.T) {
+	s := uni.New()
+	res, err := New(s, Exact()).Complete(pathexpr.MustParse("ta~person.ssn"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	want := []string{
+		"ta@>grad@>student@>person.ssn",
+		"ta@>instructor@>teacher@>employee@>person.ssn",
+	}
+	if got := res.Strings(); !reflect.DeepEqual(got, want) {
+		t.Errorf("completions = %v, want %v", got, want)
+	}
+}
+
+// TestMultiGap checks an expression with two gaps.
+func TestMultiGap(t *testing.T) {
+	s := uni.New()
+	res, err := New(s, Exact()).Complete(pathexpr.MustParse("university~professor~teach"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	want := []string{"university$>department$>professor@>teacher.teach"}
+	if got := res.Strings(); !reflect.DeepEqual(got, want) {
+		t.Errorf("completions = %v, want %v", got, want)
+	}
+}
+
+// TestExclusion checks the domain-knowledge mechanism of Section 5.2:
+// excluding a class removes completions through it without affecting
+// others.
+func TestExclusion(t *testing.T) {
+	s := uni.New()
+	opts := Exact()
+	opts.Exclude = map[schema.ClassID]bool{s.MustClass("employee").ID: true}
+	res, err := New(s, opts).Complete(pathexpr.MustParse("ta~name"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	want := []string{"ta@>grad@>student@>person.name"}
+	if got := res.Strings(); !reflect.DeepEqual(got, want) {
+		t.Errorf("completions = %v, want %v", got, want)
+	}
+}
+
+// TestPreemption builds the Figure 4 configuration directly: a class
+// chain sub @> mid @> top where both mid and top define an attribute
+// named addr. The completion through the nearer class must preempt the
+// one through the superclass.
+func TestPreemption(t *testing.T) {
+	b := schema.NewBuilder("diamond")
+	b.Isa("sub", "mid")
+	b.Isa("mid", "top")
+	b.Attr("mid", "addr", "C")
+	b.Attr("top", "addr", "C")
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	res, err := New(s, Exact()).Complete(pathexpr.MustParse("sub~addr"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	want := []string{"sub@>mid.addr"}
+	if got := res.Strings(); !reflect.DeepEqual(got, want) {
+		t.Errorf("completions = %v, want %v", got, want)
+	}
+	// With preemption disabled, both completions tie on [., 1].
+	opts := Exact()
+	opts.NoPreemption = true
+	res2, err := New(s, opts).Complete(pathexpr.MustParse("sub~addr"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if len(res2.Completions) != 2 {
+		t.Errorf("NoPreemption completions = %v, want 2", res2.Strings())
+	}
+}
+
+// TestPreemptionRequiresSharedPrefix checks that the criterion does
+// not fire across genuinely different prefixes (multiple inheritance
+// stays ambiguous, per Section 4.3).
+func TestPreemptionRequiresSharedPrefix(t *testing.T) {
+	// ta~name in the university schema: the grad chain (length 3) and
+	// the instructor chain (length 4) both reach person.name, but they
+	// diverge at ta, so neither preempts the other.
+	s := uni.New()
+	res, err := New(s, Exact()).Complete(pathexpr.MustParse("ta~name"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if len(res.Completions) != 2 {
+		t.Errorf("multiple-inheritance ambiguity should be preserved: %v", res.Strings())
+	}
+}
+
+// TestEnumerateConsistent checks the reference enumerator on the
+// university schema.
+func TestEnumerateConsistent(t *testing.T) {
+	s := uni.New()
+	all, err := EnumerateConsistent(s, pathexpr.MustParse("ta~name"), Options{}, 0)
+	if err != nil {
+		t.Fatalf("EnumerateConsistent: %v", err)
+	}
+	if len(all) < 10 {
+		t.Errorf("only %d consistent completions; expected many", len(all))
+	}
+	inc := pathexpr.MustParse("ta~name")
+	for _, r := range all {
+		if !r.Acyclic() {
+			t.Errorf("enumerated cyclic path %v", r)
+		}
+		if !r.ConsistentWith(inc) {
+			t.Errorf("enumerated inconsistent path %v", r)
+		}
+	}
+	// The limit aborts.
+	if _, err := EnumerateConsistent(s, inc, Options{}, 3); err != ErrEnumLimit {
+		t.Errorf("limit err = %v, want ErrEnumLimit", err)
+	}
+}
+
+// TestNaiveMatchesExactOnUni cross-checks the two engines on every
+// (root, name) pair of the university schema.
+func TestNaiveMatchesExactOnUni(t *testing.T) {
+	s := uni.New()
+	names := map[string]bool{}
+	for _, r := range s.Rels() {
+		names[r.Name] = true
+	}
+	for _, root := range s.Classes() {
+		if root.Primitive {
+			continue
+		}
+		for name := range names {
+			e := pathexpr.Expr{Root: root.Name, Steps: []pathexpr.Step{{Gap: true, Name: name}}}
+			for _, eVal := range []int{1, 2} {
+				opts := Exact()
+				opts.E = eVal
+				exact, err := New(s, opts).Complete(e)
+				if err != nil {
+					t.Fatalf("Complete(%v): %v", e, err)
+				}
+				naive, err := NaiveComplete(s, e, opts, 0)
+				if err != nil {
+					t.Fatalf("NaiveComplete(%v): %v", e, err)
+				}
+				if !reflect.DeepEqual(exact.Strings(), naive.Strings()) {
+					t.Errorf("E=%d %v:\n exact: %v\n naive: %v", eVal, e, exact.Strings(), naive.Strings())
+				}
+			}
+		}
+	}
+}
+
+// TestStats sanity-checks the traversal counters.
+func TestStats(t *testing.T) {
+	s := uni.New()
+	res, err := New(s, Paper()).Complete(pathexpr.MustParse("ta~name"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	st := res.Stats
+	if st.Calls <= 0 || st.Offers <= 0 {
+		t.Errorf("stats = %+v, want positive Calls and Offers", st)
+	}
+	if st.PrunedBestT+st.PrunedBestU == 0 {
+		t.Errorf("stats = %+v, expected some pruning on the university schema", st)
+	}
+	// Disabling pruning explores at least as many nodes.
+	opts := Paper()
+	opts.DisableBestT = true
+	opts.DisableBestU = true
+	res2, err := New(s, opts).Complete(pathexpr.MustParse("ta~name"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if res2.Stats.Calls < st.Calls {
+		t.Errorf("unpruned Calls %d < pruned Calls %d", res2.Stats.Calls, st.Calls)
+	}
+}
+
+// TestMaxPaths checks truncation.
+func TestMaxPaths(t *testing.T) {
+	s := uni.New()
+	opts := Exact()
+	opts.E = 5
+	opts.MaxPaths = 1
+	res, err := New(s, opts).Complete(pathexpr.MustParse("ta~name"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if len(res.Completions) > 1 {
+		t.Errorf("MaxPaths=1 returned %d completions", len(res.Completions))
+	}
+	if !res.Truncated {
+		t.Error("Truncated should be set")
+	}
+}
+
+// TestResultAccessors covers Exprs and Completion.String.
+func TestResultAccessors(t *testing.T) {
+	s := uni.New()
+	res, err := New(s, Exact()).Complete(pathexpr.MustParse("ta~name"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	es := res.Exprs()
+	if len(es) != len(res.Completions) {
+		t.Fatalf("Exprs length mismatch")
+	}
+	if es[0].String() != res.Completions[0].Path.String() {
+		t.Errorf("Exprs[0] = %v", es[0])
+	}
+	if got := res.Completions[0].String(); !strings.Contains(got, "[., 1]") {
+		t.Errorf("Completion.String() = %q", got)
+	}
+}

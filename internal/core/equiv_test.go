@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
+)
+
+// randSchema builds a small random but valid schema: an acyclic Isa
+// forest plus random Has-Part and association edges and a few shared
+// attribute names. Deterministic in the seed.
+func randSchema(t testing.TB, seed int64) *schema.Schema {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	n := 5 + r.Intn(8)
+	b := schema.NewBuilder(fmt.Sprintf("rand-%d", seed))
+	name := func(i int) string { return fmt.Sprintf("c%02d", i) }
+	for i := 0; i < n; i++ {
+		b.Class(name(i))
+	}
+	// Isa edges only from higher to lower index: acyclic by
+	// construction. Deduplicate pairs so default names stay unique.
+	type pair struct{ a, b int }
+	isa := map[pair]bool{}
+	for k := 0; k < n/2; k++ {
+		i := 1 + r.Intn(n-1)
+		j := r.Intn(i)
+		if isa[pair{i, j}] {
+			continue
+		}
+		isa[pair{i, j}] = true
+		b.Isa(name(i), name(j))
+	}
+	// Structural and association edges with globally unique names.
+	edges := n + r.Intn(2*n)
+	for k := 0; k < edges; k++ {
+		i, j := r.Intn(n), r.Intn(n)
+		if i == j {
+			continue
+		}
+		if r.Intn(2) == 0 {
+			b.HasPart(name(i), name(j), fmt.Sprintf("hp%d", k), fmt.Sprintf("po%d", k))
+		} else {
+			b.Assoc(name(i), name(j), fmt.Sprintf("as%d", k), fmt.Sprintf("sa%d", k))
+		}
+	}
+	// Shared attribute names to create interesting anchors.
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			b.Attr(name(i), "label", "C")
+		}
+		if r.Intn(4) == 0 {
+			b.Attr(name(i), "size", "I")
+		}
+	}
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("seed %d: Build: %v", seed, err)
+	}
+	return s
+}
+
+// anchors returns interesting gap anchors for a schema: shared
+// attribute names, a few relationship names, and a few class names.
+func anchors(s *schema.Schema, r *rand.Rand) []string {
+	set := map[string]bool{"label": true, "size": true}
+	rels := s.Rels()
+	for k := 0; k < 4 && len(rels) > 0; k++ {
+		set[rels[r.Intn(len(rels))].Name] = true
+	}
+	cs := s.Classes()
+	for k := 0; k < 3; k++ {
+		c := cs[r.Intn(len(cs))]
+		if !c.Primitive {
+			set[c.Name] = true
+		}
+	}
+	var out []string
+	for n := range set {
+		out = append(out, n)
+	}
+	return out
+}
+
+// TestExactMatchesNaive is the central correctness property: on random
+// schemas, the pruned Algorithm 2 search in Exact mode returns exactly
+// the definitional answer set computed by full enumeration, for E in
+// {1, 2, 3}, with and without preemption.
+func TestExactMatchesNaive(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 15
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		s := randSchema(t, seed)
+		r := rand.New(rand.NewSource(seed * 7691))
+		for _, root := range s.Classes() {
+			if root.Primitive {
+				continue
+			}
+			for _, anchor := range anchors(s, r) {
+				e := pathexpr.Expr{Root: root.Name, Steps: []pathexpr.Step{{Gap: true, Name: anchor}}}
+				opts := Exact()
+				opts.E = 1 + int(seed)%3
+				opts.NoPreemption = seed%2 == 0
+				exact, err := New(s, opts).Complete(e)
+				if err != nil {
+					continue // anchor absent from this schema
+				}
+				naive, err := NaiveComplete(s, e, opts, 200000)
+				if err != nil {
+					t.Fatalf("seed %d %v: NaiveComplete: %v", seed, e, err)
+				}
+				if !reflect.DeepEqual(exact.Strings(), naive.Strings()) {
+					t.Errorf("seed %d, E=%d, %v:\n exact: %v\n naive: %v",
+						seed, opts.E, e, exact.Strings(), naive.Strings())
+				}
+			}
+		}
+	}
+}
+
+// TestExactMatchesNaiveMultiGap extends the equivalence check to
+// expressions with two gaps and an interleaved explicit step.
+func TestExactMatchesNaiveMultiGap(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(100); seed < int64(100+seeds); seed++ {
+		s := randSchema(t, seed)
+		r := rand.New(rand.NewSource(seed * 31337))
+		as := anchors(s, r)
+		for _, root := range s.Classes() {
+			if root.Primitive {
+				continue
+			}
+			a1, a2 := as[r.Intn(len(as))], as[r.Intn(len(as))]
+			e := pathexpr.Expr{Root: root.Name, Steps: []pathexpr.Step{
+				{Gap: true, Name: a1},
+				{Gap: true, Name: a2},
+			}}
+			opts := Exact()
+			opts.E = 1 + int(seed)%2
+			exact, err := New(s, opts).Complete(e)
+			if err != nil {
+				continue
+			}
+			naive, err := NaiveComplete(s, e, opts, 500000)
+			if err != nil {
+				t.Fatalf("seed %d %v: NaiveComplete: %v", seed, e, err)
+			}
+			if !reflect.DeepEqual(exact.Strings(), naive.Strings()) {
+				t.Errorf("seed %d, E=%d, %v:\n exact: %v\n naive: %v",
+					seed, opts.E, e, exact.Strings(), naive.Strings())
+			}
+		}
+	}
+}
+
+// TestPaperModeSoundness checks the published algorithm's guarantees
+// that do hold: every returned completion is an acyclic consistent
+// path expression, and in the overwhelmingly common case the answer
+// set matches the definitional one. (The paper-mode pruning can in
+// principle lose answers under our reconstructed ≺ — see DESIGN.md —
+// so exact equality is not asserted here.)
+func TestPaperModeSoundness(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		s := randSchema(t, seed)
+		r := rand.New(rand.NewSource(seed * 101))
+		for _, root := range s.Classes() {
+			if root.Primitive {
+				continue
+			}
+			for _, anchor := range anchors(s, r) {
+				e := pathexpr.Expr{Root: root.Name, Steps: []pathexpr.Step{{Gap: true, Name: anchor}}}
+				res, err := New(s, Paper()).Complete(e)
+				if err != nil {
+					continue
+				}
+				for _, c := range res.Completions {
+					if !c.Path.Acyclic() {
+						t.Errorf("seed %d: paper mode returned cyclic path %v", seed, c.Path)
+					}
+					if !c.Path.ConsistentWith(e) {
+						t.Errorf("seed %d: paper mode returned inconsistent path %v for %v", seed, c.Path, e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExclusionEquivalence checks that domain exclusions are honoured
+// identically by both engines.
+func TestExclusionEquivalence(t *testing.T) {
+	for seed := int64(200); seed < 215; seed++ {
+		s := randSchema(t, seed)
+		r := rand.New(rand.NewSource(seed))
+		// Exclude a random non-primitive class.
+		var excluded schema.ClassID = schema.NoClass
+		for _, c := range s.Classes() {
+			if !c.Primitive && r.Intn(3) == 0 {
+				excluded = c.ID
+				break
+			}
+		}
+		if excluded == schema.NoClass {
+			continue
+		}
+		opts := Exact()
+		opts.Exclude = map[schema.ClassID]bool{excluded: true}
+		for _, root := range s.Classes() {
+			if root.Primitive || root.ID == excluded {
+				continue
+			}
+			e := pathexpr.Expr{Root: root.Name, Steps: []pathexpr.Step{{Gap: true, Name: "label"}}}
+			exact, err := New(s, opts).Complete(e)
+			if err != nil {
+				continue
+			}
+			naive, err := NaiveComplete(s, e, opts, 200000)
+			if err != nil {
+				t.Fatalf("seed %d: NaiveComplete: %v", seed, err)
+			}
+			if !reflect.DeepEqual(exact.Strings(), naive.Strings()) {
+				t.Errorf("seed %d %v:\n exact: %v\n naive: %v", seed, e, exact.Strings(), naive.Strings())
+			}
+			// No completion passes through the excluded class.
+			for _, c := range exact.Completions {
+				for _, cls := range c.Path.Classes[1:] {
+					if cls == excluded {
+						t.Errorf("seed %d: completion %v passes through excluded class", seed, c.Path)
+					}
+				}
+			}
+		}
+	}
+}

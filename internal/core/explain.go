@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"pathcomplete/internal/label"
+	"pathcomplete/internal/pathexpr"
+)
+
+// ExplainStep is one row of a completion's derivation: the traversed
+// relationship and the running label after composing it.
+type ExplainStep struct {
+	// Step renders the traversal, e.g. "@>grad" or ".take".
+	Step string
+	// From and To name the classes at the edge's ends.
+	From, To string
+	// Conn is the composed connector of the whole prefix so far.
+	Conn string
+	// SemLen is the semantic length of the prefix so far.
+	SemLen int
+}
+
+// ExplainPath derives a completion step by step: for each edge, the
+// composed connector (via the CON_c table) and the semantic length
+// after the restructuring rules of Section 3.3.2. The final row's
+// connector and length are the completion's label.
+func ExplainPath(r *pathexpr.Resolved) []ExplainStep {
+	s := r.Schema
+	l := label.Identity()
+	steps := make([]ExplainStep, 0, len(r.Rels))
+	for _, rid := range r.Rels {
+		rel := s.Rel(rid)
+		l = label.Con(l, label.MustEdge(rel.Conn))
+		steps = append(steps, ExplainStep{
+			Step:   rel.Conn.String() + rel.Name,
+			From:   s.Class(rel.From).Name,
+			To:     s.Class(rel.To).Name,
+			Conn:   l.Conn().String(),
+			SemLen: l.SemLen(),
+		})
+	}
+	return steps
+}
+
+// Explain writes a human-readable derivation of a completion: one row
+// per edge with the running composed connector and semantic length,
+// followed by the resulting label. It is the "why did the system rank
+// this path here?" view for the user in the Figure 1 loop.
+func Explain(w io.Writer, c Completion) error {
+	if _, err := fmt.Fprintf(w, "%s\n", c.Path); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-28s %-16s %-16s %-6s %s\n",
+		"step", "from", "to", "conn", "semlen"); err != nil {
+		return err
+	}
+	for _, st := range ExplainPath(c.Path) {
+		if _, err := fmt.Fprintf(w, "  %-28s %-16s %-16s %-6s %d\n",
+			st.Step, st.From, st.To, st.Conn, st.SemLen); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  label %s (connector strength tier %d, semantic length %d)\n",
+		c.Label, c.Label.Conn().Rank(), c.Label.SemLen())
+	return err
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pathcomplete/internal/label"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
+)
+
+// This file implements the definitional reference: enumerate the set Ψ
+// of ALL valid acyclic complete path expressions consistent with an
+// incomplete expression (Section 3), then select Ψ_opt with AGG* and
+// the Inheritance Semantics Criterion. It serves three purposes: the
+// oracle that the pruned Algorithm 2 search is property-tested
+// against, the baseline of the benchmark suite, and the source of the
+// paper's in-text statistic that an average of over 500 acyclic path
+// expressions are consistent with each incomplete expression.
+
+// ErrEnumLimit is returned when enumeration exceeds the caller's
+// limit.
+var ErrEnumLimit = fmt.Errorf("core: consistent-path enumeration limit exceeded")
+
+// EnumerateConsistent returns every acyclic complete path expression
+// consistent with e, in no particular order. Excluded classes (if any
+// are configured in opts) are respected so that the enumeration stays
+// comparable with the pruned search. limit > 0 aborts with
+// ErrEnumLimit once more than limit paths are found.
+func EnumerateConsistent(s *schema.Schema, e pathexpr.Expr, opts Options, limit int) ([]*pathexpr.Resolved, error) {
+	pat, err := compile(s, e)
+	if err != nil {
+		return nil, err
+	}
+	return enumerate(s, pat, opts, limit)
+}
+
+func enumerate(s *schema.Schema, pat *pattern, opts Options, limit int) ([]*pathexpr.Resolved, error) {
+	en := newEngine(s, pat, opts)
+	var (
+		out  []*pathexpr.Resolved
+		seen = make(map[string]bool)
+		errl error
+	)
+	var dfs func(v schema.ClassID, seg int) bool
+	dfs = func(v schema.ClassID, seg int) bool {
+		comps, kids := en.transitions(v, seg)
+		for _, tr := range comps {
+			if en.visited[tr.rel.To] {
+				continue
+			}
+			rels := make([]schema.RelID, 0, len(en.path)+1)
+			rels = append(rels, en.path...)
+			rels = append(rels, tr.rel.ID)
+			sig := sigFor(rels)
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			r, err := pathexpr.FromRels(s, pat.root, rels)
+			if err != nil {
+				panic("core: inconsistent enumeration stack: " + err.Error())
+			}
+			out = append(out, r)
+			if limit > 0 && len(out) > limit {
+				errl = ErrEnumLimit
+				return false
+			}
+		}
+		for _, tr := range kids {
+			if en.visited[tr.rel.To] {
+				continue
+			}
+			en.visited[tr.rel.To] = true
+			en.path = append(en.path, tr.rel.ID)
+			ok := dfs(tr.rel.To, tr.toSeg)
+			en.path = en.path[:len(en.path)-1]
+			en.visited[tr.rel.To] = false
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	en.visited[pat.root] = true
+	dfs(pat.root, 0)
+	if errl != nil {
+		return nil, errl
+	}
+	return out, nil
+}
+
+// NaiveComplete computes the definitional answer: all consistent
+// acyclic completions are enumerated, ranked with AGG*, and filtered
+// by the Inheritance Semantics Criterion. The result's
+// Stats.Enumerated reports |Ψ|, the total number of consistent acyclic
+// completions. limit > 0 bounds the enumeration (ErrEnumLimit on
+// overflow).
+func NaiveComplete(s *schema.Schema, e pathexpr.Expr, opts Options, limit int) (*Result, error) {
+	if !e.Incomplete() {
+		return New(s, opts).Complete(e)
+	}
+	pat, err := compile(s, e)
+	if err != nil {
+		return nil, err
+	}
+	all, err := enumerate(s, pat, opts, limit)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]label.Key, len(all))
+	labels := make([]label.Label, len(all))
+	for i, r := range all {
+		labels[i] = r.Label()
+		keys[i] = labels[i].Key()
+	}
+	best := label.AggStar(keys, opts.e())
+	var found []Completion
+	for i, r := range all {
+		if containsKey(best, keys[i]) {
+			found = append(found, Completion{Path: r, Label: labels[i]})
+		}
+	}
+	if !opts.NoPreemption {
+		found = preempt(found)
+	}
+	if opts.PreferSpecific {
+		found = preferSpecific(found)
+	}
+	sort.Slice(found, func(i, j int) bool {
+		ki, kj := found[i].Label.Key(), found[j].Label.Key()
+		if ki.SemLen != kj.SemLen {
+			return ki.SemLen < kj.SemLen
+		}
+		if a, b := ki.Conn.String(), kj.Conn.String(); a != b {
+			return a < b
+		}
+		return found[i].Path.String() < found[j].Path.String()
+	})
+	return &Result{
+		Completions: found,
+		Best:        best,
+		Stats:       Stats{Enumerated: len(all)},
+	}, nil
+}

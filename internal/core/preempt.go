@@ -1,0 +1,71 @@
+package core
+
+import "pathcomplete/internal/connector"
+
+// This file implements the Inheritance Semantics Criterion of Section
+// 4.3 (Figure 4). Consider two complete path expressions sharing an
+// arbitrary common prefix s:
+//
+//	ψ1 = s @>n1 @>n2 ... @>nj φ1 N
+//	ψ2 = s @>n1 @>n2 ... @>nj ... @>nk φ2 N
+//
+// where the n_i steps are Isa edges and φ1, φ2 are any connectors
+// other than @>. Under the traditional inheritance semantics every
+// system supports, the relationship N defined on (or reachable from)
+// the nearer class n_j shadows the one on the superclass n_k, so ψ1
+// preempts ψ2. No CON/AGG formulation can express this — it concerns
+// full path expressions, not path prefixes — so it is applied when
+// complete paths are collected.
+
+// preempts reports whether a preempts b under the criterion.
+func preempts(a, b Completion) bool {
+	ra, rb := a.Path.Rels, b.Path.Rels
+	if len(ra) == 0 || len(rb) <= len(ra) {
+		return false
+	}
+	s := a.Path.Schema
+	fa, fb := s.Rel(ra[len(ra)-1]), s.Rel(rb[len(rb)-1])
+	// Both final relationships carry the same name and neither is an
+	// Isa step.
+	if fa.Name != fb.Name || fa.Conn == connector.CIsa || fb.Conn == connector.CIsa {
+		return false
+	}
+	// a minus its final edge must be a proper prefix of b minus its
+	// final edge...
+	body := len(ra) - 1
+	for i := 0; i < body; i++ {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	// ...and every extra edge of b beyond the shared prefix (except
+	// its own final edge) must be an Isa step.
+	for _, rid := range rb[body : len(rb)-1] {
+		if s.Rel(rid).Conn != connector.CIsa {
+			return false
+		}
+	}
+	return true
+}
+
+// preempt removes every completion preempted by another completion in
+// the set. Preemption is acyclic (the preemptor is strictly shorter),
+// and a preempted path cannot shield others: if b preempts c and a
+// preempts b, then a also preempts c, so single-pass filtering against
+// the full set is sound.
+func preempt(cs []Completion) []Completion {
+	out := cs[:0:0]
+	for _, c := range cs {
+		dead := false
+		for _, p := range cs {
+			if preempts(p, c) {
+				dead = true
+				break
+			}
+		}
+		if !dead {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"pathcomplete/internal/pathexpr"
+)
+
+// TestPerNodePruningCanLoseAnswers is a regression witness for the
+// finding documented at Exact(): per-node best[u] pruning — even with
+// caution sets, extended caution sets, and semantic-length slack — can
+// lose answers, because the label that dominates at a node belongs to
+// a prefix that cannot legally use the pruned prefix's completing
+// suffix (the suffix revisits the dominator's own classes). The
+// randomized equivalence suite discovered this on the seed-15 schema:
+// the only completion of c06~hp0 is reachable only through a prefix
+// that a dead-ending stronger prefix shadows at some node.
+func TestPerNodePruningCanLoseAnswers(t *testing.T) {
+	s := randSchema(t, 15)
+	e := pathexpr.MustParse("c06~hp0")
+
+	exact, err := New(s, Exact()).Complete(e)
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	want := []string{"c06.as11.as6.sa4.as1<$po7$>hp0"}
+	if got := exact.Strings(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("exact completions = %v, want %v", got, want)
+	}
+
+	safe, err := New(s, Safe()).Complete(e)
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if len(safe.Completions) != 0 {
+		// Not a failure of Safe — it would mean the heuristic got
+		// lucky here after a code change; update the witness.
+		t.Errorf("Safe() found %v; the witness schema no longer exhibits the loss — find a new witness", safe.Strings())
+	}
+}
+
+// TestSafeUsuallyMatchesExact quantifies the Safe heuristic: across
+// the randomized workload, Safe must agree with Exact on the vast
+// majority of queries (it differs only via the suffix-feasibility
+// effect).
+func TestSafeUsuallyMatchesExact(t *testing.T) {
+	total, agree := 0, 0
+	for seed := int64(0); seed < 30; seed++ {
+		s := randSchema(t, seed)
+		for _, root := range s.Classes() {
+			if root.Primitive {
+				continue
+			}
+			e := pathexpr.Expr{Root: root.Name, Steps: []pathexpr.Step{{Gap: true, Name: "label"}}}
+			ex, err := New(s, Exact()).Complete(e)
+			if err != nil {
+				continue
+			}
+			sf, err := New(s, Safe()).Complete(e)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			total++
+			if reflect.DeepEqual(ex.Strings(), sf.Strings()) {
+				agree++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no queries ran")
+	}
+	if ratio := float64(agree) / float64(total); ratio < 0.95 {
+		t.Errorf("Safe agreed with Exact on only %d/%d queries (%.0f%%)", agree, total, 100*ratio)
+	}
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"pathcomplete/internal/connector"
+	"pathcomplete/internal/label"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
+)
+
+// state identifies a node of the product search space: a schema class
+// together with the index of the next pattern segment to satisfy.
+// Reaching segment index len(pattern.segs) completes a path.
+type state struct {
+	cls schema.ClassID
+	seg int
+}
+
+// trans is one admissible move: traverse rel and advance to pattern
+// segment toSeg (toSeg == seg means the current ~ gap continues).
+type trans struct {
+	rel   schema.Rel
+	toSeg int
+}
+
+// engine runs one Algorithm 2 search. Engines are single-use.
+type engine struct {
+	s    *schema.Schema
+	pat  *pattern
+	opts Options
+	e    int
+
+	visited []bool // per class: on the current path
+	best    map[state][]label.Key
+	bestT   []label.Key
+	path    []schema.RelID
+
+	found     []Completion
+	foundKeys map[string]bool // dedup of offered rel sequences
+	truncated bool
+	exhausted bool
+	stats     Stats
+}
+
+func newEngine(s *schema.Schema, pat *pattern, opts Options) *engine {
+	return &engine{
+		s:         s,
+		pat:       pat,
+		opts:      opts,
+		e:         opts.e(),
+		visited:   make([]bool, s.NumClasses()),
+		best:      make(map[state][]label.Key),
+		foundKeys: make(map[string]bool),
+	}
+}
+
+func (en *engine) run() *Result {
+	en.visited[en.pat.root] = true
+	en.traverse(en.pat.root, 0, label.Identity())
+	return en.assemble()
+}
+
+// traverse is the recursive routine of Algorithm 2. v is the current
+// class, seg the next pattern segment, lv the label of the path from
+// the root to v (whose edges are on en.path).
+func (en *engine) traverse(v schema.ClassID, seg int, lv label.Label) {
+	if en.opts.MaxCalls > 0 && en.stats.Calls >= en.opts.MaxCalls {
+		en.exhausted = true
+		return
+	}
+	en.stats.Calls++
+	comps, kids := en.transitions(v, seg)
+
+	// Lines (2)–(5): explore moves that complete the expression before
+	// ordinary children, so best[T] can prune as early as possible.
+	if !en.opts.NoEarlyTarget {
+		en.offerAll(comps, lv)
+	}
+	for _, tr := range kids {
+		u := tr.rel.To
+		if en.visited[u] {
+			continue // line (8): acyclicity
+		}
+		lu := label.Con(lv, label.MustEdge(tr.rel.Conn))
+		key := lu.Key()
+		// Line (9): bound against the best complete labels found.
+		if !en.opts.DisableBestT && !label.In(key, en.bestT, en.e) {
+			en.stats.PrunedBestT++
+			continue
+		}
+		st := state{cls: u, seg: tr.toSeg}
+		if !en.opts.DisableBestU {
+			// Lines (10)–(11): membership in AGG*({l_u} ∪ best[u]),
+			// optionally with one unit of semantic-length slack, with
+			// the caution-set escape hatch.
+			testKey := key
+			if en.opts.SemLenSlack && testKey.SemLen > 0 {
+				testKey.SemLen--
+			}
+			ok := label.In(testKey, en.best[st], en.e)
+			if !ok && en.opts.Caution != CautionOff {
+				if en.cautionSet(key.Conn).Intersects(label.Conns(en.best[st])) {
+					ok = true
+					en.stats.CautionSaves++
+				}
+			}
+			if !ok {
+				en.stats.PrunedBestU++
+				continue
+			}
+			// Line (12).
+			en.best[st] = label.AggStar(append(en.best[st], key), en.e)
+		}
+		en.visited[u] = true
+		en.path = append(en.path, tr.rel.ID)
+		en.traverse(u, tr.toSeg, lu)
+		en.path = en.path[:len(en.path)-1]
+		en.visited[u] = false
+	}
+	if en.opts.NoEarlyTarget {
+		en.offerAll(comps, lv)
+	}
+}
+
+func (en *engine) cautionSet(c connector.Connector) connector.Set {
+	if en.opts.Caution == CautionExtendedMode {
+		return connector.CautionExtended(c)
+	}
+	return connector.Caution(c)
+}
+
+func (en *engine) offerAll(comps []trans, lv label.Label) {
+	for _, tr := range comps {
+		if en.visited[tr.rel.To] {
+			continue // the completed expression would be cyclic
+		}
+		en.offer(tr.rel, label.Con(lv, label.MustEdge(tr.rel.Conn)))
+	}
+}
+
+// offer considers one complete consistent path: the current edge stack
+// plus final edge rel, with whole-path label l. It maintains best[T]
+// (lines 3–4) and the optimal path set (the update procedure of
+// Section 4.5).
+func (en *engine) offer(rel schema.Rel, l label.Label) {
+	en.stats.Offers++
+	key := l.Key()
+	if !label.In(key, en.bestT, en.e) {
+		return
+	}
+	en.bestT = label.AggStar(append(en.bestT, key), en.e)
+
+	// Drop previously found paths whose labels fell out of best[T].
+	keep := en.found[:0]
+	for _, c := range en.found {
+		if containsKey(en.bestT, c.Label.Key()) {
+			keep = append(keep, c)
+		} else {
+			delete(en.foundKeys, sigFor(c.Path.Rels))
+		}
+	}
+	en.found = keep
+
+	rels := make([]schema.RelID, 0, len(en.path)+1)
+	rels = append(rels, en.path...)
+	rels = append(rels, rel.ID)
+	sig := sigFor(rels)
+	if en.foundKeys[sig] {
+		return // same edge sequence reached through a different gap split
+	}
+	if en.opts.MaxPaths > 0 && len(en.found) >= en.opts.MaxPaths {
+		en.truncated = true
+		return
+	}
+	resolved, err := pathexpr.FromRels(en.s, en.pat.root, rels)
+	if err != nil {
+		// Unreachable: the edge stack is chained by construction.
+		panic("core: inconsistent edge stack: " + err.Error())
+	}
+	en.foundKeys[sig] = true
+	en.found = append(en.found, Completion{Path: resolved, Label: l})
+}
+
+func sigFor(rels []schema.RelID) string {
+	var sb strings.Builder
+	for _, r := range rels {
+		sb.WriteByte(',')
+		sb.WriteString(strconv.Itoa(int(r)))
+	}
+	return sb.String()
+}
+
+func containsKey(ks []label.Key, k label.Key) bool {
+	for _, x := range ks {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+// transitions computes the admissible moves at (v, seg), split into
+// completing moves (reaching segment index len(segs)) and ordinary
+// children. Children are returned best-edge-first (the sorted
+// children[] of Algorithm 2).
+func (en *engine) transitions(v schema.ClassID, seg int) (comps, kids []trans) {
+	sgmt := en.pat.segs[seg]
+	add := func(t trans) {
+		if t.toSeg == len(en.pat.segs) {
+			comps = append(comps, t)
+		} else {
+			kids = append(kids, t)
+		}
+	}
+	switch sgmt.kind {
+	case segExplicit:
+		if rel, ok := en.s.OutRel(v, sgmt.name); ok && rel.Conn == sgmt.conn {
+			add(trans{rel: rel, toSeg: seg + 1})
+		}
+	case segGapName, segGapClass:
+		if en.s.Class(v).Primitive {
+			return nil, nil // gaps never pass through primitive classes
+		}
+		for _, rid := range en.s.Out(v) {
+			rel := en.s.Rel(rid)
+			ends := false
+			if sgmt.kind == segGapName {
+				ends = rel.Name == sgmt.name || rel.To == sgmt.class
+			} else {
+				ends = rel.To == sgmt.class
+			}
+			// Domain knowledge (Section 5.2): excluded classes may not
+			// appear on a gap's path — neither as intermediate classes
+			// nor as a name-anchored endpoint. An explicitly requested
+			// target class is the user's own choice and stays allowed.
+			if en.opts.Exclude[rel.To] && !(ends && sgmt.kind == segGapClass) {
+				continue
+			}
+			if ends {
+				add(trans{rel: rel, toSeg: seg + 1})
+			}
+			add(trans{rel: rel, toSeg: seg})
+		}
+	}
+	// Children in best-to-worst edge order with progress as a
+	// tiebreaker; schema.Out is already rank-sorted, but completions
+	// were filtered out above, and explicit segments yield one child.
+	sort.SliceStable(kids, func(i, j int) bool {
+		if ri, rj := kids[i].rel.Conn.Rank(), kids[j].rel.Conn.Rank(); ri != rj {
+			return ri < rj
+		}
+		return kids[i].toSeg > kids[j].toSeg
+	})
+	return comps, kids
+}
+
+// assemble sorts, deduplicates, and preemption-filters the found
+// paths into the final Result.
+func (en *engine) assemble() *Result {
+	found := en.found
+	if !en.opts.NoPreemption {
+		found = preempt(found)
+	}
+	if en.opts.PreferSpecific {
+		found = preferSpecific(found)
+	}
+	sort.Slice(found, func(i, j int) bool {
+		ki, kj := found[i].Label.Key(), found[j].Label.Key()
+		if ki.SemLen != kj.SemLen {
+			return ki.SemLen < kj.SemLen
+		}
+		if a, b := ki.Conn.String(), kj.Conn.String(); a != b {
+			return a < b
+		}
+		return found[i].Path.String() < found[j].Path.String()
+	})
+	return &Result{
+		Completions: found,
+		Best:        en.bestT,
+		Stats:       en.stats,
+		Truncated:   en.truncated,
+		Exhausted:   en.exhausted,
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"pathcomplete/internal/connector"
+	"pathcomplete/internal/label"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
+)
+
+// Why explains how AGG compares two complete path expressions — the
+// user-facing answer to "why was this reading preferred over that
+// one?". Both expressions are resolved against the schema and their
+// labels compared exactly as Section 3.4 prescribes: first by the
+// better-than order on connectors, then by semantic length for
+// incomparable connectors.
+func Why(s *schema.Schema, a, b pathexpr.Expr) (string, error) {
+	ra, err := pathexpr.Resolve(s, a)
+	if err != nil {
+		return "", fmt.Errorf("core: first expression: %w", err)
+	}
+	rb, err := pathexpr.Resolve(s, b)
+	if err != nil {
+		return "", fmt.Errorf("core: second expression: %w", err)
+	}
+	la, lb := ra.Label(), rb.Label()
+	ka, kb := la.Key(), lb.Key()
+	head := fmt.Sprintf("%s has label %s; %s has label %s.\n", a, la, b, lb)
+	ca, cb := ka.Conn, kb.Conn
+	switch {
+	case connector.Better(ca, cb):
+		return head + fmt.Sprintf(
+			"The first wins outright: its connector %s (%s) is stronger than %s (%s), and the connector ordering is primary — semantic length is not consulted.",
+			ca, ca.Name(), cb, cb.Name()), nil
+	case connector.Better(cb, ca):
+		return head + fmt.Sprintf(
+			"The second wins outright: its connector %s (%s) is stronger than %s (%s), and the connector ordering is primary — semantic length is not consulted.",
+			cb, cb.Name(), ca, ca.Name()), nil
+	case ka.SemLen < kb.SemLen:
+		return head + fmt.Sprintf(
+			"The connectors %s and %s are incomparable, so semantic length decides: %d beats %d (concepts with lesser semantic distance are more plausible).",
+			ca, cb, ka.SemLen, kb.SemLen), nil
+	case kb.SemLen < ka.SemLen:
+		return head + fmt.Sprintf(
+			"The connectors %s and %s are incomparable, so semantic length decides: %d beats %d (concepts with lesser semantic distance are more plausible).",
+			ca, cb, kb.SemLen, ka.SemLen), nil
+	default:
+		extra := ""
+		if label.Dominates(ka, kb) || label.Dominates(kb, ka) {
+			// Unreachable given the cases above; kept as a safety net.
+			extra = " (internal ordering disagreement)"
+		}
+		return head + fmt.Sprintf(
+			"The labels tie: the connectors are incomparable and the semantic lengths are equal (%d). Both readings are optimal; the user chooses%s.",
+			ka.SemLen, extra), nil
+	}
+}

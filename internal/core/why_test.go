@@ -1,0 +1,64 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/uni"
+)
+
+func TestWhy(t *testing.T) {
+	s := uni.New()
+	cases := []struct {
+		name string
+		a, b string
+		want []string
+	}{
+		{
+			"connector decides",
+			"ta@>grad@>student@>person.name", // [., 1]
+			"ta@>grad@>student.take.name",    // [.., 2]
+			[]string{"first wins", "stronger", "Is-Associated-With"},
+		},
+		{
+			"connector decides, reversed arguments",
+			"ta@>grad@>student.take.name",
+			"ta@>grad@>student@>person.name",
+			[]string{"second wins", "stronger"},
+		},
+		{
+			"semantic length decides",
+			"university$>department$>professor@>teacher.teach", // [.., 2]
+			"ta@>grad@>student.take.student@>person.ssn",       // [.., 3]
+			[]string{"incomparable", "semantic length decides", "2 beats 3"},
+		},
+		{
+			"tie",
+			"ta@>grad@>student@>person.name",
+			"ta@>instructor@>teacher@>employee@>person.name",
+			[]string{"labels tie", "the user chooses"},
+		},
+	}
+	for _, tc := range cases {
+		got, err := Why(s, pathexpr.MustParse(tc.a), pathexpr.MustParse(tc.b))
+		if err != nil {
+			t.Fatalf("%s: Why: %v", tc.name, err)
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(got, want) {
+				t.Errorf("%s: output missing %q:\n%s", tc.name, want, got)
+			}
+		}
+	}
+}
+
+func TestWhyErrors(t *testing.T) {
+	s := uni.New()
+	if _, err := Why(s, pathexpr.MustParse("nosuch.name"), pathexpr.MustParse("ta@>grad")); err == nil {
+		t.Error("unresolvable first expression should error")
+	}
+	if _, err := Why(s, pathexpr.MustParse("ta@>grad"), pathexpr.MustParse("ta~name")); err == nil {
+		t.Error("incomplete second expression should error")
+	}
+}

@@ -1,0 +1,247 @@
+package cupid
+
+import (
+	"testing"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/schema"
+)
+
+func defaultWorkload(t *testing.T) *Workload {
+	t.Helper()
+	w, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return w
+}
+
+// TestGenerateMatchesPaperShape pins the published CUPID shape: 92
+// user-defined classes and 364 relationships.
+func TestGenerateMatchesPaperShape(t *testing.T) {
+	w := defaultWorkload(t)
+	if got := w.Schema.NumUserClasses(); got != 92 {
+		t.Errorf("user classes = %d, want 92", got)
+	}
+	if got := w.Schema.NumRels(); got != 364 {
+		t.Errorf("relationships = %d, want 364", got)
+	}
+	if got := len(w.Hubs); got != 3 {
+		t.Errorf("hubs = %d, want 3", got)
+	}
+}
+
+// TestGenerateDeterministic: equal configs generate equal schemas.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	ra, rb := a.Schema.Rels(), b.Schema.Rels()
+	if len(ra) != len(rb) {
+		t.Fatalf("rel counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("rel %d differs: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+	// A different seed generates a different schema.
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	same := true
+	rc := c.Schema.Rels()
+	if len(rc) != len(ra) {
+		same = false
+	} else {
+		for i := range ra {
+			if ra[i] != rc[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds generated identical schemas")
+	}
+}
+
+// TestGenerateScales checks other sizes build cleanly.
+func TestGenerateScales(t *testing.T) {
+	for _, cfg := range []Config{
+		{Seed: 1, Classes: 25, RelPairs: 50, Hubs: 1, HubFanout: 6},
+		{Seed: 2, Classes: 50, RelPairs: 100, Hubs: 2, HubFanout: 8},
+		{Seed: 3, Classes: 200, RelPairs: 400, Hubs: 4, HubFanout: 16},
+	} {
+		w, err := Generate(cfg)
+		if err != nil {
+			t.Errorf("Generate(%+v): %v", cfg, err)
+			continue
+		}
+		if got := w.Schema.NumUserClasses(); got != cfg.Classes {
+			t.Errorf("classes = %d, want %d", got, cfg.Classes)
+		}
+		if got := w.Schema.NumRels(); got != 2*cfg.RelPairs {
+			t.Errorf("rels = %d, want %d", got, 2*cfg.RelPairs)
+		}
+	}
+}
+
+// TestGenerateErrors checks configuration validation.
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Classes: 3}); err == nil {
+		t.Error("tiny class count should fail")
+	}
+	if _, err := Generate(Config{Classes: 20, RelPairs: 5, Hubs: 1, HubFanout: 4}); err == nil {
+		t.Error("pair budget below backbone size should fail")
+	}
+	if _, err := Generate(Config{Classes: 20, RelPairs: 40, Hubs: 99}); err == nil {
+		t.Error("too many hubs should fail")
+	}
+}
+
+// TestExcludeHubs checks the domain-knowledge map.
+func TestExcludeHubs(t *testing.T) {
+	w := defaultWorkload(t)
+	m := w.ExcludeHubs()
+	if len(m) != len(w.Hubs) {
+		t.Fatalf("exclude map size = %d", len(m))
+	}
+	for _, h := range w.Hubs {
+		if !m[h] {
+			t.Errorf("hub %d missing from exclude map", h)
+		}
+		if !w.IsHub(h) {
+			t.Errorf("IsHub(%d) = false", h)
+		}
+	}
+	if w.IsHub(schema.ClassID(0)) {
+		t.Error("primitive class reported as hub")
+	}
+}
+
+// TestOracleQueries checks query proposal: ten queries, each with a
+// non-empty intended set consistent with its expression, roughly one
+// special.
+func TestOracleQueries(t *testing.T) {
+	w := defaultWorkload(t)
+	o := NewOracle(w, 42)
+	qs, err := o.Queries(10)
+	if err != nil {
+		t.Fatalf("Queries: %v", err)
+	}
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	specials := 0
+	for _, q := range qs {
+		if len(q.Intended) == 0 {
+			t.Errorf("query %v has no intended completions", q.Expr)
+		}
+		if !q.Expr.Incomplete() {
+			t.Errorf("query %v is not incomplete", q.Expr)
+		}
+		if q.Special {
+			specials++
+		}
+	}
+	if specials != 1 {
+		t.Errorf("specials = %d, want 1 of 10", specials)
+	}
+}
+
+// TestOracleDeterministic: same seed, same queries.
+func TestOracleDeterministic(t *testing.T) {
+	w := defaultWorkload(t)
+	a, err := NewOracle(w, 5).Queries(5)
+	if err != nil {
+		t.Fatalf("Queries: %v", err)
+	}
+	b, err := NewOracle(w, 5).Queries(5)
+	if err != nil {
+		t.Fatalf("Queries: %v", err)
+	}
+	for i := range a {
+		if a[i].Expr.String() != b[i].Expr.String() {
+			t.Errorf("query %d differs: %v vs %v", i, a[i].Expr, b[i].Expr)
+		}
+	}
+}
+
+// TestAdjudicate checks the truth-set construction: intended paths are
+// always in U; optimally-labeled non-hub answers are admitted.
+func TestAdjudicate(t *testing.T) {
+	w := defaultWorkload(t)
+	o := NewOracle(w, 42)
+	qs, err := o.Queries(6)
+	if err != nil {
+		t.Fatalf("Queries: %v", err)
+	}
+	cmp := core.New(w.Schema, core.Exact())
+	for _, q := range qs {
+		res, err := cmp.Complete(q.Expr)
+		if err != nil {
+			t.Fatalf("Complete(%v): %v", q.Expr, err)
+		}
+		u := o.Adjudicate(q, res)
+		inU := make(map[string]bool)
+		for _, p := range u {
+			inU[p] = true
+		}
+		for _, p := range q.Intended {
+			if !inU[p] {
+				t.Errorf("U for %v lost intended path %s", q.Expr, p)
+			}
+		}
+		if !q.Special {
+			// Normal intended paths are drawn from the E=1 output, so
+			// recall against the same output must be total.
+			found := false
+			for _, c := range res.Completions {
+				if c.Path.String() == q.Intended[0] {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("intended %s not in E=1 output for %v", q.Intended[0], q.Expr)
+			}
+		}
+	}
+}
+
+// TestSpecialNeverReturned: special intended readings must stay out of
+// the answer set even at E=5, keeping recall flat across the sweep.
+func TestSpecialNeverReturned(t *testing.T) {
+	w := defaultWorkload(t)
+	o := NewOracle(w, 42)
+	qs, err := o.Queries(20)
+	if err != nil {
+		t.Fatalf("Queries: %v", err)
+	}
+	// Paper mode at E=5: the engine the experiments run with.
+	opts := core.Paper()
+	opts.E = 5
+	cmp := core.New(w.Schema, opts)
+	for _, q := range qs {
+		if !q.Special {
+			continue
+		}
+		res, err := cmp.Complete(q.Expr)
+		if err != nil {
+			t.Fatalf("Complete: %v", err)
+		}
+		for _, c := range res.Completions {
+			if c.Path.String() == q.Intended[0] {
+				t.Errorf("special intended %s returned at E=5", q.Intended[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package cupid generates CUPID-scale synthetic schemas and simulates
+// the human subject of the paper's experiments (Section 5).
+//
+// The original study used the Moose schema of CUPID, a Fortran
+// plant-growth simulator: 92 user-defined classes and 364
+// relationships, designed and queried by the soil scientist who built
+// it. Neither the schema nor the scientist is available, so this
+// package substitutes both (see DESIGN.md §2):
+//
+//   - Generate builds a deterministic schema with the same shape
+//     parameters: a deep Has-Part containment backbone (experiment →
+//     models → layers → …), Isa hierarchies for parameter and sensor
+//     kinds, cross associations, a few "auxiliary hub" classes with
+//     high fan-out and little semantic content (the classes the
+//     designer later excluded), and attributes drawn from a shared
+//     name pool so that ~ anchors are genuinely ambiguous.
+//   - Oracle (oracle.go) proposes ad-hoc incomplete path expressions
+//     with intended completions, and adjudicates system output into
+//     the final truth set U the way the paper's subject did.
+package cupid
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pathcomplete/internal/schema"
+)
+
+// Config controls the generator. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	// Seed drives all randomness; equal configs generate equal schemas.
+	Seed int64
+	// Classes is the number of user-defined classes (the paper: 92).
+	Classes int
+	// RelPairs is the number of relationship pairs; each pair
+	// contributes a relationship and its inverse, so the paper's 364
+	// relationships correspond to 182 pairs.
+	RelPairs int
+	// Hubs is the number of auxiliary hub classes.
+	Hubs int
+	// HubFanout is the number of association pairs per hub.
+	HubFanout int
+}
+
+// DefaultConfig matches the CUPID schema's published shape: 92 user
+// classes and 364 relationships.
+func DefaultConfig() Config {
+	return Config{Seed: 1994, Classes: 92, RelPairs: 182, Hubs: 3, HubFanout: 8}
+}
+
+// Workload is a generated schema plus the metadata the oracle and the
+// experiment harness need.
+type Workload struct {
+	Schema *schema.Schema
+	Config Config
+	// Hubs lists the auxiliary hub classes (for the domain-knowledge
+	// experiment).
+	Hubs []schema.ClassID
+}
+
+// ExcludeHubs returns the Exclude map for core.Options implementing
+// the domain-specific knowledge of Section 5.2.
+func (w *Workload) ExcludeHubs() map[schema.ClassID]bool {
+	m := make(map[schema.ClassID]bool, len(w.Hubs))
+	for _, h := range w.Hubs {
+		m[h] = true
+	}
+	return m
+}
+
+// IsHub reports whether the class is one of the auxiliary hubs.
+func (w *Workload) IsHub(id schema.ClassID) bool {
+	for _, h := range w.Hubs {
+		if h == id {
+			return true
+		}
+	}
+	return false
+}
+
+// baseNames are plant-growth-simulation-flavoured class names; the
+// generator suffixes indices when it needs more.
+var baseNames = []string{
+	"experiment", "simulation_run", "parameter_set", "output_set", "site",
+	"plant_model", "canopy", "canopy_layer", "leaf", "leaf_surface",
+	"stomata", "stem", "root_system", "root_layer", "fruit",
+	"soil_model", "soil_profile", "soil_layer", "soil_surface",
+	"moisture_profile", "temperature_profile", "heat_flux", "water_flux",
+	"weather_model", "radiation", "wind_profile", "precipitation",
+	"air_layer", "humidity_profile", "cloud_cover",
+	"instrument_suite", "sensor_array", "radiometer", "thermocouple",
+	"lysimeter", "anemometer", "rain_gauge", "data_logger",
+	"growth_stage", "phenology", "biomass_pool", "nutrient_pool",
+	"irrigation_event", "management_plan", "crop_variety", "genotype",
+}
+
+var hubNames = []string{"registry", "unit_table", "log_book", "cross_index", "catalog"}
+
+// sharedAttrPool holds the handful of attribute names that repeat
+// across many classes (every class can be named and described), making
+// expressions anchored on them genuinely ambiguous.
+var sharedAttrPool = []struct{ name, prim string }{
+	{"value", "R"}, {"units", "C"}, {"name", "C"}, {"desc", "C"},
+}
+
+// themedAttrPool holds measurement-flavoured attribute names; the
+// generator suffixes indices on reuse, so most of these anchors are
+// nearly unique schema-wide — as the field names of a real simulator's
+// parameter structure are.
+var themedAttrPool = []string{
+	"temperature", "conductance", "albedo", "leaf_area_index", "biomass",
+	"water_content", "flux_density", "rate_constant", "coefficient",
+	"depth", "height", "azimuth", "zenith", "emissivity", "reflectance",
+	"transmittance", "porosity", "bulk_density", "wilting_point",
+	"field_capacity", "stress_factor", "day_of_year", "latitude", "slope",
+}
+
+// Generate builds a workload from the configuration.
+func Generate(cfg Config) (*Workload, error) {
+	if cfg.Classes < 10 {
+		return nil, fmt.Errorf("cupid: need at least 10 classes, got %d", cfg.Classes)
+	}
+	if cfg.Hubs < 0 || cfg.Hubs > len(hubNames) {
+		return nil, fmt.Errorf("cupid: hubs must be in [0, %d]", len(hubNames))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := schema.NewBuilder(fmt.Sprintf("cupid-%d", cfg.Seed))
+
+	// Class roster: hubs last, one quarter reserved for Isa
+	// hierarchies, the rest is the containment backbone.
+	userClasses := cfg.Classes - cfg.Hubs
+	names := make([]string, 0, cfg.Classes)
+	for i := 0; i < userClasses; i++ {
+		if i < len(baseNames) {
+			names = append(names, baseNames[i])
+		} else {
+			names = append(names, fmt.Sprintf("%s_%d", baseNames[i%len(baseNames)], i/len(baseNames)))
+		}
+	}
+	isaCount := userClasses / 4
+	backbone := names[:userClasses-isaCount]
+	isaClasses := names[userClasses-isaCount:]
+	hubs := hubNames[:cfg.Hubs]
+	for _, n := range names {
+		b.Class(n)
+	}
+	for _, n := range hubs {
+		b.Class(n)
+	}
+
+	pairs := 0
+	budget := func(n int) bool {
+		if pairs+n > cfg.RelPairs {
+			return false
+		}
+		pairs += n
+		return true
+	}
+
+	// 1. Containment backbone: a deep forest, chain-biased so that the
+	// long paths the paper reports (average answer length ~15) exist.
+	for i := 1; i < len(backbone); i++ {
+		if !budget(1) {
+			return nil, fmt.Errorf("cupid: RelPairs %d too small for the backbone", cfg.RelPairs)
+		}
+		parent := i - 1
+		if rng.Intn(5) < 2 {
+			parent = rng.Intn(i)
+		}
+		b.HasPart(backbone[parent], backbone[i])
+	}
+
+	// 2. Isa hierarchies: three trees whose roots hang off the
+	// backbone, with occasional multiple inheritance inside a tree.
+	type isaPair struct{ sub, super string }
+	declared := make(map[isaPair]bool)
+	chunk := (isaCount + 2) / 3
+	for start := 0; start < isaCount; start += chunk {
+		end := start + chunk
+		if end > isaCount {
+			end = isaCount
+		}
+		group := isaClasses[start:end]
+		if len(group) == 0 {
+			continue
+		}
+		if budget(1) {
+			b.HasPart(backbone[rng.Intn(len(backbone))], group[0])
+		}
+		for i := 1; i < len(group); i++ {
+			if !budget(1) {
+				break
+			}
+			super := group[rng.Intn(i)]
+			b.Isa(group[i], super)
+			declared[isaPair{group[i], super}] = true
+			if i >= 2 && rng.Intn(5) == 0 {
+				// Multiple inheritance: a second, distinct superclass.
+				second := group[rng.Intn(i)]
+				if second != super && !declared[isaPair{group[i], second}] && budget(1) {
+					b.Isa(group[i], second)
+					declared[isaPair{group[i], second}] = true
+				}
+			}
+		}
+	}
+
+	// 3. Hub classes: high-fan-out associations with generic names —
+	// the "auxiliary classes connected to a plethora of other classes
+	// but without much inherent semantic content" of Section 5.2.
+	for hi, h := range hubs {
+		for k := 0; k < cfg.HubFanout; k++ {
+			if !budget(1) {
+				break
+			}
+			target := backbone[rng.Intn(len(backbone))]
+			b.Assoc(h, target,
+				fmt.Sprintf("entry_%d_%d", hi, k), fmt.Sprintf("ref_%d_%d", hi, k))
+		}
+	}
+
+	// 4. A few cross associations between backbone classes. The real
+	// CUPID schema — the input parameter structure of a simulator — is
+	// nearly a tree, which is what keeps its consistent-path counts in
+	// the hundreds; the hubs above are the dominant cycle source.
+	cross := cfg.RelPairs / 40
+	for k := 0; k < cross; k++ {
+		if !budget(1) {
+			break
+		}
+		a, z := backbone[rng.Intn(len(backbone))], backbone[rng.Intn(len(backbone))]
+		if a == z {
+			pairs--
+			continue
+		}
+		b.Assoc(a, z, fmt.Sprintf("rel_%d", k), fmt.Sprintf("inv_%d", k))
+	}
+
+	// 5. Attributes until the pair budget is exactly consumed: one in
+	// four from the shared pool (ambiguous anchors), the rest themed
+	// and nearly unique, as a simulator's parameter fields are.
+	type attrKey struct {
+		class string
+		name  string
+	}
+	have := make(map[attrKey]bool)
+	all := append(append([]string{}, names...), hubs...)
+	themed := 0
+	for guard := 0; pairs < cfg.RelPairs; guard++ {
+		if guard > 100*cfg.RelPairs {
+			return nil, fmt.Errorf("cupid: could not place %d relationship pairs", cfg.RelPairs)
+		}
+		cls := all[rng.Intn(len(all))]
+		var name, prim string
+		if rng.Intn(6) == 0 {
+			at := sharedAttrPool[rng.Intn(len(sharedAttrPool))]
+			name, prim = at.name, at.prim
+		} else {
+			base := themedAttrPool[themed%len(themedAttrPool)]
+			if themed >= len(themedAttrPool) {
+				name = fmt.Sprintf("%s_%d", base, themed/len(themedAttrPool))
+			} else {
+				name = base
+			}
+			themed++
+			prim = "R"
+		}
+		if have[attrKey{cls, name}] {
+			continue
+		}
+		have[attrKey{cls, name}] = true
+		b.Attr(cls, name, prim)
+		pairs++
+	}
+
+	s, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("cupid: %w", err)
+	}
+	w := &Workload{Schema: s, Config: cfg}
+	for _, h := range hubs {
+		w.Hubs = append(w.Hubs, s.MustClass(h).ID)
+	}
+	return w, nil
+}

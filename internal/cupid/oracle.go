@@ -1,0 +1,292 @@
+package cupid
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pathcomplete/internal/connector"
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/label"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
+)
+
+// Query is one ad-hoc incomplete path expression proposed by the
+// simulated schema designer, together with the completions the
+// designer had in mind (the set U₀ of Section 5.2).
+type Query struct {
+	// Expr is the incomplete expression, root ~ anchor.
+	Expr pathexpr.Expr
+	// Intended holds the path expressions the designer meant, in query
+	// syntax (U₀).
+	Intended []string
+	// Special marks a query whose intended completion deliberately
+	// encodes domain knowledge a generic algorithm cannot recover (the
+	// ~10 % of Section 5.3 that "would need some domain-specific
+	// knowledge"): a long detour the designer knows to be the right
+	// reading.
+	Special bool
+}
+
+// Oracle simulates the human subject: it proposes queries whose
+// intended completions follow the same cognitive model the paper
+// grounds its ranking in (strong relationship kinds, short semantic
+// distance, no semantically-empty hub classes), and adjudicates system
+// answers into the final truth set U exactly the way the paper's
+// subject did — overlooked answers that are as plausible as the
+// intended ones are admitted.
+type Oracle struct {
+	w   *Workload
+	rng *rand.Rand
+	cmp *core.Completer
+	// SpecialRate is the fraction of queries whose intended completion
+	// is a domain-specific long reading (default 0.1).
+	SpecialRate float64
+}
+
+// NewOracle returns an oracle over the workload, seeded independently
+// of the generator.
+func NewOracle(w *Workload, seed int64) *Oracle {
+	return &Oracle{
+		w:           w,
+		rng:         rand.New(rand.NewSource(seed)),
+		cmp:         core.New(w.Schema, core.Exact()),
+		SpecialRate: 0.1,
+	}
+}
+
+// Queries proposes n ad-hoc incomplete path expressions.
+func (o *Oracle) Queries(n int) ([]Query, error) {
+	var out []Query
+	for attempts := 0; len(out) < n; attempts++ {
+		if attempts > 200*n {
+			return nil, fmt.Errorf("cupid: could not propose %d queries (got %d)", n, len(out))
+		}
+		q, ok := o.propose(len(out) < int(o.SpecialRate*float64(n)))
+		if ok {
+			out = append(out, q)
+		}
+	}
+	// Shuffle so specials are not clustered at the front.
+	o.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, nil
+}
+
+// propose builds one query: a biased walk to an attribute anchor, an
+// E=1 completion run to fix the intended reading, and for specials a
+// long alternative reading.
+func (o *Oracle) propose(special bool) (Query, bool) {
+	s := o.w.Schema
+	walk, ok := o.walk(special)
+	if !ok {
+		return Query{}, false
+	}
+	anchor := walk.LastName()
+	expr := pathexpr.Expr{
+		Root:  s.Class(walk.Root).Name,
+		Steps: []pathexpr.Step{{Gap: true, Name: anchor}},
+	}
+	if special {
+		// The designer means the long domain-specific reading — the
+		// walk itself — which must be well outside what any E ≤ 5 run
+		// returns, so recall stays flat across the sweep.
+		res, err := o.cmp.Complete(expr)
+		if err != nil || len(res.Completions) == 0 {
+			return Query{}, false
+		}
+		minSem := res.Completions[0].Label.SemLen()
+		if walk.Label().SemLen() < minSem+6 {
+			return Query{}, false
+		}
+		return Query{Expr: expr, Intended: []string{walk.String()}, Special: true}, true
+	}
+	// Normal query: the designer's intended reading coincides with a
+	// cognitively optimal completion — the alignment hypothesis the
+	// paper tests. Pick one non-hub optimal completion at random.
+	res, err := o.cmp.Complete(expr)
+	if err != nil || len(res.Completions) == 0 {
+		return Query{}, false
+	}
+	var nonHub []string
+	for _, c := range res.Completions {
+		if !o.passesHub(c.Path) {
+			nonHub = append(nonHub, c.Path.String())
+		}
+	}
+	if len(nonHub) == 0 {
+		return Query{}, false
+	}
+	return Query{Expr: expr, Intended: []string{nonHub[o.rng.Intn(len(nonHub))]}}, true
+}
+
+// walk performs a biased random walk from a random non-hub class to an
+// attribute edge, preferring strong relationship kinds and avoiding
+// hubs — except for special walks, which must detour through at least
+// one hub or weak region to become a long reading.
+func (o *Oracle) walk(special bool) (*pathexpr.Resolved, bool) {
+	s := o.w.Schema
+	classes := s.Classes()
+	var root schema.Class
+	for tries := 0; ; tries++ {
+		if tries > 50 {
+			return nil, false
+		}
+		root = classes[o.rng.Intn(len(classes))]
+		if !root.Primitive && !o.w.IsHub(root.ID) && len(s.Out(root.ID)) > 0 {
+			break
+		}
+	}
+	minLen, maxLen := 6, 18
+	if special {
+		minLen = 8
+	}
+	visited := map[schema.ClassID]bool{root.ID: true}
+	var rels []schema.RelID
+	cur := root.ID
+	for step := 0; step < maxLen; step++ {
+		// End at an attribute once long enough.
+		if len(rels) >= minLen {
+			if attr, ok := o.attrEdge(cur); ok {
+				rels = append(rels, attr)
+				r, err := pathexpr.FromRels(s, root.ID, rels)
+				if err != nil {
+					return nil, false
+				}
+				return r, true
+			}
+		}
+		rid, ok := o.step(cur, visited, special && step < 4)
+		if !ok {
+			break
+		}
+		rel := s.Rel(rid)
+		visited[rel.To] = true
+		rels = append(rels, rid)
+		cur = rel.To
+	}
+	return nil, false
+}
+
+// attrEdge returns a random attribute edge (association into a
+// primitive class) of cur, if any. One time in three it prefers an
+// attribute whose name repeats across the schema — the genuinely
+// ambiguous anchors ("the value of ...") that give the paper its 2–3
+// answers per query.
+func (o *Oracle) attrEdge(cur schema.ClassID) (schema.RelID, bool) {
+	s := o.w.Schema
+	var attrs, shared []schema.RelID
+	for _, rid := range s.Out(cur) {
+		r := s.Rel(rid)
+		if r.Conn == connector.CAssoc && s.Class(r.To).Primitive {
+			attrs = append(attrs, rid)
+			if len(s.RelsNamed(r.Name)) > 1 {
+				shared = append(shared, rid)
+			}
+		}
+	}
+	if len(shared) > 0 && o.rng.Intn(3) == 0 {
+		return shared[o.rng.Intn(len(shared))], true
+	}
+	if len(attrs) == 0 {
+		return 0, false
+	}
+	return attrs[o.rng.Intn(len(attrs))], true
+}
+
+// step picks the next walk edge by cognitive preference weights.
+// wantHub steers special walks into hub classes.
+func (o *Oracle) step(cur schema.ClassID, visited map[schema.ClassID]bool, wantHub bool) (schema.RelID, bool) {
+	s := o.w.Schema
+	type cand struct {
+		rid schema.RelID
+		w   int
+	}
+	var cands []cand
+	total := 0
+	for _, rid := range s.Out(cur) {
+		r := s.Rel(rid)
+		if visited[r.To] || s.Class(r.To).Primitive {
+			continue
+		}
+		hub := o.w.IsHub(r.To)
+		var w int
+		switch {
+		case wantHub && hub:
+			w = 50
+		case hub:
+			continue // designers do not think through the registry
+		case r.Conn == connector.CIsa:
+			w = 5
+		case r.Conn == connector.CHasPart:
+			w = 4
+		case r.Conn == connector.CIsPartOf, r.Conn == connector.CAssoc:
+			w = 2
+		default: // May-Be
+			w = 1
+		}
+		cands = append(cands, cand{rid, w})
+		total += w
+	}
+	if total == 0 {
+		return 0, false
+	}
+	pick := o.rng.Intn(total)
+	for _, c := range cands {
+		if pick < c.w {
+			return c.rid, true
+		}
+		pick -= c.w
+	}
+	return 0, false
+}
+
+// passesHub reports whether the path visits a hub class.
+func (o *Oracle) passesHub(r *pathexpr.Resolved) bool {
+	for _, c := range r.Classes {
+		if o.w.IsHub(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Adjudicate builds the final truth set U for a query from the
+// system's E=1 answers, mirroring Section 5.2: the designer reviews
+// the returned set, keeps the intended completions, and admits
+// overlooked answers that are equally plausible — optimally labeled
+// and not through a semantically empty hub class. The returned slice
+// is sorted.
+func (o *Oracle) Adjudicate(q Query, e1 *core.Result) []string {
+	set := make(map[string]bool, len(q.Intended))
+	for _, p := range q.Intended {
+		set[p] = true
+	}
+	if len(e1.Completions) > 0 {
+		keys := make([]label.Key, len(e1.Completions))
+		for i, c := range e1.Completions {
+			keys[i] = c.Label.Key()
+		}
+		best := label.AggStar(keys, 1)
+		for _, c := range e1.Completions {
+			if !o.passesHub(c.Path) && containsKey(best, c.Label.Key()) {
+				set[c.Path.String()] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func containsKey(ks []label.Key, k label.Key) bool {
+	for _, x := range ks {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,290 @@
+// Package experiment implements the evaluation harness of Section 5 of
+// Ioannidis & Lashkari (SIGMOD 1994): recall/precision sweeps over the
+// E parameter (Figures 5 and 6, with and without domain knowledge),
+// per-query response times (Figure 7), and the in-text statistics
+// (consistent-path counts, answer-set sizes, answer lengths).
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/cupid"
+)
+
+// RecallPrecision computes the two retrieval-effectiveness measures of
+// Section 5.1 for one query: U is the set of completions the user
+// meant, S the set the system returned. An empty U yields recall 1
+// (nothing to find); an empty S yields precision 1 by the same
+// convention.
+func RecallPrecision(u, s []string) (recall, precision float64) {
+	us := make(map[string]bool, len(u))
+	for _, p := range u {
+		us[p] = true
+	}
+	inter := 0
+	seen := make(map[string]bool, len(s))
+	for _, p := range s {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if us[p] {
+			inter++
+		}
+	}
+	recall, precision = 1, 1
+	if len(us) > 0 {
+		recall = float64(inter) / float64(len(us))
+	}
+	if len(seen) > 0 {
+		precision = float64(inter) / float64(len(seen))
+	}
+	return recall, precision
+}
+
+// EPoint is one point of the E sweep: averages over the query set at a
+// fixed E.
+type EPoint struct {
+	E          int
+	Recall     float64 // Figure 5
+	Precision  float64 // Figure 6
+	AvgAnswers float64 // average |S|
+	AvgCalls   float64 // average traverse invocations
+}
+
+// SweepResult holds both series of Figures 5 and 6: the
+// domain-independent run and the domain-knowledge run (hub classes
+// excluded), over E = 1..len(Points).
+type SweepResult struct {
+	Points   []EPoint // domain independent
+	PointsDK []EPoint // with domain knowledge (hub exclusions)
+}
+
+// Runner executes the paper's experiments over one workload and query
+// set. Truth sets are fixed once from the E=1 domain-independent run
+// (the adjudication step of Section 5.2) and reused across all sweep
+// points, as in the paper.
+type Runner struct {
+	W       *cupid.Workload
+	Oracle  *cupid.Oracle
+	Queries []cupid.Query
+	// Base is the engine configuration (E is overridden per sweep
+	// point). Defaults to core.Paper() in NewRunner.
+	Base core.Options
+
+	truth [][]string // per query, after Prepare
+}
+
+// NewRunner generates queries and prepares truth sets.
+func NewRunner(w *cupid.Workload, oracleSeed int64, nQueries int) (*Runner, error) {
+	o := cupid.NewOracle(w, oracleSeed)
+	qs, err := o.Queries(nQueries)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{W: w, Oracle: o, Queries: qs, Base: core.Paper()}
+	if err := r.Prepare(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Prepare (re)builds the per-query truth sets U from the E=1
+// domain-independent run under the current Base options.
+func (r *Runner) Prepare() error {
+	opts := r.Base
+	opts.E = 1
+	opts.Exclude = nil
+	cmp := core.New(r.W.Schema, opts)
+	r.truth = make([][]string, len(r.Queries))
+	for i, q := range r.Queries {
+		res, err := cmp.Complete(q.Expr)
+		if err != nil {
+			return fmt.Errorf("experiment: truth for %v: %w", q.Expr, err)
+		}
+		r.truth[i] = r.Oracle.Adjudicate(q, res)
+	}
+	return nil
+}
+
+// Truth returns the adjudicated truth set of query i.
+func (r *Runner) Truth(i int) []string { return r.truth[i] }
+
+// Sweep runs Figures 5 and 6: E = 1..maxE, domain-independent and
+// domain-knowledge variants.
+func (r *Runner) Sweep(maxE int) (*SweepResult, error) {
+	out := &SweepResult{}
+	for _, dk := range []bool{false, true} {
+		for e := 1; e <= maxE; e++ {
+			pt, err := r.point(e, dk)
+			if err != nil {
+				return nil, err
+			}
+			if dk {
+				out.PointsDK = append(out.PointsDK, pt)
+			} else {
+				out.Points = append(out.Points, pt)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Point computes a single sweep point: averages at one E, with or
+// without the domain-knowledge exclusions.
+func (r *Runner) Point(e int, domainKnowledge bool) (EPoint, error) {
+	return r.point(e, domainKnowledge)
+}
+
+func (r *Runner) point(e int, domainKnowledge bool) (EPoint, error) {
+	opts := r.Base
+	opts.E = e
+	if domainKnowledge {
+		opts.Exclude = r.W.ExcludeHubs()
+	}
+	cmp := core.New(r.W.Schema, opts)
+	pt := EPoint{E: e}
+	for i, q := range r.Queries {
+		res, err := cmp.Complete(q.Expr)
+		if err != nil {
+			return EPoint{}, fmt.Errorf("experiment: %v at E=%d: %w", q.Expr, e, err)
+		}
+		s := res.Strings()
+		rec, prec := RecallPrecision(r.truth[i], s)
+		pt.Recall += rec
+		pt.Precision += prec
+		pt.AvgAnswers += float64(len(s))
+		pt.AvgCalls += float64(res.Stats.Calls)
+	}
+	n := float64(len(r.Queries))
+	pt.Recall /= n
+	pt.Precision /= n
+	pt.AvgAnswers /= n
+	pt.AvgCalls /= n
+	return pt, nil
+}
+
+// QueryTiming is one bar of Figure 7.
+type QueryTiming struct {
+	Query   string
+	Seconds float64
+	Calls   int
+	Answers int
+}
+
+// TimingResult holds the Figure 7 data: per-query response times at a
+// fixed E, sorted by increasing processing complexity as in the paper.
+type TimingResult struct {
+	E          int
+	PerQuery   []QueryTiming
+	AvgSeconds float64
+	MaxSeconds float64
+	// PerCall is the average cost of one recursive call (the paper
+	// reports 0.17 ms on a DECstation 5000/25).
+	PerCall time.Duration
+}
+
+// Timing measures per-query response time at the given E (the paper
+// uses E=5), domain independent.
+func (r *Runner) Timing(e int) (*TimingResult, error) {
+	opts := r.Base
+	opts.E = e
+	cmp := core.New(r.W.Schema, opts)
+	out := &TimingResult{E: e}
+	totalCalls := 0
+	var totalTime time.Duration
+	for _, q := range r.Queries {
+		start := time.Now()
+		res, err := cmp.Complete(q.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: timing %v: %w", q.Expr, err)
+		}
+		d := time.Since(start)
+		out.PerQuery = append(out.PerQuery, QueryTiming{
+			Query:   q.Expr.String(),
+			Seconds: d.Seconds(),
+			Calls:   res.Stats.Calls,
+			Answers: len(res.Completions),
+		})
+		totalCalls += res.Stats.Calls
+		totalTime += d
+	}
+	sortTimings(out.PerQuery)
+	for _, t := range out.PerQuery {
+		out.AvgSeconds += t.Seconds
+		if t.Seconds > out.MaxSeconds {
+			out.MaxSeconds = t.Seconds
+		}
+	}
+	out.AvgSeconds /= float64(len(out.PerQuery))
+	if totalCalls > 0 {
+		out.PerCall = totalTime / time.Duration(totalCalls)
+	}
+	return out, nil
+}
+
+func sortTimings(ts []QueryTiming) {
+	// Ordered by increasing processing complexity, as in Figure 7.
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Calls < ts[j-1].Calls; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// InTextStats reproduces the quantitative claims embedded in Section
+// 5.3's prose.
+type InTextStats struct {
+	// AvgConsistent is the average number of acyclic completions
+	// consistent with a query (the paper: "over 500").
+	AvgConsistent float64
+	// EnumTruncated counts queries whose enumeration hit the limit
+	// (their consistent count is a lower bound).
+	EnumTruncated int
+	// AvgAnswersE1 is the average answer-set size at E=1 (the paper:
+	// 2–3).
+	AvgAnswersE1 float64
+	// AvgAnswerLen is the average relationship count of returned
+	// completions (the paper: about 15).
+	AvgAnswerLen float64
+}
+
+// Stats computes the in-text statistics, bounding each enumeration at
+// limit consistent paths (0 = unlimited).
+func (r *Runner) Stats(limit int) (*InTextStats, error) {
+	opts := r.Base
+	opts.E = 1
+	cmp := core.New(r.W.Schema, opts)
+	out := &InTextStats{}
+	totalLen, lenCount := 0, 0
+	for _, q := range r.Queries {
+		all, err := core.EnumerateConsistent(r.W.Schema, q.Expr, core.Options{}, limit)
+		switch err {
+		case nil:
+			out.AvgConsistent += float64(len(all))
+		case core.ErrEnumLimit:
+			out.AvgConsistent += float64(limit)
+			out.EnumTruncated++
+		default:
+			return nil, fmt.Errorf("experiment: enumerating %v: %w", q.Expr, err)
+		}
+		res, err := cmp.Complete(q.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out.AvgAnswersE1 += float64(len(res.Completions))
+		for _, c := range res.Completions {
+			totalLen += len(c.Path.Rels)
+			lenCount++
+		}
+	}
+	n := float64(len(r.Queries))
+	out.AvgConsistent /= n
+	out.AvgAnswersE1 /= n
+	if lenCount > 0 {
+		out.AvgAnswerLen = float64(totalLen) / float64(lenCount)
+	}
+	return out, nil
+}

@@ -1,0 +1,310 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/cupid"
+)
+
+func TestRecallPrecision(t *testing.T) {
+	cases := []struct {
+		name      string
+		u, s      []string
+		rec, prec float64
+	}{
+		{"perfect", []string{"a", "b"}, []string{"a", "b"}, 1, 1},
+		{"half recall", []string{"a", "b"}, []string{"a"}, 0.5, 1},
+		{"half precision", []string{"a"}, []string{"a", "x"}, 1, 0.5},
+		{"disjoint", []string{"a"}, []string{"x"}, 0, 0},
+		{"empty truth", nil, []string{"x"}, 1, 0},
+		{"empty answer", []string{"a"}, nil, 0, 1},
+		{"duplicate answers collapse", []string{"a"}, []string{"a", "a"}, 1, 1},
+	}
+	for _, tc := range cases {
+		rec, prec := RecallPrecision(tc.u, tc.s)
+		if math.Abs(rec-tc.rec) > 1e-9 || math.Abs(prec-tc.prec) > 1e-9 {
+			t.Errorf("%s: got (%.2f, %.2f), want (%.2f, %.2f)", tc.name, rec, prec, tc.rec, tc.prec)
+		}
+	}
+}
+
+// smallRunner builds a runner over a reduced CUPID workload to keep
+// unit tests fast; the full-scale sweep runs in the benchmarks and
+// cmd/experiments.
+func smallRunner(t *testing.T) *Runner {
+	t.Helper()
+	cfg := cupid.Config{Seed: 11, Classes: 40, RelPairs: 80, Hubs: 2, HubFanout: 8}
+	w, err := cupid.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	r, err := NewRunner(w, 17, 8)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	return r
+}
+
+func TestSweepShape(t *testing.T) {
+	r := smallRunner(t)
+	sw, err := r.Sweep(5)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(sw.Points) != 5 || len(sw.PointsDK) != 5 {
+		t.Fatalf("points = %d/%d, want 5/5", len(sw.Points), len(sw.PointsDK))
+	}
+	p1 := sw.Points[0]
+	// At E=1, truth is adjudicated from the same run, so precision is
+	// perfect unless an optimal path goes through a hub, and recall is
+	// high by the alignment hypothesis (only specials are missed).
+	if p1.Precision < 0.9 {
+		t.Errorf("E=1 precision = %.3f, want >= 0.9", p1.Precision)
+	}
+	if p1.Recall < 0.7 {
+		t.Errorf("E=1 recall = %.3f, want >= 0.7", p1.Recall)
+	}
+	for i := 1; i < len(sw.Points); i++ {
+		prev, cur := sw.Points[i-1], sw.Points[i]
+		// Raising E can only widen the answer set...
+		if cur.AvgAnswers < prev.AvgAnswers-1e-9 {
+			t.Errorf("E=%d avg answers %.2f < E=%d's %.2f", cur.E, cur.AvgAnswers, prev.E, prev.AvgAnswers)
+		}
+		// ...so precision cannot rise and recall cannot fall.
+		if cur.Precision > prev.Precision+1e-9 {
+			t.Errorf("E=%d precision %.3f > E=%d's %.3f", cur.E, cur.Precision, prev.E, prev.Precision)
+		}
+		if cur.Recall < prev.Recall-1e-9 {
+			t.Errorf("E=%d recall %.3f < E=%d's %.3f", cur.E, cur.Recall, prev.E, prev.Recall)
+		}
+	}
+	// Domain knowledge helps (or at least never hurts) precision at
+	// the widest E.
+	last := len(sw.Points) - 1
+	if sw.PointsDK[last].Precision+1e-9 < sw.Points[last].Precision {
+		t.Errorf("domain knowledge hurt precision at E=%d: %.3f < %.3f",
+			sw.Points[last].E, sw.PointsDK[last].Precision, sw.Points[last].Precision)
+	}
+}
+
+func TestPointMatchesSweep(t *testing.T) {
+	r := smallRunner(t)
+	sw, err := r.Sweep(2)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	for e := 1; e <= 2; e++ {
+		pt, err := r.Point(e, false)
+		if err != nil {
+			t.Fatalf("Point: %v", err)
+		}
+		if pt != sw.Points[e-1] {
+			t.Errorf("Point(%d) = %+v, sweep = %+v", e, pt, sw.Points[e-1])
+		}
+		dk, err := r.Point(e, true)
+		if err != nil {
+			t.Fatalf("Point: %v", err)
+		}
+		if dk != sw.PointsDK[e-1] {
+			t.Errorf("Point(%d, dk) = %+v, sweep = %+v", e, dk, sw.PointsDK[e-1])
+		}
+	}
+}
+
+func TestTruthAccessor(t *testing.T) {
+	r := smallRunner(t)
+	for i := range r.Queries {
+		u := r.Truth(i)
+		if len(u) == 0 {
+			t.Errorf("query %d has empty truth", i)
+		}
+		// The intended completions are always in U.
+		inU := make(map[string]bool)
+		for _, p := range u {
+			inU[p] = true
+		}
+		for _, p := range r.Queries[i].Intended {
+			if !inU[p] {
+				t.Errorf("query %d truth lost intended %s", i, p)
+			}
+		}
+	}
+}
+
+func TestTiming(t *testing.T) {
+	r := smallRunner(t)
+	tm, err := r.Timing(5)
+	if err != nil {
+		t.Fatalf("Timing: %v", err)
+	}
+	if len(tm.PerQuery) != len(r.Queries) {
+		t.Fatalf("per-query rows = %d", len(tm.PerQuery))
+	}
+	for i := 1; i < len(tm.PerQuery); i++ {
+		if tm.PerQuery[i].Calls < tm.PerQuery[i-1].Calls {
+			t.Errorf("timings not sorted by complexity at %d", i)
+		}
+	}
+	if tm.AvgSeconds < 0 || tm.MaxSeconds < tm.AvgSeconds {
+		t.Errorf("avg %.6f max %.6f inconsistent", tm.AvgSeconds, tm.MaxSeconds)
+	}
+	if tm.PerCall <= 0 {
+		t.Errorf("per-call cost = %v", tm.PerCall)
+	}
+}
+
+func TestScaleSweep(t *testing.T) {
+	pts, err := ScaleSweep([]int{20, 40}, 7, 3, 3, 2, core.Paper())
+	if err != nil {
+		t.Fatalf("ScaleSweep: %v", err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.AvgCalls <= 0 || pt.AvgSeconds < 0 {
+			t.Errorf("point %d = %+v", i, pt)
+		}
+	}
+	if pts[1].Classes != 40 || pts[1].Rels != 160 {
+		t.Errorf("second point shape = %+v", pts[1])
+	}
+	// Bigger schemas cost more traverse calls on this workload.
+	if pts[1].AvgCalls <= pts[0].AvgCalls {
+		t.Errorf("calls did not grow with schema size: %+v", pts)
+	}
+	var sb strings.Builder
+	if err := RenderScale(&sb, pts); err != nil {
+		t.Fatalf("RenderScale: %v", err)
+	}
+	if !strings.Contains(sb.String(), "calls/query") {
+		t.Errorf("scale table:\n%s", sb.String())
+	}
+}
+
+func TestMultiSubject(t *testing.T) {
+	cfg := cupid.Config{Seed: 11, Classes: 40, RelPairs: 80, Hubs: 2, HubFanout: 8}
+	w, err := cupid.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	pts, err := MultiSubject(w, core.Paper(), 3, 100, 4, 3)
+	if err != nil {
+		t.Fatalf("MultiSubject: %v", err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.MinRecall > pt.MeanRecall+1e-9 || pt.MeanRecall > pt.MaxRecall+1e-9 {
+			t.Errorf("recall range inconsistent: %+v", pt)
+		}
+		if pt.MinPrecision > pt.MeanPrecision+1e-9 || pt.MeanPrecision > pt.MaxPrecision+1e-9 {
+			t.Errorf("precision range inconsistent: %+v", pt)
+		}
+		if pt.MaxRecall > 1 || pt.MaxPrecision > 1 || pt.MinRecall < 0 || pt.MinPrecision < 0 {
+			t.Errorf("out-of-range point: %+v", pt)
+		}
+	}
+	// Precision means fall (weakly) in E, as in the single-subject
+	// sweep.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MeanPrecision > pts[i-1].MeanPrecision+1e-9 {
+			t.Errorf("mean precision rose from E=%d to E=%d", pts[i-1].E, pts[i].E)
+		}
+	}
+	var sb strings.Builder
+	if err := RenderSubjects(&sb, 3, pts); err != nil {
+		t.Fatalf("RenderSubjects: %v", err)
+	}
+	if !strings.Contains(sb.String(), "3 subjects") {
+		t.Errorf("table:\n%s", sb.String())
+	}
+	if _, err := MultiSubject(w, core.Paper(), 0, 1, 2, 2); err == nil {
+		t.Error("zero subjects should error")
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := smallRunner(t)
+	st, err := r.Stats(20000)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.AvgConsistent < 1 {
+		t.Errorf("avg consistent = %.1f, want >= 1", st.AvgConsistent)
+	}
+	if st.AvgAnswersE1 < 1 {
+		t.Errorf("avg answers = %.1f, want >= 1", st.AvgAnswersE1)
+	}
+	if st.AvgAnswerLen < 1 {
+		t.Errorf("avg answer length = %.1f", st.AvgAnswerLen)
+	}
+}
+
+func TestRendering(t *testing.T) {
+	r := smallRunner(t)
+	sw, err := r.Sweep(3)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	var sb strings.Builder
+	if err := RenderSweep(&sb, sw); err != nil {
+		t.Fatalf("RenderSweep: %v", err)
+	}
+	if !strings.Contains(sb.String(), "precision") {
+		t.Errorf("sweep table:\n%s", sb.String())
+	}
+	sb.Reset()
+	var ys []float64
+	var xs []int
+	for _, p := range sw.Points {
+		xs = append(xs, p.E)
+		ys = append(ys, p.Recall)
+	}
+	if err := RenderFigure(&sb, "Figure 5: Average Recall Fraction", xs, ys); err != nil {
+		t.Fatalf("RenderFigure: %v", err)
+	}
+	if !strings.Contains(sb.String(), "E=1") || !strings.Contains(sb.String(), "*") {
+		t.Errorf("figure:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := SweepCSV(&sb, sw); err != nil {
+		t.Fatalf("SweepCSV: %v", err)
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 4 {
+		t.Errorf("CSV lines = %d, want 4:\n%s", got, sb.String())
+	}
+	tm, err := r.Timing(2)
+	if err != nil {
+		t.Fatalf("Timing: %v", err)
+	}
+	sb.Reset()
+	if err := RenderTiming(&sb, tm); err != nil {
+		t.Fatalf("RenderTiming: %v", err)
+	}
+	if !strings.Contains(sb.String(), "per-call") {
+		t.Errorf("timing table:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := TimingCSV(&sb, tm); err != nil {
+		t.Fatalf("TimingCSV: %v", err)
+	}
+	if !strings.HasPrefix(sb.String(), "rank,query") {
+		t.Errorf("timing CSV:\n%s", sb.String())
+	}
+	st, err := r.Stats(5000)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	sb.Reset()
+	if err := RenderStats(&sb, st); err != nil {
+		t.Fatalf("RenderStats: %v", err)
+	}
+	if !strings.Contains(sb.String(), "paper:") {
+		t.Errorf("stats:\n%s", sb.String())
+	}
+}

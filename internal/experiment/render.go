@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file renders experiment results in the shapes the paper's
+// figures use: simple ASCII plots and tables for terminals, and CSV
+// for external plotting.
+
+// RenderSweep prints the Figure 5 and Figure 6 data: one row per E,
+// recall and precision for the domain-independent and domain-knowledge
+// runs, plus average answer-set sizes.
+func RenderSweep(w io.Writer, r *SweepResult) error {
+	if _, err := fmt.Fprintf(w, "%-3s  %-8s  %-10s  %-8s  | %-10s  %-8s\n",
+		"E", "recall", "precision", "|S| avg", "prec (DK)", "|S| (DK)"); err != nil {
+		return err
+	}
+	for i, pt := range r.Points {
+		dk := EPoint{}
+		if i < len(r.PointsDK) {
+			dk = r.PointsDK[i]
+		}
+		if _, err := fmt.Fprintf(w, "%-3d  %-8.3f  %-10.3f  %-8.1f  | %-10.3f  %-8.1f\n",
+			pt.E, pt.Recall, pt.Precision, pt.AvgAnswers, dk.Precision, dk.AvgAnswers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderFigure renders one series as an ASCII chart with the y-axis in
+// [0, 1] (the shape of Figures 5 and 6).
+func RenderFigure(w io.Writer, title string, xs []int, ys []float64) error {
+	const height = 10
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	for row := height; row >= 0; row-- {
+		lo := float64(row) / height
+		line := make([]byte, len(ys)*6)
+		for i := range line {
+			line[i] = ' '
+		}
+		for i, y := range ys {
+			if y >= lo-1e-9 {
+				line[i*6+2] = '*'
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%5.2f |%s\n", lo, strings.TrimRight(string(line), " ")); err != nil {
+			return err
+		}
+	}
+	var xaxis strings.Builder
+	xaxis.WriteString("      +")
+	for range ys {
+		xaxis.WriteString("------")
+	}
+	xaxis.WriteString("\n       ")
+	for _, x := range xs {
+		fmt.Fprintf(&xaxis, "  E=%-2d", x)
+	}
+	_, err := fmt.Fprintf(w, "%s\n", xaxis.String())
+	return err
+}
+
+// SweepCSV writes the sweep as CSV: e,recall,precision,answers,
+// precision_dk,answers_dk.
+func SweepCSV(w io.Writer, r *SweepResult) error {
+	if _, err := fmt.Fprintln(w, "e,recall,precision,answers,precision_dk,answers_dk"); err != nil {
+		return err
+	}
+	for i, pt := range r.Points {
+		dk := EPoint{}
+		if i < len(r.PointsDK) {
+			dk = r.PointsDK[i]
+		}
+		if _, err := fmt.Fprintf(w, "%d,%.4f,%.4f,%.2f,%.4f,%.2f\n",
+			pt.E, pt.Recall, pt.Precision, pt.AvgAnswers, dk.Precision, dk.AvgAnswers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderTiming prints the Figure 7 data: per-query response time
+// ordered by increasing processing complexity.
+func RenderTiming(w io.Writer, t *TimingResult) error {
+	if _, err := fmt.Fprintf(w, "query (E=%d)%stime      calls    answers\n",
+		t.E, strings.Repeat(" ", 30)); err != nil {
+		return err
+	}
+	for i, q := range t.PerQuery {
+		name := q.Query
+		if len(name) > 38 {
+			name = name[:35] + "..."
+		}
+		if _, err := fmt.Fprintf(w, "%2d. %-38s%8.4fs %8d %8d\n",
+			i+1, name, q.Seconds, q.Calls, q.Answers); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "avg %.4fs  max %.4fs  per-call %v\n",
+		t.AvgSeconds, t.MaxSeconds, t.PerCall)
+	return err
+}
+
+// TimingCSV writes the Figure 7 data as CSV: rank,query,seconds,calls,
+// answers.
+func TimingCSV(w io.Writer, t *TimingResult) error {
+	if _, err := fmt.Fprintln(w, "rank,query,seconds,calls,answers"); err != nil {
+		return err
+	}
+	for i, q := range t.PerQuery {
+		if _, err := fmt.Fprintf(w, "%d,%q,%.6f,%d,%d\n",
+			i+1, q.Query, q.Seconds, q.Calls, q.Answers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderStats prints the in-text statistics of Section 5.3.
+func RenderStats(w io.Writer, s *InTextStats) error {
+	_, err := fmt.Fprintf(w,
+		"avg consistent acyclic completions per query: %.1f (paper: >500)%s\n"+
+			"avg answers at E=1:                           %.1f (paper: 2-3)\n"+
+			"avg answer length (relationships):            %.1f (paper: ~15)\n",
+		s.AvgConsistent, truncNote(s.EnumTruncated), s.AvgAnswersE1, s.AvgAnswerLen)
+	return err
+}
+
+func truncNote(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" [lower bound; %d enumerations truncated]", n)
+}

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/cupid"
+)
+
+// ScalePoint is one row of the schema-size scaling experiment: average
+// completion cost over an oracle workload at one generator size.
+type ScalePoint struct {
+	Classes    int
+	Rels       int
+	AvgCalls   float64
+	AvgSeconds float64
+	AvgAnswers float64
+}
+
+// ScaleSweep measures completion cost as the schema grows: for each
+// size it generates a workload (2·classes relationship pairs, two
+// hubs), proposes nq oracle queries, and completes them at the given E
+// under base. The paper evaluates one schema size; this sweep answers
+// the natural follow-up of how the response times of Figure 7 scale.
+func ScaleSweep(sizes []int, seed, oseed int64, nq, e int, base core.Options) ([]ScalePoint, error) {
+	var out []ScalePoint
+	for _, n := range sizes {
+		w, err := cupid.Generate(cupid.Config{
+			Seed: seed, Classes: n, RelPairs: 2 * n, Hubs: 2, HubFanout: 6,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: size %d: %w", n, err)
+		}
+		o := cupid.NewOracle(w, oseed)
+		qs, err := o.Queries(nq)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: size %d: %w", n, err)
+		}
+		opts := base
+		opts.E = e
+		cmp := core.New(w.Schema, opts)
+		pt := ScalePoint{Classes: n, Rels: w.Schema.NumRels()}
+		for _, q := range qs {
+			start := time.Now()
+			res, err := cmp.Complete(q.Expr)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: size %d, %v: %w", n, q.Expr, err)
+			}
+			pt.AvgSeconds += time.Since(start).Seconds()
+			pt.AvgCalls += float64(res.Stats.Calls)
+			pt.AvgAnswers += float64(len(res.Completions))
+		}
+		f := float64(nq)
+		pt.AvgSeconds /= f
+		pt.AvgCalls /= f
+		pt.AvgAnswers /= f
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RenderScale prints the scaling table.
+func RenderScale(w io.Writer, pts []ScalePoint) error {
+	if _, err := fmt.Fprintf(w, "%-9s %-7s %-12s %-12s %s\n",
+		"classes", "rels", "calls/query", "time/query", "answers"); err != nil {
+		return err
+	}
+	for _, pt := range pts {
+		if _, err := fmt.Fprintf(w, "%-9d %-7d %-12.0f %-12s %.1f\n",
+			pt.Classes, pt.Rels, pt.AvgCalls,
+			fmt.Sprintf("%.4fs", pt.AvgSeconds), pt.AvgAnswers); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/cupid"
+)
+
+// SubjectPoint aggregates one sweep point across several simulated
+// subjects: the mean and range of recall and precision at one E.
+type SubjectPoint struct {
+	E             int
+	MeanRecall    float64
+	MinRecall     float64
+	MaxRecall     float64
+	MeanPrecision float64
+	MinPrecision  float64
+	MaxPrecision  float64
+}
+
+// MultiSubject runs the paper's first future-work item: the Section 5
+// experiment repeated over several simulated subjects (independent
+// oracle seeds proposing independent query sets on the same schema),
+// reporting the spread of recall and precision at each E. The paper's
+// single-subject numbers are one draw from this distribution.
+func MultiSubject(w *cupid.Workload, base core.Options, subjects int, firstSeed int64, nq, maxE int) ([]SubjectPoint, error) {
+	if subjects < 1 {
+		return nil, fmt.Errorf("experiment: need at least one subject")
+	}
+	pts := make([]SubjectPoint, maxE)
+	for e := 1; e <= maxE; e++ {
+		pts[e-1] = SubjectPoint{E: e, MinRecall: 2, MinPrecision: 2}
+	}
+	for s := 0; s < subjects; s++ {
+		r, err := NewRunner(w, firstSeed+int64(s), nq)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: subject %d: %w", s, err)
+		}
+		r.Base = base
+		if err := r.Prepare(); err != nil {
+			return nil, err
+		}
+		for e := 1; e <= maxE; e++ {
+			pt, err := r.Point(e, false)
+			if err != nil {
+				return nil, err
+			}
+			agg := &pts[e-1]
+			agg.MeanRecall += pt.Recall
+			agg.MeanPrecision += pt.Precision
+			agg.MinRecall = min(agg.MinRecall, pt.Recall)
+			agg.MaxRecall = max(agg.MaxRecall, pt.Recall)
+			agg.MinPrecision = min(agg.MinPrecision, pt.Precision)
+			agg.MaxPrecision = max(agg.MaxPrecision, pt.Precision)
+		}
+	}
+	for i := range pts {
+		pts[i].MeanRecall /= float64(subjects)
+		pts[i].MeanPrecision /= float64(subjects)
+	}
+	return pts, nil
+}
+
+// RenderSubjects prints the multi-subject table.
+func RenderSubjects(w io.Writer, subjects int, pts []SubjectPoint) error {
+	if _, err := fmt.Fprintf(w, "%d subjects; recall and precision as mean [min, max]\n", subjects); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-3s  %-24s %-24s\n", "E", "recall", "precision"); err != nil {
+		return err
+	}
+	for _, pt := range pts {
+		if _, err := fmt.Fprintf(w, "%-3d  %.3f [%.3f, %.3f]     %.3f [%.3f, %.3f]\n",
+			pt.E, pt.MeanRecall, pt.MinRecall, pt.MaxRecall,
+			pt.MeanPrecision, pt.MinPrecision, pt.MaxPrecision); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Package feedback implements the learning extension sketched in the
+// paper's conclusions: "the introduction of learning techniques based
+// on user feedback is a promising mechanism to acquire arbitrary
+// domain-specific and even user-specific knowledge" (Section 7).
+//
+// The concrete form of domain knowledge the paper evaluated — classes
+// that "should never be a part of the completion of any incomplete
+// path expression" — is exactly what this package learns: it observes
+// which proposed completions users accept and reject, attributes the
+// rejections to the interior classes the rejected paths traverse, and
+// nominates classes whose evidence is one-sidedly negative as
+// exclusions for core.Options.Exclude.
+package feedback
+
+import (
+	"fmt"
+	"sort"
+
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
+)
+
+// Evidence is the accumulated feedback about one class.
+type Evidence struct {
+	// Accepted counts appearances on user-accepted completions.
+	Accepted int
+	// Rejected counts appearances on user-rejected completions.
+	Rejected int
+}
+
+// Total returns the number of observations.
+func (e Evidence) Total() int { return e.Accepted + e.Rejected }
+
+// Learner accumulates feedback over one schema. The zero value is not
+// usable; create learners with NewLearner. Learner is not safe for
+// concurrent use.
+type Learner struct {
+	s  *schema.Schema
+	ev map[schema.ClassID]*Evidence
+}
+
+// NewLearner returns an empty learner for the schema.
+func NewLearner(s *schema.Schema) *Learner {
+	return &Learner{s: s, ev: make(map[schema.ClassID]*Evidence)}
+}
+
+// Schema returns the learner's schema.
+func (l *Learner) Schema() *schema.Schema { return l.s }
+
+// Observe records one round of the Figure 1 approval loop: the
+// completions the user accepted and those the user rejected. Evidence
+// accrues to interior classes only — the root is the user's own choice
+// and the final class is pinned by the expression's anchor, so neither
+// can be blamed for a rejection.
+func (l *Learner) Observe(accepted, rejected []*pathexpr.Resolved) error {
+	for _, p := range accepted {
+		if err := l.observe(p, true); err != nil {
+			return err
+		}
+	}
+	for _, p := range rejected {
+		if err := l.observe(p, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Learner) observe(p *pathexpr.Resolved, accepted bool) error {
+	if p.Schema != l.s {
+		return fmt.Errorf("feedback: completion %v belongs to a different schema", p)
+	}
+	if len(p.Classes) < 3 {
+		return nil // no interior classes
+	}
+	for _, cls := range p.Classes[1 : len(p.Classes)-1] {
+		e := l.ev[cls]
+		if e == nil {
+			e = &Evidence{}
+			l.ev[cls] = e
+		}
+		if accepted {
+			e.Accepted++
+		} else {
+			e.Rejected++
+		}
+	}
+	return nil
+}
+
+// Evidence returns the accumulated evidence for a class.
+func (l *Learner) Evidence(cls schema.ClassID) Evidence {
+	if e := l.ev[cls]; e != nil {
+		return *e
+	}
+	return Evidence{}
+}
+
+// Exclusions nominates the classes to exclude: those observed at least
+// minObs times whose rejection fraction is at least threshold. With
+// threshold 1.0 a class is nominated only if it NEVER appeared on an
+// accepted completion — the conservative setting that can only remove
+// answers users have consistently refused.
+func (l *Learner) Exclusions(minObs int, threshold float64) map[schema.ClassID]bool {
+	out := make(map[schema.ClassID]bool)
+	for cls, e := range l.ev {
+		if e.Total() < minObs {
+			continue
+		}
+		if frac := float64(e.Rejected) / float64(e.Total()); frac >= threshold {
+			out[cls] = true
+		}
+	}
+	return out
+}
+
+// Report lists the classes with evidence, worst rejection fraction
+// first, for inspection.
+func (l *Learner) Report() []ReportRow {
+	rows := make([]ReportRow, 0, len(l.ev))
+	for cls, e := range l.ev {
+		rows = append(rows, ReportRow{
+			Class:    l.s.Class(cls).Name,
+			ClassID:  cls,
+			Evidence: *e,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		fi := float64(rows[i].Evidence.Rejected) / float64(rows[i].Evidence.Total())
+		fj := float64(rows[j].Evidence.Rejected) / float64(rows[j].Evidence.Total())
+		if fi != fj {
+			return fi > fj
+		}
+		if rows[i].Evidence.Total() != rows[j].Evidence.Total() {
+			return rows[i].Evidence.Total() > rows[j].Evidence.Total()
+		}
+		return rows[i].Class < rows[j].Class
+	})
+	return rows
+}
+
+// ReportRow is one line of Report.
+type ReportRow struct {
+	Class    string
+	ClassID  schema.ClassID
+	Evidence Evidence
+}
+
+// String renders the row as "class rejected/total".
+func (r ReportRow) String() string {
+	return fmt.Sprintf("%-24s %d/%d rejected", r.Class, r.Evidence.Rejected, r.Evidence.Total())
+}

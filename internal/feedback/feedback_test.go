@@ -1,0 +1,216 @@
+package feedback
+
+import (
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/cupid"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/uni"
+)
+
+func TestObserveAndExclusions(t *testing.T) {
+	s := uni.New()
+	l := NewLearner(s)
+	good, err := pathexpr.Resolve(s, pathexpr.MustParse("ta@>grad@>student@>person.name"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	bad, err := pathexpr.Resolve(s, pathexpr.MustParse("ta@>grad@>student.take.name"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Observe([]*pathexpr.Resolved{good}, []*pathexpr.Resolved{bad}); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	course := s.MustClass("course").ID
+	student := s.MustClass("student").ID
+	if e := l.Evidence(course); e.Rejected != 3 || e.Accepted != 0 {
+		t.Errorf("course evidence = %+v", e)
+	}
+	// student is interior to both paths: mixed evidence.
+	if e := l.Evidence(student); e.Rejected != 3 || e.Accepted != 3 {
+		t.Errorf("student evidence = %+v", e)
+	}
+	// The root (ta) and final classes accrue nothing.
+	if e := l.Evidence(s.MustClass("ta").ID); e.Total() != 0 {
+		t.Errorf("ta evidence = %+v", e)
+	}
+	ex := l.Exclusions(3, 1.0)
+	if !ex[course] {
+		t.Errorf("course should be nominated: %v", ex)
+	}
+	if ex[student] {
+		t.Errorf("student has accepted evidence and must not be nominated: %v", ex)
+	}
+	// Higher minObs suppresses thin evidence.
+	if ex := l.Exclusions(10, 1.0); len(ex) != 0 {
+		t.Errorf("minObs=10 should nominate nothing, got %v", ex)
+	}
+}
+
+func TestObserveRejectsForeignSchema(t *testing.T) {
+	s1, s2 := uni.New(), uni.New()
+	l := NewLearner(s1)
+	p, err := pathexpr.Resolve(s2, pathexpr.MustParse("ta@>grad@>student@>person.name"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if err := l.Observe([]*pathexpr.Resolved{p}, nil); err == nil {
+		t.Error("Observe should reject completions from another schema instance")
+	}
+}
+
+func TestShortPathsHaveNoInterior(t *testing.T) {
+	s := uni.New()
+	l := NewLearner(s)
+	p, err := pathexpr.Resolve(s, pathexpr.MustParse("ta@>grad"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if err := l.Observe(nil, []*pathexpr.Resolved{p}); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if len(l.Report()) != 0 {
+		t.Errorf("one-edge path produced evidence: %v", l.Report())
+	}
+}
+
+// TestLearnsHubExclusions is the headline experiment for the paper's
+// future-work sketch: simulated approval sessions over the CUPID-scale
+// workload must rediscover the hub classes the paper's schema designer
+// excluded by hand — and must NOT nominate classes that appear on
+// accepted answers.
+func TestLearnsHubExclusions(t *testing.T) {
+	w, err := cupid.Generate(cupid.Config{Seed: 33, Classes: 50, RelPairs: 100, Hubs: 2, HubFanout: 8})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	o := cupid.NewOracle(w, 8)
+	qs, err := o.Queries(12)
+	if err != nil {
+		t.Fatalf("Queries: %v", err)
+	}
+	opts := core.Paper()
+	opts.E = 3 // wide enough for hub paths to be proposed and refused
+	cmp := core.New(w.Schema, opts)
+	e1 := core.New(w.Schema, core.Paper())
+	l := NewLearner(w.Schema)
+	for _, q := range qs {
+		res, err := cmp.Complete(q.Expr)
+		if err != nil {
+			t.Fatalf("Complete: %v", err)
+		}
+		base, err := e1.Complete(q.Expr)
+		if err != nil {
+			t.Fatalf("Complete: %v", err)
+		}
+		truth := make(map[string]bool)
+		for _, p := range o.Adjudicate(q, base) {
+			truth[p] = true
+		}
+		var accepted, rejected []*pathexpr.Resolved
+		for _, c := range res.Completions {
+			if truth[c.Path.String()] {
+				accepted = append(accepted, c.Path)
+			} else {
+				rejected = append(rejected, c.Path)
+			}
+		}
+		if err := l.Observe(accepted, rejected); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	learned := l.Exclusions(3, 1.0)
+	hubHits := 0
+	for _, h := range w.Hubs {
+		if learned[h] {
+			hubHits++
+		}
+	}
+	if hubHits == 0 {
+		t.Errorf("no hub class learned; report:\n%v", l.Report()[:min(8, len(l.Report()))])
+	}
+	// Nothing with accepted evidence may be nominated.
+	for cls := range learned {
+		if e := l.Evidence(cls); e.Accepted != 0 {
+			t.Errorf("class %s nominated despite %d accepts", w.Schema.Class(cls).Name, e.Accepted)
+		}
+	}
+}
+
+func TestReportOrdering(t *testing.T) {
+	s := uni.New()
+	l := NewLearner(s)
+	mixed, err := pathexpr.Resolve(s, pathexpr.MustParse("ta@>grad@>student@>person.name"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	allBad, err := pathexpr.Resolve(s, pathexpr.MustParse("ta@>instructor@>teacher.teach.name"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if err := l.Observe([]*pathexpr.Resolved{mixed}, []*pathexpr.Resolved{mixed, allBad}); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	rows := l.Report()
+	if len(rows) == 0 {
+		t.Fatal("empty report")
+	}
+	// Rows are sorted worst rejection fraction first.
+	frac := func(r ReportRow) float64 {
+		return float64(r.Evidence.Rejected) / float64(r.Evidence.Total())
+	}
+	for i := 1; i < len(rows); i++ {
+		if frac(rows[i]) > frac(rows[i-1])+1e-9 {
+			t.Errorf("report not sorted at %d: %v before %v", i, rows[i-1], rows[i])
+		}
+	}
+	// The purely rejected classes (instructor, teacher, course) lead.
+	if frac(rows[0]) != 1.0 {
+		t.Errorf("head of report = %v, want fully rejected class", rows[0])
+	}
+	if got := rows[0].String(); !strings.Contains(got, "rejected") {
+		t.Errorf("ReportRow.String() = %q", got)
+	}
+	// Evidence accessor matches the report.
+	for _, r := range rows {
+		if l.Evidence(r.ClassID) != r.Evidence {
+			t.Errorf("Evidence(%s) mismatch", r.Class)
+		}
+	}
+}
+
+func TestExclusionsThreshold(t *testing.T) {
+	s := uni.New()
+	l := NewLearner(s)
+	p1, _ := pathexpr.Resolve(s, pathexpr.MustParse("ta@>grad@>student.take.name"))
+	for i := 0; i < 4; i++ {
+		accepted := i == 0 // one accept, three rejects: fraction 0.75
+		if accepted {
+			l.Observe([]*pathexpr.Resolved{p1}, nil)
+		} else {
+			l.Observe(nil, []*pathexpr.Resolved{p1})
+		}
+	}
+	course := s.MustClass("course").ID
+	if ex := l.Exclusions(4, 1.0); ex[course] {
+		t.Error("threshold 1.0 should not nominate a 75%-rejected class")
+	}
+	if ex := l.Exclusions(4, 0.7); !ex[course] {
+		t.Error("threshold 0.7 should nominate a 75%-rejected class")
+	}
+	if l.Schema() != s {
+		t.Error("Schema accessor broken")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

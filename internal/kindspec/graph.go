@@ -1,0 +1,248 @@
+package kindspec
+
+// This file implements a miniature completion engine over a Spec,
+// completing the demonstration of the paper's generality claim: define
+// the relationship kinds of your data model as data, and you get an
+// incomplete-path-expression completer for it. The engine mirrors the
+// definitional semantics of package core in its provably exact form
+// (full DFS bounded only by the best-complete-labels test); package
+// core remains the tuned implementation for the paper's own model.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is one directed schema edge of a Graph.
+type Edge struct {
+	To   int
+	Name string
+	Kind string
+}
+
+// Graph is a schema over a Spec's primary kinds.
+type Graph struct {
+	sp     *Spec
+	nodes  []string
+	byName map[string]int
+	out    [][]Edge
+}
+
+// NewGraph returns an empty graph over the (validated) spec.
+func NewGraph(sp *Spec) *Graph {
+	return &Graph{sp: sp, byName: make(map[string]int)}
+}
+
+// Spec returns the graph's algebra.
+func (g *Graph) Spec() *Spec { return g.sp }
+
+// Node ensures a node with the given name exists and returns its
+// index.
+func (g *Graph) Node(name string) int {
+	if i, ok := g.byName[name]; ok {
+		return i
+	}
+	i := len(g.nodes)
+	g.nodes = append(g.nodes, name)
+	g.byName[name] = i
+	g.out = append(g.out, nil)
+	return i
+}
+
+// AddEdge adds a directed edge and its inverse (named after the source
+// node, as relationship names default to target names in the paper's
+// model).
+func (g *Graph) AddEdge(from, to, name, kind string) error {
+	k, ok := g.sp.kind(kind)
+	if !ok {
+		return fmt.Errorf("kindspec: unknown kind %q", kind)
+	}
+	if !k.Primary {
+		return fmt.Errorf("kindspec: kind %q cannot label schema edges", kind)
+	}
+	f, t := g.Node(from), g.Node(to)
+	if name == "" {
+		name = to
+	}
+	g.out[f] = append(g.out[f], Edge{To: t, Name: name, Kind: kind})
+	g.out[t] = append(g.out[t], Edge{To: f, Name: from, Kind: k.Inverse})
+	return nil
+}
+
+// GenCompletion is one completion found by the generic engine.
+type GenCompletion struct {
+	// Path renders the completion: root then connector+name steps.
+	Path string
+	// Conn is the composed connector.
+	Conn Conn
+	// SemLen is the semantic length.
+	SemLen int
+}
+
+// genLabel tracks a path label: composed connector plus the collapsed
+// edge-kind sequence for semantic length.
+type genLabel struct {
+	conn Conn
+	seq  []string
+}
+
+func (g *Graph) extend(l genLabel, kind string) genLabel {
+	out := genLabel{conn: g.sp.Con(l.conn, Conn{Kind: kind})}
+	k, _ := g.sp.kind(kind)
+	if n := len(l.seq); n > 0 && l.seq[n-1] == kind && k.Collapses {
+		out.seq = l.seq
+		return out
+	}
+	out.seq = append(append([]string{}, l.seq...), kind)
+	return out
+}
+
+func (g *Graph) semLen(seq []string) int {
+	total := 0
+	for i := 0; i < len(seq); {
+		if k, _ := g.sp.kind(seq[i]); k.ZeroSeries {
+			j := i
+			for j < len(seq) {
+				if kj, _ := g.sp.kind(seq[j]); !kj.ZeroSeries {
+					break
+				}
+				j++
+			}
+			total += j - i - 1
+			i = j
+			continue
+		}
+		k, _ := g.sp.kind(seq[i])
+		total += k.SemLen
+		i++
+	}
+	return total
+}
+
+type genKey struct {
+	conn   Conn
+	semLen int
+}
+
+// Complete finds the optimal acyclic paths from the root node to an
+// anchor — edges carrying the anchor name or reaching a node with that
+// name — under the spec's CON/AGG, keeping the e lowest semantic
+// lengths among incomparable connectors (AGG*). Exhaustive up to the
+// best-complete-labels bound, so definitionally exact.
+func (g *Graph) Complete(root, anchor string, e int) ([]GenCompletion, error) {
+	if e < 1 {
+		e = 1
+	}
+	r, ok := g.byName[root]
+	if !ok {
+		return nil, fmt.Errorf("kindspec: unknown root node %q", root)
+	}
+	found := map[string]GenCompletion{}
+	var bestT []genKey
+	visited := make([]bool, len(g.nodes))
+	var steps []string
+
+	var dfs func(v int, l genLabel)
+	dfs = func(v int, l genLabel) {
+		visited[v] = true
+		for _, ed := range g.out[v] {
+			if visited[ed.To] {
+				continue
+			}
+			nl := g.extend(l, ed.Kind)
+			key := genKey{conn: nl.conn, semLen: g.semLen(nl.seq)}
+			if !g.inAgg(key, bestT, e) {
+				continue
+			}
+			step := g.symbol(ed.Kind) + ed.Name
+			steps = append(steps, step)
+			if ed.Name == anchor || g.nodes[ed.To] == anchor {
+				bestT = g.agg(append([]genKey{key}, bestT...), e)
+				path := root + strings.Join(steps, "")
+				found[path] = GenCompletion{Path: path, Conn: key.conn, SemLen: key.semLen}
+			}
+			visited[ed.To] = true
+			dfs(ed.To, nl)
+			visited[ed.To] = false
+			steps = steps[:len(steps)-1]
+		}
+		visited[v] = false
+	}
+	dfs(r, genLabel{conn: Conn{Kind: g.sp.Identity}})
+
+	var out []GenCompletion
+	for _, c := range found {
+		if g.inAgg(genKey{conn: c.Conn, semLen: c.SemLen}, bestT, e) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SemLen != out[j].SemLen {
+			return out[i].SemLen < out[j].SemLen
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out, nil
+}
+
+func (g *Graph) symbol(kind string) string {
+	k, _ := g.sp.kind(kind)
+	return k.Symbol
+}
+
+// agg reduces a key set: connector-dominated keys are dropped, then
+// the e lowest distinct semantic lengths are kept.
+func (g *Graph) agg(ks []genKey, e int) []genKey {
+	var surv []genKey
+	seen := map[genKey]bool{}
+	for _, k := range ks {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		dominated := false
+		for _, o := range ks {
+			if g.sp.Better(o.conn, k.conn) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			surv = append(surv, k)
+		}
+	}
+	if len(surv) == 0 {
+		return nil
+	}
+	var lens []int
+	ls := map[int]bool{}
+	for _, k := range surv {
+		if !ls[k.semLen] {
+			ls[k.semLen] = true
+			lens = append(lens, k.semLen)
+		}
+	}
+	sort.Ints(lens)
+	if len(lens) > e {
+		lens = lens[:e]
+	}
+	cut := lens[len(lens)-1]
+	var out []genKey
+	for _, k := range surv {
+		if k.semLen <= cut {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// inAgg reports whether k survives agg(append(ks, k)).
+func (g *Graph) inAgg(k genKey, ks []genKey, e int) bool {
+	for _, r := range g.agg(append([]genKey{k}, ks...), e) {
+		if r == k {
+			return true
+		}
+	}
+	return false
+}

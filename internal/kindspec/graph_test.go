@@ -1,0 +1,187 @@
+package kindspec
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
+)
+
+// uniEdges is the attribute-free part of the Figure 2 university
+// schema, used to cross-check the generic engine against package core.
+// (Attributes are omitted because the generic engine has no primitive
+// classes, so gaps could traverse them.)
+var uniEdges = []struct{ from, to, name, kind string }{
+	{"student", "person", "", "Isa"},
+	{"employee", "person", "", "Isa"},
+	{"grad", "student", "", "Isa"},
+	{"undergrad", "student", "", "Isa"},
+	{"teacher", "employee", "", "Isa"},
+	{"staff", "employee", "", "Isa"},
+	{"instructor", "teacher", "", "Isa"},
+	{"professor", "teacher", "", "Isa"},
+	{"ta", "grad", "", "Isa"},
+	{"ta", "instructor", "", "Isa"},
+	{"university", "department", "", "Has-Part"},
+	{"department", "professor", "", "Has-Part"},
+	{"student", "course", "take", "Assoc"},
+	{"teacher", "course", "teach", "Assoc"},
+	{"student", "department", "", "Assoc"},
+}
+
+func uniGraph(t *testing.T) *Graph {
+	t.Helper()
+	sp := Paper()
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	g := NewGraph(sp)
+	for _, e := range uniEdges {
+		if err := g.AddEdge(e.from, e.to, e.name, e.kind); err != nil {
+			t.Fatalf("AddEdge(%+v): %v", e, err)
+		}
+	}
+	return g
+}
+
+func uniSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	b := schema.NewBuilder("uni-nodeattrs")
+	for _, e := range uniEdges {
+		switch e.kind {
+		case "Isa":
+			b.Isa(e.from, e.to)
+		case "Has-Part":
+			b.HasPart(e.from, e.to, e.name)
+		case "Assoc":
+			b.Assoc(e.from, e.to, e.name)
+		}
+	}
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s
+}
+
+// TestGenericEngineMatchesCore cross-checks the data-driven engine
+// against package core over every (root, anchor) pair of the
+// university schema and E in {1, 2}: same answer sets, same labels.
+func TestGenericEngineMatchesCore(t *testing.T) {
+	g := uniGraph(t)
+	s := uniSchema(t)
+	opts := core.Exact()
+	opts.NoPreemption = true // the generic engine has no preemption
+
+	classes := []string{"person", "student", "grad", "undergrad", "ta", "instructor",
+		"teacher", "professor", "employee", "staff", "course", "department", "university"}
+	anchors := append([]string{"take", "teach"}, classes...)
+	for _, e := range []int{1, 2} {
+		o := opts
+		o.E = e
+		cmp := core.New(s, o)
+		for _, root := range classes {
+			for _, anchor := range anchors {
+				if root == anchor {
+					continue
+				}
+				expr := pathexpr.Expr{Root: root, Steps: []pathexpr.Step{{Gap: true, Name: anchor}}}
+				res, err := cmp.Complete(expr)
+				if err != nil {
+					continue
+				}
+				want := append([]string{}, res.Strings()...)
+				sort.Strings(want)
+
+				gen, err := g.Complete(root, anchor, e)
+				if err != nil {
+					t.Fatalf("generic Complete(%s~%s): %v", root, anchor, err)
+				}
+				got := make([]string, len(gen))
+				for i, c := range gen {
+					got[i] = c.Path
+				}
+				sort.Strings(got)
+				if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+					t.Errorf("E=%d %s~%s:\n generic: %v\n core:    %v", e, root, anchor, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestGenericEngineLabels spot-checks composed connectors and semantic
+// lengths.
+func TestGenericEngineLabels(t *testing.T) {
+	g := uniGraph(t)
+	gen, err := g.Complete("ta", "person", 1)
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if len(gen) != 2 {
+		t.Fatalf("completions = %+v", gen)
+	}
+	for _, c := range gen {
+		if c.Conn.Kind != "Isa" || c.Conn.Star || c.SemLen != 0 {
+			t.Errorf("completion %+v, want plain Isa with semlen 0", c)
+		}
+	}
+}
+
+// TestGenericEngineExtendedModel completes over the Moose-extended
+// algebra — relationship kinds the hand-coded engine does not know.
+func TestGenericEngineExtendedModel(t *testing.T) {
+	sp := MooseExtended()
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	g := NewGraph(sp)
+	// A library of shelves of books; books are members of a catalog
+	// set; authors are associated with books.
+	mustAdd := func(from, to, name, kind string) {
+		if err := g.AddEdge(from, to, name, kind); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	mustAdd("library", "shelf", "", "Set-Of")
+	mustAdd("shelf", "book", "", "Set-Of")
+	mustAdd("catalog", "book", "entries", "Set-Of")
+	mustAdd("author", "book", "wrote", "Assoc")
+
+	// Chains of Set-Of collapse: library %> shelf %> book has semantic
+	// length 1 and keeps the Set-Of connector.
+	gen, err := g.Complete("library", "book", 1)
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if len(gen) != 1 || gen[0].Path != "library%>shelf%>book" {
+		t.Fatalf("completions = %+v", gen)
+	}
+	if gen[0].Conn.Kind != "Set-Of" || gen[0].SemLen != 1 {
+		t.Errorf("label = %+v, want Set-Of with semlen 1", gen[0])
+	}
+
+	// The books of an author: the direct association wins over the
+	// detour through the catalog.
+	gen, err = g.Complete("author", "book", 1)
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if len(gen) != 1 || gen[0].Path != "author.wrote" {
+		t.Fatalf("completions = %+v", gen)
+	}
+
+	// Unknown kinds and non-primary kinds are rejected at edge time.
+	if err := g.AddEdge("a", "b", "", "Bogus"); err == nil {
+		t.Error("unknown kind should be rejected")
+	}
+	if err := g.AddEdge("a", "b", "", "Indirect"); err == nil {
+		t.Error("secondary kind should be rejected")
+	}
+	if _, err := g.Complete("nosuch", "book", 1); err == nil {
+		t.Error("unknown root should be rejected")
+	}
+}

@@ -1,0 +1,115 @@
+package kindspec
+
+// Paper returns the paper's own algebra — Table 1 and Figure 3 —
+// expressed as a Spec. Tests cross-check every composition cell and
+// tier against the hand-coded implementation in package connector, so
+// the two can never drift apart.
+func Paper() *Spec {
+	kinds := []Kind{
+		{Name: "Isa", Symbol: "@>", SemLen: 0, Inverse: "May-Be", Primary: true, Collapses: true, ZeroSeries: true},
+		{Name: "May-Be", Symbol: "<@", SemLen: 0, Inverse: "Isa", Primary: true, Collapses: true, ZeroSeries: true},
+		{Name: "Has-Part", Symbol: "$>", SemLen: 1, Inverse: "Is-Part-Of", HasPossibly: true, Primary: true, Collapses: true},
+		{Name: "Is-Part-Of", Symbol: "<$", SemLen: 1, Inverse: "Has-Part", HasPossibly: true, Primary: true, Collapses: true},
+		{Name: "Assoc", Symbol: ".", SemLen: 1, Inverse: "Assoc", HasPossibly: true, Primary: true},
+		{Name: "Shares-Sub", Symbol: ".SB", SemLen: 1, Inverse: "Shares-Sub", HasPossibly: true},
+		{Name: "Shares-Super", Symbol: ".SP", SemLen: 1, Inverse: "Shares-Super", HasPossibly: true},
+		{Name: "Indirect", Symbol: "..", SemLen: 1, Inverse: "Indirect", HasPossibly: true},
+	}
+	// Row-major over the kind order above; "" means Indirect (the
+	// degradation default), "*" suffixes mark star-introducing cells.
+	rows := map[string][]string{
+		"Isa":          {"Isa", "May-Be", "Has-Part", "Is-Part-Of", "Assoc", "Shares-Sub", "Shares-Super", "Indirect"},
+		"May-Be":       {"May-Be", "May-Be", "Has-Part*", "Is-Part-Of*", "Assoc*", "Shares-Sub*", "Shares-Super*", "Indirect*"},
+		"Has-Part":     {"Has-Part", "Has-Part*", "Has-Part", "Shares-Sub", "", "Shares-Sub", "", ""},
+		"Is-Part-Of":   {"Is-Part-Of", "Is-Part-Of*", "Shares-Super", "Is-Part-Of", "", "", "Shares-Super", ""},
+		"Assoc":        {"Assoc", "Assoc*", "", "", "", "", "", ""},
+		"Shares-Sub":   {"Shares-Sub", "Shares-Sub*", "", "Shares-Sub", "", "", "", ""},
+		"Shares-Super": {"Shares-Super", "Shares-Super*", "Shares-Super", "", "", "", "", ""},
+		"Indirect":     {"Indirect", "Indirect*", "", "", "", "", "", ""},
+	}
+	return &Spec{
+		Name:     "sigmod94",
+		Kinds:    kinds,
+		Identity: "Isa",
+		Compose:  buildCompose(kinds, rows),
+		Tier: map[string]int{
+			"Isa": 0, "May-Be": 0,
+			"Has-Part": 1, "Is-Part-Of": 1,
+			"Assoc":      2,
+			"Shares-Sub": 3, "Shares-Super": 3,
+			"Indirect": 4,
+		},
+	}
+}
+
+// MooseExtended returns a richer algebra in the spirit of the Moose
+// data model the paper's experiments actually ran on ("Moose includes
+// all the relationship kinds discussed in Section 2 plus additional
+// ones"): it adds a Set-Of / Member-Of pair for collection-valued
+// relationships. Chains of Set-Of collapse (a set of sets is a set);
+// every mixed composition degrades to the indirect association; and
+// the strength order slots collections at the plain-association tier.
+func MooseExtended() *Spec {
+	sp := Paper()
+	sp.Name = "moose-extended"
+	setOf := Kind{Name: "Set-Of", Symbol: "%>", SemLen: 1, Inverse: "Member-Of", HasPossibly: true, Primary: true, Collapses: true}
+	memberOf := Kind{Name: "Member-Of", Symbol: "<%", SemLen: 1, Inverse: "Set-Of", HasPossibly: true, Primary: true, Collapses: true}
+	sp.Kinds = append(sp.Kinds, setOf, memberOf)
+	sp.Tier["Set-Of"] = 2
+	sp.Tier["Member-Of"] = 2
+
+	// Existing kinds compose with the collection kinds: Isa stays the
+	// identity, May-Be stars, everything else degrades to Indirect.
+	for _, k := range Paper().Kinds {
+		row := sp.Compose[k.Name]
+		switch k.Name {
+		case "Isa":
+			row["Set-Of"] = Result{Kind: "Set-Of"}
+			row["Member-Of"] = Result{Kind: "Member-Of"}
+		case "May-Be":
+			row["Set-Of"] = Result{Kind: "Set-Of", Star: true}
+			row["Member-Of"] = Result{Kind: "Member-Of", Star: true}
+		default:
+			row["Set-Of"] = Result{Kind: "Indirect"}
+			row["Member-Of"] = Result{Kind: "Indirect"}
+		}
+	}
+	// The collection kinds' own rows.
+	soRow := map[string]Result{}
+	moRow := map[string]Result{}
+	for _, k := range sp.Kinds {
+		soRow[k.Name] = Result{Kind: "Indirect"}
+		moRow[k.Name] = Result{Kind: "Indirect"}
+	}
+	soRow["Isa"] = Result{Kind: "Set-Of"}
+	soRow["May-Be"] = Result{Kind: "Set-Of", Star: true}
+	soRow["Set-Of"] = Result{Kind: "Set-Of"} // a set of sets is a set
+	moRow["Isa"] = Result{Kind: "Member-Of"}
+	moRow["May-Be"] = Result{Kind: "Member-Of", Star: true}
+	moRow["Member-Of"] = Result{Kind: "Member-Of"}
+	sp.Compose["Set-Of"] = soRow
+	sp.Compose["Member-Of"] = moRow
+	return sp
+}
+
+// buildCompose expands the compact row notation: "" degrades to
+// Indirect, a trailing "*" marks a star-introducing cell.
+func buildCompose(kinds []Kind, rows map[string][]string) map[string]map[string]Result {
+	out := make(map[string]map[string]Result, len(kinds))
+	for name, row := range rows {
+		m := make(map[string]Result, len(kinds))
+		for i, cell := range row {
+			res := Result{Kind: cell}
+			if cell == "" {
+				res.Kind = "Indirect"
+			}
+			if n := len(res.Kind); n > 0 && res.Kind[n-1] == '*' {
+				res.Kind = res.Kind[:n-1]
+				res.Star = true
+			}
+			m[kinds[i].Name] = res
+		}
+		out[name] = m
+	}
+	return out
+}

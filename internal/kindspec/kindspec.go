@@ -1,0 +1,307 @@
+// Package kindspec is an authoring kit for connector algebras: the
+// paper's conclusion claims the methodology "can be generally applied
+// to any semantically rich data model, by specifying appropriate CON
+// and AGG functions on the kinds of relationships supported by the
+// model" (Section 7). This package makes that concrete: a Spec
+// declares relationship kinds, their composition table, and their
+// strength tiers as data, and Validate checks — exhaustively — every
+// algebraic property the completion machinery relies on:
+//
+//   - closure and associativity of composition (property 1);
+//   - a two-sided identity kind (property 4) sitting at the minimum
+//     strength tier (so the Θ label annihilates, property 5);
+//   - involutive inverses;
+//   - coherent Possibly propagation (a starred operand must never
+//     produce a kind that cannot carry the star);
+//   - left-monotone strength tiers (extending a path never improves
+//     its connector — property 7, which makes best[T] pruning safe).
+//
+// Paper() expresses Table 1 and Figure 3 in this form (cross-checked
+// cell by cell against package connector), and MooseExtended() shows a
+// richer model in the spirit of Moose's additional kinds.
+package kindspec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind declares one relationship kind.
+type Kind struct {
+	// Name is the long name, e.g. "Has-Part".
+	Name string
+	// Symbol is the connector symbol, e.g. "$>".
+	Symbol string
+	// SemLen is the semantic length of a single edge of this kind.
+	SemLen int
+	// Inverse names the inverse kind (possibly the kind itself).
+	Inverse string
+	// HasPossibly reports whether the kind has a Possibly (*) version.
+	HasPossibly bool
+	// Primary reports whether schema edges may carry this kind (as
+	// opposed to kinds that only arise from composition).
+	Primary bool
+	// Collapses marks kinds whose contiguous runs count once in the
+	// semantic-length restructuring (step 1 of Section 3.3.2 — the
+	// kinds on which composition is idempotent).
+	Collapses bool
+	// ZeroSeries marks kinds that form alternating series contributing
+	// their length minus one (step 2 — the taxonomic kinds). ZeroSeries
+	// kinds must have SemLen 0 and Collapses set.
+	ZeroSeries bool
+}
+
+// Result is one cell of the composition table.
+type Result struct {
+	// Kind names the resulting kind.
+	Kind string
+	// Star marks compositions that introduce the Possibly qualifier
+	// even for unstarred operands (e.g. composing through May-Be).
+	Star bool
+}
+
+// Spec is a complete connector algebra, defined as data.
+type Spec struct {
+	// Name identifies the algebra.
+	Name string
+	// Kinds lists the kinds; order fixes iteration order.
+	Kinds []Kind
+	// Identity names the identity kind of composition.
+	Identity string
+	// Compose is the CON_c table: Compose[a][b] for kind names a, b.
+	Compose map[string]map[string]Result
+	// Tier is the strength tier per kind (smaller = stronger); kinds
+	// in the same tier are incomparable, Possibly versions share their
+	// base kind's tier.
+	Tier map[string]int
+}
+
+// Conn is a full connector of the algebra: a kind plus the Possibly
+// qualifier.
+type Conn struct {
+	Kind string
+	Star bool
+}
+
+// String renders the connector as symbol plus optional star.
+func (sp *Spec) String(c Conn) string {
+	k, ok := sp.kind(c.Kind)
+	if !ok {
+		return c.Kind + "?"
+	}
+	if c.Star {
+		return k.Symbol + "*"
+	}
+	return k.Symbol
+}
+
+func (sp *Spec) kind(name string) (Kind, bool) {
+	for _, k := range sp.Kinds {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kind{}, false
+}
+
+// Conns enumerates the full connector space: every kind plain, plus
+// the starred version of every kind with HasPossibly.
+func (sp *Spec) Conns() []Conn {
+	var out []Conn
+	for _, k := range sp.Kinds {
+		out = append(out, Conn{Kind: k.Name})
+	}
+	for _, k := range sp.Kinds {
+		if k.HasPossibly {
+			out = append(out, Conn{Kind: k.Name, Star: true})
+		}
+	}
+	return out
+}
+
+// Con composes two connectors under the spec. The spec must have been
+// validated; Con panics on kinds outside the table.
+func (sp *Spec) Con(a, b Conn) Conn {
+	cell, ok := sp.Compose[a.Kind][b.Kind]
+	if !ok {
+		panic(fmt.Sprintf("kindspec %s: composition %s∘%s undefined", sp.Name, a.Kind, b.Kind))
+	}
+	star := a.Star || b.Star || cell.Star
+	if k, _ := sp.kind(cell.Kind); !k.HasPossibly {
+		star = false
+	}
+	return Conn{Kind: cell.Kind, Star: star}
+}
+
+// Better reports the strength order: a ≺ b iff a's tier is smaller.
+func (sp *Spec) Better(a, b Conn) bool {
+	return sp.Tier[a.Kind] < sp.Tier[b.Kind]
+}
+
+// Validate checks every property the completion machinery needs. It
+// returns the first violation found, with enough context to fix the
+// table.
+func (sp *Spec) Validate() error {
+	if err := sp.validateKinds(); err != nil {
+		return err
+	}
+	if err := sp.validateTable(); err != nil {
+		return err
+	}
+	return sp.validateOrder()
+}
+
+func (sp *Spec) validateKinds() error {
+	if len(sp.Kinds) == 0 {
+		return fmt.Errorf("kindspec %s: no kinds", sp.Name)
+	}
+	names := map[string]bool{}
+	symbols := map[string]bool{}
+	for _, k := range sp.Kinds {
+		if k.Name == "" || k.Symbol == "" {
+			return fmt.Errorf("kindspec %s: kind with empty name or symbol", sp.Name)
+		}
+		if names[k.Name] {
+			return fmt.Errorf("kindspec %s: duplicate kind %q", sp.Name, k.Name)
+		}
+		if symbols[k.Symbol] {
+			return fmt.Errorf("kindspec %s: duplicate symbol %q", sp.Name, k.Symbol)
+		}
+		names[k.Name] = true
+		symbols[k.Symbol] = true
+		if k.SemLen < 0 {
+			return fmt.Errorf("kindspec %s: kind %q has negative semantic length", sp.Name, k.Name)
+		}
+		if k.ZeroSeries && (k.SemLen != 0 || !k.Collapses) {
+			return fmt.Errorf("kindspec %s: ZeroSeries kind %q must have zero semantic length and collapse",
+				sp.Name, k.Name)
+		}
+	}
+	// Inverses exist and are involutive.
+	for _, k := range sp.Kinds {
+		inv, ok := sp.kind(k.Inverse)
+		if !ok {
+			return fmt.Errorf("kindspec %s: kind %q has unknown inverse %q", sp.Name, k.Name, k.Inverse)
+		}
+		if inv.Inverse != k.Name {
+			return fmt.Errorf("kindspec %s: inverse of %q is %q, whose inverse is %q",
+				sp.Name, k.Name, inv.Name, inv.Inverse)
+		}
+		if inv.HasPossibly != k.HasPossibly {
+			return fmt.Errorf("kindspec %s: %q and its inverse disagree on Possibly", sp.Name, k.Name)
+		}
+	}
+	if _, ok := sp.kind(sp.Identity); !ok {
+		return fmt.Errorf("kindspec %s: identity kind %q not declared", sp.Name, sp.Identity)
+	}
+	return nil
+}
+
+func (sp *Spec) validateTable() error {
+	// Closure: every pair of kinds has a cell naming a declared kind.
+	for _, a := range sp.Kinds {
+		row, ok := sp.Compose[a.Name]
+		if !ok {
+			return fmt.Errorf("kindspec %s: no composition row for %q", sp.Name, a.Name)
+		}
+		for _, b := range sp.Kinds {
+			cell, ok := row[b.Name]
+			if !ok {
+				return fmt.Errorf("kindspec %s: composition %s∘%s undefined", sp.Name, a.Name, b.Name)
+			}
+			rk, ok := sp.kind(cell.Kind)
+			if !ok {
+				return fmt.Errorf("kindspec %s: %s∘%s yields unknown kind %q",
+					sp.Name, a.Name, b.Name, cell.Kind)
+			}
+			// Possibly coherence: if either operand can be starred, or
+			// the cell introduces a star, the result kind must carry it.
+			if (a.HasPossibly || b.HasPossibly || cell.Star) && !rk.HasPossibly {
+				return fmt.Errorf("kindspec %s: %s∘%s yields %q, which cannot carry the Possibly qualifier its operands can",
+					sp.Name, a.Name, b.Name, cell.Kind)
+			}
+		}
+	}
+	// Identity: two-sided on full connectors.
+	id := Conn{Kind: sp.Identity}
+	for _, c := range sp.Conns() {
+		if got := sp.Con(id, c); got != c {
+			return fmt.Errorf("kindspec %s: identity fails on the left of %s: got %s",
+				sp.Name, sp.String(c), sp.String(got))
+		}
+		if got := sp.Con(c, id); got != c {
+			return fmt.Errorf("kindspec %s: identity fails on the right of %s: got %s",
+				sp.Name, sp.String(c), sp.String(got))
+		}
+	}
+	// Associativity, exhaustively over the full connector space.
+	conns := sp.Conns()
+	for _, a := range conns {
+		for _, b := range conns {
+			ab := sp.Con(a, b)
+			for _, c := range conns {
+				l := sp.Con(ab, c)
+				r := sp.Con(a, sp.Con(b, c))
+				if l != r {
+					return fmt.Errorf("kindspec %s: composition not associative at (%s, %s, %s): %s vs %s",
+						sp.Name, sp.String(a), sp.String(b), sp.String(c), sp.String(l), sp.String(r))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (sp *Spec) validateOrder() error {
+	for _, k := range sp.Kinds {
+		if _, ok := sp.Tier[k.Name]; !ok {
+			return fmt.Errorf("kindspec %s: kind %q has no strength tier", sp.Name, k.Name)
+		}
+	}
+	// The identity sits at the (weakly) minimum tier so Θ annihilates.
+	idTier := sp.Tier[sp.Identity]
+	for _, k := range sp.Kinds {
+		if sp.Tier[k.Name] < idTier {
+			return fmt.Errorf("kindspec %s: kind %q is stronger than the identity, breaking the annihilator property",
+				sp.Name, k.Name)
+		}
+	}
+	// Inverse kinds are incomparable (same tier), as the paper states.
+	for _, k := range sp.Kinds {
+		if sp.Tier[k.Name] != sp.Tier[k.Inverse] {
+			return fmt.Errorf("kindspec %s: %q and its inverse %q are in different tiers",
+				sp.Name, k.Name, k.Inverse)
+		}
+	}
+	// Left monotonicity: composing never strengthens the prefix — the
+	// property that makes pruning against complete labels safe.
+	for _, a := range sp.Kinds {
+		for _, b := range sp.Kinds {
+			res := sp.Compose[a.Name][b.Name]
+			if sp.Tier[res.Kind] < sp.Tier[a.Name] {
+				return fmt.Errorf("kindspec %s: %s∘%s = %s is stronger than %s, breaking monotonicity",
+					sp.Name, a.Name, b.Name, res.Kind, a.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// TierTable renders the strength tiers for display, strongest first.
+func (sp *Spec) TierTable() string {
+	byTier := map[int][]string{}
+	var tiers []int
+	for _, k := range sp.Kinds {
+		t := sp.Tier[k.Name]
+		if len(byTier[t]) == 0 {
+			tiers = append(tiers, t)
+		}
+		byTier[t] = append(byTier[t], k.Symbol)
+	}
+	sort.Ints(tiers)
+	out := ""
+	for _, t := range tiers {
+		out += fmt.Sprintf("tier %d: %v\n", t, byTier[t])
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package kindspec
+
+import (
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/connector"
+)
+
+// TestPaperSpecValidates: the paper's algebra passes every check.
+func TestPaperSpecValidates(t *testing.T) {
+	if err := Paper().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+// TestMooseExtendedValidates: the extended algebra passes every check
+// — the demonstration of the paper's "any semantically rich data
+// model" claim.
+func TestMooseExtendedValidates(t *testing.T) {
+	sp := MooseExtended()
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(sp.Kinds) != 10 {
+		t.Errorf("kinds = %d, want 10", len(sp.Kinds))
+	}
+	// A set of sets is a set; mixing with containment degrades.
+	if got := sp.Con(Conn{Kind: "Set-Of"}, Conn{Kind: "Set-Of"}); got.Kind != "Set-Of" {
+		t.Errorf("Set-Of∘Set-Of = %v", got)
+	}
+	if got := sp.Con(Conn{Kind: "Has-Part"}, Conn{Kind: "Set-Of"}); got.Kind != "Indirect" {
+		t.Errorf("Has-Part∘Set-Of = %v", got)
+	}
+	// May-Be stars collections.
+	if got := sp.Con(Conn{Kind: "May-Be"}, Conn{Kind: "Set-Of"}); !got.Star {
+		t.Errorf("May-Be∘Set-Of = %v, want starred", got)
+	}
+}
+
+// kindName maps the hand-coded connector kinds onto spec kind names.
+var kindName = map[connector.Kind]string{
+	connector.Isa:         "Isa",
+	connector.MayBe:       "May-Be",
+	connector.HasPart:     "Has-Part",
+	connector.IsPartOf:    "Is-Part-Of",
+	connector.Assoc:       "Assoc",
+	connector.SharesSub:   "Shares-Sub",
+	connector.SharesSuper: "Shares-Super",
+	connector.Indirect:    "Indirect",
+}
+
+func toConn(c connector.Connector) Conn {
+	return Conn{Kind: kindName[c.Kind], Star: c.Possibly}
+}
+
+// TestPaperSpecMatchesHandCoded cross-checks the data-driven Table 1
+// against the hand-coded implementation, cell by cell over the full
+// connector space, plus tiers, inverses, symbols, and semantic
+// lengths. This test is what keeps the authoring kit and the engine
+// from drifting apart.
+func TestPaperSpecMatchesHandCoded(t *testing.T) {
+	sp := Paper()
+	for _, a := range connector.All() {
+		for _, b := range connector.All() {
+			want := toConn(connector.Con(a, b))
+			got := sp.Con(toConn(a), toConn(b))
+			if got != want {
+				t.Errorf("Con(%v, %v): spec %v, hand-coded %v", a, b, got, want)
+			}
+		}
+	}
+	for _, a := range connector.All() {
+		if got, want := sp.Tier[kindName[a.Kind]], a.Rank(); got != want {
+			t.Errorf("tier(%v) = %d, hand-coded rank %d", a, got, want)
+		}
+		for _, b := range connector.All() {
+			if got, want := sp.Better(toConn(a), toConn(b)), connector.Better(a, b); got != want {
+				t.Errorf("Better(%v, %v) = %v, hand-coded %v", a, b, got, want)
+			}
+		}
+	}
+	for _, k := range sp.Kinds {
+		var c connector.Connector
+		for ck, name := range kindName {
+			if name == k.Name {
+				c = connector.Connector{Kind: ck}
+			}
+		}
+		if got := c.Inverse(); kindName[got.Kind] != k.Inverse {
+			t.Errorf("inverse(%s) = %s, hand-coded %s", k.Name, k.Inverse, kindName[got.Kind])
+		}
+		if k.Symbol != c.String() {
+			t.Errorf("symbol(%s) = %s, hand-coded %s", k.Name, k.Symbol, c.String())
+		}
+		if k.SemLen != c.EdgeSemLen() {
+			t.Errorf("semlen(%s) = %d, hand-coded %d", k.Name, k.SemLen, c.EdgeSemLen())
+		}
+	}
+}
+
+// TestValidateCatchesBrokenTables: each class of authoring mistake is
+// rejected with a useful message.
+func TestValidateCatchesBrokenTables(t *testing.T) {
+	breakSpec := func(mutate func(*Spec)) error {
+		sp := Paper()
+		mutate(sp)
+		return sp.Validate()
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{
+			"missing cell",
+			func(sp *Spec) { delete(sp.Compose["Assoc"], "Assoc") },
+			"undefined",
+		},
+		{
+			"unknown result kind",
+			func(sp *Spec) { sp.Compose["Assoc"]["Assoc"] = Result{Kind: "Bogus"} },
+			"unknown kind",
+		},
+		{
+			"broken associativity",
+			func(sp *Spec) { sp.Compose["Has-Part"]["Is-Part-Of"] = Result{Kind: "Has-Part"} },
+			"not associative",
+		},
+		{
+			"broken identity",
+			func(sp *Spec) { sp.Compose["Isa"]["Assoc"] = Result{Kind: "Indirect"} },
+			"", // caught as identity or associativity failure
+		},
+		{
+			"star onto starless kind",
+			func(sp *Spec) { sp.Compose["May-Be"]["Assoc"] = Result{Kind: "May-Be"} },
+			"Possibly",
+		},
+		{
+			"identity not strongest",
+			func(sp *Spec) { sp.Tier["Indirect"] = -1 },
+			"annihilator",
+		},
+		{
+			"inverse tier mismatch",
+			func(sp *Spec) { sp.Tier["Has-Part"] = 0 },
+			"", // tier asymmetry breaks either the inverse-tier or monotonicity check
+		},
+		{
+			"non-monotone",
+			func(sp *Spec) {
+				sp.Tier["Indirect"] = 1
+				sp.Tier["Shares-Sub"] = 1
+				sp.Tier["Shares-Super"] = 1
+				sp.Tier["Assoc"] = 4
+			},
+			"monotonicity",
+		},
+		{
+			"dangling inverse",
+			func(sp *Spec) { sp.Kinds[2].Inverse = "Bogus" },
+			"unknown inverse",
+		},
+		{
+			"missing tier",
+			func(sp *Spec) { delete(sp.Tier, "Assoc") },
+			"", // zero tier then breaks the annihilator or monotonicity check
+		},
+	}
+	for _, tc := range cases {
+		err := breakSpec(tc.mutate)
+		if err == nil {
+			t.Errorf("%s: Validate accepted a broken spec", tc.name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestTierTable covers the display helper.
+func TestTierTable(t *testing.T) {
+	out := Paper().TierTable()
+	if !strings.Contains(out, "tier 0: [@> <@]") {
+		t.Errorf("TierTable:\n%s", out)
+	}
+	if !strings.Contains(out, "tier 4: [..]") {
+		t.Errorf("TierTable:\n%s", out)
+	}
+}
+
+// TestConnsEnumeration: the paper spec has the fourteen connectors of Σ.
+func TestConnsEnumeration(t *testing.T) {
+	if got := len(Paper().Conns()); got != 14 {
+		t.Errorf("|Σ| = %d, want 14", got)
+	}
+	if got := len(MooseExtended().Conns()); got != 18 {
+		t.Errorf("extended |Σ| = %d, want 18", got)
+	}
+}

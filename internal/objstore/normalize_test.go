@@ -1,0 +1,137 @@
+package objstore_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/objstore"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
+	"pathcomplete/internal/uni"
+)
+
+// TestAttrValueNormalization covers every primitive class and the
+// accepted Go types per class.
+func TestAttrValueNormalization(t *testing.T) {
+	s := uni.New()
+	// Build one class per primitive through a scratch schema.
+	st := objstore.New(s)
+	p := st.MustNewObject("person")
+	// I accepts int, int32, int64.
+	for _, v := range []any{int(1), int32(2), int64(3)} {
+		if err := st.SetAttr(p, "ssn", v); err != nil {
+			t.Errorf("SetAttr(ssn, %T): %v", v, err)
+		}
+	}
+	if err := st.SetAttr(p, "ssn", "nope"); err == nil {
+		t.Error("string into I should fail")
+	}
+	if err := st.SetAttr(p, "ssn", 1.5); err == nil {
+		t.Error("float into I should fail")
+	}
+	// C accepts string only.
+	if err := st.SetAttr(p, "name", "ok"); err != nil {
+		t.Errorf("SetAttr(name): %v", err)
+	}
+	if err := st.SetAttr(p, "name", 3); err == nil {
+		t.Error("int into C should fail")
+	}
+	// Object accessor reflects interning.
+	obj := st.Object(0)
+	if obj.OID != 0 {
+		t.Errorf("Object(0) = %+v", obj)
+	}
+}
+
+// TestRealAndBoolAttrs covers R and B end to end, including snapshot
+// revival.
+func TestRealAndBoolAttrs(t *testing.T) {
+	b := uniBuilderWithRB(t)
+	st := objstore.New(b)
+	m := st.MustNewObject("measurement")
+	st.MustSetAttr(m, "reading", 2.5)
+	st.MustSetAttr(m, "valid", true)
+	if err := st.SetAttr(m, "reading", "x"); err == nil {
+		t.Error("string into R should fail")
+	}
+	if err := st.SetAttr(m, "valid", 1); err == nil {
+		t.Error("int into B should fail")
+	}
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	st2, err := objstore.Load(b, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	r, err := pathexpr.Resolve(b, pathexpr.MustParse("measurement.reading"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	vals := st2.Values(st2.Eval(r))
+	if len(vals) != 1 {
+		t.Fatalf("vals = %v", vals)
+	}
+	if f, ok := vals[0].(float64); !ok || f != 2.5 {
+		t.Errorf("real value revived as %T %v", vals[0], vals[0])
+	}
+	rb, err := pathexpr.Resolve(b, pathexpr.MustParse("measurement.valid"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	bvals := st2.Values(st2.Eval(rb))
+	if len(bvals) != 1 {
+		t.Fatalf("bvals = %v", bvals)
+	}
+	if v, ok := bvals[0].(bool); !ok || !v {
+		t.Errorf("bool value revived as %T %v", bvals[0], bvals[0])
+	}
+}
+
+func uniBuilderWithRB(t *testing.T) *schema.Schema {
+	t.Helper()
+	b := schema.NewBuilder("rb")
+	b.Attr("measurement", "reading", "R")
+	b.Attr("measurement", "valid", "B")
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s
+}
+
+// TestMustHelpersPanic covers the panic paths of the Must wrappers.
+func TestMustHelpersPanic(t *testing.T) {
+	st := objstore.New(uni.New())
+	assertPanics(t, "MustNewObject", func() { st.MustNewObject("nope") })
+	p := st.MustNewObject("person")
+	assertPanics(t, "MustSetAttr", func() { st.MustSetAttr(p, "nope", 1) })
+	assertPanics(t, "MustLink", func() { st.MustLink(p, "nope", p) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s should panic", name)
+		}
+	}()
+	f()
+}
+
+// TestLoadBadRealAndBool covers snapshot revival errors for R and B.
+func TestLoadBadRealAndBool(t *testing.T) {
+	s := uniBuilderWithRB(t)
+	for _, tc := range []struct{ name, src, want string }{
+		{"bad real", `{"schema":"rb","objects":[{"class":"R","value":"x"}],"links":[]}`, "real value"},
+		{"bad bool", `{"schema":"rb","objects":[{"class":"B","value":3}],"links":[]}`, "boolean value"},
+		{"bad string", `{"schema":"rb","objects":[{"class":"C","value":3}],"links":[]}`, "string value"},
+	} {
+		_, err := objstore.Load(s, strings.NewReader(tc.src))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package objstore implements a small in-memory object database for
+// the schemas of package schema: typed objects grouped into class
+// extents (with Isa inclusion), relationship instances kept
+// symmetrically with their inverses, and the path-expression
+// evaluation semantics of Section 2.2.1 of Ioannidis & Lashkari
+// (SIGMOD 1994) — "a path expression results in all objects reachable
+// from each object in the path expression root".
+//
+// It plays the role of the Moose object manager in the reproduced
+// system: the completion mechanism itself needs only the schema graph,
+// but a believable end-to-end query loop (Figure 1) needs somewhere
+// for completed path expressions to be evaluated.
+package objstore
+
+import (
+	"fmt"
+	"sort"
+
+	"pathcomplete/internal/connector"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
+)
+
+// OID identifies an object in a Store.
+type OID int32
+
+// NoOID is the invalid object identifier.
+const NoOID OID = -1
+
+// Object is a stored object: an instance of a schema class. Objects of
+// primitive classes carry their value.
+type Object struct {
+	OID   OID
+	Class schema.ClassID
+	Value any // int64, float64, string, or bool for primitive objects
+}
+
+// linkKey addresses the adjacency list of one relationship instance
+// set.
+type linkKey struct {
+	rel  schema.RelID
+	from OID
+}
+
+// Store is an in-memory object database over one schema.
+type Store struct {
+	s       *schema.Schema
+	objects []Object
+	links   map[linkKey][]OID
+	// interned primitive value objects: one object per (class, value).
+	prims map[schema.ClassID]map[any]OID
+	// extents: direct members per class (subclass members are found
+	// through the Isa closure at query time).
+	extent map[schema.ClassID][]OID
+}
+
+// New returns an empty store over s.
+func New(s *schema.Schema) *Store {
+	return &Store{
+		s:      s,
+		links:  make(map[linkKey][]OID),
+		prims:  make(map[schema.ClassID]map[any]OID),
+		extent: make(map[schema.ClassID][]OID),
+	}
+}
+
+// Schema returns the store's schema.
+func (st *Store) Schema() *schema.Schema { return st.s }
+
+// Len returns the number of stored objects, including interned
+// primitive values.
+func (st *Store) Len() int { return len(st.objects) }
+
+// NewObject creates an object of the named user-defined class.
+func (st *Store) NewObject(class string) (OID, error) {
+	c, ok := st.s.ClassByName(class)
+	if !ok {
+		return NoOID, fmt.Errorf("objstore: unknown class %q", class)
+	}
+	if c.Primitive {
+		return NoOID, fmt.Errorf("objstore: primitive objects are created via attribute values, not NewObject(%q)", class)
+	}
+	oid := OID(len(st.objects))
+	st.objects = append(st.objects, Object{OID: oid, Class: c.ID})
+	st.extent[c.ID] = append(st.extent[c.ID], oid)
+	return oid, nil
+}
+
+// MustNewObject is NewObject, panicking on error.
+func (st *Store) MustNewObject(class string) OID {
+	oid, err := st.NewObject(class)
+	if err != nil {
+		panic(err)
+	}
+	return oid
+}
+
+// Object returns the stored object with the given OID.
+func (st *Store) Object(oid OID) Object { return st.objects[oid] }
+
+// intern returns the OID of the primitive value v in class c, creating
+// it on first use.
+func (st *Store) intern(c schema.ClassID, v any) OID {
+	m := st.prims[c]
+	if m == nil {
+		m = make(map[any]OID)
+		st.prims[c] = m
+	}
+	if oid, ok := m[v]; ok {
+		return oid
+	}
+	oid := OID(len(st.objects))
+	st.objects = append(st.objects, Object{OID: oid, Class: c, Value: v})
+	st.extent[c] = append(st.extent[c], oid)
+	m[v] = oid
+	return oid
+}
+
+// normalize maps attribute values onto the canonical Go types per
+// primitive class and validates them.
+func normalize(class string, v any) (any, error) {
+	switch class {
+	case "I":
+		switch x := v.(type) {
+		case int:
+			return int64(x), nil
+		case int32:
+			return int64(x), nil
+		case int64:
+			return x, nil
+		}
+	case "R":
+		if x, ok := v.(float64); ok {
+			return x, nil
+		}
+	case "C":
+		if x, ok := v.(string); ok {
+			return x, nil
+		}
+	case "B":
+		if x, ok := v.(bool); ok {
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("objstore: value %v (%T) does not fit primitive class %s", v, v, class)
+}
+
+// relFor resolves a relationship name as seen from an object's class,
+// honouring inheritance: the relationship may be defined on any
+// superclass (Section 2.1).
+func (st *Store) relFor(oid OID, name string) (schema.Rel, error) {
+	cls := st.objects[oid].Class
+	if r, ok := st.s.OutRel(cls, name); ok {
+		return r, nil
+	}
+	for _, super := range st.s.Supers(cls) {
+		if r, ok := st.s.OutRel(super, name); ok {
+			return r, nil
+		}
+	}
+	return schema.Rel{}, fmt.Errorf("objstore: class %s has no relationship named %q (own or inherited)",
+		st.s.Class(cls).Name, name)
+}
+
+// SetAttr sets an attribute of an object: it links the object to the
+// interned primitive value through the (possibly inherited) attribute
+// relationship.
+func (st *Store) SetAttr(oid OID, name string, value any) error {
+	rel, err := st.relFor(oid, name)
+	if err != nil {
+		return err
+	}
+	to := st.s.Class(rel.To)
+	if !to.Primitive {
+		return fmt.Errorf("objstore: %s is a relationship to %s, not an attribute; use Link",
+			name, to.Name)
+	}
+	v, err := normalize(to.Name, value)
+	if err != nil {
+		return err
+	}
+	st.addLink(rel, oid, st.intern(rel.To, v))
+	return nil
+}
+
+// Link relates two objects through the named (possibly inherited)
+// relationship of the first object's class. The inverse instance is
+// recorded automatically.
+func (st *Store) Link(from OID, name string, to OID) error {
+	rel, err := st.relFor(from, name)
+	if err != nil {
+		return err
+	}
+	if rel.Conn == connector.CIsa || rel.Conn == connector.CMayBe {
+		return fmt.Errorf("objstore: %q is an inheritance relationship; class membership is fixed at creation", name)
+	}
+	toCls := st.objects[to].Class
+	if !st.s.IsaPath(toCls, rel.To) {
+		return fmt.Errorf("objstore: object of class %s cannot be the target of %s (wants %s)",
+			st.s.Class(toCls).Name, name, st.s.Class(rel.To).Name)
+	}
+	st.addLink(rel, from, to)
+	return nil
+}
+
+// MustLink is Link, panicking on error.
+func (st *Store) MustLink(from OID, name string, to OID) {
+	if err := st.Link(from, name, to); err != nil {
+		panic(err)
+	}
+}
+
+// MustSetAttr is SetAttr, panicking on error.
+func (st *Store) MustSetAttr(oid OID, name string, value any) {
+	if err := st.SetAttr(oid, name, value); err != nil {
+		panic(err)
+	}
+}
+
+func (st *Store) addLink(rel schema.Rel, from, to OID) {
+	k := linkKey{rel: rel.ID, from: from}
+	for _, o := range st.links[k] {
+		if o == to {
+			return // already linked; keep instance sets duplicate-free
+		}
+	}
+	st.links[k] = append(st.links[k], to)
+	if rel.Inv != schema.NoRel {
+		ik := linkKey{rel: rel.Inv, from: to}
+		st.links[ik] = append(st.links[ik], from)
+	}
+}
+
+// Extent returns the OIDs of all instances of the class, including
+// instances of its subclasses (the inclusion semantics of Isa), in
+// ascending OID order.
+func (st *Store) Extent(class schema.ClassID) []OID {
+	var out []OID
+	out = append(out, st.extent[class]...)
+	for _, sub := range st.s.Subs(class) {
+		out = append(out, st.extent[sub]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Eval evaluates a resolved complete path expression: starting from
+// every object in the root class's extent, it traverses each
+// relationship in turn and returns the set of reachable objects, in
+// ascending OID order. Isa steps keep the object set (an object is an
+// instance of its superclasses); May-Be steps restrict it to instances
+// of the subclass.
+func (st *Store) Eval(r *pathexpr.Resolved) []OID {
+	return st.EvalFrom(r, st.Extent(r.Root))
+}
+
+// EvalFrom is Eval starting from an explicit root object set.
+func (st *Store) EvalFrom(r *pathexpr.Resolved, roots []OID) []OID {
+	cur := make(map[OID]bool, len(roots))
+	for _, o := range roots {
+		cur[o] = true
+	}
+	for _, rid := range r.Rels {
+		rel := st.s.Rel(rid)
+		next := make(map[OID]bool)
+		switch rel.Conn {
+		case connector.CIsa:
+			next = cur // inclusion: the objects are their superclass's instances
+		case connector.CMayBe:
+			for o := range cur {
+				if st.s.IsaPath(st.objects[o].Class, rel.To) {
+					next[o] = true
+				}
+			}
+		default:
+			for o := range cur {
+				for _, to := range st.links[linkKey{rel: rid, from: o}] {
+					next[to] = true
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			break
+		}
+	}
+	out := make([]OID, 0, len(cur))
+	for o := range cur {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AttrValues returns the values of the named (possibly inherited)
+// attribute of an object — the targets of its attribute links,
+// unwrapped to Go values. A valid attribute with no stored value
+// yields an empty slice.
+func (st *Store) AttrValues(oid OID, name string) ([]any, error) {
+	rel, err := st.relFor(oid, name)
+	if err != nil {
+		return nil, err
+	}
+	if !st.s.Class(rel.To).Primitive {
+		return nil, fmt.Errorf("objstore: %s is a relationship to %s, not an attribute",
+			name, st.s.Class(rel.To).Name)
+	}
+	var out []any
+	for _, to := range st.links[linkKey{rel: rel.ID, from: oid}] {
+		out = append(out, st.objects[to].Value)
+	}
+	return out, nil
+}
+
+// Values maps OIDs to their primitive values; non-primitive objects
+// yield a "class#oid" placeholder string.
+func (st *Store) Values(oids []OID) []any {
+	out := make([]any, len(oids))
+	for i, o := range oids {
+		obj := st.objects[o]
+		if st.s.Class(obj.Class).Primitive {
+			out[i] = obj.Value
+			continue
+		}
+		out[i] = fmt.Sprintf("%s#%d", st.s.Class(obj.Class).Name, obj.OID)
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package objstore_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/objstore"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/uni"
+)
+
+// evalStrings resolves a path expression against the university store
+// and returns the reachable values rendered as strings.
+func evalStrings(t *testing.T, st *objstore.Store, src string) []string {
+	t.Helper()
+	r, err := pathexpr.Resolve(st.Schema(), pathexpr.MustParse(src))
+	if err != nil {
+		t.Fatalf("Resolve(%q): %v", src, err)
+	}
+	var out []string
+	for _, v := range st.Values(st.Eval(r)) {
+		out = append(out, fmt.Sprint(v))
+	}
+	return out
+}
+
+func TestEvalTaName(t *testing.T) {
+	st := uni.SampleStore()
+	// The paper's flagship completion: names of teaching assistants.
+	got := evalStrings(t, st, "ta@>grad@>student@>person.name")
+	if !reflect.DeepEqual(got, []string{"Yezdi"}) {
+		t.Errorf("ta names = %v, want [Yezdi]", got)
+	}
+	// The same along the other inheritance chain.
+	got = evalStrings(t, st, "ta@>instructor@>teacher@>employee@>person.name")
+	if !reflect.DeepEqual(got, []string{"Yezdi"}) {
+		t.Errorf("ta names via instructor = %v, want [Yezdi]", got)
+	}
+}
+
+func TestEvalAlternativesDiffer(t *testing.T) {
+	st := uni.SampleStore()
+	// Names of courses taken by TAs — one of the consistent but
+	// unintended completions; it must produce different answers.
+	got := evalStrings(t, st, "ta@>grad@>student.take.name")
+	if !reflect.DeepEqual(got, []string{"Databases"}) {
+		t.Errorf("courses taken by TAs = %v, want [Databases]", got)
+	}
+	// Names of courses taught by TAs.
+	got = evalStrings(t, st, "ta@>instructor@>teacher.teach.name")
+	if !reflect.DeepEqual(got, []string{"Intro Programming"}) {
+		t.Errorf("courses taught by TAs = %v", got)
+	}
+}
+
+func TestEvalDeptCourses(t *testing.T) {
+	st := uni.SampleStore()
+	// Courses taught by faculty of departments (the intended reading of
+	// "the courses of the Arts department" for all departments).
+	got := evalStrings(t, st, "department$>professor@>teacher.teach.name")
+	want := []string{"Databases", "Painting"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("dept courses via faculty = %v, want %v", got, want)
+	}
+	// Courses taken by students of departments.
+	got = evalStrings(t, st, "department.student.take.name")
+	if len(got) == 0 {
+		t.Errorf("dept courses via students = %v, want non-empty", got)
+	}
+}
+
+func TestEvalMayBeFilters(t *testing.T) {
+	st := uni.SampleStore()
+	// person <@ student keeps only the persons who are students.
+	r, err := pathexpr.Resolve(st.Schema(), pathexpr.MustParse("person<@student@>person.name"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	got := st.Values(st.Eval(r))
+	want := []any{"Yezdi", "Alice"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("student names via May-Be = %v, want %v", got, want)
+	}
+}
+
+func TestExtentInclusion(t *testing.T) {
+	st := uni.SampleStore()
+	s := st.Schema()
+	// person's extent includes professors, the TA, and the undergrad.
+	persons := st.Extent(s.MustClass("person").ID)
+	if len(persons) != 4 {
+		t.Errorf("person extent size = %d, want 4", len(persons))
+	}
+	students := st.Extent(s.MustClass("student").ID)
+	if len(students) != 2 {
+		t.Errorf("student extent size = %d, want 2 (ta and undergrad)", len(students))
+	}
+	tas := st.Extent(s.MustClass("ta").ID)
+	if len(tas) != 1 {
+		t.Errorf("ta extent size = %d, want 1", len(tas))
+	}
+}
+
+func TestInverseLinksMaintained(t *testing.T) {
+	st := uni.SampleStore()
+	// course.student is the inverse of student.take.
+	got := evalStrings(t, st, "course.student@>person.name")
+	want := []string{"Yezdi", "Alice"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("students of courses = %v, want %v", got, want)
+	}
+}
+
+func TestAttrInternsValues(t *testing.T) {
+	st := objstore.New(uni.New())
+	a := st.MustNewObject("person")
+	b := st.MustNewObject("person")
+	st.MustSetAttr(a, "name", "Same")
+	st.MustSetAttr(b, "name", "Same")
+	before := st.Len()
+	st.MustSetAttr(a, "name", "Same") // idempotent
+	if st.Len() != before {
+		t.Errorf("re-setting the same attribute value changed object count")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	st := objstore.New(uni.New())
+	if _, err := st.NewObject("nosuch"); err == nil {
+		t.Error("NewObject(nosuch) should fail")
+	}
+	if _, err := st.NewObject("C"); err == nil {
+		t.Error("NewObject(C) should fail for a primitive class")
+	}
+	p := st.MustNewObject("person")
+	c := st.MustNewObject("course")
+	if err := st.SetAttr(p, "nosuch", 1); err == nil {
+		t.Error("SetAttr with unknown attribute should fail")
+	}
+	if err := st.SetAttr(p, "name", 42); err == nil {
+		t.Error("SetAttr with mistyped value should fail")
+	}
+	if err := st.SetAttr(p, "student", 42); err == nil {
+		t.Error("SetAttr on a non-attribute relationship should fail")
+	}
+	if err := st.Link(p, "student", c); err == nil {
+		t.Error("Link through an inheritance relationship should fail")
+	}
+	st2 := uni.SampleStore()
+	ta := st2.Extent(st2.Schema().MustClass("ta").ID)[0]
+	crs := st2.Extent(st2.Schema().MustClass("course").ID)[0]
+	if err := st2.Link(crs, "teacher", crs); err == nil {
+		t.Error("Link with a target of the wrong class should fail")
+	}
+	// Inherited relationships resolve: ta uses student's take.
+	if err := st2.Link(ta, "take", crs); err != nil {
+		t.Errorf("inherited Link failed: %v", err)
+	}
+}
+
+func TestEvalEmptyRootExtent(t *testing.T) {
+	st := objstore.New(uni.New())
+	r, err := pathexpr.Resolve(st.Schema(), pathexpr.MustParse("ta@>grad@>student@>person.name"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if got := st.Eval(r); len(got) != 0 {
+		t.Errorf("empty store Eval = %v", got)
+	}
+}
+
+func TestValuesPlaceholders(t *testing.T) {
+	st := uni.SampleStore()
+	s := st.Schema()
+	tas := st.Extent(s.MustClass("ta").ID)
+	vals := st.Values(tas)
+	if len(vals) != 1 {
+		t.Fatalf("values = %v", vals)
+	}
+	str, ok := vals[0].(string)
+	if !ok || !strings.HasPrefix(str, "ta#") {
+		t.Errorf("non-primitive value rendered as %v, want ta#N", vals[0])
+	}
+}

@@ -1,0 +1,149 @@
+package objstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pathcomplete/internal/schema"
+)
+
+// This file implements store snapshots: a JSON representation of all
+// objects and relationship instances, loadable against the same
+// schema. Relationship instances are stored once per inverse pair
+// (canonical direction) and identified structurally by the owning
+// class and relationship name, so snapshots survive schema rebuilds
+// that renumber IDs but keep the declarations.
+
+type jsonStore struct {
+	Schema  string       `json:"schema"`
+	Objects []jsonObject `json:"objects"`
+	Links   []jsonLink   `json:"links"`
+}
+
+type jsonObject struct {
+	Class string `json:"class"`
+	Value any    `json:"value,omitempty"`
+}
+
+type jsonLink struct {
+	From  OID    `json:"from"`
+	Owner string `json:"owner"` // class that declares the relationship
+	Rel   string `json:"rel"`   // relationship name on Owner
+	To    OID    `json:"to"`
+}
+
+// Save writes a JSON snapshot of the store.
+func (st *Store) Save(w io.Writer) error {
+	out := jsonStore{Schema: st.s.Name()}
+	for _, o := range st.objects {
+		out.Objects = append(out.Objects, jsonObject{
+			Class: st.s.Class(o.Class).Name,
+			Value: o.Value,
+		})
+	}
+	for _, r := range st.s.Rels() {
+		if r.Inv != schema.NoRel && r.Inv < r.ID {
+			continue // emit each inverse pair once, canonical direction
+		}
+		for _, o := range st.objects {
+			k := linkKey{rel: r.ID, from: o.OID}
+			for _, to := range st.links[k] {
+				out.Links = append(out.Links, jsonLink{
+					From:  o.OID,
+					Owner: st.s.Class(r.From).Name,
+					Rel:   r.Name,
+					To:    to,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Load reads a snapshot produced by Save into a fresh store over the
+// same schema. OIDs are preserved.
+func Load(s *schema.Schema, r io.Reader) (*Store, error) {
+	var in jsonStore
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("objstore: decoding snapshot: %w", err)
+	}
+	if in.Schema != s.Name() {
+		return nil, fmt.Errorf("objstore: snapshot is for schema %q, not %q", in.Schema, s.Name())
+	}
+	st := New(s)
+	for i, jo := range in.Objects {
+		cls, ok := s.ClassByName(jo.Class)
+		if !ok {
+			return nil, fmt.Errorf("objstore: snapshot object %d has unknown class %q", i, jo.Class)
+		}
+		obj := Object{OID: OID(i), Class: cls.ID}
+		if cls.Primitive {
+			v, err := reviveValue(cls.Name, jo.Value)
+			if err != nil {
+				return nil, fmt.Errorf("objstore: snapshot object %d: %w", i, err)
+			}
+			obj.Value = v
+			m := st.prims[cls.ID]
+			if m == nil {
+				m = make(map[any]OID)
+				st.prims[cls.ID] = m
+			}
+			m[v] = obj.OID
+		}
+		st.objects = append(st.objects, obj)
+		st.extent[cls.ID] = append(st.extent[cls.ID], obj.OID)
+	}
+	n := OID(len(st.objects))
+	for i, jl := range in.Links {
+		if jl.From < 0 || jl.From >= n || jl.To < 0 || jl.To >= n {
+			return nil, fmt.Errorf("objstore: snapshot link %d references unknown object", i)
+		}
+		owner, ok := s.ClassByName(jl.Owner)
+		if !ok {
+			return nil, fmt.Errorf("objstore: snapshot link %d has unknown owner class %q", i, jl.Owner)
+		}
+		rel, ok := s.OutRel(owner.ID, jl.Rel)
+		if !ok {
+			return nil, fmt.Errorf("objstore: snapshot link %d: class %q has no relationship %q",
+				i, jl.Owner, jl.Rel)
+		}
+		st.addLink(rel, jl.From, jl.To)
+	}
+	return st, nil
+}
+
+// reviveValue undoes JSON's type erasure: numbers come back as
+// float64 and must be restored to the primitive class's canonical Go
+// type.
+func reviveValue(class string, v any) (any, error) {
+	switch class {
+	case "I":
+		f, ok := v.(float64)
+		if !ok {
+			return nil, fmt.Errorf("integer value is %T", v)
+		}
+		return int64(f), nil
+	case "R":
+		f, ok := v.(float64)
+		if !ok {
+			return nil, fmt.Errorf("real value is %T", v)
+		}
+		return f, nil
+	case "C":
+		s, ok := v.(string)
+		if !ok {
+			return nil, fmt.Errorf("string value is %T", v)
+		}
+		return s, nil
+	case "B":
+		b, ok := v.(bool)
+		if !ok {
+			return nil, fmt.Errorf("boolean value is %T", v)
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("unknown primitive class %q", class)
+}

@@ -1,0 +1,101 @@
+package objstore_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/objstore"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/uni"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	st := uni.SampleStore()
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	st2, err := objstore.Load(st.Schema(), bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if st2.Len() != st.Len() {
+		t.Fatalf("object counts differ: %d vs %d", st2.Len(), st.Len())
+	}
+	// Every query answer survives the round trip.
+	for _, q := range []string{
+		"ta@>grad@>student@>person.name",
+		"department$>professor@>teacher.teach.name",
+		"course.student@>person.ssn",
+		"person<@student@>person.name",
+	} {
+		r, err := pathexpr.Resolve(st.Schema(), pathexpr.MustParse(q))
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", q, err)
+		}
+		want := st.Values(st.Eval(r))
+		got := st2.Values(st2.Eval(r))
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%q: round-trip answer %v, want %v", q, got, want)
+		}
+	}
+	// Saving the loaded store reproduces the same snapshot.
+	var buf2 bytes.Buffer
+	if err := st2.Save(&buf2); err != nil {
+		t.Fatalf("re-Save: %v", err)
+	}
+	if buf2.String() != buf.String() {
+		t.Error("snapshot is not stable across a round trip")
+	}
+}
+
+func TestSnapshotValueTypes(t *testing.T) {
+	s := uni.New()
+	st := objstore.New(s)
+	p := st.MustNewObject("person")
+	st.MustSetAttr(p, "name", "Ada")
+	st.MustSetAttr(p, "ssn", 12345)
+	c := st.MustNewObject("course")
+	st.MustSetAttr(c, "credits", 3)
+
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	st2, err := objstore.Load(s, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	r, err := pathexpr.Resolve(s, pathexpr.MustParse("person.ssn"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	vals := st2.Values(st2.Eval(r))
+	if len(vals) != 1 {
+		t.Fatalf("vals = %v", vals)
+	}
+	if _, ok := vals[0].(int64); !ok {
+		t.Errorf("integer came back as %T", vals[0])
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	s := uni.New()
+	cases := []struct{ name, src, want string }{
+		{"garbage", "{", "decoding"},
+		{"wrong schema", `{"schema":"other","objects":[],"links":[]}`, "snapshot is for schema"},
+		{"unknown class", `{"schema":"university","objects":[{"class":"nope"}],"links":[]}`, "unknown class"},
+		{"bad oid", `{"schema":"university","objects":[{"class":"person"}],"links":[{"from":0,"owner":"person","rel":"name","to":9}]}`, "unknown object"},
+		{"bad rel", `{"schema":"university","objects":[{"class":"person"},{"class":"person"}],"links":[{"from":0,"owner":"person","rel":"nope","to":1}]}`, "no relationship"},
+		{"bad owner", `{"schema":"university","objects":[{"class":"person"},{"class":"person"}],"links":[{"from":0,"owner":"nope","rel":"x","to":1}]}`, "unknown owner"},
+		{"bad value", `{"schema":"university","objects":[{"class":"I","value":"x"}],"links":[]}`, "integer value"},
+	}
+	for _, tc := range cases {
+		_, err := objstore.Load(s, strings.NewReader(tc.src))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

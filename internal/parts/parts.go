@@ -1,0 +1,42 @@
+// Package parts provides the mechanical-assembly schema behind the
+// Shares-SubParts-With / Shares-SuperParts-With examples of Section
+// 3.3.1 of Ioannidis & Lashkari (SIGMOD 1994): engines and chassis
+// that share screws, motors and shafts contained in the same assembly.
+// It exercises the structural half of the connector algebra, which the
+// university schema of package uni barely touches.
+package parts
+
+import "pathcomplete/internal/schema"
+
+// New builds the assembly schema.
+func New() *schema.Schema {
+	b := schema.NewBuilder("parts")
+
+	// The product containment hierarchy.
+	b.HasPart("car", "chassis")
+	b.HasPart("car", "engine")
+	b.HasPart("car", "assembly")
+	b.HasPart("engine", "motor", "motor", "engine")
+	b.HasPart("assembly", "motor", "mounted_motor", "assembly")
+	b.HasPart("assembly", "shaft")
+	b.HasPart("engine", "screw", "screw", "engine")
+	b.HasPart("chassis", "screw", "screw", "chassis")
+	b.HasPart("motor", "bolt")
+	b.HasPart("shaft", "bolt", "bolt", "shaft")
+
+	// Kinds of fasteners.
+	b.Isa("screw", "fastener")
+	b.Isa("bolt", "fastener")
+
+	// Suppliers are associated with the parts they provide.
+	b.Assoc("supplier", "fastener", "provides", "supplier")
+
+	// Attributes.
+	b.Attr("car", "model", "C")
+	b.Attr("engine", "serial", "C")
+	b.Attr("motor", "power", "R")
+	b.Attr("fastener", "size", "R")
+	b.Attr("supplier", "name", "C")
+
+	return b.MustBuild()
+}

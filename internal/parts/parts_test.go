@@ -1,0 +1,87 @@
+package parts_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/parts"
+	"pathcomplete/internal/pathexpr"
+)
+
+// TestSharesSubParts reproduces the Section 3.3.1 example: engine and
+// chassis are related by sharing screws, and the completion engine
+// finds exactly that path (tied with the shared-superpart detour
+// through the car).
+func TestSharesSubParts(t *testing.T) {
+	s := parts.New()
+	res, err := core.New(s, core.Exact()).CompleteToClass("engine", "chassis")
+	if err != nil {
+		t.Fatalf("CompleteToClass: %v", err)
+	}
+	want := []string{
+		"engine$>screw<$chassis", // Shares-SubParts-With
+		"engine<$car$>chassis",   // Shares-SuperParts-With
+	}
+	if got := res.Strings(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("completions = %v, want %v", got, want)
+	}
+	labels := []string{res.Completions[0].Label.String(), res.Completions[1].Label.String()}
+	if !reflect.DeepEqual(labels, []string{"[.SB, 2]", "[.SP, 2]"}) {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+// TestSharesSuperParts reproduces the motor/shaft example — both are
+// parts of the assembly — and shows run-collapsing at work: the long
+// detour through engine and car collapses to the same semantic length
+// 2, and sharing bolts ties as a Shares-SubParts reading.
+func TestSharesSuperParts(t *testing.T) {
+	s := parts.New()
+	res, err := core.New(s, core.Exact()).CompleteToClass("motor", "shaft")
+	if err != nil {
+		t.Fatalf("CompleteToClass: %v", err)
+	}
+	want := []string{
+		"motor$>bolt<$shaft",                  // shares sub-parts (bolts)
+		"motor<$assembly$>shaft",              // shares super-parts (the assembly)
+		"motor<$engine<$car$>assembly$>shaft", // <$<$ and $>$> runs collapse
+	}
+	if got := res.Strings(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("completions = %v, want %v", got, want)
+	}
+	labels := make([]string, len(res.Completions))
+	for i, c := range res.Completions {
+		labels[i] = c.Label.String()
+	}
+	if !reflect.DeepEqual(labels, []string{"[.SB, 2]", "[.SP, 2]", "[.SP, 2]"}) {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+// TestStructuralChainCollapses checks that a chain of Has-Part steps
+// keeps the Has-Part connector and unit semantic length.
+func TestStructuralChainCollapses(t *testing.T) {
+	s := parts.New()
+	r, err := pathexpr.Resolve(s, pathexpr.MustParse("car$>engine$>motor$>bolt"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if got := r.Label().String(); got != "[$>, 1]" {
+		t.Errorf("label = %s, want [$>, 1]", got)
+	}
+}
+
+// TestSupplierSize checks a mixed completion: the sizes of fasteners a
+// supplier provides.
+func TestSupplierSize(t *testing.T) {
+	s := parts.New()
+	res, err := core.New(s, core.Exact()).Complete(pathexpr.MustParse("supplier~size"))
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	want := []string{"supplier.provides.size"}
+	if got := res.Strings(); !reflect.DeepEqual(got, want) {
+		t.Errorf("completions = %v, want %v", got, want)
+	}
+}

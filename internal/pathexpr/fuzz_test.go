@@ -1,0 +1,51 @@
+package pathexpr_test
+
+import (
+	"testing"
+
+	"pathcomplete/internal/pathexpr"
+)
+
+// FuzzParse checks that the parser never panics and that every
+// successfully parsed expression round-trips through its canonical
+// rendering. Run with `go test -fuzz=FuzzParse ./internal/pathexpr`
+// for continuous fuzzing; the seeds below run in every ordinary test
+// invocation.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"ta~name",
+		"student.take.teacher",
+		"ta@>grad@>student@>person.name",
+		"department.student$>person.name",
+		"a~b.c~d",
+		"x<$y<@z",
+		"",
+		"~",
+		".",
+		"a..b",
+		"a@>",
+		"teaching-asst@>grad",
+		"a $> b",
+		"a\t~\nname",
+		"café~naïve", // non-ASCII rejected cleanly
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := pathexpr.Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := e.String()
+		again, err := pathexpr.Parse(rendered)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", rendered, src, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("round trip unstable: %q -> %q", rendered, again.String())
+		}
+		if again.Incomplete() != e.Incomplete() || again.Gaps() != e.Gaps() {
+			t.Fatalf("round trip changed structure of %q", src)
+		}
+	})
+}

@@ -1,0 +1,346 @@
+// Package pathexpr implements the path expressions of Section 2.2 of
+// Ioannidis & Lashkari (SIGMOD 1994): the primary mechanism of OO
+// query languages for specifying object relationships.
+//
+// A path expression starts at a root class and traverses
+// relationships; each traversal is written as a connector symbol
+// followed by a relationship name:
+//
+//	student.take.teacher
+//	ta@>grad@>student@>person.name
+//	department.student$>person.name
+//
+// An incomplete path expression additionally uses the ~ connector,
+// which is matched by an arbitrarily long path whose last relationship
+// carries the given name:
+//
+//	ta ~ name
+//	department ~ course . teacher
+package pathexpr
+
+import (
+	"fmt"
+	"strings"
+
+	"pathcomplete/internal/connector"
+	"pathcomplete/internal/label"
+	"pathcomplete/internal/schema"
+)
+
+// Step is one traversal step of a path expression.
+type Step struct {
+	// Gap marks a ~ step: an unspecified path whose final relationship
+	// is named Name. When Gap is false the step traverses a single
+	// relationship named Name whose kind is Conn.
+	Gap  bool
+	Conn connector.Connector
+	Name string
+}
+
+// String renders the step in query syntax, e.g. "@>grad" or "~name".
+func (st Step) String() string {
+	if st.Gap {
+		return "~" + st.Name
+	}
+	return st.Conn.String() + st.Name
+}
+
+// Expr is a parsed path expression: a root class name followed by
+// traversal steps.
+type Expr struct {
+	Root  string
+	Steps []Step
+}
+
+// Incomplete reports whether the expression contains at least one ~
+// step (Section 2.2.2).
+func (e Expr) Incomplete() bool {
+	for _, st := range e.Steps {
+		if st.Gap {
+			return true
+		}
+	}
+	return false
+}
+
+// Gaps returns the number of ~ steps.
+func (e Expr) Gaps() int {
+	n := 0
+	for _, st := range e.Steps {
+		if st.Gap {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the expression in query syntax.
+func (e Expr) String() string {
+	var sb strings.Builder
+	sb.WriteString(e.Root)
+	for _, st := range e.Steps {
+		sb.WriteString(st.String())
+	}
+	return sb.String()
+}
+
+// Parse parses a path expression. Whitespace is permitted anywhere
+// between tokens, so "ta ~ name" and "ta~name" are equivalent.
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return Expr{}, err
+	}
+	if len(toks) == 0 {
+		return Expr{}, fmt.Errorf("pathexpr: empty expression")
+	}
+	if toks[0].kind != tokIdent {
+		return Expr{}, fmt.Errorf("pathexpr: expression must start with a class name, got %q", toks[0].text)
+	}
+	e := Expr{Root: toks[0].text}
+	i := 1
+	for i < len(toks) {
+		op := toks[i]
+		if op.kind == tokIdent {
+			return Expr{}, fmt.Errorf("pathexpr: offset %d: expected a connector before %q", op.pos, op.text)
+		}
+		if i+1 >= len(toks) || toks[i+1].kind != tokIdent {
+			return Expr{}, fmt.Errorf("pathexpr: offset %d: connector %q must be followed by a relationship name", op.pos, op.text)
+		}
+		name := toks[i+1].text
+		if op.kind == tokTilde {
+			e.Steps = append(e.Steps, Step{Gap: true, Name: name})
+		} else {
+			e.Steps = append(e.Steps, Step{Conn: op.conn, Name: name})
+		}
+		i += 2
+	}
+	return e, nil
+}
+
+// MustParse is Parse, panicking on error.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokConn
+	tokTilde
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+	conn connector.Connector
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '~':
+			toks = append(toks, token{kind: tokTilde, text: "~", pos: i})
+			i++
+		case c == '.':
+			toks = append(toks, token{kind: tokConn, text: ".", pos: i, conn: connector.CAssoc})
+			i++
+		case i+1 < len(src) && isConnPair(src[i:i+2]):
+			cc, _ := connector.Parse(src[i : i+2])
+			toks = append(toks, token{kind: tokConn, text: src[i : i+2], pos: i, conn: cc})
+			i += 2
+		case isIdentStart(c):
+			j := i + 1
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("pathexpr: offset %d: unexpected character %q", i, string(c))
+		}
+	}
+	return toks, nil
+}
+
+func isConnPair(s string) bool {
+	switch s {
+	case "@>", "<@", "$>", "<$":
+		return true
+	}
+	return false
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c == '-' || (c >= '0' && c <= '9')
+}
+
+// Resolved is a complete path expression bound to a schema: the
+// concrete relationship edges it traverses and the classes it visits.
+type Resolved struct {
+	Schema  *schema.Schema
+	Root    schema.ClassID
+	Rels    []schema.RelID   // one per step
+	Classes []schema.ClassID // root plus the class after each step
+}
+
+// Resolve binds a complete path expression to a schema, checking that
+// the root class exists and is not primitive, that every step names an
+// outgoing relationship of the current class, and that each step's
+// connector matches the relationship's kind.
+func Resolve(s *schema.Schema, e Expr) (*Resolved, error) {
+	if e.Incomplete() {
+		return nil, fmt.Errorf("pathexpr: cannot resolve incomplete expression %v", e)
+	}
+	root, ok := s.ClassByName(e.Root)
+	if !ok {
+		return nil, fmt.Errorf("pathexpr: unknown root class %q", e.Root)
+	}
+	if root.Primitive {
+		return nil, fmt.Errorf("pathexpr: root class %q is primitive", e.Root)
+	}
+	r := &Resolved{Schema: s, Root: root.ID, Classes: []schema.ClassID{root.ID}}
+	cur := root.ID
+	for _, st := range e.Steps {
+		rel, ok := s.OutRel(cur, st.Name)
+		if !ok {
+			return nil, fmt.Errorf("pathexpr: class %q has no relationship named %q",
+				s.Class(cur).Name, st.Name)
+		}
+		if rel.Conn != st.Conn {
+			return nil, fmt.Errorf("pathexpr: relationship %s.%s is %v, written as %v",
+				s.Class(cur).Name, st.Name, rel.Conn, st.Conn)
+		}
+		r.Rels = append(r.Rels, rel.ID)
+		cur = rel.To
+		r.Classes = append(r.Classes, cur)
+	}
+	return r, nil
+}
+
+// FromRels builds the Resolved expression for a concrete edge
+// sequence starting at root. It validates edge chaining.
+func FromRels(s *schema.Schema, root schema.ClassID, rels []schema.RelID) (*Resolved, error) {
+	r := &Resolved{Schema: s, Root: root, Classes: []schema.ClassID{root}}
+	cur := root
+	for _, rid := range rels {
+		rel := s.Rel(rid)
+		if rel.From != cur {
+			return nil, fmt.Errorf("pathexpr: relationship %s.%s does not start at %s",
+				s.Class(rel.From).Name, rel.Name, s.Class(cur).Name)
+		}
+		r.Rels = append(r.Rels, rid)
+		cur = rel.To
+		r.Classes = append(r.Classes, cur)
+	}
+	return r, nil
+}
+
+// Expr reconstructs the textual path expression.
+func (r *Resolved) Expr() Expr {
+	e := Expr{Root: r.Schema.Class(r.Root).Name}
+	for _, rid := range r.Rels {
+		rel := r.Schema.Rel(rid)
+		e.Steps = append(e.Steps, Step{Conn: rel.Conn, Name: rel.Name})
+	}
+	return e
+}
+
+// String renders the resolved expression in query syntax.
+func (r *Resolved) String() string { return r.Expr().String() }
+
+// Label computes the path label (composed connector plus semantic
+// length) of the resolved expression.
+func (r *Resolved) Label() label.Label {
+	l := label.Identity()
+	for _, rid := range r.Rels {
+		l = label.Con(l, label.MustEdge(r.Schema.Rel(rid).Conn))
+	}
+	return l
+}
+
+// Target returns the final class the expression evaluates into.
+func (r *Resolved) Target() schema.ClassID {
+	return r.Classes[len(r.Classes)-1]
+}
+
+// LastName returns the name of the final relationship, or "" for an
+// empty path.
+func (r *Resolved) LastName() string {
+	if len(r.Rels) == 0 {
+		return ""
+	}
+	return r.Schema.Rel(r.Rels[len(r.Rels)-1]).Name
+}
+
+// Acyclic reports whether the expression visits no class twice.
+// Following Section 2.2.2, only acyclic expressions are considered as
+// completions ("humans do not think circularly").
+func (r *Resolved) Acyclic() bool {
+	seen := make(map[schema.ClassID]bool, len(r.Classes))
+	for _, c := range r.Classes {
+		if seen[c] {
+			return false
+		}
+		seen[c] = true
+	}
+	return true
+}
+
+// ConsistentWith reports whether the complete expression r is
+// consistent with the incomplete expression inc (Section 2.2.2): same
+// root, and the steps of r match inc's steps in order, where a ~ step
+// matches one or more relationships of which the last is named with
+// the gap's name.
+func (r *Resolved) ConsistentWith(inc Expr) bool {
+	if r.Schema.Class(r.Root).Name != inc.Root {
+		return false
+	}
+	return matchSteps(r.Schema, r.Rels, inc.Steps)
+}
+
+func matchSteps(s *schema.Schema, rels []schema.RelID, steps []Step) bool {
+	if len(steps) == 0 {
+		return len(rels) == 0
+	}
+	st := steps[0]
+	if !st.Gap {
+		if len(rels) == 0 {
+			return false
+		}
+		rel := s.Rel(rels[0])
+		if rel.Name != st.Name || rel.Conn != st.Conn {
+			return false
+		}
+		return matchSteps(s, rels[1:], steps[1:])
+	}
+	// A gap consumes i >= 1 relationships, the last of which either
+	// carries the gap's name or ends at a class with that name (since
+	// relationship names default to their target class name, a gap
+	// anchored on a class name ends at any edge into that class).
+	for i := 1; i <= len(rels); i++ {
+		r := s.Rel(rels[i-1])
+		if r.Name != st.Name && s.Class(r.To).Name != st.Name {
+			continue
+		}
+		if matchSteps(s, rels[i:], steps[1:]) {
+			return true
+		}
+	}
+	return false
+}

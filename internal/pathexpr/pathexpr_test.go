@@ -1,0 +1,270 @@
+package pathexpr_test
+
+import (
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/connector"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/uni"
+)
+
+func TestParsePaperExamples(t *testing.T) {
+	cases := []struct {
+		src   string
+		root  string
+		steps int
+		gaps  int
+	}{
+		{"student.take.teacher", "student", 2, 0},
+		{"ta@>grad@>student@>person.name", "ta", 4, 0},
+		{"department.student$>person.name", "department", 3, 0},
+		{"ta ~ name", "ta", 1, 1},
+		{"ta~name", "ta", 1, 1},
+		{"department ~ course", "department", 1, 1},
+		{"a~b.c~d", "a", 3, 2},
+		{"stuff@>employee<@teacher<@instructor<@teaching-asst@>grad@>student", "stuff", 6, 0},
+	}
+	for _, tc := range cases {
+		e, err := pathexpr.Parse(tc.src)
+		if err != nil {
+			t.Errorf("pathexpr.Parse(%q): %v", tc.src, err)
+			continue
+		}
+		if e.Root != tc.root {
+			t.Errorf("pathexpr.Parse(%q).Root = %q, want %q", tc.src, e.Root, tc.root)
+		}
+		if len(e.Steps) != tc.steps {
+			t.Errorf("pathexpr.Parse(%q) has %d steps, want %d", tc.src, len(e.Steps), tc.steps)
+		}
+		if e.Gaps() != tc.gaps {
+			t.Errorf("pathexpr.Parse(%q) has %d gaps, want %d", tc.src, e.Gaps(), tc.gaps)
+		}
+		if got := e.Incomplete(); got != (tc.gaps > 0) {
+			t.Errorf("pathexpr.Parse(%q).Incomplete() = %v", tc.src, got)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"student.take.teacher",
+		"ta@>grad@>student@>person.name",
+		"ta~name",
+		"university$>department<$university",
+		"a~b.c~d",
+	} {
+		e := pathexpr.MustParse(src)
+		if got := e.String(); got != src {
+			t.Errorf("String() = %q, want %q", got, src)
+		}
+		again, err := pathexpr.Parse(e.String())
+		if err != nil {
+			t.Errorf("reparse %q: %v", e.String(), err)
+			continue
+		}
+		if again.String() != e.String() {
+			t.Errorf("round-trip changed %q to %q", e.String(), again.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"", "empty expression"},
+		{"   ", "empty expression"},
+		{".name", "must start with a class name"},
+		{"ta name", "expected a connector"},
+		{"ta.", "must be followed by a relationship name"},
+		{"ta~", "must be followed by a relationship name"},
+		{"ta?name", "unexpected character"},
+		{"ta@name", "unexpected character"},
+		{"ta.$>x", "must be followed by a relationship name"},
+	}
+	for _, tc := range cases {
+		_, err := pathexpr.Parse(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("pathexpr.Parse(%q) err = %v, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	s := uni.New()
+	r, err := pathexpr.Resolve(s, pathexpr.MustParse("ta@>grad@>student@>person.name"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if got := r.Label().String(); got != "[., 1]" {
+		t.Errorf("label = %s, want [., 1]", got)
+	}
+	if s.Class(r.Target()).Name != "C" {
+		t.Errorf("target = %s, want C", s.Class(r.Target()).Name)
+	}
+	if r.LastName() != "name" {
+		t.Errorf("last name = %q, want name", r.LastName())
+	}
+	if !r.Acyclic() {
+		t.Error("expression should be acyclic")
+	}
+	if got := r.String(); got != "ta@>grad@>student@>person.name" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestResolveSemLens(t *testing.T) {
+	s := uni.New()
+	cases := []struct {
+		src    string
+		conn   string
+		semlen int
+	}{
+		{"ta@>grad@>student@>person.name", ".", 1},
+		{"ta@>instructor@>teacher@>employee@>person.name", ".", 1},
+		{"ta@>grad@>student.take.name", "..", 2},
+		{"ta@>grad@>student.department.name", "..", 2},
+		{"ta@>grad@>student.take.student@>person.name", "..", 3},
+		{"university$>department$>professor", "$>", 1},
+		{"student@>person<@employee@>person", "", 0}, // cyclic; label still computes
+	}
+	for _, tc := range cases {
+		if tc.src == "student@>person<@employee@>person" {
+			r, err := pathexpr.Resolve(s, pathexpr.MustParse(tc.src))
+			if err != nil {
+				t.Errorf("pathexpr.Resolve(%q): %v", tc.src, err)
+				continue
+			}
+			if r.Acyclic() {
+				t.Errorf("%q should be cyclic", tc.src)
+			}
+			continue
+		}
+		r, err := pathexpr.Resolve(s, pathexpr.MustParse(tc.src))
+		if err != nil {
+			t.Errorf("pathexpr.Resolve(%q): %v", tc.src, err)
+			continue
+		}
+		l := r.Label()
+		if l.Conn() != connector.MustParse(tc.conn) {
+			t.Errorf("%q connector = %v, want %s", tc.src, l.Conn(), tc.conn)
+		}
+		if l.SemLen() != tc.semlen {
+			t.Errorf("%q semlen = %d, want %d", tc.src, l.SemLen(), tc.semlen)
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	s := uni.New()
+	cases := []struct{ src, want string }{
+		{"ta~name", "incomplete"},
+		{"nosuch.name", "unknown root class"},
+		{"C.person_of_name", "primitive"},
+		{"ta.nosuchrel", "no relationship named"},
+		{"ta.grad", "written as"}, // exists but is @>, not .
+	}
+	for _, tc := range cases {
+		_, err := pathexpr.Resolve(s, pathexpr.MustParse(tc.src))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("pathexpr.Resolve(%q) err = %v, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestFromRels(t *testing.T) {
+	s := uni.New()
+	want := "university$>department$>professor@>teacher.teach"
+	r, err := pathexpr.Resolve(s, pathexpr.MustParse(want))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	r2, err := pathexpr.FromRels(s, r.Root, r.Rels)
+	if err != nil {
+		t.Fatalf("FromRels: %v", err)
+	}
+	if got := r2.String(); got != want {
+		t.Errorf("FromRels round trip = %q, want %q", got, want)
+	}
+	// Chaining violations are rejected.
+	if len(r.Rels) >= 2 {
+		if _, err := pathexpr.FromRels(s, r.Root, r.Rels[1:2]); err == nil {
+			t.Error("FromRels should reject an edge not starting at the root")
+		}
+	}
+}
+
+func TestConsistentWith(t *testing.T) {
+	s := uni.New()
+	inc := pathexpr.MustParse("ta~name")
+	yes := []string{
+		"ta@>grad@>student@>person.name",
+		"ta@>instructor@>teacher@>employee@>person.name",
+		"ta@>grad@>student.take.name",
+		"ta@>grad@>student.department.name",
+	}
+	for _, src := range yes {
+		r, err := pathexpr.Resolve(s, pathexpr.MustParse(src))
+		if err != nil {
+			t.Fatalf("pathexpr.Resolve(%q): %v", src, err)
+		}
+		if !r.ConsistentWith(inc) {
+			t.Errorf("%q should be consistent with %v", src, inc)
+		}
+	}
+	no := []string{
+		"ta@>grad@>student@>person.ssn",                          // wrong final name
+		"ta@>grad@>student@>person.name.person_of_name@>student", // name not last — also wrong shape
+	}
+	for _, src := range no {
+		r, err := pathexpr.Resolve(s, pathexpr.MustParse(src))
+		if err != nil {
+			continue // unresolvable counts as inconsistent
+		}
+		if r.ConsistentWith(inc) {
+			t.Errorf("%q should not be consistent with %v", src, inc)
+		}
+	}
+	// Wrong root.
+	r, err := pathexpr.Resolve(s, pathexpr.MustParse("student@>person.name"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if r.ConsistentWith(inc) {
+		t.Error("student-rooted expression cannot be consistent with ta~name")
+	}
+}
+
+func TestConsistentWithMixedSteps(t *testing.T) {
+	s := uni.New()
+	// department ~ professor . teach : gap to a professor edge, then an
+	// explicit association step.
+	inc := pathexpr.MustParse("department~professor.teach")
+	r, err := pathexpr.Resolve(s, pathexpr.MustParse("department$>professor@>teacher.teach"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if r.ConsistentWith(inc) {
+		t.Error("gap followed by @>teacher.teach: the explicit step must come right after the gap's final edge")
+	}
+	// department ~ teacher . teach matches: the gap ends at the edge
+	// named teacher... there is no such edge from professor, but
+	// course.teacher exists: department.student.take.teacher? wrong —
+	// course has edge named "teacher". Build one concrete witness:
+	inc2 := pathexpr.MustParse("department~teacher.teach")
+	r2, err := pathexpr.Resolve(s, pathexpr.MustParse("department.student.take.teacher.teach"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if !r2.ConsistentWith(inc2) {
+		t.Errorf("%v should be consistent with %v", r2, inc2)
+	}
+	// Multiple gaps.
+	inc3 := pathexpr.MustParse("ta~take~name")
+	r3, err := pathexpr.Resolve(s, pathexpr.MustParse("ta@>grad@>student.take.teacher@>employee@>person.name"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if !r3.ConsistentWith(inc3) {
+		t.Errorf("%v should be consistent with %v", r3, inc3)
+	}
+}

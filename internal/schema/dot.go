@@ -1,0 +1,91 @@
+package schema
+
+import (
+	"fmt"
+	"io"
+
+	"pathcomplete/internal/connector"
+)
+
+// WriteDOT renders the schema graph in Graphviz DOT format, following
+// the paper's drawing convention: rectangles for user-defined classes,
+// circles for primitives, one edge per forward relationship (inverse
+// edges are implied and omitted, as in Figure 2). Unreferenced
+// primitive classes are skipped.
+func (s *Schema) WriteDOT(w io.Writer) error {
+	return s.WriteDOTHighlighted(w, nil)
+}
+
+// WriteDOTHighlighted is WriteDOT with a set of relationships to
+// emphasize (drawn red and bold) — typically the edges of a completed
+// path expression. Highlighting either direction of an inverse pair
+// emphasizes the drawn edge.
+func (s *Schema) WriteDOTHighlighted(w io.Writer, highlight map[RelID]bool) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pf("digraph %q {\n  rankdir=BT;\n  node [fontsize=10];\n", s.name)
+
+	used := make([]bool, len(s.classes))
+	for _, r := range s.rels {
+		if !forward(r) {
+			continue
+		}
+		used[r.From] = true
+		used[r.To] = true
+	}
+	for _, c := range s.classes {
+		if c.Primitive && !used[c.ID] {
+			continue
+		}
+		shape := "box"
+		if c.Primitive {
+			shape = "circle"
+		}
+		pf("  %q [shape=%s];\n", c.Name, shape)
+	}
+	for _, r := range s.rels {
+		if !forward(r) {
+			continue
+		}
+		style := edgeStyle(r.Conn)
+		if highlight[r.ID] || (r.Inv != NoRel && highlight[r.Inv]) {
+			style += `, color=red, penwidth=2`
+		}
+		lbl := ""
+		if r.Name != s.classes[r.To].Name {
+			lbl = r.Name
+		}
+		pf("  %q -> %q [label=%q%s];\n", s.classes[r.From].Name, s.classes[r.To].Name, lbl, style)
+	}
+	pf("}\n")
+	return err
+}
+
+// forward reports whether r is the canonical direction of its inverse
+// pair: Isa over May-Be, Has-Part over Is-Part-Of, and the
+// lower-RelID association edge.
+func forward(r Rel) bool {
+	switch r.Conn {
+	case connector.CIsa, connector.CHasPart:
+		return true
+	case connector.CMayBe, connector.CIsPartOf:
+		return false
+	default:
+		return r.Inv == NoRel || r.ID < r.Inv
+	}
+}
+
+func edgeStyle(c connector.Connector) string {
+	switch c {
+	case connector.CIsa:
+		return ", arrowhead=empty"
+	case connector.CHasPart:
+		return ", arrowhead=diamond"
+	default:
+		return ", style=dashed, arrowhead=none"
+	}
+}

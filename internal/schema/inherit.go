@@ -1,0 +1,97 @@
+package schema
+
+import "pathcomplete/internal/connector"
+
+// This file implements inheritance utilities over the Isa graph:
+// superclass/subclass closures and the effective (inherited plus
+// refined) relationship set of a class. The completion algorithm of
+// the paper works on the raw schema graph and traverses Isa edges
+// explicitly, so these closures are used by the object store (extent
+// inclusion), by the user oracle, and by tooling — not by the search
+// itself.
+
+// Supers returns the proper superclasses of id (transitively through
+// Isa edges), in a deterministic breadth-first order. Multiple
+// inheritance may contribute several roots.
+func (s *Schema) Supers(id ClassID) []ClassID {
+	return s.isaClosure(id, connector.CIsa)
+}
+
+// Subs returns the proper subclasses of id (transitively through
+// May-Be edges), in a deterministic breadth-first order.
+func (s *Schema) Subs(id ClassID) []ClassID {
+	return s.isaClosure(id, connector.CMayBe)
+}
+
+func (s *Schema) isaClosure(id ClassID, conn connector.Connector) []ClassID {
+	var order []ClassID
+	seen := map[ClassID]bool{id: true}
+	frontier := []ClassID{id}
+	for len(frontier) > 0 {
+		var next []ClassID
+		for _, v := range frontier {
+			for _, rid := range s.out[v] {
+				r := s.rels[rid]
+				if r.Conn != conn || seen[r.To] {
+					continue
+				}
+				seen[r.To] = true
+				order = append(order, r.To)
+				next = append(next, r.To)
+			}
+		}
+		frontier = next
+	}
+	return order
+}
+
+// IsaPath reports whether there is a (possibly empty) chain of Isa
+// edges from sub to super.
+func (s *Schema) IsaPath(sub, super ClassID) bool {
+	if sub == super {
+		return true
+	}
+	for _, a := range s.Supers(sub) {
+		if a == super {
+			return true
+		}
+	}
+	return false
+}
+
+// EffectiveRel is a relationship as seen from a class after
+// inheritance: the relationship itself plus the class that defined it
+// (the class itself, or the nearest superclass in BFS order).
+type EffectiveRel struct {
+	Rel       Rel
+	DefinedBy ClassID
+}
+
+// EffectiveRels returns the relationships available on a class under
+// the traditional inheritance semantics of Section 2.1: a subclass
+// inherits all relationships of its superclasses and may refine them;
+// a definition in a nearer class shadows same-named definitions
+// further up. Isa and May-Be edges themselves are excluded — they are
+// structure, not inherited features.
+func (s *Schema) EffectiveRels(id ClassID) []EffectiveRel {
+	var out []EffectiveRel
+	seen := make(map[string]bool)
+	add := func(def ClassID) {
+		for _, rid := range s.out[def] {
+			r := s.rels[rid]
+			if r.Conn == connector.CIsa || r.Conn == connector.CMayBe {
+				continue
+			}
+			if seen[r.Name] {
+				continue // refined (shadowed) by a nearer class
+			}
+			seen[r.Name] = true
+			out = append(out, EffectiveRel{Rel: r, DefinedBy: def})
+		}
+	}
+	add(id)
+	for _, super := range s.Supers(id) {
+		add(super)
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/connector"
+)
+
+// small builds a compact schema exercising every relationship kind.
+func small(t *testing.T) *Schema {
+	t.Helper()
+	b := NewBuilder("small")
+	b.Isa("student", "person")
+	b.Isa("grad", "student")
+	b.HasPart("university", "department")
+	b.Assoc("student", "course", "take", "taken_by")
+	b.Attr("person", "name", "C")
+	b.Attr("person", "age", "I")
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s
+}
+
+func TestPrimitivesPresent(t *testing.T) {
+	s := small(t)
+	for i, n := range PrimitiveNames {
+		c, ok := s.ClassByName(n)
+		if !ok || !c.Primitive || c.ID != ClassID(i) {
+			t.Errorf("primitive %q: got %+v, ok=%v", n, c, ok)
+		}
+	}
+	if got := s.NumClasses() - s.NumUserClasses(); got != 4 {
+		t.Errorf("primitive count = %d, want 4", got)
+	}
+}
+
+func TestClassIdempotent(t *testing.T) {
+	b := NewBuilder("x")
+	a := b.Class("person")
+	if c := b.Class("person"); c != a {
+		t.Errorf("Class not idempotent: %d vs %d", a, c)
+	}
+}
+
+func TestInversesPresent(t *testing.T) {
+	s := small(t)
+	for _, r := range s.Rels() {
+		inv := s.Rel(r.Inv)
+		if inv.Inv != r.ID {
+			t.Errorf("rel %d: inverse link not symmetric", r.ID)
+		}
+		if inv.From != r.To || inv.To != r.From {
+			t.Errorf("rel %d: inverse does not reverse endpoints", r.ID)
+		}
+		if inv.Conn != r.Conn.Inverse() {
+			t.Errorf("rel %d: inverse connector %v, want %v", r.ID, inv.Conn, r.Conn.Inverse())
+		}
+	}
+}
+
+func TestDefaultNames(t *testing.T) {
+	s := small(t)
+	student := s.MustClass("student").ID
+	// Isa relationship names default to the target class name.
+	if _, ok := s.OutRel(student, "person"); !ok {
+		t.Error("student should have an outgoing relationship named person")
+	}
+	// Explicit association names are honoured in both directions.
+	if r, ok := s.OutRel(student, "take"); !ok || r.Conn != connector.CAssoc {
+		t.Errorf("student.take = %+v, ok=%v", r, ok)
+	}
+	course := s.MustClass("course").ID
+	if _, ok := s.OutRel(course, "taken_by"); !ok {
+		t.Error("course should have an outgoing relationship named taken_by")
+	}
+}
+
+func TestRelsNamed(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Attr("person", "name", "C")
+	b.Attr("course", "name", "C")
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := len(s.RelsNamed("name")); got != 2 {
+		t.Errorf("RelsNamed(name) = %d edges, want 2", got)
+	}
+	if got := len(s.RelsNamed("missing")); got != 0 {
+		t.Errorf("RelsNamed(missing) = %d edges, want 0", got)
+	}
+}
+
+func TestOutOrdering(t *testing.T) {
+	b := NewBuilder("ord")
+	b.Assoc("a", "x", "ax", "xa")
+	b.HasPart("a", "p")
+	b.Isa("a", "s")
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	out := s.Out(s.MustClass("a").ID)
+	if len(out) != 3 {
+		t.Fatalf("out degree = %d, want 3", len(out))
+	}
+	// Best-to-worst: Isa (rank 0), Has-Part (rank 1), association (rank 2).
+	want := []connector.Connector{connector.CIsa, connector.CHasPart, connector.CAssoc}
+	for i, rid := range out {
+		if got := s.Rel(rid).Conn; got != want[i] {
+			t.Errorf("out[%d].Conn = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestValidateRejectsIsaCycle(t *testing.T) {
+	b := NewBuilder("cyc")
+	b.Isa("a", "b")
+	b.Isa("b", "c")
+	b.Isa("c", "a")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "Isa cycle") {
+		t.Errorf("Build = %v, want Isa cycle error", err)
+	}
+}
+
+func TestValidateRejectsDuplicateRelName(t *testing.T) {
+	b := NewBuilder("dupname")
+	b.Assoc("a", "b", "r", "r1")
+	b.Assoc("a", "c", "r", "r2")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "two outgoing relationships named") {
+		t.Errorf("Build = %v, want duplicate-name error", err)
+	}
+}
+
+func TestValidateRejectsIsaToPrimitive(t *testing.T) {
+	b := NewBuilder("isaprim")
+	b.Isa("a", "C")
+	if _, err := b.Build(); err == nil {
+		t.Error("Build should reject Isa to a primitive class")
+	}
+}
+
+func TestAttrRejectsNonPrimitive(t *testing.T) {
+	b := NewBuilder("badattr")
+	b.Class("person")
+	b.Attr("person", "boss", "person")
+	if _, err := b.Build(); err == nil {
+		t.Error("Build should reject an attribute typed by a user class")
+	}
+}
+
+func TestEmptyClassName(t *testing.T) {
+	b := NewBuilder("empty")
+	b.Class("")
+	if _, err := b.Build(); err == nil {
+		t.Error("Build should reject an empty class name")
+	}
+}
+
+func TestSupersSubs(t *testing.T) {
+	b := NewBuilder("isa")
+	b.Isa("ta", "grad")
+	b.Isa("ta", "instructor")
+	b.Isa("grad", "student")
+	b.Isa("student", "person")
+	b.Isa("instructor", "teacher")
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	names := func(ids []ClassID) map[string]bool {
+		m := make(map[string]bool)
+		for _, id := range ids {
+			m[s.Class(id).Name] = true
+		}
+		return m
+	}
+	sup := names(s.Supers(s.MustClass("ta").ID))
+	for _, want := range []string{"grad", "instructor", "student", "person", "teacher"} {
+		if !sup[want] {
+			t.Errorf("Supers(ta) missing %s (got %v)", want, sup)
+		}
+	}
+	if len(sup) != 5 {
+		t.Errorf("Supers(ta) = %v, want 5 classes", sup)
+	}
+	sub := names(s.Subs(s.MustClass("person").ID))
+	for _, want := range []string{"student", "grad", "ta"} {
+		if !sub[want] {
+			t.Errorf("Subs(person) missing %s (got %v)", want, sub)
+		}
+	}
+	if !s.IsaPath(s.MustClass("ta").ID, s.MustClass("person").ID) {
+		t.Error("IsaPath(ta, person) = false")
+	}
+	if s.IsaPath(s.MustClass("person").ID, s.MustClass("ta").ID) {
+		t.Error("IsaPath(person, ta) = true")
+	}
+	if !s.IsaPath(s.MustClass("ta").ID, s.MustClass("ta").ID) {
+		t.Error("IsaPath should be reflexive")
+	}
+}
+
+func TestEffectiveRels(t *testing.T) {
+	b := NewBuilder("eff")
+	b.Isa("student", "person")
+	b.Attr("person", "name", "C")
+	b.Attr("person", "advisor", "C")
+	b.Attr("student", "advisor", "C") // refines person.advisor
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	student := s.MustClass("student").ID
+	person := s.MustClass("person").ID
+	got := make(map[string]ClassID)
+	for _, er := range s.EffectiveRels(student) {
+		got[er.Rel.Name] = er.DefinedBy
+	}
+	if got["name"] != person {
+		t.Errorf("name defined by %v, want person", got["name"])
+	}
+	if got["advisor"] != student {
+		t.Errorf("advisor defined by %v, want student (refinement)", got["advisor"])
+	}
+}
+
+func TestMustClassPanics(t *testing.T) {
+	s := small(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustClass should panic on a missing class")
+		}
+	}()
+	s.MustClass("nope")
+}
+
+func TestWriteDOT(t *testing.T) {
+	s := small(t)
+	var sb strings.Builder
+	if err := s.WriteDOT(&sb); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	dot := sb.String()
+	for _, want := range []string{"digraph", `"student" -> "person"`, `"university" -> "department"`, "shape=circle"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Inverse edges are implied, not drawn: only one edge between
+	// student and course.
+	if strings.Count(dot, `"student" -> "course"`)+strings.Count(dot, `"course" -> "student"`) != 1 {
+		t.Errorf("expected exactly one drawn edge for the take association:\n%s", dot)
+	}
+	// The unused primitive B is omitted.
+	if strings.Contains(dot, `"B"`) {
+		t.Errorf("DOT output should omit unused primitive B:\n%s", dot)
+	}
+}
+
+func TestWriteDOTHighlighted(t *testing.T) {
+	s := small(t)
+	r, ok := s.OutRel(s.MustClass("student").ID, "take")
+	if !ok {
+		t.Fatal("student.take missing")
+	}
+	var sb strings.Builder
+	if err := s.WriteDOTHighlighted(&sb, map[RelID]bool{r.ID: true}); err != nil {
+		t.Fatalf("WriteDOTHighlighted: %v", err)
+	}
+	if strings.Count(sb.String(), "color=red") != 1 {
+		t.Errorf("expected exactly one highlighted edge:\n%s", sb.String())
+	}
+	// Highlighting the inverse direction emphasizes the same drawn
+	// edge.
+	sb.Reset()
+	if err := s.WriteDOTHighlighted(&sb, map[RelID]bool{r.Inv: true}); err != nil {
+		t.Fatalf("WriteDOTHighlighted: %v", err)
+	}
+	if strings.Count(sb.String(), "color=red") != 1 {
+		t.Errorf("inverse highlight should emphasize the drawn edge:\n%s", sb.String())
+	}
+}
+
+func TestCounts(t *testing.T) {
+	s := small(t)
+	// 4 primitives + person, student, grad, university, department,
+	// course = 10 classes.
+	if got := s.NumClasses(); got != 10 {
+		t.Errorf("NumClasses = %d, want 10", got)
+	}
+	if got := s.NumUserClasses(); got != 6 {
+		t.Errorf("NumUserClasses = %d, want 6", got)
+	}
+	// 6 declarations, each with an inverse.
+	if got := s.NumRels(); got != 12 {
+		t.Errorf("NumRels = %d, want 12", got)
+	}
+}

@@ -1,0 +1,89 @@
+package schema
+
+import (
+	"fmt"
+
+	"pathcomplete/internal/connector"
+)
+
+// Stats summarizes a schema's shape: the quantities that drive
+// completion cost and answer-set size (compare the paper's
+// characterization of CUPID as "92 user-defined classes and 364
+// relationships").
+type Stats struct {
+	UserClasses int
+	Primitives  int
+	Rels        int
+	// RelsByKind counts directed edges per connector kind.
+	RelsByKind map[connector.Kind]int
+	// MaxIsaDepth is the longest Isa chain.
+	MaxIsaDepth int
+	// MaxOutDegree is the largest out-degree of any class, with the
+	// class that attains it (hub classes show up here).
+	MaxOutDegree      int
+	MaxOutDegreeClass string
+	// AvgOutDegree is the mean out-degree over user classes.
+	AvgOutDegree float64
+}
+
+// ComputeStats derives the summary.
+func (s *Schema) ComputeStats() Stats {
+	st := Stats{
+		UserClasses: s.NumUserClasses(),
+		Primitives:  s.NumClasses() - s.NumUserClasses(),
+		Rels:        s.NumRels(),
+		RelsByKind:  make(map[connector.Kind]int),
+	}
+	for _, r := range s.rels {
+		st.RelsByKind[r.Conn.Kind]++
+	}
+	var totalOut int
+	for _, c := range s.classes {
+		out := len(s.out[c.ID])
+		if c.Primitive {
+			continue
+		}
+		totalOut += out
+		if out > st.MaxOutDegree {
+			st.MaxOutDegree = out
+			st.MaxOutDegreeClass = c.Name
+		}
+		if d := s.isaDepth(c.ID); d > st.MaxIsaDepth {
+			st.MaxIsaDepth = d
+		}
+	}
+	if st.UserClasses > 0 {
+		st.AvgOutDegree = float64(totalOut) / float64(st.UserClasses)
+	}
+	return st
+}
+
+// isaDepth returns the longest Isa chain starting at id. The Isa graph
+// is validated acyclic, so plain recursion terminates.
+func (s *Schema) isaDepth(id ClassID) int {
+	best := 0
+	for _, rid := range s.out[id] {
+		r := s.rels[rid]
+		if r.Conn != connector.CIsa {
+			continue
+		}
+		if d := 1 + s.isaDepth(r.To); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// String renders the stats as a short multi-line report.
+func (st Stats) String() string {
+	return fmt.Sprintf(
+		"classes: %d user + %d primitive\n"+
+			"relationships: %d (isa %d, may-be %d, has-part %d, is-part-of %d, assoc %d)\n"+
+			"max isa depth: %d\n"+
+			"out-degree: max %d (%s), avg %.1f",
+		st.UserClasses, st.Primitives, st.Rels,
+		st.RelsByKind[connector.Isa], st.RelsByKind[connector.MayBe],
+		st.RelsByKind[connector.HasPart], st.RelsByKind[connector.IsPartOf],
+		st.RelsByKind[connector.Assoc],
+		st.MaxIsaDepth, st.MaxOutDegree, st.MaxOutDegreeClass, st.AvgOutDegree)
+}

@@ -1,0 +1,51 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/connector"
+)
+
+func TestComputeStats(t *testing.T) {
+	b := NewBuilder("stats")
+	b.Isa("c", "b")
+	b.Isa("b", "a")
+	b.HasPart("w", "p")
+	b.Assoc("a", "w", "r", "ir")
+	b.Attr("a", "v", "I")
+	b.Attr("a", "s", "C")
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	st := s.ComputeStats()
+	if st.UserClasses != 5 || st.Primitives != 4 {
+		t.Errorf("classes = %d/%d", st.UserClasses, st.Primitives)
+	}
+	if st.Rels != 12 {
+		t.Errorf("rels = %d, want 12", st.Rels)
+	}
+	if st.RelsByKind[connector.Isa] != 2 || st.RelsByKind[connector.MayBe] != 2 {
+		t.Errorf("isa/may-be = %d/%d", st.RelsByKind[connector.Isa], st.RelsByKind[connector.MayBe])
+	}
+	if st.RelsByKind[connector.HasPart] != 1 || st.RelsByKind[connector.Assoc] != 6 {
+		t.Errorf("has-part/assoc = %d/%d", st.RelsByKind[connector.HasPart], st.RelsByKind[connector.Assoc])
+	}
+	if st.MaxIsaDepth != 2 {
+		t.Errorf("max isa depth = %d, want 2", st.MaxIsaDepth)
+	}
+	// a has: may-be b, assoc r, attrs v and s -> degree 4.
+	if st.MaxOutDegree != 4 || st.MaxOutDegreeClass != "a" {
+		t.Errorf("max out degree = %d (%s)", st.MaxOutDegree, st.MaxOutDegreeClass)
+	}
+	if st.AvgOutDegree <= 0 {
+		t.Errorf("avg out degree = %f", st.AvgOutDegree)
+	}
+	out := st.String()
+	for _, want := range []string{"5 user", "max isa depth: 2", "(a)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Stats.String() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package schema
+
+import (
+	"fmt"
+
+	"pathcomplete/internal/connector"
+)
+
+// validate checks the structural invariants the rest of the system
+// relies on. It is called by Builder.Build, so every *Schema in
+// circulation satisfies them.
+func (s *Schema) validate() error {
+	if err := s.validateClasses(); err != nil {
+		return err
+	}
+	if err := s.validateRels(); err != nil {
+		return err
+	}
+	return s.validateIsaAcyclic()
+}
+
+func (s *Schema) validateClasses() error {
+	seen := make(map[string]bool, len(s.classes))
+	for _, c := range s.classes {
+		if c.Name == "" {
+			return fmt.Errorf("schema %s: class %d has an empty name", s.name, c.ID)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("schema %s: duplicate class name %q", s.name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+func (s *Schema) validateRels() error {
+	for _, r := range s.rels {
+		if !r.Conn.Primary() {
+			return fmt.Errorf("schema %s: relationship %s.%s has non-primary connector %v",
+				s.name, s.classes[r.From].Name, r.Name, r.Conn)
+		}
+		if r.Inv == NoRel {
+			return fmt.Errorf("schema %s: relationship %s.%s has no inverse",
+				s.name, s.classes[r.From].Name, r.Name)
+		}
+		inv := s.rels[r.Inv]
+		if inv.Inv != r.ID || inv.From != r.To || inv.To != r.From {
+			return fmt.Errorf("schema %s: relationship %s.%s has an inconsistent inverse",
+				s.name, s.classes[r.From].Name, r.Name)
+		}
+		if inv.Conn != r.Conn.Inverse() {
+			return fmt.Errorf("schema %s: relationship %s.%s (%v) has inverse with connector %v, want %v",
+				s.name, s.classes[r.From].Name, r.Name, r.Conn, inv.Conn, r.Conn.Inverse())
+		}
+		if r.Conn == connector.CIsa {
+			if s.classes[r.From].Primitive || s.classes[r.To].Primitive {
+				return fmt.Errorf("schema %s: Isa relationship %s@>%s involves a primitive class",
+					s.name, s.classes[r.From].Name, s.classes[r.To].Name)
+			}
+		}
+		if s.classes[r.From].Primitive && r.Conn != connector.CAssoc {
+			return fmt.Errorf("schema %s: primitive class %s has outgoing %v relationship",
+				s.name, s.classes[r.From].Name, r.Conn)
+		}
+	}
+	// Relationship names are unique among each class's outgoing edges,
+	// as in any object model: a path step "class.name" must be
+	// unambiguous.
+	for id, outs := range s.out {
+		names := make(map[string]bool, len(outs))
+		for _, rid := range outs {
+			n := s.rels[rid].Name
+			if names[n] {
+				return fmt.Errorf("schema %s: class %s has two outgoing relationships named %q",
+					s.name, s.classes[id].Name, n)
+			}
+			names[n] = true
+		}
+	}
+	return nil
+}
+
+// validateIsaAcyclic rejects cyclic inheritance. Multiple inheritance
+// (a class with several Isa edges) is allowed, as in Section 2.1.
+func (s *Schema) validateIsaAcyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, len(s.classes))
+	var visit func(ClassID) error
+	visit = func(v ClassID) error {
+		color[v] = gray
+		for _, rid := range s.out[v] {
+			r := s.rels[rid]
+			if r.Conn != connector.CIsa {
+				continue
+			}
+			switch color[r.To] {
+			case gray:
+				return fmt.Errorf("schema %s: Isa cycle through class %q", s.name, s.classes[r.To].Name)
+			case white:
+				if err := visit(r.To); err != nil {
+					return err
+				}
+			}
+		}
+		color[v] = black
+		return nil
+	}
+	for _, c := range s.classes {
+		if color[c.ID] == white {
+			if err := visit(c.ID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

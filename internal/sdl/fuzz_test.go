@@ -1,0 +1,42 @@
+package sdl
+
+import (
+	"testing"
+)
+
+// FuzzParseSDL checks that the schema parser never panics and that
+// every successfully parsed schema serializes and reparses to the same
+// class and relationship counts.
+func FuzzParseSDL(f *testing.F) {
+	for _, seed := range []string{
+		sample,
+		"schema x\nisa a b\n",
+		"haspart w p\nassoc a b\nattr a v I\n",
+		"# empty\n",
+		"class x\nclass x\n",
+		"isa a a\n",
+		"attr a b Q\n",
+		"schema s\nschema s\n",
+		"assoc a b n n\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		text, err := WriteString(s)
+		if err != nil {
+			t.Fatalf("WriteString: %v", err)
+		}
+		s2, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("serialized form does not reparse: %v\n%s", err, text)
+		}
+		if s2.NumClasses() != s.NumClasses() || s2.NumRels() != s.NumRels() {
+			t.Fatalf("round trip changed counts: %d/%d classes, %d/%d rels\ninput: %q",
+				s2.NumClasses(), s.NumClasses(), s2.NumRels(), s.NumRels(), src)
+		}
+	})
+}

@@ -1,0 +1,190 @@
+// Package sdl implements a small schema definition language: a
+// line-oriented text format for the schemas of package schema, with a
+// parser and a round-tripping serializer. It plays the role of Moose's
+// schema definition facility in the reproduced system: a way to get
+// real schemas in and out of files and stdin for the command-line
+// tools.
+//
+// Grammar (one directive per line, '#' starts a comment):
+//
+//	schema NAME                         # optional, names the schema
+//	class NAME                          # optional, classes auto-create
+//	isa SUB SUPER                       # SUB @> SUPER (inverse added)
+//	haspart WHOLE PART [NAME [INVNAME]] # WHOLE $> PART
+//	assoc A B [NAME [INVNAME]]          # A . B (mutual)
+//	attr CLASS NAME PRIM                # CLASS . PRIM under NAME
+//
+// Relationship names default to the target class name; PRIM is one of
+// the primitive class names I, R, C, B.
+package sdl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pathcomplete/internal/connector"
+	"pathcomplete/internal/schema"
+)
+
+// ParseError reports a syntax or semantic error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("sdl: line %d: %s", e.Line, e.Msg) }
+
+// Parse reads a schema definition from r and builds the schema.
+func Parse(r io.Reader) (*schema.Schema, error) {
+	b := schema.NewBuilder("schema")
+	st := state{b: b}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := st.directive(fields); err != nil {
+			return nil, &ParseError{Line: lineno, Msg: err.Error()}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sdl: %w", err)
+	}
+	s, err := st.b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("sdl: %w", err)
+	}
+	return s, nil
+}
+
+// ParseString is Parse over an in-memory definition.
+func ParseString(src string) (*schema.Schema, error) {
+	return Parse(strings.NewReader(src))
+}
+
+// state carries the parse in progress: the builder plus enough
+// history to reject a misplaced schema directive.
+type state struct {
+	b     *schema.Builder
+	named bool // a schema directive has been seen
+	other bool // a non-schema directive has been seen
+}
+
+func (st *state) directive(fields []string) error {
+	b := st.b
+	argRange := func(min, max int) error {
+		n := len(fields) - 1
+		if n < min || n > max {
+			return fmt.Errorf("%s takes %d-%d arguments, got %d", fields[0], min, max, n)
+		}
+		return nil
+	}
+	if fields[0] != "schema" {
+		st.other = true
+	}
+	switch fields[0] {
+	case "schema":
+		if err := argRange(1, 1); err != nil {
+			return err
+		}
+		if st.named {
+			return fmt.Errorf("duplicate schema directive")
+		}
+		if st.other {
+			return fmt.Errorf("schema directive must come first")
+		}
+		st.named = true
+		st.b = schema.NewBuilder(fields[1])
+		return nil
+	case "class":
+		if err := argRange(1, 1); err != nil {
+			return err
+		}
+		b.Class(fields[1])
+		return nil
+	case "isa":
+		if err := argRange(2, 2); err != nil {
+			return err
+		}
+		b.Isa(fields[1], fields[2])
+		return nil
+	case "haspart":
+		if err := argRange(2, 4); err != nil {
+			return err
+		}
+		b.HasPart(fields[1], fields[2], fields[3:]...)
+		return nil
+	case "assoc":
+		if err := argRange(2, 4); err != nil {
+			return err
+		}
+		b.Assoc(fields[1], fields[2], fields[3:]...)
+		return nil
+	case "attr":
+		if err := argRange(3, 3); err != nil {
+			return err
+		}
+		b.Attr(fields[1], fields[2], fields[3])
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+}
+
+// Write serializes s in the format accepted by Parse. Declarations are
+// emitted in a stable order: the schema directive, class directives
+// for every user class, then one directive per forward relationship.
+// Parse(Write(s)) reconstructs a schema with the same classes and
+// relationships (IDs may be renumbered).
+func Write(w io.Writer, s *schema.Schema) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pf("schema %s\n", s.Name())
+	for _, c := range s.Classes() {
+		if !c.Primitive {
+			pf("class %s\n", c.Name)
+		}
+	}
+	rels := s.Rels()
+	sort.Slice(rels, func(i, j int) bool { return rels[i].ID < rels[j].ID })
+	for _, r := range rels {
+		from, to := s.Class(r.From).Name, s.Class(r.To).Name
+		switch r.Conn {
+		case connector.CIsa:
+			pf("isa %s %s\n", from, to)
+		case connector.CHasPart:
+			pf("haspart %s %s %s %s\n", from, to, r.Name, s.Rel(r.Inv).Name)
+		case connector.CAssoc:
+			if s.Class(r.To).Primitive {
+				pf("attr %s %s %s\n", from, r.Name, to)
+			} else if r.ID < r.Inv { // emit each mutual pair once
+				pf("assoc %s %s %s %s\n", from, to, r.Name, s.Rel(r.Inv).Name)
+			}
+		}
+	}
+	return err
+}
+
+// WriteString is Write into a string.
+func WriteString(s *schema.Schema) (string, error) {
+	var sb strings.Builder
+	if err := Write(&sb, s); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

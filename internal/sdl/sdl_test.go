@@ -1,0 +1,126 @@
+package sdl
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+# A fragment of the Figure 2 university schema.
+schema university
+
+class person
+isa student person
+isa grad student
+haspart university department
+haspart department professor faculty members_of
+assoc student course take taken_by
+attr person name C
+attr person ssn I
+`
+
+func TestParseSample(t *testing.T) {
+	s, err := ParseString(sample)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if s.Name() != "university" {
+		t.Errorf("schema name = %q", s.Name())
+	}
+	if got := s.NumUserClasses(); got != 7 {
+		t.Errorf("user classes = %d, want 7", got)
+	}
+	if got := s.NumRels(); got != 14 {
+		t.Errorf("rels = %d, want 14", got)
+	}
+	dept := s.MustClass("department").ID
+	if r, ok := s.OutRel(dept, "faculty"); !ok || s.Class(r.To).Name != "professor" {
+		t.Errorf("department.faculty = %+v ok=%v", r, ok)
+	}
+	prof := s.MustClass("professor").ID
+	if _, ok := s.OutRel(prof, "members_of"); !ok {
+		t.Error("professor.members_of inverse missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown directive", "frobnicate a b", "unknown directive"},
+		{"bad arity", "isa a", "takes 2-2 arguments"},
+		{"late schema", "class a\nschema x", "must come first"},
+		{"duplicate schema", "schema a\nschema b", "duplicate schema"},
+		{"bad attr primitive", "attr a name person", "not a primitive"},
+		{"isa cycle", "isa a b\nisa b c\nisa c a", "Isa cycle"},
+	}
+	for _, tc := range cases {
+		_, err := ParseString(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseErrorLineNumbers(t *testing.T) {
+	_, err := ParseString("schema x\n\n# comment\nisa a\n")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("err = %T %v, want *ParseError", err, err)
+	}
+	if pe.Line != 4 {
+		t.Errorf("error line = %d, want 4", pe.Line)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := ParseString(sample)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	text, err := WriteString(s)
+	if err != nil {
+		t.Fatalf("WriteString: %v", err)
+	}
+	s2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if s2.Name() != s.Name() {
+		t.Errorf("round-trip name %q != %q", s2.Name(), s.Name())
+	}
+	if s2.NumClasses() != s.NumClasses() || s2.NumRels() != s.NumRels() {
+		t.Errorf("round-trip counts: classes %d/%d rels %d/%d",
+			s2.NumClasses(), s.NumClasses(), s2.NumRels(), s.NumRels())
+	}
+	// Every relationship survives by (from, name, to, connector).
+	for _, r := range s.Rels() {
+		from := s.Class(r.From).Name
+		r2, ok := s2.OutRel(s2.MustClass(from).ID, r.Name)
+		if !ok {
+			t.Errorf("round-trip lost %s.%s", from, r.Name)
+			continue
+		}
+		if s2.Class(r2.To).Name != s.Class(r.To).Name || r2.Conn != r.Conn {
+			t.Errorf("round-trip changed %s.%s: %v -> %v", from, r.Name, r, r2)
+		}
+	}
+	// Serialization is deterministic.
+	text2, err := WriteString(s2)
+	if err != nil {
+		t.Fatalf("WriteString(s2): %v", err)
+	}
+	if text2 != text {
+		t.Errorf("serialization not stable:\n--- first\n%s--- second\n%s", text, text2)
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	s, err := ParseString("  \n# only comments\n\nisa a b # trailing\n")
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if got := s.NumUserClasses(); got != 2 {
+		t.Errorf("user classes = %d, want 2", got)
+	}
+}

@@ -1,0 +1,220 @@
+// Package server exposes the disambiguation mechanism as an HTTP/JSON
+// service — the shape an interactive interface of the kind the paper
+// targets (Figure 1) would consume. Endpoints:
+//
+//	GET  /healthz            liveness
+//	GET  /schema             the schema in SDL text form
+//	GET  /stats              schema shape statistics (JSON)
+//	POST /complete           {"expr": "ta~name", "e": 2} →
+//	                         candidate completions with labels and stats
+//	POST /evaluate           {"expr": "ta~name", "approve": [0]} →
+//	                         the evaluation of the approved completions
+//	                         (requires an object store)
+//
+// Completion results are memoized per (expression, E), which is what
+// an interactive loop wants: the user refines an expression, the
+// server re-answers instantly for anything already explored.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/fox"
+	"pathcomplete/internal/objstore"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
+	"pathcomplete/internal/sdl"
+)
+
+// Server serves one schema (and optionally one object store). It is
+// safe for concurrent use.
+type Server struct {
+	s     *schema.Schema
+	store *objstore.Store // may be nil: /evaluate then returns 404
+	opts  core.Options
+
+	mu    sync.Mutex
+	cache map[cacheKey]*core.Result
+}
+
+type cacheKey struct {
+	expr string
+	e    int
+}
+
+// New returns a server over the schema with the given base engine
+// options; store may be nil when only completion is wanted.
+func New(s *schema.Schema, store *objstore.Store, opts core.Options) *Server {
+	return &Server{s: s, store: store, opts: opts, cache: make(map[cacheKey]*core.Result)}
+}
+
+// Handler returns the HTTP handler with all endpoints mounted.
+func (sv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /schema", sv.handleSchema)
+	mux.HandleFunc("GET /stats", sv.handleStats)
+	mux.HandleFunc("POST /complete", sv.handleComplete)
+	mux.HandleFunc("POST /evaluate", sv.handleEvaluate)
+	return mux
+}
+
+func (sv *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := sdl.Write(w, sv.s); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := sv.s.ComputeStats()
+	kinds := make(map[string]int, len(st.RelsByKind))
+	for k, n := range st.RelsByKind {
+		kinds[k.String()] = n
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schema":      sv.s.Name(),
+		"userClasses": st.UserClasses,
+		"rels":        st.Rels,
+		"relsByKind":  kinds,
+		"maxIsaDepth": st.MaxIsaDepth,
+	})
+}
+
+// CompleteRequest is the body of POST /complete and POST /evaluate.
+type CompleteRequest struct {
+	// Expr is the (possibly incomplete) path expression.
+	Expr string `json:"expr"`
+	// E overrides the AGG* parameter (0 keeps the server default).
+	E int `json:"e,omitempty"`
+	// Approve lists, for /evaluate, the indices of the approved
+	// completions; empty approves all.
+	Approve []int `json:"approve,omitempty"`
+}
+
+// CompletionJSON is one candidate in a completion response.
+type CompletionJSON struct {
+	Path   string `json:"path"`
+	Conn   string `json:"conn"`
+	SemLen int    `json:"semlen"`
+}
+
+// CompleteResponse is the body of a /complete response.
+type CompleteResponse struct {
+	Expr        string           `json:"expr"`
+	Completions []CompletionJSON `json:"completions"`
+	Calls       int              `json:"calls"`
+	Truncated   bool             `json:"truncated,omitempty"`
+}
+
+func (sv *Server) complete(req CompleteRequest) (*core.Result, pathexpr.Expr, int, error) {
+	e, err := pathexpr.Parse(req.Expr)
+	if err != nil {
+		return nil, pathexpr.Expr{}, http.StatusBadRequest, err
+	}
+	opts := sv.opts
+	if req.E > 0 {
+		opts.E = req.E
+	}
+	key := cacheKey{expr: e.String(), e: opts.E}
+	sv.mu.Lock()
+	res, ok := sv.cache[key]
+	sv.mu.Unlock()
+	if !ok {
+		res, err = core.New(sv.s, opts).Complete(e)
+		if err != nil {
+			return nil, pathexpr.Expr{}, http.StatusUnprocessableEntity, err
+		}
+		sv.mu.Lock()
+		sv.cache[key] = res
+		sv.mu.Unlock()
+	}
+	return res, e, http.StatusOK, nil
+}
+
+func (sv *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, e, status, err := sv.complete(req)
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	out := CompleteResponse{Expr: e.String(), Calls: res.Stats.Calls, Truncated: res.Truncated}
+	for _, c := range res.Completions {
+		out.Completions = append(out.Completions, CompletionJSON{
+			Path:   c.Path.String(),
+			Conn:   c.Label.Conn().String(),
+			SemLen: c.Label.SemLen(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// EvaluateResponse is the body of a /evaluate response.
+type EvaluateResponse struct {
+	Expr   string   `json:"expr"`
+	Where  string   `json:"where,omitempty"`
+	Chosen []string `json:"chosen"`
+	Values []any    `json:"values"`
+}
+
+func (sv *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if sv.store == nil {
+		http.Error(w, "no object store mounted", http.StatusNotFound)
+		return
+	}
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The evaluation path runs through the Fox interpreter (the full
+	// Figure 1 loop), which also understands selection predicates:
+	// {"expr": "department~course where credits > 3"}. The request's
+	// Approve indices stand in for the user.
+	opts := sv.opts
+	if req.E > 0 {
+		opts.E = req.E
+	}
+	chooser := fox.AcceptAll
+	if len(req.Approve) > 0 {
+		approve := req.Approve
+		chooser = func([]core.Completion) []int { return approve }
+	}
+	in := fox.New(sv.store, opts, chooser)
+	ans, err := in.Query(req.Expr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	out := EvaluateResponse{Expr: ans.Query.String(), Values: ans.Values}
+	if out.Values == nil {
+		out.Values = []any{}
+	}
+	for _, c := range ans.Chosen {
+		out.Chosen = append(out.Chosen, c.Path.String())
+	}
+	if ans.Where != nil {
+		out.Where = ans.Where.String()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

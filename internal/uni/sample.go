@@ -1,0 +1,65 @@
+package uni
+
+import "pathcomplete/internal/objstore"
+
+// SampleStore populates a store over the Figure 2 schema with a small
+// university: one university, two departments, professors, a TA, and
+// courses wired the way the paper's examples assume (the TA takes a
+// course as a student and teaches another as an instructor).
+func SampleStore() *objstore.Store {
+	st := objstore.New(New())
+
+	uw := st.MustNewObject("university")
+	st.MustSetAttr(uw, "name", "UW-Madison")
+
+	cs := st.MustNewObject("department")
+	st.MustSetAttr(cs, "name", "Computer Sciences")
+	arts := st.MustNewObject("department")
+	st.MustSetAttr(arts, "name", "Arts")
+	st.MustLink(uw, "department", cs)
+	st.MustLink(uw, "department", arts)
+
+	ioannidis := st.MustNewObject("professor")
+	st.MustSetAttr(ioannidis, "name", "Yannis")
+	st.MustSetAttr(ioannidis, "ssn", 111)
+	st.MustLink(cs, "professor", ioannidis)
+
+	daVinci := st.MustNewObject("professor")
+	st.MustSetAttr(daVinci, "name", "Leonardo")
+	st.MustSetAttr(daVinci, "ssn", 222)
+	st.MustLink(arts, "professor", daVinci)
+
+	yezdi := st.MustNewObject("ta")
+	st.MustSetAttr(yezdi, "name", "Yezdi")
+	st.MustSetAttr(yezdi, "ssn", 333)
+	st.MustLink(yezdi, "department", cs)
+
+	alice := st.MustNewObject("undergrad")
+	st.MustSetAttr(alice, "name", "Alice")
+	st.MustSetAttr(alice, "ssn", 444)
+	st.MustLink(alice, "department", arts)
+
+	db := st.MustNewObject("course")
+	st.MustSetAttr(db, "name", "Databases")
+	st.MustSetAttr(db, "credits", 3)
+	painting := st.MustNewObject("course")
+	st.MustSetAttr(painting, "name", "Painting")
+	st.MustSetAttr(painting, "credits", 4)
+	intro := st.MustNewObject("course")
+	st.MustSetAttr(intro, "name", "Intro Programming")
+	st.MustSetAttr(intro, "credits", 3)
+
+	// Teaching: professors teach their departments' courses, the TA
+	// teaches the intro course.
+	st.MustLink(ioannidis, "teach", db)
+	st.MustLink(daVinci, "teach", painting)
+	st.MustLink(yezdi, "teach", intro)
+
+	// Taking: the TA takes the databases course as a student, Alice
+	// takes painting and intro.
+	st.MustLink(yezdi, "take", db)
+	st.MustLink(alice, "take", painting)
+	st.MustLink(alice, "take", intro)
+
+	return st
+}

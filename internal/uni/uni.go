@@ -1,0 +1,55 @@
+// Package uni provides the university schema of Figure 2 of Ioannidis
+// & Lashkari (SIGMOD 1994), reassembled from every class and
+// relationship the paper's running examples mention, plus sample
+// object data for the query-evaluation examples.
+//
+// The schema contains the Isa lattice
+//
+//	ta @> grad @> student @> person
+//	ta @> instructor @> teacher @> employee @> person
+//	professor @> teacher,  staff @> employee,  undergrad @> student
+//
+// the structural relationships university $> department $> professor,
+// the associations student.take/course.student, teacher.teach /
+// course.teacher, student.department/department.student, and name/ssn
+// attributes. With it, the incomplete expression "ta ~ name" has
+// exactly the two optimal completions the paper derives.
+package uni
+
+import "pathcomplete/internal/schema"
+
+// New builds the Figure 2 schema.
+func New() *schema.Schema {
+	b := schema.NewBuilder("university")
+
+	// Isa hierarchy (inverse May-Be edges are added automatically).
+	b.Isa("student", "person")
+	b.Isa("employee", "person")
+	b.Isa("grad", "student")
+	b.Isa("undergrad", "student")
+	b.Isa("teacher", "employee")
+	b.Isa("staff", "employee")
+	b.Isa("instructor", "teacher")
+	b.Isa("professor", "teacher")
+	b.Isa("ta", "grad")
+	b.Isa("ta", "instructor") // multiple inheritance
+
+	// Structure.
+	b.HasPart("university", "department")
+	b.HasPart("department", "professor")
+
+	// Associations.
+	b.Assoc("student", "course", "take", "student")
+	b.Assoc("teacher", "course", "teach", "teacher")
+	b.Assoc("student", "department", "department", "student")
+
+	// Attributes.
+	b.Attr("person", "name", "C")
+	b.Attr("person", "ssn", "I")
+	b.Attr("course", "name", "C")
+	b.Attr("course", "credits", "I")
+	b.Attr("department", "name", "C")
+	b.Attr("university", "name", "C")
+
+	return b.MustBuild()
+}

@@ -1,0 +1,84 @@
+package uni_test
+
+import (
+	"testing"
+
+	"pathcomplete/internal/connector"
+	"pathcomplete/internal/uni"
+)
+
+// TestSchemaShape pins the reconstruction of Figure 2: every class and
+// relationship the paper's running examples rely on must exist with
+// the right kind.
+func TestSchemaShape(t *testing.T) {
+	s := uni.New()
+	for _, name := range []string{
+		"person", "student", "grad", "undergrad", "ta", "instructor",
+		"teacher", "professor", "employee", "staff", "course",
+		"department", "university",
+	} {
+		if _, ok := s.ClassByName(name); !ok {
+			t.Errorf("class %q missing", name)
+		}
+	}
+	edges := []struct {
+		from, name string
+		conn       connector.Connector
+		to         string
+	}{
+		{"student", "person", connector.CIsa, "person"},
+		{"ta", "grad", connector.CIsa, "grad"},
+		{"ta", "instructor", connector.CIsa, "instructor"},
+		{"university", "department", connector.CHasPart, "department"},
+		{"department", "professor", connector.CHasPart, "professor"},
+		{"student", "take", connector.CAssoc, "course"},
+		{"teacher", "teach", connector.CAssoc, "course"},
+		{"course", "teacher", connector.CAssoc, "teacher"},
+		{"course", "student", connector.CAssoc, "student"},
+		{"student", "department", connector.CAssoc, "department"},
+		{"person", "name", connector.CAssoc, "C"},
+		{"person", "ssn", connector.CAssoc, "I"},
+		{"course", "name", connector.CAssoc, "C"},
+		{"department", "name", connector.CAssoc, "C"},
+	}
+	for _, e := range edges {
+		r, ok := s.OutRel(s.MustClass(e.from).ID, e.name)
+		if !ok {
+			t.Errorf("%s.%s missing", e.from, e.name)
+			continue
+		}
+		if r.Conn != e.conn {
+			t.Errorf("%s.%s is %v, want %v", e.from, e.name, r.Conn, e.conn)
+		}
+		if got := s.Class(r.To).Name; got != e.to {
+			t.Errorf("%s.%s targets %s, want %s", e.from, e.name, got, e.to)
+		}
+	}
+	// The paper's flagship ambiguity requires several relationships
+	// named "name".
+	if got := len(s.RelsNamed("name")); got < 4 {
+		t.Errorf("relationships named name = %d, want >= 4", got)
+	}
+	// ta reaches person along both inheritance chains.
+	ta := s.MustClass("ta").ID
+	person := s.MustClass("person").ID
+	if !s.IsaPath(ta, person) {
+		t.Error("ta should be a person")
+	}
+}
+
+// TestSampleStorePopulated checks the example data is wired the way
+// the examples assume.
+func TestSampleStorePopulated(t *testing.T) {
+	st := uni.SampleStore()
+	s := st.Schema()
+	counts := map[string]int{
+		"person": 4, "student": 2, "teacher": 3, "course": 3,
+		"department": 2, "university": 1, "ta": 1,
+	}
+	for cls, want := range counts {
+		if got := len(st.Extent(s.MustClass(cls).ID)); got != want {
+			t.Errorf("extent(%s) = %d, want %d", cls, got, want)
+		}
+	}
+}
