@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench experiments fuzz fmt vet clean
+.PHONY: all build test test-race race cover bench bench-obs experiments fuzz fmt vet clean
 
-all: build test
+all: build vet test
 
 build:
 	$(GO) build ./...
@@ -16,12 +16,21 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Alias: the race detector over the whole module (CI gate for the
+# concurrency of the metrics registry and the server cache).
+race: test-race
+
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/... .
 	$(GO) tool cover -func=cover.out | tail -1
 
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .
+
+# Demonstrate that the observability layer costs ~nothing when off:
+# compare nil vs noop vs recording tracers on the flagship query.
+bench-obs:
+	$(GO) test -bench=TracerOverhead -benchmem -count=5 -run xxx ./internal/core
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

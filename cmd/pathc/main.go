@@ -16,6 +16,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -44,6 +45,8 @@ func main() {
 		why        = flag.Bool("why", false, "compare exactly two complete expressions instead of completing")
 		storePath  = flag.String("store", "", "load object data from a snapshot (requires -sdl; enables -eval)")
 		dot        = flag.Bool("dot", false, "emit the schema in DOT form with the completions' edges highlighted")
+		trace      = flag.Bool("trace", false, "print the traversal event log of each search")
+		traceLimit = flag.Int("trace-limit", 0, "cap the trace at N events (0: default cap, negative: unlimited)")
 	)
 	flag.Parse()
 	if *why {
@@ -57,6 +60,7 @@ func main() {
 		schemaName: *schemaName, sdlPath: *sdlPath, engine: *engine, e: *e,
 		exclude: *exclude, eval: *eval, stats: *stats, explain: *explain,
 		specific: *specific, storePath: *storePath, dot: *dot,
+		trace: *trace, traceLimit: *traceLimit,
 	}, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "pathc:", err)
 		os.Exit(1)
@@ -66,8 +70,8 @@ func main() {
 // config carries the parsed flags.
 type config struct {
 	schemaName, sdlPath, engine, exclude, storePath string
-	e                                               int
-	eval, stats, explain, specific, dot             bool
+	e, traceLimit                                   int
+	eval, stats, explain, specific, dot, trace      bool
 }
 
 // runWhy handles -why: explain the AGG comparison of two complete
@@ -137,10 +141,23 @@ func run(cfg config, args []string) error {
 			fmt.Fprintln(os.Stderr, "  error:", err)
 			return
 		}
-		res, err := cmp.Complete(expr)
+		comp := cmp
+		var rec *core.TraceRecorder
+		if cfg.trace {
+			// A tracer is per-query state: give each traced search its
+			// own recorder and completer copy.
+			rec = core.NewTraceRecorder(s, cfg.traceLimit)
+			topts := opts
+			topts.Tracer = rec
+			comp = core.New(s, topts)
+		}
+		res, err := comp.Complete(expr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "  error:", err)
 			return
+		}
+		if rec != nil {
+			printTrace(os.Stdout, rec)
 		}
 		if len(res.Completions) == 0 {
 			fmt.Println("  (no consistent completion)")
@@ -231,6 +248,30 @@ func loadSchema(name, sdlPath string) (*schema.Schema, *objstore.Store, error) {
 		return w.Schema, nil, nil
 	}
 	return nil, nil, fmt.Errorf("unknown schema %q (want university, parts, or cupid)", name)
+}
+
+// printTrace renders the recorded traversal event log, one line per
+// event, indented under the query like the other per-query output.
+func printTrace(w io.Writer, rec *core.TraceRecorder) {
+	fmt.Fprintf(w, "  trace: %d events", len(rec.Events))
+	if rec.Dropped > 0 {
+		fmt.Fprintf(w, " (+%d dropped beyond the limit)", rec.Dropped)
+	}
+	fmt.Fprintln(w)
+	for _, ev := range rec.Events {
+		switch ev.Kind {
+		case "enter":
+			fmt.Fprintf(w, "    %5d %-14s %s seg=%d depth=%d %s\n",
+				ev.Step, ev.Kind, ev.Class, ev.Seg, ev.Depth, ev.Label)
+		case "offer", "offer_rejected":
+			fmt.Fprintf(w, "    %5d %-14s %s %s\n", ev.Step, ev.Kind, ev.Path, ev.Label)
+		case "preempt":
+			fmt.Fprintf(w, "    %5d %-14s %s (shadowed by %s)\n", ev.Step, ev.Kind, ev.Path, ev.By)
+		default: // prune_* and caution_save
+			fmt.Fprintf(w, "    %5d %-14s %s -> %s seg=%d %s\n",
+				ev.Step, ev.Kind, ev.Rel, ev.Class, ev.Seg, ev.Label)
+		}
+	}
 }
 
 func preset(name string) (core.Options, error) {

@@ -5,6 +5,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/uni"
 )
 
 func TestRunOneShot(t *testing.T) {
@@ -22,6 +26,37 @@ func TestRunExclude(t *testing.T) {
 	cfg.exclude = "nosuchclass"
 	if err := run(cfg, []string{"ta~name"}); err == nil || !strings.Contains(err.Error(), "unknown excluded class") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	cfg := config{schemaName: "university", engine: "paper", e: 1, trace: true}
+	if err := run(cfg, []string{"ta~name"}); err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+	// A tight limit still completes and reports the overflow.
+	cfg.traceLimit = 3
+	if err := run(cfg, []string{"ta~name"}); err != nil {
+		t.Fatalf("run -trace -trace-limit 3: %v", err)
+	}
+}
+
+func TestPrintTrace(t *testing.T) {
+	s := uni.New()
+	rec := core.NewTraceRecorder(s, 4)
+	opts := core.Paper()
+	opts.Tracer = rec
+	if _, err := core.New(s, opts).Complete(pathexpr.MustParse("ta~name")); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	printTrace(&sb, rec)
+	out := sb.String()
+	if !strings.Contains(out, "trace: 4 events") || !strings.Contains(out, "dropped beyond the limit") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "enter") || !strings.Contains(out, "ta seg=0 depth=0") {
+		t.Errorf("missing enter line:\n%s", out)
 	}
 }
 

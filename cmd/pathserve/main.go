@@ -4,17 +4,31 @@
 //
 //	pathserve -addr :8080 -schema university -sample
 //	curl -s localhost:8080/complete -d '{"expr":"ta~name"}'
+//	curl -s localhost:8080/complete -d '{"expr":"ta~name","trace":true}'
 //	curl -s localhost:8080/evaluate -d '{"expr":"ta~name","approve":[0]}'
 //	curl -s localhost:8080/schema
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/buildinfo
+//
+// The process is production-shaped: slog request logging with request
+// IDs, Prometheus-style metrics at /metrics, optional pprof at
+// /debug/pprof/ (-pprof), connection timeouts, a bounded completion
+// cache (-cache), and graceful shutdown on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"pathcomplete/internal/core"
 	"pathcomplete/internal/cupid"
@@ -35,22 +49,85 @@ func main() {
 		sample     = flag.Bool("sample", false, "mount the built-in sample data (university only)")
 		engine     = flag.String("engine", "paper", "engine preset: paper, safe, or exact")
 		e          = flag.Int("e", 1, "AGG* parameter")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		cacheCap   = flag.Int("cache", server.DefaultCacheCap, "completion memo cache bound (entries)")
+		quiet      = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Parse()
-	if err := run(*addr, *schemaName, *sdlPath, *storePath, *sample, *engine, *e); err != nil {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if err := run(*addr, *schemaName, *sdlPath, *storePath, *sample, *engine, *e,
+		*pprofOn, *cacheCap, *quiet, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "pathserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, schemaName, sdlPath, storePath string, sample bool, engine string, e int) error {
+func run(addr, schemaName, sdlPath, storePath string, sample bool, engine string, e int,
+	pprofOn bool, cacheCap int, quiet bool, logger *slog.Logger) error {
 	sv, s, err := build(schemaName, sdlPath, storePath, sample, engine, e)
 	if err != nil {
 		return err
 	}
-	log.Printf("pathserve: schema %s (%d classes, %d relationships) on %s",
-		s.Name(), s.NumUserClasses(), s.NumRels(), addr)
-	return http.ListenAndServe(addr, sv.Handler())
+	sv.SetCacheCap(cacheCap)
+
+	st := s.ComputeStats()
+	logger.Info("pathserve starting",
+		"addr", addr,
+		"schema", s.Name(),
+		"classes", s.NumUserClasses(),
+		"rels", s.NumRels(),
+		"maxIsaDepth", st.MaxIsaDepth,
+		"engine", engine,
+		"e", e,
+		"cacheCap", cacheCap,
+		"pprof", pprofOn,
+	)
+
+	reqLogger := logger
+	if quiet {
+		reqLogger = nil
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           sv.HandlerWith(server.HandlerConfig{Logger: reqLogger, PProf: pprofOn}),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// WriteTimeout must cover the slowest legitimate response; a
+		// pprof CPU profile streams for its whole -seconds window, so
+		// stay well above the default 30s profile.
+		WriteTimeout: 120 * time.Second,
+		IdleTimeout:  120 * time.Second,
+	}
+	return serve(srv, logger)
+}
+
+// serve runs srv until SIGINT/SIGTERM, then drains connections
+// gracefully. Split from run so shutdown is testable.
+func serve(srv *http.Server, logger *slog.Logger) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		// Listen failed before any signal (bad address, port in use).
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills hard
+	logger.Info("pathserve shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("pathserve stopped")
+	return nil
 }
 
 // build assembles the server from the flag values; split from run so

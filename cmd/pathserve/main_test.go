@@ -1,11 +1,17 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestBuildVariants(t *testing.T) {
@@ -28,18 +34,86 @@ func TestBuildVariants(t *testing.T) {
 			t.Errorf("%s: nil result", tc.name)
 			continue
 		}
-		// The handler answers health checks.
+		// The handler answers health checks with the JSON liveness
+		// document.
 		ts := httptest.NewServer(sv.Handler())
 		resp, err := ts.Client().Get(ts.URL + "/healthz")
 		if err != nil {
 			t.Errorf("%s: healthz: %v", tc.name, err)
 		} else {
+			var health struct {
+				Status string `json:"status"`
+				Schema string `json:"schema"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+				t.Errorf("%s: healthz decode: %v", tc.name, err)
+			} else if health.Status != "ok" || health.Schema != tc.schema {
+				t.Errorf("%s: healthz = %+v", tc.name, health)
+			}
 			resp.Body.Close()
 			if resp.StatusCode != 200 {
 				t.Errorf("%s: healthz status %d", tc.name, resp.StatusCode)
 			}
 		}
 		ts.Close()
+	}
+}
+
+// pickAddr reserves a free localhost port and releases it for the
+// server under test (a benign race: nothing else grabs it in-process).
+func pickAddr(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(http.NotFoundHandler())
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	ts.Close()
+	return addr
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	sv, _, err := build("university", "", "", false, "paper", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	addr := pickAddr(t)
+	srv := &http.Server{Addr: addr, Handler: sv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- serve(srv, logger) }()
+
+	// Wait for the listener, then verify it serves.
+	var resp *http.Response
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up on %s: %v", addr, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// SIGTERM must drain and return nil (graceful), not crash.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("serve returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not shut down after SIGTERM")
+	}
+}
+
+func TestServeListenError(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv := &http.Server{Addr: "256.256.256.256:99999"}
+	if err := serve(srv, logger); err == nil {
+		t.Error("impossible address should surface the listen error")
 	}
 }
 

@@ -113,6 +113,16 @@ type Options struct {
 	// Result reports Exhausted; the completions found so far are valid
 	// consistent paths but optimality is no longer guaranteed.
 	MaxCalls int
+
+	// Tracer, when non-nil, receives a structured event at every
+	// decision point of the search (node entry, prunes, caution-set
+	// rescues, offers, preemptions) — see Tracer and TraceRecorder.
+	// A tracer is invoked from the goroutine running the search and
+	// must not be shared between concurrent queries: a Completer used
+	// concurrently should keep Tracer nil and copy its Options per
+	// traced query. The nil default costs one untaken branch per event
+	// site (BenchmarkTracerOverhead).
+	Tracer Tracer
 }
 
 // Paper returns the configuration matching the published Algorithm 2:

@@ -122,7 +122,7 @@ func NaiveComplete(s *schema.Schema, e pathexpr.Expr, opts Options, limit int) (
 		}
 	}
 	if !opts.NoPreemption {
-		found = preempt(found)
+		found = preempt(found, nil)
 	}
 	if opts.PreferSpecific {
 		found = preferSpecific(found)

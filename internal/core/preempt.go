@@ -49,17 +49,20 @@ func preempts(a, b Completion) bool {
 }
 
 // preempt removes every completion preempted by another completion in
-// the set. Preemption is acyclic (the preemptor is strictly shorter),
-// and a preempted path cannot shield others: if b preempts c and a
-// preempts b, then a also preempts c, so single-pass filtering against
-// the full set is sound.
-func preempt(cs []Completion) []Completion {
+// the set, reporting each removal to onDrop when non-nil. Preemption
+// is acyclic (the preemptor is strictly shorter), and a preempted path
+// cannot shield others: if b preempts c and a preempts b, then a also
+// preempts c, so single-pass filtering against the full set is sound.
+func preempt(cs []Completion, onDrop func(dropped, by Completion)) []Completion {
 	out := cs[:0:0]
 	for _, c := range cs {
 		dead := false
 		for _, p := range cs {
 			if preempts(p, c) {
 				dead = true
+				if onDrop != nil {
+					onDrop(c, p)
+				}
 				break
 			}
 		}

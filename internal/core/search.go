@@ -28,10 +28,11 @@ type trans struct {
 
 // engine runs one Algorithm 2 search. Engines are single-use.
 type engine struct {
-	s    *schema.Schema
-	pat  *pattern
-	opts Options
-	e    int
+	s      *schema.Schema
+	pat    *pattern
+	opts   Options
+	e      int
+	tracer Tracer // nil: tracing disabled (the hot-path default)
 
 	visited []bool // per class: on the current path
 	best    map[state][]label.Key
@@ -51,6 +52,7 @@ func newEngine(s *schema.Schema, pat *pattern, opts Options) *engine {
 		pat:       pat,
 		opts:      opts,
 		e:         opts.e(),
+		tracer:    opts.Tracer,
 		visited:   make([]bool, s.NumClasses()),
 		best:      make(map[state][]label.Key),
 		foundKeys: make(map[string]bool),
@@ -72,6 +74,9 @@ func (en *engine) traverse(v schema.ClassID, seg int, lv label.Label) {
 		return
 	}
 	en.stats.Calls++
+	if en.tracer != nil {
+		en.tracer.OnEnter(v, seg, len(en.path), lv)
+	}
 	comps, kids := en.transitions(v, seg)
 
 	// Lines (2)–(5): explore moves that complete the expression before
@@ -82,6 +87,9 @@ func (en *engine) traverse(v schema.ClassID, seg int, lv label.Label) {
 	for _, tr := range kids {
 		u := tr.rel.To
 		if en.visited[u] {
+			if en.tracer != nil {
+				en.tracer.OnPrune(PruneCycle, tr.rel, tr.toSeg, lv)
+			}
 			continue // line (8): acyclicity
 		}
 		lu := label.Con(lv, label.MustEdge(tr.rel.Conn))
@@ -89,6 +97,9 @@ func (en *engine) traverse(v schema.ClassID, seg int, lv label.Label) {
 		// Line (9): bound against the best complete labels found.
 		if !en.opts.DisableBestT && !label.In(key, en.bestT, en.e) {
 			en.stats.PrunedBestT++
+			if en.tracer != nil {
+				en.tracer.OnPrune(PruneBestT, tr.rel, tr.toSeg, lu)
+			}
 			continue
 		}
 		st := state{cls: u, seg: tr.toSeg}
@@ -105,10 +116,16 @@ func (en *engine) traverse(v schema.ClassID, seg int, lv label.Label) {
 				if en.cautionSet(key.Conn).Intersects(label.Conns(en.best[st])) {
 					ok = true
 					en.stats.CautionSaves++
+					if en.tracer != nil {
+						en.tracer.OnPrune(CautionSave, tr.rel, tr.toSeg, lu)
+					}
 				}
 			}
 			if !ok {
 				en.stats.PrunedBestU++
+				if en.tracer != nil {
+					en.tracer.OnPrune(PruneBestU, tr.rel, tr.toSeg, lu)
+				}
 				continue
 			}
 			// Line (12).
@@ -135,6 +152,9 @@ func (en *engine) cautionSet(c connector.Connector) connector.Set {
 func (en *engine) offerAll(comps []trans, lv label.Label) {
 	for _, tr := range comps {
 		if en.visited[tr.rel.To] {
+			if en.tracer != nil {
+				en.tracer.OnPrune(PruneCycle, tr.rel, len(en.pat.segs), lv)
+			}
 			continue // the completed expression would be cyclic
 		}
 		en.offer(tr.rel, label.Con(lv, label.MustEdge(tr.rel.Conn)))
@@ -142,14 +162,26 @@ func (en *engine) offerAll(comps []trans, lv label.Label) {
 }
 
 // offer considers one complete consistent path: the current edge stack
-// plus final edge rel, with whole-path label l. It maintains best[T]
-// (lines 3–4) and the optimal path set (the update procedure of
-// Section 4.5).
+// plus final edge rel, with whole-path label l, and reports the
+// outcome to the tracer.
 func (en *engine) offer(rel schema.Rel, l label.Label) {
 	en.stats.Offers++
+	accepted := en.admit(rel, l)
+	if en.tracer != nil {
+		rels := make([]schema.RelID, 0, len(en.path)+1)
+		rels = append(rels, en.path...)
+		rels = append(rels, rel.ID)
+		en.tracer.OnOffer(rels, l, accepted)
+	}
+}
+
+// admit maintains best[T] (lines 3–4) and the optimal path set (the
+// update procedure of Section 4.5) for one offered path, reporting
+// whether the path joined the candidate set.
+func (en *engine) admit(rel schema.Rel, l label.Label) bool {
 	key := l.Key()
 	if !label.In(key, en.bestT, en.e) {
-		return
+		return false
 	}
 	en.bestT = label.AggStar(append(en.bestT, key), en.e)
 
@@ -169,11 +201,11 @@ func (en *engine) offer(rel schema.Rel, l label.Label) {
 	rels = append(rels, rel.ID)
 	sig := sigFor(rels)
 	if en.foundKeys[sig] {
-		return // same edge sequence reached through a different gap split
+		return false // same edge sequence reached through a different gap split
 	}
 	if en.opts.MaxPaths > 0 && len(en.found) >= en.opts.MaxPaths {
 		en.truncated = true
-		return
+		return false
 	}
 	resolved, err := pathexpr.FromRels(en.s, en.pat.root, rels)
 	if err != nil {
@@ -182,6 +214,7 @@ func (en *engine) offer(rel schema.Rel, l label.Label) {
 	}
 	en.foundKeys[sig] = true
 	en.found = append(en.found, Completion{Path: resolved, Label: l})
+	return true
 }
 
 func sigFor(rels []schema.RelID) string {
@@ -262,7 +295,13 @@ func (en *engine) transitions(v schema.ClassID, seg int) (comps, kids []trans) {
 func (en *engine) assemble() *Result {
 	found := en.found
 	if !en.opts.NoPreemption {
-		found = preempt(found)
+		var onDrop func(dropped, by Completion)
+		if en.tracer != nil {
+			onDrop = func(dropped, by Completion) {
+				en.tracer.OnPreempt(dropped.Path, by.Path)
+			}
+		}
+		found = preempt(found, onDrop)
 	}
 	if en.opts.PreferSpecific {
 		found = preferSpecific(found)

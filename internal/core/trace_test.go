@@ -1,0 +1,197 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/sdl"
+	"pathcomplete/internal/uni"
+)
+
+// countKinds tallies trace events by kind.
+func countKinds(evs []TraceEvent) map[string]int {
+	m := make(map[string]int)
+	for _, ev := range evs {
+		m[ev.Kind]++
+	}
+	return m
+}
+
+// TestTraceMatchesStats is the core invariant of the tracing layer:
+// the per-kind event counts of a recorded search must equal the
+// Stats aggregates the engine reports for the same search — the trace
+// is the ordered refinement of Figure 7's counters, not a parallel
+// bookkeeping that can drift.
+func TestTraceMatchesStats(t *testing.T) {
+	s := uni.New()
+	for _, tc := range []struct {
+		expr string
+		opts Options
+	}{
+		{"ta~name", Paper()},
+		{"ta~name", Safe()},
+		{"ta~course", Exact()},
+		{"department~name", Paper()},
+	} {
+		rec := NewTraceRecorder(s, -1)
+		opts := tc.opts
+		opts.Tracer = rec
+		res, err := New(s, opts).Complete(pathexpr.MustParse(tc.expr))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.expr, err)
+		}
+		kinds := countKinds(rec.Events)
+		if kinds["enter"] != res.Stats.Calls {
+			t.Errorf("%s: enter events = %d, Stats.Calls = %d", tc.expr, kinds["enter"], res.Stats.Calls)
+		}
+		if got := kinds["offer"] + kinds["offer_rejected"]; got != res.Stats.Offers {
+			t.Errorf("%s: offer events = %d, Stats.Offers = %d", tc.expr, got, res.Stats.Offers)
+		}
+		if kinds["prune_bestT"] != res.Stats.PrunedBestT {
+			t.Errorf("%s: prune_bestT events = %d, Stats.PrunedBestT = %d", tc.expr, kinds["prune_bestT"], res.Stats.PrunedBestT)
+		}
+		if kinds["prune_bestU"] != res.Stats.PrunedBestU {
+			t.Errorf("%s: prune_bestU events = %d, Stats.PrunedBestU = %d", tc.expr, kinds["prune_bestU"], res.Stats.PrunedBestU)
+		}
+		if kinds["caution_save"] != res.Stats.CautionSaves {
+			t.Errorf("%s: caution_save events = %d, Stats.CautionSaves = %d", tc.expr, kinds["caution_save"], res.Stats.CautionSaves)
+		}
+	}
+}
+
+// TestTraceEventSequence pins the shape of a known trace: the
+// flagship ta~name query on the Figure 2 schema.
+func TestTraceEventSequence(t *testing.T) {
+	s := uni.New()
+	rec := NewTraceRecorder(s, -1)
+	opts := Paper()
+	opts.Tracer = rec
+	res, err := New(s, opts).Complete(pathexpr.MustParse("ta~name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Completions) != 2 {
+		t.Fatalf("completions = %v", res.Strings())
+	}
+	if len(rec.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	first := rec.Events[0]
+	if first.Kind != "enter" || first.Class != "ta" || first.Seg != 0 || first.Depth != 0 || first.Step != 0 {
+		t.Errorf("first event = %+v, want enter ta seg=0 depth=0", first)
+	}
+	// Steps number densely from 0.
+	for i, ev := range rec.Events {
+		if ev.Step != i {
+			t.Fatalf("event %d has step %d", i, ev.Step)
+		}
+	}
+	// Both returned completions were offered and accepted.
+	offered := make(map[string]bool)
+	for _, ev := range rec.Events {
+		if ev.Kind == "offer" {
+			offered[ev.Path] = true
+		}
+	}
+	for _, want := range []string{
+		"ta@>grad@>student@>person.name",
+		"ta@>instructor@>teacher@>employee@>person.name",
+	} {
+		if !offered[want] {
+			t.Errorf("accepted offer for %s missing; offers = %v", want, offered)
+		}
+	}
+	// The events are JSON-shaped for the HTTP transport.
+	b, err := json.Marshal(rec.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"kind":"enter"`) {
+		t.Errorf("marshalled trace missing kinds: %s", b[:120])
+	}
+}
+
+// TestTracePreempt exercises OnPreempt on a schema where the
+// Inheritance Semantics Criterion shadows a completion: `name` on a
+// subclass preempts the same attribute inherited via the superclass.
+func TestTracePreempt(t *testing.T) {
+	s, err := sdl.Parse(strings.NewReader(
+		"schema shadow\nisa root mid\nisa mid top\nattr mid name C\nattr top name C\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewTraceRecorder(s, -1)
+	opts := Paper()
+	opts.Tracer = rec
+	res, err := New(s, opts).Complete(pathexpr.MustParse("root~name"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Strings(); len(got) != 1 || got[0] != "root@>mid.name" {
+		t.Fatalf("completions = %v, want the preempting path only", got)
+	}
+	var pre []TraceEvent
+	for _, ev := range rec.Events {
+		if ev.Kind == "preempt" {
+			pre = append(pre, ev)
+		}
+	}
+	if len(pre) != 1 {
+		t.Fatalf("preempt events = %+v, want exactly one", pre)
+	}
+	if pre[0].Path != "root@>mid@>top.name" || pre[0].By != "root@>mid.name" {
+		t.Errorf("preempt = %+v", pre[0])
+	}
+}
+
+// TestTraceRecorderLimit checks the event cap and overflow counting.
+func TestTraceRecorderLimit(t *testing.T) {
+	s := uni.New()
+	rec := NewTraceRecorder(s, 5)
+	opts := Paper()
+	opts.Tracer = rec
+	if _, err := New(s, opts).Complete(pathexpr.MustParse("ta~name")); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) != 5 {
+		t.Errorf("events = %d, want 5", len(rec.Events))
+	}
+	if rec.Dropped == 0 {
+		t.Error("expected dropped events beyond the limit")
+	}
+	// The default limit applies when Limit is 0.
+	rec0 := NewTraceRecorder(s, 0)
+	opts.Tracer = rec0
+	if _, err := New(s, opts).Complete(pathexpr.MustParse("ta~name")); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec0.Events) > DefaultTraceLimit {
+		t.Errorf("events = %d exceeds DefaultTraceLimit", len(rec0.Events))
+	}
+}
+
+// TestTraceDoesNotPerturbSearch: a traced search must return exactly
+// what the untraced search returns, stats included.
+func TestTraceDoesNotPerturbSearch(t *testing.T) {
+	s := uni.New()
+	for _, expr := range []string{"ta~name", "ta~course", "student~department"} {
+		plain, err := New(s, Paper()).Complete(pathexpr.MustParse(expr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Paper()
+		opts.Tracer = NewTraceRecorder(s, -1)
+		traced, err := New(s, opts).Complete(pathexpr.MustParse(expr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a, b := plain.Strings(), traced.Strings(); strings.Join(a, ";") != strings.Join(b, ";") {
+			t.Errorf("%s: traced completions differ: %v vs %v", expr, a, b)
+		}
+		if plain.Stats != traced.Stats {
+			t.Errorf("%s: traced stats differ: %+v vs %+v", expr, plain.Stats, traced.Stats)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HTTPMetrics bundles the standard server-side HTTP metrics:
+//
+//	http_requests_total{path,method,code}   per-endpoint request counter
+//	http_request_duration_seconds{path}     per-endpoint latency histogram
+//	http_in_flight_requests                 requests currently being served
+//
+// Construct one per Registry with NewHTTPMetrics and wrap the root
+// handler with Wrap.
+type HTTPMetrics struct {
+	requests *CounterVec
+	duration *HistogramVec
+	inFlight *Gauge
+}
+
+// NewHTTPMetrics registers the HTTP metric families on r.
+func NewHTTPMetrics(r *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: r.CounterVec("http_requests_total",
+			"HTTP requests served, by route, method, and status code.",
+			"path", "method", "code"),
+		duration: r.HistogramVec("http_request_duration_seconds",
+			"HTTP request latency in seconds, by route.",
+			DefBuckets(), "path"),
+		inFlight: r.Gauge("http_in_flight_requests",
+			"HTTP requests currently being served."),
+	}
+}
+
+// RequestIDHeader is the header carrying the request ID. An inbound
+// value is trusted (so IDs propagate across hops); otherwise a fresh
+// random ID is generated. The response always echoes the header.
+const RequestIDHeader = "X-Request-Id"
+
+// statusWriter captures the status code and body size written by the
+// wrapped handler.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Wrap instruments next with the HTTP metrics and, when logger is
+// non-nil, structured request logging with request IDs.
+//
+// routes lists the known route paths; a request is attributed to the
+// longest route that matches it exactly or (for routes ending in "/")
+// by prefix, and to "other" when none does. Normalizing the path label
+// through a fixed allowlist keeps metric cardinality bounded no matter
+// what paths a hostile client probes.
+func (m *HTTPMetrics) Wrap(logger *slog.Logger, routes []string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inFlight.Inc()
+		defer m.inFlight.Dec()
+
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+
+		route := NormalizeRoute(routes, r.URL.Path)
+		elapsed := time.Since(start)
+		m.requests.With(route, r.Method, strconv.Itoa(sw.status)).Inc()
+		m.duration.With(route).Observe(elapsed.Seconds())
+
+		if logger != nil {
+			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", elapsed),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}
+
+// NormalizeRoute maps a concrete request path onto the route
+// allowlist: the longest entry that equals the path, or whose value
+// ends in "/" and prefixes the path, wins; unmatched paths collapse to
+// "other".
+func NormalizeRoute(routes []string, path string) string {
+	best := ""
+	for _, rt := range routes {
+		if rt == path || (strings.HasSuffix(rt, "/") && strings.HasPrefix(path, rt)) {
+			if len(rt) > len(best) {
+				best = rt
+			}
+		}
+	}
+	if best == "" {
+		return "other"
+	}
+	return best
+}
+
+// newRequestID returns 16 hex characters of crypto/rand entropy.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000deadbeef" // rand failure: still serve the request
+	}
+	return hex.EncodeToString(b[:])
+}

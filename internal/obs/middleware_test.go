@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNormalizeRoute(t *testing.T) {
+	routes := []string{"/complete", "/metrics", "/debug/pprof/"}
+	cases := []struct{ path, want string }{
+		{"/complete", "/complete"},
+		{"/metrics", "/metrics"},
+		{"/debug/pprof/heap", "/debug/pprof/"},
+		{"/debug/pprof/", "/debug/pprof/"},
+		{"/nope", "other"},
+		{"/complete/extra", "other"},
+	}
+	for _, tc := range cases {
+		if got := NormalizeRoute(routes, tc.path); got != tc.want {
+			t.Errorf("NormalizeRoute(%q) = %q, want %q", tc.path, got, tc.want)
+		}
+	}
+}
+
+func TestMiddlewareMetricsAndLogging(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg)
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ok", func(w http.ResponseWriter, r *http.Request) {
+		if m.inFlight.Value() != 1 {
+			t.Errorf("in-flight during request = %d", m.inFlight.Value())
+		}
+		w.Write([]byte("hello"))
+	})
+	mux.HandleFunc("/fail", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	h := m.Wrap(logger, []string{"/ok", "/fail"}, mux)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	for _, path := range []string{"/ok", "/ok", "/fail", "/unknown"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header.Get(RequestIDHeader) == "" {
+			t.Errorf("%s: missing %s response header", path, RequestIDHeader)
+		}
+		resp.Body.Close()
+	}
+
+	// A caller-supplied request ID propagates to the response and log.
+	req, _ := http.NewRequest("GET", ts.URL+"/ok", nil)
+	req.Header.Set(RequestIDHeader, "trace-me-123")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "trace-me-123" {
+		t.Errorf("request id = %q, want propagation", got)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`http_requests_total{path="/ok",method="GET",code="200"} 3`,
+		`http_requests_total{path="/fail",method="GET",code="500"} 1`,
+		`http_requests_total{path="other",method="GET",code="404"} 1`,
+		`http_in_flight_requests 0`,
+		`http_request_duration_seconds_count{path="/ok"} 3`,
+		`# TYPE http_request_duration_seconds histogram`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	logs := logBuf.String()
+	if !strings.Contains(logs, "trace-me-123") {
+		t.Errorf("log missing propagated request id:\n%s", logs)
+	}
+	if !strings.Contains(logs, "status=500") || !strings.Contains(logs, "path=/fail") {
+		t.Errorf("log missing failure line:\n%s", logs)
+	}
+	if got := strings.Count(logs, "msg=request"); got != 5 {
+		t.Errorf("log lines = %d, want 5:\n%s", got, logs)
+	}
+}
+
+func TestMiddlewareNilLogger(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg)
+	h := m.Wrap(nil, []string{"/x"}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// No explicit WriteHeader/Write: status must default to 200.
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/x", nil))
+	if rr.Code != http.StatusOK {
+		t.Errorf("status = %d", rr.Code)
+	}
+	if m.requests.With("/x", "GET", "200").Value() != 1 {
+		t.Error("implicit 200 not counted")
+	}
+}

@@ -1,0 +1,412 @@
+// Package obs is the observability layer of the repository: a
+// stdlib-only metrics registry with Prometheus text exposition
+// (counters, gauges, fixed-bucket histograms, and their labeled
+// variants) plus HTTP server instrumentation (request logging with
+// request IDs, per-endpoint counters and latency histograms, and an
+// in-flight gauge).
+//
+// The paper evaluates Algorithm 2 through per-query effort counters
+// (Figure 7); core.Stats captures them per search, and this package is
+// what aggregates them across a serving process so a regression in the
+// hot path is visible on a dashboard rather than anecdotal. The
+// implementation is deliberately small — atomic counters, a sorted
+// write path, no dependency on a metrics client library — matching the
+// zero-dependency go.mod.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (which must be non-negative; negative deltas belong on a
+// Gauge).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. Buckets are upper bounds in
+// increasing order; an implicit +Inf bucket catches the rest. All
+// methods are safe for concurrent use.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; the last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefBuckets are general-purpose latency buckets in seconds, from
+// 100µs (a warm in-memory completion) to 10s (a search that blew its
+// interactive budget).
+func DefBuckets() []float64 {
+	return []float64{1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// metricKind discriminates exposition types.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one metric name: its metadata plus the series living under
+// it (one for a plain metric, one per label-value combination for a
+// vec).
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string // label names; nil for a plain metric
+
+	mu     sync.Mutex
+	series map[string]any // rendered label string → *Counter | *Gauge | *Histogram
+	order  []string       // sorted keys of series
+	// vec constructor state
+	bounds []float64 // histogram buckets
+}
+
+func (f *family) get(labelStr string, mk func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[labelStr]; ok {
+		return s
+	}
+	s := mk()
+	f.series[labelStr] = s
+	f.order = append(f.order, labelStr)
+	sort.Strings(f.order)
+	return s
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Metric registration is idempotent:
+// re-registering a name returns the existing metric, and panics only
+// if the type or label set differs (a programming error).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind metricKind, labels []string, bounds []float64) *family {
+	if !validName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic("obs: invalid label name " + strconv.Quote(l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic("obs: metric " + name + " re-registered with a different type or label set")
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic("obs: metric " + name + " re-registered with different labels")
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels: append([]string(nil), labels...),
+		series: make(map[string]any),
+		bounds: append([]float64(nil), bounds...),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or returns) the plain counter with the given
+// name.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, kindCounter, nil, nil)
+	return f.get("", func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge registers (or returns) the plain gauge with the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, kindGauge, nil, nil)
+	return f.get("", func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram registers (or returns) the plain histogram with the given
+// name and bucket upper bounds.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.family(name, help, kindHistogram, nil, buckets)
+	return f.get("", func() any { return newHistogram(f.bounds) }).(*Histogram)
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values (one per label
+// name, in registration order).
+func (v *CounterVec) With(values ...string) *Counter {
+	ls := renderLabels(v.f.labels, values)
+	return v.f.get(ls, func() any { return new(Counter) }).(*Counter)
+}
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	ls := renderLabels(v.f.labels, values)
+	return v.f.get(ls, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, kindHistogram, labels, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	ls := renderLabels(v.f.labels, values)
+	return v.f.get(ls, func() any { return newHistogram(v.f.bounds) }).(*Histogram)
+}
+
+// renderLabels renders a label set as `a="x",b="y"` with escaped
+// values; it is the canonical series key and the exposition substring.
+func renderLabels(names, values []string) string {
+	if len(names) != len(values) {
+		panic(fmt.Sprintf("obs: %d label values for %d label names", len(values), len(names)))
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteText renders every family in the Prometheus text exposition
+// format (version 0.0.4), families sorted by name and series by label
+// string, so the output is deterministic given deterministic values.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		f.write(bw)
+	}
+	return bw.Flush()
+}
+
+func (f *family) write(bw *bufio.Writer) {
+	f.mu.Lock()
+	order := append([]string(nil), f.order...)
+	series := make([]any, len(order))
+	for i, k := range order {
+		series[i] = f.series[k]
+	}
+	f.mu.Unlock()
+	if len(series) == 0 {
+		return
+	}
+	if f.help != "" {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+	}
+	fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+	for i, s := range series {
+		ls := order[i]
+		switch m := s.(type) {
+		case *Counter:
+			writeSample(bw, f.name, ls, formatUint(m.Value()))
+		case *Gauge:
+			writeSample(bw, f.name, ls, strconv.FormatInt(m.Value(), 10))
+		case *Histogram:
+			var cum uint64
+			for bi, bound := range m.bounds {
+				cum += m.counts[bi].Load()
+				writeSample(bw, f.name+"_bucket", joinLabels(ls, `le="`+formatFloat(bound)+`"`), formatUint(cum))
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			writeSample(bw, f.name+"_bucket", joinLabels(ls, `le="+Inf"`), formatUint(cum))
+			writeSample(bw, f.name+"_sum", ls, formatFloat(m.Sum()))
+			writeSample(bw, f.name+"_count", ls, formatUint(m.Count()))
+		}
+	}
+}
+
+func writeSample(bw *bufio.Writer, name, labels, value string) {
+	bw.WriteString(name)
+	if labels != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Handler returns an http.Handler serving the exposition at any path
+// it is mounted on (conventionally GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

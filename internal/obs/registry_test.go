@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the Prometheus text exposition format:
+// families sorted by name, HELP then TYPE then samples, histograms as
+// cumulative buckets plus _sum and _count.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "Jobs processed.").Add(3)
+	r.Gauge("queue_depth", "Current queue depth.").Set(7)
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+	v := r.CounterVec("req_total", "Requests.", "path", "code")
+	v.With("/a", "200").Inc()
+	v.With("/a", "500").Add(2)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP jobs_total Jobs processed.
+# TYPE jobs_total counter
+jobs_total 3
+# HELP latency_seconds Latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.5"} 1
+latency_seconds_bucket{le="1"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 3
+latency_seconds_count 3
+# HELP queue_depth Current queue depth.
+# TYPE queue_depth gauge
+queue_depth 7
+# HELP req_total Requests.
+# TYPE req_total counter
+req_total{path="/a",code="200"} 1
+req_total{path="/a",code="500"} 2
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.")
+	b := r.Counter("x_total", "X.")
+	if a != b {
+		t.Error("re-registering a counter should return the same instance")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Errorf("value = %d", b.Value())
+	}
+	v := r.CounterVec("y_total", "Y.", "k")
+	if v.With("1") != v.With("1") {
+		t.Error("same label values should return the same series")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("type mismatch should panic")
+			}
+		}()
+		r.Gauge("x_total", "X as a gauge.")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid name should panic")
+			}
+		}()
+		r.Counter("bad name", "")
+	}()
+}
+
+func TestGaugeUpDown(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(-5)
+	if g.Value() != -4 {
+		t.Errorf("gauge = %d", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 50, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Sum() != 1053 {
+		t.Errorf("sum = %g", h.Sum())
+	}
+	// Raw (non-cumulative) bucket contents: le=1 gets {0.5, 1} —
+	// bounds are inclusive upper bounds.
+	got := []uint64{h.counts[0].Load(), h.counts[1].Load(), h.counts[2].Load(), h.counts[3].Load()}
+	want := []uint64{2, 1, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("e_total", "", "k").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `e_total{k="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+// TestConcurrentUpdates hammers every metric type from several
+// goroutines while the exposition path scrapes concurrently; run
+// under -race (the Makefile race target) this is the data-race proof
+// for the registry.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", DefBuckets())
+	v := r.CounterVec("v_total", "", "i")
+
+	const workers, iters = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) / 100)
+				v.With(strconv.Itoa(i % 3)).Inc()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if err := r.WriteText(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	const total = workers * iters
+	if c.Value() != total {
+		t.Errorf("counter = %d, want %d", c.Value(), total)
+	}
+	if g.Value() != total {
+		t.Errorf("gauge = %d, want %d", g.Value(), total)
+	}
+	if h.Count() != total {
+		t.Errorf("histogram count = %d, want %d", h.Count(), total)
+	}
+	var vecSum uint64
+	for i := 0; i < 3; i++ {
+		vecSum += v.With(strconv.Itoa(i)).Value()
+	}
+	if vecSum != total {
+		t.Errorf("vec sum = %d, want %d", vecSum, total)
+	}
+}

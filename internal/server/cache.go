@@ -1,0 +1,78 @@
+package server
+
+// A size-bounded LRU over completion results. The memo cache is what
+// makes the interactive loop feel instant (the user refines an
+// expression; everything already explored re-answers from memory), but
+// an unbounded map is a memory leak under a hostile query stream: each
+// distinct (expression, E) pair is a new key, and expressions are
+// attacker-controlled. The bound turns the worst case into a working
+// set; evictions are surfaced as a metric so an operator can see when
+// the cap is too small for the real workload.
+
+import (
+	"container/list"
+
+	"pathcomplete/internal/core"
+)
+
+// DefaultCacheCap bounds the completion memo cache when the caller
+// does not choose a size. Completion results are small (a handful of
+// resolved paths), so a few thousand entries is cheap; the value is a
+// safety bound, not a tuning parameter.
+const DefaultCacheCap = 4096
+
+type cacheKey struct {
+	expr string
+	e    int
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *core.Result
+}
+
+// lruCache is a plain LRU map+list. It is not safe for concurrent use;
+// the Server guards it with its mutex.
+type lruCache struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCap
+	}
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[cacheKey]*list.Element)}
+}
+
+// get returns the cached result and refreshes its recency.
+func (c *lruCache) get(k cacheKey) (*core.Result, bool) {
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts (or refreshes) a result and reports how many entries the
+// size bound evicted (0 or 1).
+func (c *lruCache) put(k cacheKey, res *core.Result) int {
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return 0
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, res: res})
+	evicted := 0
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

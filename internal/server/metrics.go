@@ -1,0 +1,87 @@
+package server
+
+// Metric definitions for the HTTP service. Everything the search
+// already knows about its own effort (core.Stats — the quantities
+// behind Figure 7 of the paper) is aggregated here across queries, so
+// a fleet of pathserve processes can be scraped and a hot-path
+// regression shows up as a slope change rather than an anecdote.
+
+import (
+	"time"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/obs"
+)
+
+// metrics holds every service-level metric, registered on one
+// obs.Registry (exposed at GET /metrics).
+type metrics struct {
+	// Search effort, aggregated from core.Stats per completed query.
+	searches      *obs.Counter
+	searchCalls   *obs.Counter
+	searchOffers  *obs.Counter
+	prunedBestT   *obs.Counter
+	prunedBestU   *obs.Counter
+	cautionSaves  *obs.Counter
+	exhausted     *obs.Counter
+	truncated     *obs.Counter
+	completions   *obs.Counter
+	searchSeconds *obs.Histogram
+
+	// Completion memo cache.
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheSize      *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		searches: reg.Counter("pathcomplete_searches_total",
+			"Completion searches executed (cache misses and traced queries)."),
+		searchCalls: reg.Counter("pathcomplete_search_traverse_calls_total",
+			"Recursive traverse calls across all searches (the paper's Figure 7 cost metric)."),
+		searchOffers: reg.Counter("pathcomplete_search_offers_total",
+			"Complete consistent paths offered to update() across all searches."),
+		prunedBestT: reg.Counter("pathcomplete_search_pruned_bestt_total",
+			"Children pruned by the best[T] bound (Algorithm 2 line 9)."),
+		prunedBestU: reg.Counter("pathcomplete_search_pruned_bestu_total",
+			"Children pruned by the per-node best[u] test (Algorithm 2 lines 10-11)."),
+		cautionSaves: reg.Counter("pathcomplete_search_caution_saves_total",
+			"Children that failed best[u] but were explored due to a caution-set intersection (Section 4.1)."),
+		exhausted: reg.Counter("pathcomplete_search_exhausted_total",
+			"Searches stopped early by the MaxCalls budget."),
+		truncated: reg.Counter("pathcomplete_search_truncated_total",
+			"Searches whose answer set was truncated by MaxPaths."),
+		completions: reg.Counter("pathcomplete_search_completions_total",
+			"Optimal completions returned across all searches."),
+		searchSeconds: reg.Histogram("pathcomplete_search_duration_seconds",
+			"Wall-clock latency of one completion search.", obs.DefBuckets()),
+		cacheHits: reg.Counter("pathcomplete_cache_hits_total",
+			"Completion requests answered from the memo cache."),
+		cacheMisses: reg.Counter("pathcomplete_cache_misses_total",
+			"Completion requests that ran a fresh search."),
+		cacheEvictions: reg.Counter("pathcomplete_cache_evictions_total",
+			"Memo cache entries evicted by the LRU size bound."),
+		cacheSize: reg.Gauge("pathcomplete_cache_entries",
+			"Memo cache entries currently resident."),
+	}
+}
+
+// observeSearch folds one completed search into the aggregates.
+func (m *metrics) observeSearch(res *core.Result, elapsed time.Duration) {
+	m.searches.Inc()
+	m.searchCalls.Add(uint64(res.Stats.Calls))
+	m.searchOffers.Add(uint64(res.Stats.Offers))
+	m.prunedBestT.Add(uint64(res.Stats.PrunedBestT))
+	m.prunedBestU.Add(uint64(res.Stats.PrunedBestU))
+	m.cautionSaves.Add(uint64(res.Stats.CautionSaves))
+	m.completions.Add(uint64(len(res.Completions)))
+	if res.Exhausted {
+		m.exhausted.Inc()
+	}
+	if res.Truncated {
+		m.truncated.Inc()
+	}
+	m.searchSeconds.Observe(elapsed.Seconds())
+}

@@ -2,33 +2,57 @@
 // service — the shape an interactive interface of the kind the paper
 // targets (Figure 1) would consume. Endpoints:
 //
-//	GET  /healthz            liveness
+//	GET  /healthz            liveness (JSON: status, schema, uptime)
 //	GET  /schema             the schema in SDL text form
 //	GET  /stats              schema shape statistics (JSON)
+//	GET  /metrics            Prometheus text exposition (search effort,
+//	                         latency histograms, cache, HTTP)
+//	GET  /buildinfo          build and runtime introspection (JSON)
 //	POST /complete           {"expr": "ta~name", "e": 2} →
-//	                         candidate completions with labels and stats
+//	                         candidate completions with labels and stats;
+//	                         add "trace": true for the traversal event log
 //	POST /evaluate           {"expr": "ta~name", "approve": [0]} →
 //	                         the evaluation of the approved completions
 //	                         (requires an object store)
 //
-// Completion results are memoized per (expression, E), which is what
-// an interactive loop wants: the user refines an expression, the
-// server re-answers instantly for anything already explored.
+// net/http/pprof can additionally be mounted under /debug/pprof/ via
+// HandlerConfig.PProf.
+//
+// Completion results are memoized per (expression, E) in a bounded LRU
+// cache, which is what an interactive loop wants: the user refines an
+// expression, the server re-answers instantly for anything already
+// explored. Every request is instrumented: per-endpoint counters and
+// latency histograms, per-search effort aggregates from core.Stats,
+// and (when a logger is configured) structured request logs keyed by
+// request ID.
 package server
 
 import (
 	"encoding/json"
-	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"pathcomplete/internal/core"
 	"pathcomplete/internal/fox"
 	"pathcomplete/internal/objstore"
+	"pathcomplete/internal/obs"
 	"pathcomplete/internal/pathexpr"
 	"pathcomplete/internal/schema"
 	"pathcomplete/internal/sdl"
+
+	"log/slog"
 )
+
+// Routes lists every route the server can mount, in the form the
+// obs middleware uses to normalize metric labels.
+var Routes = []string{
+	"/healthz", "/schema", "/stats", "/metrics", "/buildinfo",
+	"/complete", "/evaluate", "/debug/pprof/",
+}
 
 // Server serves one schema (and optionally one object store). It is
 // safe for concurrent use.
@@ -36,34 +60,116 @@ type Server struct {
 	s     *schema.Schema
 	store *objstore.Store // may be nil: /evaluate then returns 404
 	opts  core.Options
+	start time.Time
+
+	reg   *obs.Registry
+	met   *metrics
+	httpM *obs.HTTPMetrics
 
 	mu    sync.Mutex
-	cache map[cacheKey]*core.Result
-}
-
-type cacheKey struct {
-	expr string
-	e    int
+	cache *lruCache
 }
 
 // New returns a server over the schema with the given base engine
-// options; store may be nil when only completion is wanted.
+// options; store may be nil when only completion is wanted. The
+// server carries its own metrics registry (see Registry) and a memo
+// cache bounded at DefaultCacheCap (see SetCacheCap).
 func New(s *schema.Schema, store *objstore.Store, opts core.Options) *Server {
-	return &Server{s: s, store: store, opts: opts, cache: make(map[cacheKey]*core.Result)}
+	reg := obs.NewRegistry()
+	return &Server{
+		s:     s,
+		store: store,
+		opts:  opts,
+		start: time.Now(),
+		reg:   reg,
+		met:   newMetrics(reg),
+		httpM: obs.NewHTTPMetrics(reg),
+		cache: newLRU(DefaultCacheCap),
+	}
 }
 
-// Handler returns the HTTP handler with all endpoints mounted.
-func (sv *Server) Handler() http.Handler {
+// Registry returns the server's metrics registry (what GET /metrics
+// exposes), so a binary embedding the server can register its own
+// metrics alongside.
+func (sv *Server) Registry() *obs.Registry { return sv.reg }
+
+// SetCacheCap rebounds the completion memo cache to at most n entries
+// (n <= 0 restores DefaultCacheCap), dropping the current contents.
+// Call it before serving traffic.
+func (sv *Server) SetCacheCap(n int) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.cache = newLRU(n)
+	sv.met.cacheSize.Set(0)
+}
+
+// HandlerConfig configures optional handler features.
+type HandlerConfig struct {
+	// Logger, when non-nil, receives one structured line per request
+	// (request ID, method, path, status, bytes, duration, remote).
+	Logger *slog.Logger
+	// PProf mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiling endpoints can stall the process and do not belong on
+	// an unauthenticated public port.
+	PProf bool
+}
+
+// Handler returns the HTTP handler with all standard endpoints
+// mounted and metrics instrumentation installed (no request logging,
+// no pprof).
+func (sv *Server) Handler() http.Handler { return sv.HandlerWith(HandlerConfig{}) }
+
+// HandlerWith is Handler with the optional features configured.
+func (sv *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", sv.handleHealthz)
 	mux.HandleFunc("GET /schema", sv.handleSchema)
 	mux.HandleFunc("GET /stats", sv.handleStats)
+	mux.HandleFunc("GET /buildinfo", sv.handleBuildInfo)
+	mux.Handle("GET /metrics", sv.reg.Handler())
 	mux.HandleFunc("POST /complete", sv.handleComplete)
 	mux.HandleFunc("POST /evaluate", sv.handleEvaluate)
-	return mux
+	if cfg.PProf {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return sv.httpM.Wrap(cfg.Logger, Routes, mux)
+}
+
+func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"schema":        sv.s.Name(),
+		"uptimeSeconds": time.Since(sv.start).Seconds(),
+	})
+}
+
+func (sv *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{
+		"goVersion":  runtime.Version(),
+		"goroutines": runtime.NumGoroutine(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"os":         runtime.GOOS,
+		"arch":       runtime.GOARCH,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		out["module"] = bi.Main.Path
+		out["version"] = bi.Main.Version
+		settings := make(map[string]string)
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision", "vcs.time", "vcs.modified", "GOFLAGS":
+				settings[s.Key] = s.Value
+			}
+		}
+		if len(settings) > 0 {
+			out["build"] = settings
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (sv *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
@@ -97,6 +203,13 @@ type CompleteRequest struct {
 	// Approve lists, for /evaluate, the indices of the approved
 	// completions; empty approves all.
 	Approve []int `json:"approve,omitempty"`
+	// Trace requests the structured traversal event log for this
+	// query. Traced requests always run a fresh search (the memo cache
+	// is bypassed on lookup, though the result is still stored).
+	Trace bool `json:"trace,omitempty"`
+	// TraceLimit caps the number of returned trace events (0:
+	// core.DefaultTraceLimit).
+	TraceLimit int `json:"traceLimit,omitempty"`
 }
 
 // CompletionJSON is one candidate in a completion response.
@@ -106,37 +219,82 @@ type CompletionJSON struct {
 	SemLen int    `json:"semlen"`
 }
 
+// SearchStatsJSON mirrors core.Stats for one query.
+type SearchStatsJSON struct {
+	Calls        int `json:"calls"`
+	Offers       int `json:"offers"`
+	PrunedBestT  int `json:"prunedBestT"`
+	PrunedBestU  int `json:"prunedBestU"`
+	CautionSaves int `json:"cautionSaves"`
+}
+
 // CompleteResponse is the body of a /complete response.
 type CompleteResponse struct {
 	Expr        string           `json:"expr"`
 	Completions []CompletionJSON `json:"completions"`
 	Calls       int              `json:"calls"`
 	Truncated   bool             `json:"truncated,omitempty"`
+	Exhausted   bool             `json:"exhausted,omitempty"`
+	Cached      bool             `json:"cached,omitempty"`
+	// Stats carries the per-query effort counters when the search ran
+	// (absent on a cache hit).
+	Stats *SearchStatsJSON `json:"stats,omitempty"`
+	// Trace holds the traversal event log when the request asked for
+	// one; TraceDropped counts events beyond the recorder limit.
+	Trace        []core.TraceEvent `json:"trace,omitempty"`
+	TraceDropped int               `json:"traceDropped,omitempty"`
 }
 
-func (sv *Server) complete(req CompleteRequest) (*core.Result, pathexpr.Expr, int, error) {
+// completed bundles what handleComplete needs from one completion.
+type completed struct {
+	res    *core.Result
+	expr   pathexpr.Expr
+	cached bool
+	rec    *core.TraceRecorder
+}
+
+func (sv *Server) complete(req CompleteRequest) (completed, int, error) {
 	e, err := pathexpr.Parse(req.Expr)
 	if err != nil {
-		return nil, pathexpr.Expr{}, http.StatusBadRequest, err
+		return completed{}, http.StatusBadRequest, err
 	}
 	opts := sv.opts
 	if req.E > 0 {
 		opts.E = req.E
 	}
 	key := cacheKey{expr: e.String(), e: opts.E}
-	sv.mu.Lock()
-	res, ok := sv.cache[key]
-	sv.mu.Unlock()
-	if !ok {
-		res, err = core.New(sv.s, opts).Complete(e)
-		if err != nil {
-			return nil, pathexpr.Expr{}, http.StatusUnprocessableEntity, err
-		}
+	if !req.Trace {
 		sv.mu.Lock()
-		sv.cache[key] = res
+		res, ok := sv.cache.get(key)
 		sv.mu.Unlock()
+		if ok {
+			sv.met.cacheHits.Inc()
+			return completed{res: res, expr: e, cached: true}, http.StatusOK, nil
+		}
 	}
-	return res, e, http.StatusOK, nil
+	sv.met.cacheMisses.Inc()
+
+	var rec *core.TraceRecorder
+	if req.Trace {
+		rec = core.NewTraceRecorder(sv.s, req.TraceLimit)
+		opts.Tracer = rec
+	}
+	start := time.Now()
+	res, err := core.New(sv.s, opts).Complete(e)
+	if err != nil {
+		return completed{}, http.StatusUnprocessableEntity, err
+	}
+	sv.met.observeSearch(res, time.Since(start))
+
+	sv.mu.Lock()
+	evicted := sv.cache.put(key, res)
+	size := sv.cache.len()
+	sv.mu.Unlock()
+	if evicted > 0 {
+		sv.met.cacheEvictions.Add(uint64(evicted))
+	}
+	sv.met.cacheSize.Set(int64(size))
+	return completed{res: res, expr: e, rec: rec}, http.StatusOK, nil
 }
 
 func (sv *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
@@ -145,17 +303,40 @@ func (sv *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, e, status, err := sv.complete(req)
+	c, status, err := sv.complete(req)
 	if err != nil {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	out := CompleteResponse{Expr: e.String(), Calls: res.Stats.Calls, Truncated: res.Truncated}
-	for _, c := range res.Completions {
+	res := c.res
+	out := CompleteResponse{
+		Expr:      c.expr.String(),
+		Calls:     res.Stats.Calls,
+		Truncated: res.Truncated,
+		Exhausted: res.Exhausted,
+		Cached:    c.cached,
+	}
+	if !c.cached {
+		out.Stats = &SearchStatsJSON{
+			Calls:        res.Stats.Calls,
+			Offers:       res.Stats.Offers,
+			PrunedBestT:  res.Stats.PrunedBestT,
+			PrunedBestU:  res.Stats.PrunedBestU,
+			CautionSaves: res.Stats.CautionSaves,
+		}
+	}
+	if c.rec != nil {
+		out.Trace = c.rec.Events
+		if out.Trace == nil {
+			out.Trace = []core.TraceEvent{}
+		}
+		out.TraceDropped = c.rec.Dropped
+	}
+	for _, cc := range res.Completions {
 		out.Completions = append(out.Completions, CompletionJSON{
-			Path:   c.Path.String(),
-			Conn:   c.Label.Conn().String(),
-			SemLen: c.Label.SemLen(),
+			Path:   cc.Path.String(),
+			Conn:   cc.Label.Conn().String(),
+			SemLen: cc.Label.SemLen(),
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
