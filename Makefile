@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race cover bench bench-obs experiments fuzz fmt vet clean
+.PHONY: all build test test-race race cover bench bench-obs experiments fuzz fuzz-smoke chaos fmt vet clean
 
 all: build vet test
 
@@ -40,6 +40,17 @@ experiments:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/pathexpr
 	$(GO) test -fuzz=FuzzParseSDL -fuzztime=30s ./internal/sdl
+
+# CI-sized fuzzing: ~10s per target, enough to catch parser
+# regressions without holding up the pipeline.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s -run FuzzParse ./internal/pathexpr
+	$(GO) test -fuzz=FuzzParseSDL -fuzztime=10s -run FuzzParseSDL ./internal/sdl
+
+# The chaos drill on its own: fault injection under the race detector
+# with concurrent clients (internal/server/chaos_test.go).
+chaos:
+	$(GO) test -race -run TestChaos -count=1 -v ./internal/server
 
 fmt:
 	gofmt -w .

@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"pathcomplete/internal/core"
 	"pathcomplete/internal/cupid"
@@ -47,6 +48,7 @@ func main() {
 		dot        = flag.Bool("dot", false, "emit the schema in DOT form with the completions' edges highlighted")
 		trace      = flag.Bool("trace", false, "print the traversal event log of each search")
 		traceLimit = flag.Int("trace-limit", 0, "cap the trace at N events (0: default cap, negative: unlimited)")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget per search (0: none); an expired search prints its valid best-so-far completions")
 	)
 	flag.Parse()
 	if *why {
@@ -60,7 +62,7 @@ func main() {
 		schemaName: *schemaName, sdlPath: *sdlPath, engine: *engine, e: *e,
 		exclude: *exclude, eval: *eval, stats: *stats, explain: *explain,
 		specific: *specific, storePath: *storePath, dot: *dot,
-		trace: *trace, traceLimit: *traceLimit,
+		trace: *trace, traceLimit: *traceLimit, timeout: *timeout,
 	}, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "pathc:", err)
 		os.Exit(1)
@@ -72,6 +74,7 @@ type config struct {
 	schemaName, sdlPath, engine, exclude, storePath string
 	e, traceLimit                                   int
 	eval, stats, explain, specific, dot, trace      bool
+	timeout                                         time.Duration
 }
 
 // runWhy handles -why: explain the AGG comparison of two complete
@@ -122,6 +125,10 @@ func run(cfg config, args []string) error {
 	}
 	opts.E = cfg.e
 	opts.PreferSpecific = cfg.specific
+	if cfg.timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0, got %v", cfg.timeout)
+	}
+	opts.Deadline = cfg.timeout
 	if cfg.exclude != "" {
 		opts.Exclude = make(map[schema.ClassID]bool)
 		for _, name := range strings.Split(cfg.exclude, ",") {
@@ -160,7 +167,11 @@ func run(cfg config, args []string) error {
 			printTrace(os.Stdout, rec)
 		}
 		if len(res.Completions) == 0 {
-			fmt.Println("  (no consistent completion)")
+			if res.Aborted {
+				fmt.Printf("  (search stopped early: %s, before any completion was found)\n", res.StopReason)
+			} else {
+				fmt.Println("  (no consistent completion)")
+			}
 			return
 		}
 		for _, c := range res.Completions {
@@ -173,6 +184,10 @@ func run(cfg config, args []string) error {
 		}
 		if res.Truncated {
 			fmt.Println("  (answer set truncated)")
+		}
+		if res.Aborted {
+			fmt.Printf("  (search stopped early: %s; the completions above are the valid best-so-far subset)\n",
+				res.StopReason)
 		}
 		if cfg.dot {
 			hl := make(map[schema.RelID]bool)

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"pathcomplete/internal/core"
 	"pathcomplete/internal/pathexpr"
@@ -66,6 +67,19 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(config{schemaName: "university", engine: "nope", e: 1}, nil); err == nil {
 		t.Error("unknown engine should error")
+	}
+	if err := run(config{schemaName: "university", engine: "paper", e: 1, timeout: -time.Second}, nil); err == nil ||
+		!strings.Contains(err.Error(), "-timeout must be >= 0") {
+		t.Errorf("negative timeout: err = %v", err)
+	}
+}
+
+// TestRunTimeout: a generous -timeout completes normally; the flag
+// threads through to Options.Deadline without changing answers.
+func TestRunTimeout(t *testing.T) {
+	cfg := config{schemaName: "university", engine: "paper", e: 1, timeout: time.Minute}
+	if err := run(cfg, []string{"ta~name"}); err != nil {
+		t.Fatalf("run -timeout 1m: %v", err)
 	}
 }
 

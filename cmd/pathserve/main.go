@@ -5,6 +5,7 @@
 //	pathserve -addr :8080 -schema university -sample
 //	curl -s localhost:8080/complete -d '{"expr":"ta~name"}'
 //	curl -s localhost:8080/complete -d '{"expr":"ta~name","trace":true}'
+//	curl -s localhost:8080/complete -d '{"expr":"ta~name","timeoutMs":50}'
 //	curl -s localhost:8080/evaluate -d '{"expr":"ta~name","approve":[0]}'
 //	curl -s localhost:8080/schema
 //	curl -s localhost:8080/stats
@@ -15,7 +16,14 @@
 // The process is production-shaped: slog request logging with request
 // IDs, Prometheus-style metrics at /metrics, optional pprof at
 // /debug/pprof/ (-pprof), connection timeouts, a bounded completion
-// cache (-cache), and graceful shutdown on SIGINT/SIGTERM.
+// cache (-cache), and graceful shutdown on SIGINT/SIGTERM. The serving
+// path is hardened: every search runs under a wall-clock deadline
+// (-timeout, capped by -max-timeout) and degrades to its best-so-far
+// answer, concurrency is bounded by an admission gate (-max-inflight,
+// -queue) that sheds with 429 beyond the queue, request bodies are
+// size-capped (-max-body), handler panics are isolated, and a
+// fault-injection switchboard (-faults / PATHCOMPLETE_FAULTS) exists
+// for chaos drills.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 
 	"pathcomplete/internal/core"
 	"pathcomplete/internal/cupid"
+	"pathcomplete/internal/faultinject"
 	"pathcomplete/internal/objstore"
 	"pathcomplete/internal/parts"
 	"pathcomplete/internal/schema"
@@ -40,56 +49,163 @@ import (
 	"pathcomplete/internal/uni"
 )
 
+// config carries every flag value; split from flag parsing so startup
+// validation and server assembly are table-testable.
+type config struct {
+	addr       string
+	schemaName string
+	sdlPath    string
+	storePath  string
+	sample     bool
+	engine     string
+	e          int
+	pprofOn    bool
+	cacheCap   int
+	quiet      bool
+
+	// Hardened-path knobs.
+	timeout     time.Duration // default per-request search deadline (0: none)
+	maxTimeout  time.Duration // cap on any per-request "timeoutMs" (0: server default)
+	maxInflight int           // admission gate width (0: server default)
+	queue       int           // admission wait queue (0: default, -1: none)
+	maxBody     int64         // POST body cap in bytes (0: server default)
+	faults      string        // fault-injection spec ("": also consult PATHCOMPLETE_FAULTS)
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("pathserve", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&cfg.schemaName, "schema", "university", "built-in schema: university, parts, or cupid")
+	fs.StringVar(&cfg.sdlPath, "sdl", "", "load the schema from an SDL file instead")
+	fs.StringVar(&cfg.storePath, "store", "", "load object data from a snapshot file")
+	fs.BoolVar(&cfg.sample, "sample", false, "mount the built-in sample data (university only)")
+	fs.StringVar(&cfg.engine, "engine", "paper", "engine preset: paper, safe, or exact")
+	fs.IntVar(&cfg.e, "e", 1, "AGG* parameter (>= 1)")
+	fs.BoolVar(&cfg.pprofOn, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	fs.IntVar(&cfg.cacheCap, "cache", server.DefaultCacheCap, "completion memo cache bound (entries, >= 0)")
+	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress per-request logging")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "default per-request search deadline (0: none beyond -max-timeout)")
+	fs.DurationVar(&cfg.maxTimeout, "max-timeout", server.DefaultMaxTimeout, "cap on any per-request timeoutMs")
+	fs.IntVar(&cfg.maxInflight, "max-inflight", server.DefaultMaxConcurrent, "max searches running at once")
+	fs.IntVar(&cfg.queue, "queue", server.DefaultMaxQueue, "admission wait queue length (-1: shed immediately when saturated)")
+	fs.Int64Var(&cfg.maxBody, "max-body", server.DefaultMaxBodyBytes, "POST body size cap in bytes")
+	fs.StringVar(&cfg.faults, "faults", "", "fault-injection spec for chaos drills (e.g. delay=0.2,error=0.1); also read from "+faultinject.EnvVar)
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	return cfg, nil
+}
+
+// validate rejects nonsensical flag combinations at startup, before a
+// listener is bound — a misconfigured server must fail loudly, not
+// serve with silently-clamped values.
+func (cfg config) validate() error {
+	if cfg.e < 1 {
+		return fmt.Errorf("-e must be >= 1, got %d", cfg.e)
+	}
+	if cfg.cacheCap < 0 {
+		return fmt.Errorf("-cache must be >= 0, got %d", cfg.cacheCap)
+	}
+	switch cfg.engine {
+	case "paper", "safe", "exact":
+	default:
+		return fmt.Errorf("unknown engine %q (want paper, safe, or exact)", cfg.engine)
+	}
+	if cfg.sample && (cfg.schemaName != "university" || cfg.sdlPath != "") {
+		return fmt.Errorf("-sample only applies to -schema university")
+	}
+	if cfg.timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0, got %v", cfg.timeout)
+	}
+	if cfg.maxTimeout < 0 {
+		return fmt.Errorf("-max-timeout must be >= 0, got %v", cfg.maxTimeout)
+	}
+	if cfg.timeout > 0 && cfg.maxTimeout > 0 && cfg.timeout > cfg.maxTimeout {
+		return fmt.Errorf("-timeout %v exceeds -max-timeout %v", cfg.timeout, cfg.maxTimeout)
+	}
+	if cfg.maxInflight < 0 {
+		return fmt.Errorf("-max-inflight must be >= 0, got %d", cfg.maxInflight)
+	}
+	if cfg.queue < -1 {
+		return fmt.Errorf("-queue must be >= -1, got %d", cfg.queue)
+	}
+	if cfg.maxBody < 0 {
+		return fmt.Errorf("-max-body must be >= 0, got %d", cfg.maxBody)
+	}
+	if cfg.faults != "" {
+		if _, err := faultinject.ParseSpec(cfg.faults); err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+	}
+	return nil
+}
+
 func main() {
-	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		schemaName = flag.String("schema", "university", "built-in schema: university, parts, or cupid")
-		sdlPath    = flag.String("sdl", "", "load the schema from an SDL file instead")
-		storePath  = flag.String("store", "", "load object data from a snapshot file")
-		sample     = flag.Bool("sample", false, "mount the built-in sample data (university only)")
-		engine     = flag.String("engine", "paper", "engine preset: paper, safe, or exact")
-		e          = flag.Int("e", 1, "AGG* parameter")
-		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-		cacheCap   = flag.Int("cache", server.DefaultCacheCap, "completion memo cache bound (entries)")
-		quiet      = flag.Bool("quiet", false, "suppress per-request logging")
-	)
-	flag.Parse()
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2) // the FlagSet already printed the problem
+	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	if err := run(*addr, *schemaName, *sdlPath, *storePath, *sample, *engine, *e,
-		*pprofOn, *cacheCap, *quiet, logger); err != nil {
+	if err := run(cfg, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "pathserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, schemaName, sdlPath, storePath string, sample bool, engine string, e int,
-	pprofOn bool, cacheCap int, quiet bool, logger *slog.Logger) error {
-	sv, s, err := build(schemaName, sdlPath, storePath, sample, engine, e)
+func run(cfg config, logger *slog.Logger) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	sv, s, err := build(cfg)
 	if err != nil {
 		return err
 	}
-	sv.SetCacheCap(cacheCap)
+
+	// Chaos drills: arm fault injection from the flag, or failing that
+	// from the environment — and say so loudly either way.
+	switch {
+	case cfg.faults != "":
+		if err := faultinject.ArmSpec(cfg.faults); err != nil {
+			return err
+		}
+		logger.Warn("fault injection ARMED", "spec", cfg.faults, "source", "-faults")
+	default:
+		armed, err := faultinject.FromEnv()
+		if err != nil {
+			return err
+		}
+		if armed {
+			logger.Warn("fault injection ARMED", "spec", os.Getenv(faultinject.EnvVar), "source", faultinject.EnvVar)
+		}
+	}
 
 	st := s.ComputeStats()
+	lim := sv.Limits()
 	logger.Info("pathserve starting",
-		"addr", addr,
+		"addr", cfg.addr,
 		"schema", s.Name(),
 		"classes", s.NumUserClasses(),
 		"rels", s.NumRels(),
 		"maxIsaDepth", st.MaxIsaDepth,
-		"engine", engine,
-		"e", e,
-		"cacheCap", cacheCap,
-		"pprof", pprofOn,
+		"engine", cfg.engine,
+		"e", cfg.e,
+		"cacheCap", cfg.cacheCap,
+		"pprof", cfg.pprofOn,
+		"timeout", lim.DefaultTimeout,
+		"maxTimeout", lim.MaxTimeout,
+		"maxInflight", lim.MaxConcurrent,
+		"queue", lim.MaxQueue,
+		"maxBody", lim.MaxBodyBytes,
 	)
 
 	reqLogger := logger
-	if quiet {
+	if cfg.quiet {
 		reqLogger = nil
 	}
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           sv.HandlerWith(server.HandlerConfig{Logger: reqLogger, PProf: pprofOn}),
+		Addr:              cfg.addr,
+		Handler:           sv.HandlerWith(server.HandlerConfig{Logger: reqLogger, PProf: cfg.pprofOn}),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		// WriteTimeout must cover the slowest legitimate response; a
@@ -130,16 +246,16 @@ func serve(srv *http.Server, logger *slog.Logger) error {
 	return nil
 }
 
-// build assembles the server from the flag values; split from run so
-// the wiring is testable without binding a port.
-func build(schemaName, sdlPath, storePath string, sample bool, engine string, e int) (*server.Server, *schema.Schema, error) {
+// build assembles the server from the validated config; split from run
+// so the wiring is testable without binding a port.
+func build(cfg config) (*server.Server, *schema.Schema, error) {
 	var (
 		s     *schema.Schema
 		store *objstore.Store
 	)
 	switch {
-	case sdlPath != "":
-		f, err := os.Open(sdlPath)
+	case cfg.sdlPath != "":
+		f, err := os.Open(cfg.sdlPath)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -148,26 +264,26 @@ func build(schemaName, sdlPath, storePath string, sample bool, engine string, e 
 		if err != nil {
 			return nil, nil, err
 		}
-	case schemaName == "university":
-		if sample {
+	case cfg.schemaName == "university":
+		if cfg.sample {
 			store = uni.SampleStore()
 			s = store.Schema()
 		} else {
 			s = uni.New()
 		}
-	case schemaName == "parts":
+	case cfg.schemaName == "parts":
 		s = parts.New()
-	case schemaName == "cupid":
+	case cfg.schemaName == "cupid":
 		w, err := cupid.Generate(cupid.DefaultConfig())
 		if err != nil {
 			return nil, nil, err
 		}
 		s = w.Schema
 	default:
-		return nil, nil, fmt.Errorf("unknown schema %q", schemaName)
+		return nil, nil, fmt.Errorf("unknown schema %q", cfg.schemaName)
 	}
-	if storePath != "" {
-		f, err := os.Open(storePath)
+	if cfg.storePath != "" {
+		f, err := os.Open(cfg.storePath)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -178,7 +294,7 @@ func build(schemaName, sdlPath, storePath string, sample bool, engine string, e 
 		}
 	}
 	var opts core.Options
-	switch engine {
+	switch cfg.engine {
 	case "paper":
 		opts = core.Paper()
 	case "safe":
@@ -186,8 +302,17 @@ func build(schemaName, sdlPath, storePath string, sample bool, engine string, e 
 	case "exact":
 		opts = core.Exact()
 	default:
-		return nil, nil, fmt.Errorf("unknown engine %q", engine)
+		return nil, nil, fmt.Errorf("unknown engine %q", cfg.engine)
 	}
-	opts.E = e
-	return server.New(s, store, opts), s, nil
+	opts.E = cfg.e
+	sv := server.New(s, store, opts)
+	sv.SetCacheCap(cfg.cacheCap)
+	sv.SetLimits(server.Limits{
+		DefaultTimeout: cfg.timeout,
+		MaxTimeout:     cfg.maxTimeout,
+		MaxConcurrent:  cfg.maxInflight,
+		MaxQueue:       cfg.queue,
+		MaxBodyBytes:   cfg.maxBody,
+	})
+	return sv, s, nil
 }

@@ -12,6 +12,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"pathcomplete/internal/server"
 )
 
 func TestBuildVariants(t *testing.T) {
@@ -25,7 +27,7 @@ func TestBuildVariants(t *testing.T) {
 		{"parts", "parts", false, "safe"},
 	}
 	for _, tc := range cases {
-		sv, s, err := build(tc.schema, "", "", tc.sample, tc.engine, 1)
+		sv, s, err := build(config{schemaName: tc.schema, sample: tc.sample, engine: tc.engine, e: 1})
 		if err != nil {
 			t.Errorf("%s: build: %v", tc.name, err)
 			continue
@@ -59,6 +61,103 @@ func TestBuildVariants(t *testing.T) {
 	}
 }
 
+// TestBuildAppliesLimits: the hardened-path flags land on the server's
+// resolved limits.
+func TestBuildAppliesLimits(t *testing.T) {
+	sv, _, err := build(config{
+		schemaName:  "university",
+		engine:      "paper",
+		e:           1,
+		timeout:     2 * time.Second,
+		maxTimeout:  10 * time.Second,
+		maxInflight: 7,
+		queue:       3,
+		maxBody:     2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := sv.Limits()
+	if lim.DefaultTimeout != 2*time.Second || lim.MaxTimeout != 10*time.Second ||
+		lim.MaxConcurrent != 7 || lim.MaxQueue != 3 || lim.MaxBodyBytes != 2048 {
+		t.Errorf("limits = %+v", lim)
+	}
+}
+
+// TestValidateFlags is the startup-validation table: a misconfigured
+// process must refuse to start, not serve with clamped values.
+func TestValidateFlags(t *testing.T) {
+	valid := config{schemaName: "university", engine: "paper", e: 1, maxTimeout: 30 * time.Second}
+	cases := []struct {
+		name    string
+		mutate  func(*config)
+		wantErr string
+	}{
+		{"valid", func(c *config) {}, ""},
+		{"e zero", func(c *config) { c.e = 0 }, "-e must be >= 1"},
+		{"e negative", func(c *config) { c.e = -3 }, "-e must be >= 1"},
+		{"cache negative", func(c *config) { c.cacheCap = -1 }, "-cache must be >= 0"},
+		{"unknown engine", func(c *config) { c.engine = "warp" }, "unknown engine"},
+		{"sample on parts", func(c *config) { c.schemaName = "parts"; c.sample = true }, "-sample only applies"},
+		{"negative timeout", func(c *config) { c.timeout = -time.Second }, "-timeout must be >= 0"},
+		{"negative max-timeout", func(c *config) { c.maxTimeout = -time.Second }, "-max-timeout must be >= 0"},
+		{"timeout above cap", func(c *config) { c.timeout = time.Minute }, "exceeds -max-timeout"},
+		{"negative inflight", func(c *config) { c.maxInflight = -1 }, "-max-inflight must be >= 0"},
+		{"queue below -1", func(c *config) { c.queue = -2 }, "-queue must be >= -1"},
+		{"negative body cap", func(c *config) { c.maxBody = -5 }, "-max-body must be >= 0"},
+		{"bad faults spec", func(c *config) { c.faults = "delay=lots" }, "-faults"},
+		{"queue minus one ok", func(c *config) { c.queue = -1 }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mutate(&cfg)
+			err := cfg.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunRejectsInvalidConfig: run surfaces validation errors before
+// binding a listener.
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	err := run(config{schemaName: "university", engine: "paper", e: 0}, logger)
+	if err == nil || !strings.Contains(err.Error(), "-e must be >= 1") {
+		t.Errorf("run with -e 0 = %v", err)
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-schema", "parts", "-engine", "exact", "-e", "3",
+		"-timeout", "5s", "-max-inflight", "9", "-queue", "-1",
+		"-max-body", "4096", "-faults", "delay=0.5,seed=1",
+	})
+	if err != nil {
+		t.Fatalf("parseFlags: %v", err)
+	}
+	if cfg.schemaName != "parts" || cfg.engine != "exact" || cfg.e != 3 ||
+		cfg.timeout != 5*time.Second || cfg.maxInflight != 9 || cfg.queue != -1 ||
+		cfg.maxBody != 4096 || cfg.faults != "delay=0.5,seed=1" {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.maxTimeout != server.DefaultMaxTimeout || cfg.cacheCap != server.DefaultCacheCap {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if _, err := parseFlags([]string{"-e", "not-a-number"}); err == nil {
+		t.Error("unparsable flag value should error")
+	}
+}
+
 // pickAddr reserves a free localhost port and releases it for the
 // server under test (a benign race: nothing else grabs it in-process).
 func pickAddr(t *testing.T) string {
@@ -70,7 +169,7 @@ func pickAddr(t *testing.T) string {
 }
 
 func TestServeGracefulShutdown(t *testing.T) {
-	sv, _, err := build("university", "", "", false, "paper", 1)
+	sv, _, err := build(config{schemaName: "university", engine: "paper", e: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +222,7 @@ func TestBuildSDL(t *testing.T) {
 	if err := os.WriteFile(p, []byte("schema tiny\nisa a b\nattr b v I\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, s, err := build("", p, "", false, "paper", 1)
+	_, s, err := build(config{sdlPath: p, engine: "paper", e: 1})
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
@@ -133,16 +232,16 @@ func TestBuildSDL(t *testing.T) {
 }
 
 func TestBuildErrors(t *testing.T) {
-	if _, _, err := build("nope", "", "", false, "paper", 1); err == nil || !strings.Contains(err.Error(), "unknown schema") {
+	if _, _, err := build(config{schemaName: "nope", engine: "paper", e: 1}); err == nil || !strings.Contains(err.Error(), "unknown schema") {
 		t.Errorf("err = %v", err)
 	}
-	if _, _, err := build("university", "", "", false, "warp", 1); err == nil || !strings.Contains(err.Error(), "unknown engine") {
+	if _, _, err := build(config{schemaName: "university", engine: "warp", e: 1}); err == nil || !strings.Contains(err.Error(), "unknown engine") {
 		t.Errorf("err = %v", err)
 	}
-	if _, _, err := build("", "/nonexistent.sdl", "", false, "paper", 1); err == nil {
+	if _, _, err := build(config{sdlPath: "/nonexistent.sdl", engine: "paper", e: 1}); err == nil {
 		t.Error("missing SDL should error")
 	}
-	if _, _, err := build("university", "", "/nonexistent.json", false, "paper", 1); err == nil {
+	if _, _, err := build(config{schemaName: "university", storePath: "/nonexistent.json", engine: "paper", e: 1}); err == nil {
 		t.Error("missing store should error")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"pathcomplete/internal/pathexpr"
@@ -12,6 +13,14 @@ import (
 // errors are returned positionally: for each i exactly one of
 // results[i], errs[i] is non-nil.
 func (c *Completer) CompleteBatch(exprs []pathexpr.Expr, workers int) (results []*Result, errs []error) {
+	return c.CompleteBatchContext(context.Background(), exprs, workers)
+}
+
+// CompleteBatchContext is CompleteBatch under a context: every search
+// observes the context's cancellation and deadline (see
+// CompleteContext), so one call can bound the wall-clock time of the
+// whole batch while each member degrades to its best-so-far answer.
+func (c *Completer) CompleteBatchContext(ctx context.Context, exprs []pathexpr.Expr, workers int) (results []*Result, errs []error) {
 	results = make([]*Result, len(exprs))
 	errs = make([]error, len(exprs))
 	if workers < 1 {
@@ -27,7 +36,7 @@ func (c *Completer) CompleteBatch(exprs []pathexpr.Expr, workers int) (results [
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = c.Complete(exprs[i])
+				results[i], errs[i] = c.CompleteContext(ctx, exprs[i])
 			}
 		}()
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -36,7 +37,7 @@ func EnumerateConsistent(s *schema.Schema, e pathexpr.Expr, opts Options, limit 
 }
 
 func enumerate(s *schema.Schema, pat *pattern, opts Options, limit int) ([]*pathexpr.Resolved, error) {
-	en := newEngine(s, pat, opts)
+	en := newEngine(context.Background(), s, pat, opts)
 	var (
 		out  []*pathexpr.Resolved
 		seen = make(map[string]bool)

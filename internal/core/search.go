@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"pathcomplete/internal/connector"
 	"pathcomplete/internal/label"
@@ -34,6 +36,17 @@ type engine struct {
 	e      int
 	tracer Tracer // nil: tracing disabled (the hot-path default)
 
+	// Stop bounds. done is the context's done channel (nil for a
+	// Background context); checkStop is false on the fast path where
+	// neither a context deadline/cancel source nor Options.Deadline is
+	// in play, making the per-call cost one untaken branch.
+	done        <-chan struct{}
+	ctx         context.Context
+	deadline    time.Time
+	hasDeadline bool
+	checkStop   bool
+	stop        StopReason
+
 	visited []bool // per class: on the current path
 	best    map[state][]label.Key
 	bestT   []label.Key
@@ -42,21 +55,32 @@ type engine struct {
 	found     []Completion
 	foundKeys map[string]bool // dedup of offered rel sequences
 	truncated bool
-	exhausted bool
 	stats     Stats
 }
 
-func newEngine(s *schema.Schema, pat *pattern, opts Options) *engine {
-	return &engine{
+func newEngine(ctx context.Context, s *schema.Schema, pat *pattern, opts Options) *engine {
+	en := &engine{
 		s:         s,
 		pat:       pat,
 		opts:      opts,
 		e:         opts.e(),
 		tracer:    opts.Tracer,
+		ctx:       ctx,
+		done:      ctx.Done(),
 		visited:   make([]bool, s.NumClasses()),
 		best:      make(map[state][]label.Key),
 		foundKeys: make(map[string]bool),
 	}
+	if dl, ok := ctx.Deadline(); ok {
+		en.deadline, en.hasDeadline = dl, true
+	}
+	if opts.Deadline > 0 {
+		if dl := time.Now().Add(opts.Deadline); !en.hasDeadline || dl.Before(en.deadline) {
+			en.deadline, en.hasDeadline = dl, true
+		}
+	}
+	en.checkStop = en.done != nil || en.hasDeadline
+	return en
 }
 
 func (en *engine) run() *Result {
@@ -65,12 +89,43 @@ func (en *engine) run() *Result {
 	return en.assemble()
 }
 
+// stopNow consults the stop sources the amortized check guards: the
+// context's done channel first (distinguishing cancellation from a
+// context deadline), then the effective wall-clock deadline. It
+// records the reason and reports whether the search must stop.
+func (en *engine) stopNow() bool {
+	select {
+	case <-en.done:
+		if en.ctx.Err() == context.DeadlineExceeded {
+			en.stop = StopDeadline
+		} else {
+			en.stop = StopCanceled
+		}
+		return true
+	default:
+	}
+	if en.hasDeadline && !time.Now().Before(en.deadline) {
+		en.stop = StopDeadline
+		return true
+	}
+	return false
+}
+
 // traverse is the recursive routine of Algorithm 2. v is the current
 // class, seg the next pattern segment, lv the label of the path from
 // the root to v (whose edges are on en.path).
 func (en *engine) traverse(v schema.ClassID, seg int, lv label.Label) {
+	if en.stop != StopNone {
+		return // a bound already tripped: unwind without exploring
+	}
 	if en.opts.MaxCalls > 0 && en.stats.Calls >= en.opts.MaxCalls {
-		en.exhausted = true
+		en.stop = StopMaxCalls
+		return
+	}
+	// Amortized cancellation/deadline check: every stopCheckInterval
+	// calls, so the fast path (checkStop false) costs one untaken
+	// branch per call.
+	if en.checkStop && en.stats.Calls%stopCheckInterval == 0 && en.stopNow() {
 		return
 	}
 	en.stats.Calls++
@@ -85,6 +140,9 @@ func (en *engine) traverse(v schema.ClassID, seg int, lv label.Label) {
 		en.offerAll(comps, lv)
 	}
 	for _, tr := range kids {
+		if en.stop != StopNone {
+			break // unwind: no further exploration, keep what we have
+		}
 		u := tr.rel.To
 		if en.visited[u] {
 			if en.tracer != nil {
@@ -321,6 +379,8 @@ func (en *engine) assemble() *Result {
 		Best:        en.bestT,
 		Stats:       en.stats,
 		Truncated:   en.truncated,
-		Exhausted:   en.exhausted,
+		Exhausted:   en.stop == StopMaxCalls,
+		Aborted:     en.stop != StopNone,
+		StopReason:  en.stop,
 	}
 }

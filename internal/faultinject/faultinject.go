@@ -1,0 +1,264 @@
+// Package faultinject is a tiny, dependency-free fault-injection
+// switchboard for chaos testing the serving path. Injection points are
+// named call sites (e.g. "server.complete", "store.eval") that consult
+// the armed configuration and then possibly sleep, return an injected
+// error, or panic — exactly the failure modes the server's robustness
+// machinery (deadlines, panic-recovery middleware, admission gate) must
+// absorb.
+//
+// The package is disarmed by default and designed to be zero-cost in
+// that state: every injection point is a single atomic load of a bool.
+// It is armed programmatically (Arm), from a spec string (ArmSpec — the
+// pathserve -faults flag), or from the PATHCOMPLETE_FAULTS environment
+// variable (FromEnv). Production binaries that never arm it pay one
+// predictable untaken branch per point.
+//
+// Spec strings are comma-separated key=value pairs:
+//
+//	delay=0.2,maxdelay=5ms,error=0.1,panic=0.01,seed=42,points=server.complete|store.eval
+//
+// delay/error/panic are per-call probabilities in [0,1]; maxdelay
+// bounds the injected sleep (uniform in (0,maxdelay]); seed makes the
+// fault stream reproducible; points restricts injection to the named
+// points (default: all points fire).
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar is the environment variable FromEnv reads a spec from.
+const EnvVar = "PATHCOMPLETE_FAULTS"
+
+// ErrInjected is the sentinel error produced at injection points; test
+// assertions can match it with errors.Is.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// Config describes the fault mix to inject.
+type Config struct {
+	// Seed seeds the fault stream (0: seeded from the clock).
+	Seed int64
+	// DelayProb is the per-call probability of an injected sleep.
+	DelayProb float64
+	// MaxDelay bounds an injected sleep (0: DefaultMaxDelay).
+	MaxDelay time.Duration
+	// ErrorProb is the per-call probability of returning ErrInjected
+	// (only at points whose callers can propagate an error; Disturb
+	// points convert it into an extra delay).
+	ErrorProb float64
+	// PanicProb is the per-call probability of a panic.
+	PanicProb float64
+	// Points restricts injection to the named points. nil or empty:
+	// every point fires.
+	Points map[string]bool
+}
+
+// DefaultMaxDelay bounds injected sleeps when the config does not say.
+const DefaultMaxDelay = 5 * time.Millisecond
+
+// Stats counts the faults fired since the package was last armed.
+type Stats struct {
+	Delays  uint64
+	Errors  uint64
+	Panics  uint64
+	Visited uint64 // injection-point executions while armed
+}
+
+var (
+	armed atomic.Bool // the only state touched while disarmed
+
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	delays  atomic.Uint64
+	errs    atomic.Uint64
+	panics  atomic.Uint64
+	visited atomic.Uint64
+)
+
+// Arm installs cfg and enables injection. Counters reset.
+func Arm(c Config) {
+	mu.Lock()
+	cfg = c
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = DefaultMaxDelay
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng = rand.New(rand.NewSource(seed))
+	delays.Store(0)
+	errs.Store(0)
+	panics.Store(0)
+	visited.Store(0)
+	mu.Unlock()
+	armed.Store(true)
+}
+
+// Disarm disables injection. Injection points return to their
+// single-atomic-load fast path.
+func Disarm() { armed.Store(false) }
+
+// Armed reports whether injection is enabled.
+func Armed() bool { return armed.Load() }
+
+// Snapshot returns the fault counters accumulated since Arm.
+func Snapshot() Stats {
+	return Stats{
+		Delays:  delays.Load(),
+		Errors:  errs.Load(),
+		Panics:  panics.Load(),
+		Visited: visited.Load(),
+	}
+}
+
+// ParseSpec parses a spec string (see the package comment) into a
+// Config.
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faultinject: malformed field %q (want key=value)", field)
+		}
+		switch k {
+		case "delay", "error", "panic":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return Config{}, fmt.Errorf("faultinject: %s=%q is not a probability in [0,1]", k, v)
+			}
+			switch k {
+			case "delay":
+				c.DelayProb = p
+			case "error":
+				c.ErrorProb = p
+			case "panic":
+				c.PanicProb = p
+			}
+		case "maxdelay":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return Config{}, fmt.Errorf("faultinject: maxdelay=%q is not a non-negative duration", v)
+			}
+			c.MaxDelay = d
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultinject: seed=%q is not an integer", v)
+			}
+			c.Seed = n
+		case "points":
+			c.Points = make(map[string]bool)
+			for _, p := range strings.Split(v, "|") {
+				if p = strings.TrimSpace(p); p != "" {
+					c.Points[p] = true
+				}
+			}
+		default:
+			return Config{}, fmt.Errorf("faultinject: unknown field %q", k)
+		}
+	}
+	return c, nil
+}
+
+// ArmSpec parses spec and arms the package with it.
+func ArmSpec(spec string) error {
+	c, err := ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	Arm(c)
+	return nil
+}
+
+// FromEnv arms the package from the PATHCOMPLETE_FAULTS environment
+// variable if it is set, reporting whether it armed. An unparsable
+// spec is returned as an error without arming.
+func FromEnv() (bool, error) {
+	spec, ok := os.LookupEnv(EnvVar)
+	if !ok || spec == "" {
+		return false, nil
+	}
+	if err := ArmSpec(spec); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// roll draws the fault decisions for one call under the lock (the rng
+// is not safe for concurrent use) and returns the chosen delay (0 for
+// none), whether to error, and whether to panic.
+func roll(point string) (delay time.Duration, doErr, doPanic bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	if rng == nil {
+		return 0, false, false // armed flag raced ahead of Arm; treat as disarmed
+	}
+	if len(cfg.Points) > 0 && !cfg.Points[point] {
+		return 0, false, false
+	}
+	if cfg.DelayProb > 0 && rng.Float64() < cfg.DelayProb {
+		delay = time.Duration(1 + rng.Int63n(int64(cfg.MaxDelay)))
+	}
+	doErr = cfg.ErrorProb > 0 && rng.Float64() < cfg.ErrorProb
+	doPanic = cfg.PanicProb > 0 && rng.Float64() < cfg.PanicProb
+	return delay, doErr, doPanic
+}
+
+// Inject fires the armed fault mix at the named point: it may sleep,
+// panic, or return an injected error for the caller to propagate.
+// Disarmed, it is a single atomic load.
+func Inject(point string) error {
+	if !armed.Load() {
+		return nil
+	}
+	return fire(point, true)
+}
+
+// Disturb is Inject for void call sites that cannot propagate an
+// error: it may sleep or panic, and converts a rolled error into an
+// extra delay so the configured error probability still perturbs
+// timing. Disarmed, it is a single atomic load.
+func Disturb(point string) {
+	if !armed.Load() {
+		return
+	}
+	_ = fire(point, false)
+}
+
+func fire(point string, canError bool) error {
+	visited.Add(1)
+	delay, doErr, doPanic := roll(point)
+	if doErr && !canError {
+		doErr = false
+		if delay == 0 {
+			delay = time.Millisecond
+		}
+	}
+	if delay > 0 {
+		delays.Add(1)
+		time.Sleep(delay)
+	}
+	if doPanic {
+		panics.Add(1)
+		panic(fmt.Sprintf("faultinject: injected panic at %s", point))
+	}
+	if doErr {
+		errs.Add(1)
+		return fmt.Errorf("%w at %s", ErrInjected, point)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("package armed at test start")
+	}
+	for i := 0; i < 1000; i++ {
+		if err := Inject("anywhere"); err != nil {
+			t.Fatalf("disarmed Inject returned %v", err)
+		}
+		Disturb("anywhere")
+	}
+	if s := Snapshot(); s.Delays+s.Errors+s.Panics != 0 {
+		t.Errorf("disarmed fired faults: %+v", s)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    Config
+		wantErr string
+	}{
+		{spec: "", want: Config{}},
+		{
+			spec: "delay=0.25,maxdelay=7ms,error=0.5,panic=1,seed=9,points=a|b",
+			want: Config{
+				Seed: 9, DelayProb: 0.25, MaxDelay: 7 * time.Millisecond,
+				ErrorProb: 0.5, PanicProb: 1,
+				Points: map[string]bool{"a": true, "b": true},
+			},
+		},
+		{spec: "delay=2", wantErr: "probability"},
+		{spec: "error=-0.1", wantErr: "probability"},
+		{spec: "maxdelay=later", wantErr: "duration"},
+		{spec: "seed=x", wantErr: "integer"},
+		{spec: "bogus=1", wantErr: "unknown field"},
+		{spec: "delay", wantErr: "malformed"},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.spec)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("ParseSpec(%q) err = %v, want containing %q", tc.spec, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if got.Seed != tc.want.Seed || got.DelayProb != tc.want.DelayProb ||
+			got.MaxDelay != tc.want.MaxDelay || got.ErrorProb != tc.want.ErrorProb ||
+			got.PanicProb != tc.want.PanicProb || len(got.Points) != len(tc.want.Points) {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestInjectErrorAndPanic(t *testing.T) {
+	Arm(Config{Seed: 1, ErrorProb: 1})
+	defer Disarm()
+	if err := Inject("p"); !errors.Is(err, ErrInjected) {
+		t.Errorf("Inject = %v, want ErrInjected", err)
+	}
+	if !strings.Contains(Inject("p").Error(), "at p") {
+		t.Error("injected error does not name its point")
+	}
+
+	Arm(Config{Seed: 1, PanicProb: 1})
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("PanicProb=1 did not panic")
+			}
+		}()
+		_ = Inject("p")
+	}()
+	if s := Snapshot(); s.Panics != 1 {
+		t.Errorf("panic counter = %d, want 1", s.Panics)
+	}
+}
+
+func TestPointFilter(t *testing.T) {
+	Arm(Config{Seed: 1, ErrorProb: 1, Points: map[string]bool{"only.here": true}})
+	defer Disarm()
+	if err := Inject("somewhere.else"); err != nil {
+		t.Errorf("filtered point fired: %v", err)
+	}
+	if err := Inject("only.here"); !errors.Is(err, ErrInjected) {
+		t.Errorf("enabled point did not fire: %v", err)
+	}
+}
+
+func TestDisturbNeverErrors(t *testing.T) {
+	// Disturb must absorb a certain error roll (converting it into a
+	// delay) and still count the visit.
+	Arm(Config{Seed: 1, ErrorProb: 1})
+	defer Disarm()
+	Disturb("void.site")
+	s := Snapshot()
+	if s.Errors != 0 {
+		t.Errorf("Disturb produced an error roll: %+v", s)
+	}
+	if s.Delays == 0 {
+		t.Errorf("Disturb should convert the error into a delay: %+v", s)
+	}
+	if s.Visited != 1 {
+		t.Errorf("visited = %d, want 1", s.Visited)
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "")
+	if ok, err := FromEnv(); ok || err != nil {
+		t.Errorf("empty env: ok=%v err=%v", ok, err)
+	}
+	t.Setenv(EnvVar, "error=1,seed=3")
+	ok, err := FromEnv()
+	if !ok || err != nil {
+		t.Fatalf("FromEnv: ok=%v err=%v", ok, err)
+	}
+	defer Disarm()
+	if !Armed() {
+		t.Error("FromEnv did not arm")
+	}
+	t.Setenv(EnvVar, "delay=banana")
+	if ok, err := FromEnv(); ok || err == nil {
+		t.Errorf("bad spec: ok=%v err=%v", ok, err)
+	}
+}
+
+func BenchmarkInjectDisarmed(b *testing.B) {
+	Disarm()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Inject("hot.path"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

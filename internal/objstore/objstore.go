@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"pathcomplete/internal/connector"
+	"pathcomplete/internal/faultinject"
 	"pathcomplete/internal/pathexpr"
 	"pathcomplete/internal/schema"
 )
@@ -256,6 +257,10 @@ func (st *Store) Eval(r *pathexpr.Resolved) []OID {
 
 // EvalFrom is Eval starting from an explicit root object set.
 func (st *Store) EvalFrom(r *pathexpr.Resolved, roots []OID) []OID {
+	// Chaos-test hook: when fault injection is armed this may sleep or
+	// panic (absorbed by the server's recovery middleware); disarmed it
+	// is a single atomic load.
+	faultinject.Disturb("store.eval")
 	cur := make(map[OID]bool, len(roots))
 	for _, o := range roots {
 		cur[o] = true

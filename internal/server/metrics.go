@@ -33,6 +33,16 @@ type metrics struct {
 	cacheMisses    *obs.Counter
 	cacheEvictions *obs.Counter
 	cacheSize      *obs.Gauge
+
+	// Robustness: admission control, deadlines, panic isolation,
+	// singleflight, and response-encode failures.
+	inflight           *obs.Gauge
+	sheds              *obs.Counter
+	timeouts           *obs.Counter
+	canceled           *obs.Counter
+	panicsRecovered    *obs.Counter
+	singleflightShared *obs.Counter
+	encodeFailures     *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -65,6 +75,20 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Memo cache entries evicted by the LRU size bound."),
 		cacheSize: reg.Gauge("pathcomplete_cache_entries",
 			"Memo cache entries currently resident."),
+		inflight: reg.Gauge("pathcomplete_admission_inflight",
+			"Search requests currently holding an admission slot."),
+		sheds: reg.Counter("pathcomplete_admission_sheds_total",
+			"Search requests shed with 429 because the admission queue was full."),
+		timeouts: reg.Counter("pathcomplete_request_timeouts_total",
+			"Requests whose deadline expired (search stopped at its best-so-far answer, or the admission wait ended)."),
+		canceled: reg.Counter("pathcomplete_request_canceled_total",
+			"Searches stopped early because the request context was canceled (client gone)."),
+		panicsRecovered: reg.Counter("pathcomplete_panics_recovered_total",
+			"Handler panics caught by the recovery middleware (answered 500, process kept serving)."),
+		singleflightShared: reg.Counter("pathcomplete_singleflight_shared_total",
+			"Completion requests that shared a concurrent identical search instead of running their own."),
+		encodeFailures: reg.Counter("pathcomplete_json_encode_failures_total",
+			"Response bodies whose JSON encoding failed (logged with request ID, not silently dropped)."),
 	}
 }
 

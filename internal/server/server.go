@@ -28,7 +28,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -37,6 +39,7 @@ import (
 	"time"
 
 	"pathcomplete/internal/core"
+	"pathcomplete/internal/faultinject"
 	"pathcomplete/internal/fox"
 	"pathcomplete/internal/objstore"
 	"pathcomplete/internal/obs"
@@ -62,9 +65,14 @@ type Server struct {
 	opts  core.Options
 	start time.Time
 
-	reg   *obs.Registry
-	met   *metrics
-	httpM *obs.HTTPMetrics
+	reg    *obs.Registry
+	met    *metrics
+	httpM  *obs.HTTPMetrics
+	logger *slog.Logger // set by HandlerWith before serving
+
+	lim     Limits
+	gate    *gate
+	flights *flightGroup
 
 	mu    sync.Mutex
 	cache *lruCache
@@ -72,19 +80,24 @@ type Server struct {
 
 // New returns a server over the schema with the given base engine
 // options; store may be nil when only completion is wanted. The
-// server carries its own metrics registry (see Registry) and a memo
-// cache bounded at DefaultCacheCap (see SetCacheCap).
+// server carries its own metrics registry (see Registry), a memo cache
+// bounded at DefaultCacheCap (see SetCacheCap), and the default
+// request-path limits (see SetLimits).
 func New(s *schema.Schema, store *objstore.Store, opts core.Options) *Server {
 	reg := obs.NewRegistry()
+	lim := DefaultLimits()
 	return &Server{
-		s:     s,
-		store: store,
-		opts:  opts,
-		start: time.Now(),
-		reg:   reg,
-		met:   newMetrics(reg),
-		httpM: obs.NewHTTPMetrics(reg),
-		cache: newLRU(DefaultCacheCap),
+		s:       s,
+		store:   store,
+		opts:    opts,
+		start:   time.Now(),
+		reg:     reg,
+		met:     newMetrics(reg),
+		httpM:   obs.NewHTTPMetrics(reg),
+		lim:     lim,
+		gate:    newGate(lim.MaxConcurrent, lim.MaxQueue),
+		flights: newFlightGroup(),
+		cache:   newLRU(DefaultCacheCap),
 	}
 }
 
@@ -121,6 +134,7 @@ func (sv *Server) Handler() http.Handler { return sv.HandlerWith(HandlerConfig{}
 
 // HandlerWith is Handler with the optional features configured.
 func (sv *Server) HandlerWith(cfg HandlerConfig) http.Handler {
+	sv.logger = cfg.Logger
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", sv.handleHealthz)
 	mux.HandleFunc("GET /schema", sv.handleSchema)
@@ -136,11 +150,78 @@ func (sv *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return sv.httpM.Wrap(cfg.Logger, Routes, mux)
+	// Chain, outermost first: metrics/logging (so a recovered panic is
+	// still counted and logged with its request ID), panic recovery,
+	// body size cap, routing.
+	return sv.httpM.Wrap(cfg.Logger, Routes, sv.recoverPanics(sv.limitBodies(mux)))
+}
+
+// limitBodies caps every request body with http.MaxBytesReader, so a
+// handler's JSON decoder fails fast (413 via decodeStatus) instead of
+// buffering an unbounded body.
+func (sv *Server) limitBodies(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, sv.lim.MaxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// recoveryWriter tracks whether the wrapped handler wrote anything, so
+// the recovery middleware only answers 500 for panics that happened
+// before the response started.
+type recoveryWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *recoveryWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *recoveryWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+// recoverPanics isolates handler panics: the panic is counted and
+// logged (with the request ID the obs middleware stamped on the
+// response), the client gets a JSON 500 if the response had not
+// started, and the process keeps serving. http.ErrAbortHandler keeps
+// its net/http meaning (abort the connection) and is re-raised.
+func (sv *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rw := &recoveryWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			sv.met.panicsRecovered.Inc()
+			if sv.logger != nil {
+				sv.logger.LogAttrs(r.Context(), slog.LevelError, "panic recovered",
+					slog.String("id", w.Header().Get(obs.RequestIDHeader)),
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Any("panic", rec),
+					slog.String("stack", string(debug.Stack())),
+				)
+			}
+			if !rw.wrote {
+				sv.jsonError(rw, r, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(rw, r)
+	})
 }
 
 func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	sv.writeJSON(w, r, http.StatusOK, map[string]any{
 		"status":        "ok",
 		"schema":        sv.s.Name(),
 		"uptimeSeconds": time.Since(sv.start).Seconds(),
@@ -169,7 +250,7 @@ func (sv *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
 			out["build"] = settings
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	sv.writeJSON(w, r, http.StatusOK, out)
 }
 
 func (sv *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
@@ -185,7 +266,7 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for k, n := range st.RelsByKind {
 		kinds[k.String()] = n
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	sv.writeJSON(w, r, http.StatusOK, map[string]any{
 		"schema":      sv.s.Name(),
 		"userClasses": st.UserClasses,
 		"rels":        st.Rels,
@@ -208,8 +289,14 @@ type CompleteRequest struct {
 	// is bypassed on lookup, though the result is still stored).
 	Trace bool `json:"trace,omitempty"`
 	// TraceLimit caps the number of returned trace events (0:
-	// core.DefaultTraceLimit).
+	// core.DefaultTraceLimit; bounded by Limits.MaxTraceEvents).
 	TraceLimit int `json:"traceLimit,omitempty"`
+	// TimeoutMs bounds the wall-clock time of this request's search in
+	// milliseconds, capped by the server's Limits.MaxTimeout (0: the
+	// server default). A timeout that expires mid-search is not an
+	// error: the response is HTTP 200 with the valid best-so-far
+	// completions and a non-empty stopReason.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 // CompletionJSON is one candidate in a completion response.
@@ -236,6 +323,14 @@ type CompleteResponse struct {
 	Truncated   bool             `json:"truncated,omitempty"`
 	Exhausted   bool             `json:"exhausted,omitempty"`
 	Cached      bool             `json:"cached,omitempty"`
+	// Aborted and StopReason report graceful degradation: a bound
+	// (call budget, deadline, or cancellation) stopped the search,
+	// and the completions are the valid best-so-far subset.
+	Aborted    bool   `json:"aborted,omitempty"`
+	StopReason string `json:"stopReason,omitempty"`
+	// Shared reports that this response was computed by a concurrent
+	// identical request and shared via singleflight.
+	Shared bool `json:"shared,omitempty"`
 	// Stats carries the per-query effort counters when the search ran
 	// (absent on a cache hit).
 	Stats *SearchStatsJSON `json:"stats,omitempty"`
@@ -250,10 +345,14 @@ type completed struct {
 	res    *core.Result
 	expr   pathexpr.Expr
 	cached bool
+	shared bool
 	rec    *core.TraceRecorder
 }
 
-func (sv *Server) complete(req CompleteRequest) (completed, int, error) {
+func (sv *Server) complete(ctx context.Context, req CompleteRequest) (completed, int, error) {
+	if err := faultinject.Inject("server.complete"); err != nil {
+		return completed{}, http.StatusInternalServerError, err
+	}
 	e, err := pathexpr.Parse(req.Expr)
 	if err != nil {
 		return completed{}, http.StatusBadRequest, err
@@ -263,58 +362,133 @@ func (sv *Server) complete(req CompleteRequest) (completed, int, error) {
 		opts.E = req.E
 	}
 	key := cacheKey{expr: e.String(), e: opts.E}
-	if !req.Trace {
-		sv.mu.Lock()
-		res, ok := sv.cache.get(key)
-		sv.mu.Unlock()
-		if ok {
-			sv.met.cacheHits.Inc()
-			return completed{res: res, expr: e, cached: true}, http.StatusOK, nil
-		}
+	if req.Trace {
+		// Traced requests always run a fresh search with their own
+		// recorder: no cache lookup, no singleflight.
+		rec := core.NewTraceRecorder(sv.s, req.TraceLimit)
+		opts.Tracer = rec
+		return sv.search(ctx, e, opts, rec, key)
 	}
+	sv.mu.Lock()
+	res, ok := sv.cache.get(key)
+	sv.mu.Unlock()
+	if ok {
+		sv.met.cacheHits.Inc()
+		return completed{res: res, expr: e, cached: true}, http.StatusOK, nil
+	}
+	// Only a real failed lookup counts as a miss (traced requests
+	// never look the cache up at all).
 	sv.met.cacheMisses.Inc()
 
-	var rec *core.TraceRecorder
-	if req.Trace {
-		rec = core.NewTraceRecorder(sv.s, req.TraceLimit)
-		opts.Tracer = rec
+	// Collapse a stampede of identical cold requests into one search.
+	c, status, err, shared := sv.flights.do(ctx, key, func() (completed, int, error) {
+		return sv.search(ctx, e, opts, nil, key)
+	})
+	if shared {
+		if err != nil && status == 0 {
+			// Our own context ended while waiting on the leader.
+			return completed{}, http.StatusServiceUnavailable,
+				errors.New("request ended while awaiting an identical in-flight query")
+		}
+		sv.met.singleflightShared.Inc()
+		c.shared = true
 	}
+	return c, status, err
+}
+
+// search runs one completion search under ctx, folds the outcome into
+// the metrics, and memoizes complete (non-aborted) results. Partial
+// results are never cached: a future request with a bigger budget must
+// get a fresh, fuller search.
+func (sv *Server) search(ctx context.Context, e pathexpr.Expr, opts core.Options, rec *core.TraceRecorder, key cacheKey) (completed, int, error) {
 	start := time.Now()
-	res, err := core.New(sv.s, opts).Complete(e)
+	res, err := core.New(sv.s, opts).CompleteContext(ctx, e)
 	if err != nil {
 		return completed{}, http.StatusUnprocessableEntity, err
 	}
 	sv.met.observeSearch(res, time.Since(start))
-
-	sv.mu.Lock()
-	evicted := sv.cache.put(key, res)
-	size := sv.cache.len()
-	sv.mu.Unlock()
-	if evicted > 0 {
-		sv.met.cacheEvictions.Add(uint64(evicted))
+	switch res.StopReason {
+	case core.StopDeadline:
+		sv.met.timeouts.Inc()
+	case core.StopCanceled:
+		sv.met.canceled.Inc()
 	}
-	sv.met.cacheSize.Set(int64(size))
+	if !res.Aborted {
+		sv.mu.Lock()
+		evicted := sv.cache.put(key, res)
+		size := sv.cache.len()
+		sv.mu.Unlock()
+		if evicted > 0 {
+			sv.met.cacheEvictions.Add(uint64(evicted))
+		}
+		sv.met.cacheSize.Set(int64(size))
+	}
 	return completed{res: res, expr: e, rec: rec}, http.StatusOK, nil
+}
+
+// admit runs the admission gate for one search request, answering the
+// shed (429 + Retry-After) and queue-timeout (503) cases itself. On
+// ok the caller must call release exactly once.
+func (sv *Server) admit(w http.ResponseWriter, r *http.Request, ctx context.Context) (release func(), ok bool) {
+	switch sv.gate.acquire(ctx) {
+	case admitOK:
+		sv.met.inflight.Inc()
+		return func() {
+			sv.met.inflight.Dec()
+			sv.gate.release()
+		}, true
+	case admitShed:
+		sv.met.sheds.Inc()
+		w.Header().Set("Retry-After", "1")
+		sv.writeJSON(w, r, http.StatusTooManyRequests, map[string]any{
+			"error":             "server overloaded: admission queue full",
+			"retryAfterSeconds": 1,
+		})
+		return nil, false
+	default: // admitCanceled
+		sv.met.timeouts.Inc()
+		sv.jsonError(w, r, http.StatusServiceUnavailable,
+			"request ended while waiting for an admission slot")
+		return nil, false
+	}
 }
 
 func (sv *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var req CompleteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		sv.jsonError(w, r, decodeStatus(err), "bad request: "+err.Error())
 		return
 	}
-	c, status, err := sv.complete(req)
+	if err := sv.validateComplete(&req); err != nil {
+		sv.jsonError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := r.Context()
+	if d := sv.effectiveTimeout(req.TimeoutMs); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	release, admitted := sv.admit(w, r, ctx)
+	if !admitted {
+		return
+	}
+	defer release()
+	c, status, err := sv.complete(ctx, req)
 	if err != nil {
-		http.Error(w, err.Error(), status)
+		sv.jsonError(w, r, status, err.Error())
 		return
 	}
 	res := c.res
 	out := CompleteResponse{
-		Expr:      c.expr.String(),
-		Calls:     res.Stats.Calls,
-		Truncated: res.Truncated,
-		Exhausted: res.Exhausted,
-		Cached:    c.cached,
+		Expr:       c.expr.String(),
+		Calls:      res.Stats.Calls,
+		Truncated:  res.Truncated,
+		Exhausted:  res.Exhausted,
+		Cached:     c.cached,
+		Shared:     c.shared,
+		Aborted:    res.Aborted,
+		StopReason: string(res.StopReason),
 	}
 	if !c.cached {
 		out.Stats = &SearchStatsJSON{
@@ -339,7 +513,7 @@ func (sv *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 			SemLen: cc.Label.SemLen(),
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	sv.writeJSON(w, r, http.StatusOK, out)
 }
 
 // EvaluateResponse is the body of a /evaluate response.
@@ -352,21 +526,46 @@ type EvaluateResponse struct {
 
 func (sv *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if sv.store == nil {
-		http.Error(w, "no object store mounted", http.StatusNotFound)
+		sv.jsonError(w, r, http.StatusNotFound, "no object store mounted")
 		return
 	}
 	var req CompleteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		sv.jsonError(w, r, decodeStatus(err), "bad request: "+err.Error())
+		return
+	}
+	if err := sv.validateComplete(&req); err != nil {
+		sv.jsonError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := r.Context()
+	if d := sv.effectiveTimeout(req.TimeoutMs); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	release, admitted := sv.admit(w, r, ctx)
+	if !admitted {
+		return
+	}
+	defer release()
+	if err := faultinject.Inject("server.evaluate"); err != nil {
+		sv.jsonError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	// The evaluation path runs through the Fox interpreter (the full
 	// Figure 1 loop), which also understands selection predicates:
 	// {"expr": "department~course where credits > 3"}. The request's
-	// Approve indices stand in for the user.
+	// Approve indices stand in for the user. The per-request deadline
+	// bounds each internal disambiguation search via Options.Deadline.
 	opts := sv.opts
 	if req.E > 0 {
 		opts.E = req.E
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			opts.Deadline = rem
+		}
 	}
 	chooser := fox.AcceptAll
 	if len(req.Approve) > 0 {
@@ -376,7 +575,7 @@ func (sv *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	in := fox.New(sv.store, opts, chooser)
 	ans, err := in.Query(req.Expr)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		sv.jsonError(w, r, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 	out := EvaluateResponse{Expr: ans.Query.String(), Values: ans.Values}
@@ -389,13 +588,43 @@ func (sv *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if ans.Where != nil {
 		out.Where = ans.Where.String()
 	}
-	writeJSON(w, http.StatusOK, out)
+	sv.writeJSON(w, r, http.StatusOK, out)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// decodeStatus maps a request-body decode error to its status: 413 for
+// a body that blew the MaxBytesReader cap, 400 otherwise.
+func decodeStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// writeJSON writes v as the response body. Encode failures (a type
+// that cannot marshal, or a client that went away mid-write) are not
+// silently dropped: they are counted and logged with the request ID.
+func (sv *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		sv.met.encodeFailures.Inc()
+		if sv.logger != nil {
+			sv.logger.LogAttrs(r.Context(), slog.LevelError, "response encode failed",
+				slog.String("id", w.Header().Get(obs.RequestIDHeader)),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", status),
+				slog.String("error", err.Error()),
+			)
+		}
+	}
+}
+
+// jsonError writes a machine-readable error body {"error": msg} with
+// the given status. Every error the hardened path produces — including
+// 429 sheds and recovered panics — is valid JSON.
+func (sv *Server) jsonError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	sv.writeJSON(w, r, status, map[string]any{"error": msg})
 }
