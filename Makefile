@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race cover bench bench-obs experiments fuzz fuzz-smoke chaos fmt vet clean
+.PHONY: all build test test-race race cover bench bench-json bench-smoke bench-obs experiments fuzz fuzz-smoke chaos fmt vet clean
 
 all: build vet test
 
@@ -26,6 +26,19 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .
+
+# The search-kernel benchmarks as machine-readable JSON, for tracking
+# time/op and allocs/op across commits (see README "Performance").
+bench-json:
+	$(GO) test -bench='UniversityTaName|SchemaScaling' -benchmem -run xxx . \
+		| $(GO) run ./cmd/benchjson > BENCH_core.json
+	@echo wrote BENCH_core.json
+
+# CI-sized variant: one iteration per benchmark, just enough to prove
+# the benchmarks still run and the JSON pipeline still parses.
+bench-smoke:
+	$(GO) test -bench='UniversityTaName|SchemaScaling' -benchtime=1x -benchmem -run xxx . \
+		| $(GO) run ./cmd/benchjson > /dev/null
 
 # Demonstrate that the observability layer costs ~nothing when off:
 # compare nil vs noop vs recording tracers on the flagship query.

@@ -13,6 +13,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -370,7 +371,7 @@ func BenchmarkEvalStore(b *testing.B) {
 	}
 }
 
-func benchE(e int) string { return "E=" + string(rune('0'+e)) }
+func benchE(e int) string { return "E=" + strconv.Itoa(e) }
 
 func benchN(n int) string {
 	switch n {

@@ -14,6 +14,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +50,9 @@ func main() {
 		trace      = flag.Bool("trace", false, "print the traversal event log of each search")
 		traceLimit = flag.Int("trace-limit", 0, "cap the trace at N events (0: default cap, negative: unlimited)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget per search (0: none); an expired search prints its valid best-so-far completions")
+		parallel   = flag.Int("parallel", 0, "fan root branches across N workers per search (0 or 1: sequential)")
+		batch      = flag.Bool("batch", false, "batch mode: read one expression per line from stdin, complete them concurrently, print results in input order")
+		workers    = flag.Int("workers", 4, "batch-mode concurrency (searches in flight at once)")
 	)
 	flag.Parse()
 	if *why {
@@ -63,6 +67,7 @@ func main() {
 		exclude: *exclude, eval: *eval, stats: *stats, explain: *explain,
 		specific: *specific, storePath: *storePath, dot: *dot,
 		trace: *trace, traceLimit: *traceLimit, timeout: *timeout,
+		parallel: *parallel, batch: *batch, workers: *workers,
 	}, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "pathc:", err)
 		os.Exit(1)
@@ -72,8 +77,9 @@ func main() {
 // config carries the parsed flags.
 type config struct {
 	schemaName, sdlPath, engine, exclude, storePath string
-	e, traceLimit                                   int
+	e, traceLimit, parallel, workers                int
 	eval, stats, explain, specific, dot, trace      bool
+	batch                                           bool
 	timeout                                         time.Duration
 }
 
@@ -129,6 +135,10 @@ func run(cfg config, args []string) error {
 		return fmt.Errorf("-timeout must be >= 0, got %v", cfg.timeout)
 	}
 	opts.Deadline = cfg.timeout
+	if cfg.parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0, got %d", cfg.parallel)
+	}
+	opts.Parallel = cfg.parallel
 	if cfg.exclude != "" {
 		opts.Exclude = make(map[schema.ClassID]bool)
 		for _, name := range strings.Split(cfg.exclude, ",") {
@@ -216,6 +226,12 @@ func run(cfg config, args []string) error {
 		}
 	}
 
+	if cfg.batch {
+		if cfg.trace {
+			return fmt.Errorf("-batch and -trace are mutually exclusive (a trace is per-query state)")
+		}
+		return runBatch(cmp, cfg, os.Stdin, os.Stdout)
+	}
 	if len(args) > 0 {
 		for _, src := range args {
 			fmt.Printf("%s\n", src)
@@ -237,6 +253,78 @@ func run(cfg config, args []string) error {
 		runOne(line)
 	}
 	return sc.Err()
+}
+
+// runBatch reads one incomplete expression per line from r, completes
+// them all concurrently through CompleteBatchContext, and prints the
+// answers in input order. Parse errors and search errors are reported
+// inline on the offending line without aborting the batch.
+func runBatch(cmp *core.Completer, cfg config, r io.Reader, w io.Writer) error {
+	var (
+		lines []string
+		exprs []pathexpr.Expr
+		perrs []error
+	)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines = append(lines, line)
+		e, err := pathexpr.Parse(line)
+		perrs = append(perrs, err)
+		exprs = append(exprs, e)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	// Complete only the parseable lines, then splice the answers back
+	// into input order.
+	var valid []pathexpr.Expr
+	idx := make([]int, 0, len(exprs))
+	for i, e := range exprs {
+		if perrs[i] == nil {
+			valid = append(valid, e)
+			idx = append(idx, i)
+		}
+	}
+	results := make([]*core.Result, len(exprs))
+	errs := make([]error, len(exprs))
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	res, rerrs := cmp.CompleteBatchContext(ctx, valid, cfg.workers)
+	for j, i := range idx {
+		results[i], errs[i] = res[j], rerrs[j]
+	}
+	for i, line := range lines {
+		fmt.Fprintf(w, "%s\n", line)
+		switch {
+		case perrs[i] != nil:
+			fmt.Fprintf(w, "  error: %v\n", perrs[i])
+		case errs[i] != nil:
+			fmt.Fprintf(w, "  error: %v\n", errs[i])
+		case len(results[i].Completions) == 0:
+			fmt.Fprintln(w, "  (no consistent completion)")
+		default:
+			for _, c := range results[i].Completions {
+				fmt.Fprintf(w, "  %-60s %s\n", c.Path, c.Label)
+			}
+			if results[i].Aborted {
+				fmt.Fprintf(w, "  (search stopped early: %s)\n", results[i].StopReason)
+			}
+		}
+		if cfg.stats && results[i] != nil {
+			st := results[i].Stats
+			fmt.Fprintf(w, "  calls=%d offers=%d prunedT=%d prunedU=%d cautionSaves=%d\n",
+				st.Calls, st.Offers, st.PrunedBestT, st.PrunedBestU, st.CautionSaves)
+		}
+	}
+	return nil
 }
 
 func loadSchema(name, sdlPath string) (*schema.Schema, *objstore.Store, error) {

@@ -25,6 +25,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"pathcomplete/internal/connector"
@@ -126,6 +127,28 @@ type Options struct {
 	// overrun is bounded by a few microseconds of search work.
 	Deadline time.Duration
 
+	// Parallel, when >= 2, fans the root class's outgoing branches
+	// across up to Parallel worker goroutines, each searching its
+	// subtree with the compiled kernel and a deterministic seed bound;
+	// the branch results are merged in branch order, so the answer set
+	// and its order are reproducible run to run. In exact mode
+	// (DisableBestU) the workers additionally exchange improved best[T]
+	// bounds mid-flight and the result is provably identical to the
+	// sequential search; in the heuristic modes the per-node best[u]
+	// bounds are branch-local (cross-branch bound timing would make
+	// answers nondeterministic), which prunes slightly less than the
+	// sequential sweep. Parallel is ignored — the search stays
+	// sequential — when a Tracer is set (tracing is single-threaded by
+	// contract) or when MaxCalls or MaxPaths budgets are set (their
+	// semantics are inherently traversal-order-dependent). 0 and 1 mean
+	// sequential.
+	Parallel int
+
+	// noCompile disables the compiled transition index and the engine
+	// pool, forcing the dynamic per-visit derivation — the reference
+	// configuration the compiled kernel is property-tested against.
+	noCompile bool
+
 	// Tracer, when non-nil, receives a structured event at every
 	// decision point of the search (node entry, prunes, caution-set
 	// rescues, offers, preemptions) — see Tracer and TraceRecorder.
@@ -192,6 +215,10 @@ const (
 // costs one untaken branch per call and stays within the <2% tracing
 // overhead budget (BenchmarkTracerOverhead, BenchmarkStopCheckOverhead).
 const stopCheckInterval = 64
+
+// stopCheckMask lets the engine test Calls&stopCheckMask == 0 instead
+// of a modulo; stopCheckInterval must stay a power of two.
+const stopCheckMask = stopCheckInterval - 1
 
 // Stats reports traversal effort, the quantities behind Figure 7 of
 // the paper.
@@ -271,10 +298,16 @@ func (r *Result) Strings() []string {
 }
 
 // Completer completes incomplete path expressions over one schema.
-// A Completer is immutable and safe for concurrent use.
+// A Completer's configuration is immutable and it is safe for
+// concurrent use; internally it memoizes compiled transition indexes
+// per pattern and recycles search engines through a pool, so repeated
+// queries run allocation-free on the hot path.
 type Completer struct {
 	s    *schema.Schema
 	opts Options
+
+	memo patternMemo
+	pool sync.Pool // *engine scratch, sized to s
 }
 
 // New returns a Completer for the given schema and options.
@@ -321,7 +354,24 @@ func (c *Completer) CompleteContext(ctx context.Context, e pathexpr.Expr) (*Resu
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(ctx, c.s, pat, c.opts).run(), nil
+	return c.search(ctx, pat), nil
+}
+
+// search dispatches one compiled-pattern search: the dynamic reference
+// engine under noCompile, the parallel root-branch search when
+// eligible, and otherwise a pooled engine over the memoized index.
+func (c *Completer) search(ctx context.Context, pat *pattern) *Result {
+	if c.opts.noCompile {
+		return newEngine(ctx, c.s, pat, c.opts).run()
+	}
+	cp := c.compiledFor(pat)
+	if c.parallelEligible(cp) {
+		return c.runParallel(ctx, cp)
+	}
+	en := c.getEngine(ctx, cp)
+	res := en.run()
+	c.putEngine(en)
+	return res
 }
 
 // CompleteToClass disambiguates the node-to-node form of Section 3:
@@ -349,7 +399,7 @@ func (c *Completer) CompleteToClassContext(ctx context.Context, root, target str
 		return nil, fmt.Errorf("core: unknown target class %q", target)
 	}
 	pat := &pattern{root: rc.ID, segs: []segment{{kind: segGapClass, class: tc.ID}}}
-	return newEngine(ctx, c.s, pat, c.opts).run(), nil
+	return c.search(ctx, pat), nil
 }
 
 // segKind discriminates pattern segments.

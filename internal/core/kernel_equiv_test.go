@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pathcomplete/internal/label"
+	"pathcomplete/internal/pathexpr"
+)
+
+// This file property-tests the compiled search kernel against its
+// reference engines over randomized schemas:
+//
+//   - compiled vs pre-compilation (noCompile) — must agree exactly, in
+//     answers, order, best set, AND traversal statistics, in every
+//     mode: the compiled index is a pure representation change.
+//   - compiled vs naive enumeration in exact mode — inherited from
+//     equiv_test.go, re-checked here through the pooled warm path.
+//   - parallel vs sequential — identical completions (same Ψ_opt, same
+//     order) in exact mode, bit-for-bit reproducible in all modes.
+//
+// The suite runs under -race in CI, which also exercises the worker
+// pool and the shared-bound exchange for data races.
+
+// modesUnderTest returns the option sets the kernel comparison sweeps.
+func modesUnderTest(seed int64) []Options {
+	paper, safe, exact := Paper(), Safe(), Exact()
+	paper.E = 1 + int(seed)%3
+	safe.E = 1 + int(seed+1)%3
+	exact.E = 1 + int(seed+2)%3
+	exact.NoPreemption = seed%2 == 0
+	safe.PreferSpecific = seed%3 == 0
+	off := Options{E: 1, Caution: CautionOff}
+	noEarly := Exact()
+	noEarly.NoEarlyTarget = true
+	return []Options{paper, safe, exact, off, noEarly}
+}
+
+// resultView is the externally observable outcome of a search, for
+// exact comparison between engines.
+type resultView struct {
+	Completions []string
+	Labels      []string
+	Best        []label.Key
+	Truncated   bool
+	Aborted     bool
+}
+
+func view(r *Result) resultView {
+	labels := make([]string, len(r.Completions))
+	for i, c := range r.Completions {
+		labels[i] = c.Label.String()
+	}
+	return resultView{
+		Completions: r.Strings(),
+		Labels:      labels,
+		Best:        r.Best,
+		Truncated:   r.Truncated,
+		Aborted:     r.Aborted,
+	}
+}
+
+// TestCompiledMatchesDynamic drives the compiled kernel and the
+// pre-compilation engine over the same random queries and requires
+// identical results and identical traversal statistics. Each query
+// runs twice against the same Completer so the second pass exercises
+// the warm pooled engine and the memoized index.
+func TestCompiledMatchesDynamic(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		s := randSchema(t, seed)
+		r := rand.New(rand.NewSource(seed * 9349))
+		for _, opts := range modesUnderTest(seed) {
+			dynOpts := opts
+			dynOpts.noCompile = true
+			cmp, dyn := New(s, opts), New(s, dynOpts)
+			for _, root := range s.Classes() {
+				if root.Primitive {
+					continue
+				}
+				for _, anchor := range anchors(s, r) {
+					e := pathexpr.Expr{Root: root.Name, Steps: []pathexpr.Step{{Gap: true, Name: anchor}}}
+					got, err := cmp.Complete(e)
+					if err != nil {
+						continue // anchor absent from this schema
+					}
+					want, err := dyn.Complete(e)
+					if err != nil {
+						t.Fatalf("seed %d %v: dynamic engine errored where compiled did not: %v", seed, e, err)
+					}
+					if !reflect.DeepEqual(view(got), view(want)) {
+						t.Errorf("seed %d %v %+v:\n compiled: %+v\n dynamic:  %+v", seed, e, opts, view(got), view(want))
+					}
+					if got.Stats != want.Stats {
+						t.Errorf("seed %d %v: traversal stats diverged:\n compiled: %+v\n dynamic:  %+v",
+							seed, e, got.Stats, want.Stats)
+					}
+					// Warm pass: pooled engine, memoized index.
+					warm, err := cmp.Complete(e)
+					if err != nil {
+						t.Fatalf("seed %d %v: warm pass errored: %v", seed, e, err)
+					}
+					if !reflect.DeepEqual(view(got), view(warm)) || got.Stats != warm.Stats {
+						t.Errorf("seed %d %v: warm pass diverged from cold:\n cold: %+v\n warm: %+v",
+							seed, e, view(got), view(warm))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequentialExact is the parallel-search
+// equivalence guarantee: in exact mode the parallel search returns
+// identical completions — same Ψ_opt, same order, same best set — as
+// the sequential search (and hence, transitively via
+// TestExactMatchesNaive, as the definitional enumeration).
+func TestParallelMatchesSequentialExact(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		s := randSchema(t, seed)
+		r := rand.New(rand.NewSource(seed * 6947))
+		for _, par := range []int{2, 4, 8} {
+			opts := Exact()
+			opts.E = 1 + int(seed)%3
+			opts.NoPreemption = seed%2 == 1
+			popts := opts
+			popts.Parallel = par
+			seq, pml := New(s, opts), New(s, popts)
+			for _, root := range s.Classes() {
+				if root.Primitive {
+					continue
+				}
+				for _, anchor := range anchors(s, r) {
+					e := pathexpr.Expr{Root: root.Name, Steps: []pathexpr.Step{{Gap: true, Name: anchor}}}
+					want, err := seq.Complete(e)
+					if err != nil {
+						continue
+					}
+					got, err := pml.Complete(e)
+					if err != nil {
+						t.Fatalf("seed %d %v: parallel errored: %v", seed, e, err)
+					}
+					if !reflect.DeepEqual(view(got), view(want)) {
+						t.Errorf("seed %d %v parallel=%d:\n parallel:   %+v\n sequential: %+v",
+							seed, e, par, view(got), view(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDeterministic requires bit-for-bit reproducible output
+// from the parallel search in every mode, across repeated runs and
+// across different worker counts — the branch-local-bounds +
+// ordered-merge design argument, empirically.
+func TestParallelDeterministic(t *testing.T) {
+	seeds := 15
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		s := randSchema(t, seed)
+		r := rand.New(rand.NewSource(seed * 2221))
+		as := anchors(s, r) // drawn once: identical query mix for every worker count
+		for _, base := range modesUnderTest(seed) {
+			var ref map[string]resultView
+			for _, par := range []int{2, 3, 8} {
+				opts := base
+				opts.Parallel = par
+				cmp := New(s, opts)
+				views := map[string]resultView{}
+				for _, root := range s.Classes() {
+					if root.Primitive {
+						continue
+					}
+					for _, anchor := range as {
+						e := pathexpr.Expr{Root: root.Name, Steps: []pathexpr.Step{{Gap: true, Name: anchor}}}
+						res, err := cmp.Complete(e)
+						if err != nil {
+							continue
+						}
+						key := fmt.Sprintf("%s|%s", root.Name, anchor)
+						views[key] = view(res)
+						// Repeat on the same (warm) completer.
+						again, err := cmp.Complete(e)
+						if err != nil {
+							t.Fatalf("seed %d %v: repeat errored: %v", seed, e, err)
+						}
+						if !reflect.DeepEqual(views[key], view(again)) {
+							t.Errorf("seed %d %v parallel=%d: nondeterministic across runs:\n first:  %+v\n second: %+v",
+								seed, e, par, views[key], view(again))
+						}
+						// Soundness in every mode: consistent acyclic paths.
+						for _, c := range res.Completions {
+							if !c.Path.Acyclic() || !c.Path.ConsistentWith(e) {
+								t.Errorf("seed %d %v parallel=%d: invalid completion %v", seed, e, par, c.Path)
+							}
+						}
+					}
+				}
+				if ref == nil {
+					ref = views
+				} else if !reflect.DeepEqual(ref, views) {
+					t.Errorf("seed %d opts %+v: output depends on worker count %d", seed, base, par)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMultiGap pushes the parallel search through multi-gap
+// patterns (numSegs > 1), where the dense state table and the compiled
+// index have non-trivial segment strides.
+func TestParallelMultiGap(t *testing.T) {
+	for seed := int64(100); seed < 112; seed++ {
+		s := randSchema(t, seed)
+		r := rand.New(rand.NewSource(seed * 773))
+		as := anchors(s, r)
+		opts := Exact()
+		popts := opts
+		popts.Parallel = 4
+		seq, pml := New(s, opts), New(s, popts)
+		for _, root := range s.Classes() {
+			if root.Primitive {
+				continue
+			}
+			e := pathexpr.Expr{Root: root.Name, Steps: []pathexpr.Step{
+				{Gap: true, Name: as[r.Intn(len(as))]},
+				{Gap: true, Name: as[r.Intn(len(as))]},
+			}}
+			want, err := seq.Complete(e)
+			if err != nil {
+				continue
+			}
+			got, err := pml.Complete(e)
+			if err != nil {
+				t.Fatalf("seed %d %v: parallel errored: %v", seed, e, err)
+			}
+			if !reflect.DeepEqual(view(got), view(want)) {
+				t.Errorf("seed %d %v:\n parallel:   %+v\n sequential: %+v", seed, e, view(got), view(want))
+			}
+		}
+	}
+}
+
+// TestParallelConcurrentCompleter hammers one parallel-mode Completer
+// from many goroutines on the same query mix; under -race this checks
+// the pattern memo, the engine pool, and the shared-bound exchange for
+// races, and the results for cross-query contamination.
+func TestParallelConcurrentCompleter(t *testing.T) {
+	s := randSchema(t, 7)
+	r := rand.New(rand.NewSource(7))
+	opts := Exact()
+	opts.Parallel = 4
+	cmp := New(s, opts)
+	type q struct {
+		e    pathexpr.Expr
+		want resultView
+	}
+	var qs []q
+	for _, root := range s.Classes() {
+		if root.Primitive {
+			continue
+		}
+		for _, anchor := range anchors(s, r) {
+			e := pathexpr.Expr{Root: root.Name, Steps: []pathexpr.Step{{Gap: true, Name: anchor}}}
+			res, err := cmp.Complete(e)
+			if err != nil {
+				continue
+			}
+			qs = append(qs, q{e: e, want: view(res)})
+		}
+	}
+	if len(qs) == 0 {
+		t.Skip("no valid queries for this seed")
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 40; i++ {
+				x := qs[(g+i*3)%len(qs)]
+				res, err := cmp.Complete(x.e)
+				if err != nil {
+					done <- fmt.Errorf("%v: %v", x.e, err)
+					return
+				}
+				if !reflect.DeepEqual(view(res), x.want) {
+					done <- fmt.Errorf("%v: concurrent result diverged:\n got:  %+v\n want: %+v", x.e, view(res), x.want)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

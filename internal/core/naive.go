@@ -4,11 +4,26 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"pathcomplete/internal/label"
 	"pathcomplete/internal/pathexpr"
 	"pathcomplete/internal/schema"
 )
+
+// sigFor renders an edge sequence as a string key for the enumerator's
+// dedup map. The optimized engine dedups by hash (sigOf) instead; the
+// enumerator is the cold definitional reference and keeps the obvious
+// exact representation.
+func sigFor(rels []schema.RelID) string {
+	var sb strings.Builder
+	for _, r := range rels {
+		sb.WriteByte(',')
+		sb.WriteString(strconv.Itoa(int(r)))
+	}
+	return sb.String()
+}
 
 // This file implements the definitional reference: enumerate the set Ψ
 // of ALL valid acyclic complete path expressions consistent with an

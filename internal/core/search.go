@@ -3,8 +3,6 @@ package core
 import (
 	"context"
 	"sort"
-	"strconv"
-	"strings"
 	"time"
 
 	"pathcomplete/internal/connector"
@@ -13,13 +11,11 @@ import (
 	"pathcomplete/internal/schema"
 )
 
-// state identifies a node of the product search space: a schema class
-// together with the index of the next pattern segment to satisfy.
-// Reaching segment index len(pattern.segs) completes a path.
-type state struct {
-	cls schema.ClassID
-	seg int
-}
+// A node of the product search space is a schema class together with
+// the index of the next pattern segment to satisfy; reaching segment
+// index len(pattern.segs) completes a path. States are identified by
+// the dense row index int(cls)*numSegs+seg throughout (the best table
+// and the compiled transition index share the layout).
 
 // trans is one admissible move: traverse rel and advance to pattern
 // segment toSeg (toSeg == seg means the current ~ gap continues).
@@ -28,10 +24,24 @@ type trans struct {
 	toSeg int
 }
 
-// engine runs one Algorithm 2 search. Engines are single-use.
+// foundEntry is one admitted complete path, kept in raw form during
+// the search; Completions are materialized once, at assembly. sig is
+// the FNV-1a hash of rels used to make duplicate detection a word
+// compare first and a slice compare only on hash match.
+type foundEntry struct {
+	rels []schema.RelID
+	key  label.Key
+	sig  uint64
+}
+
+// engine runs one Algorithm 2 search. An engine is used by one search
+// at a time; Completer recycles engines through a sync.Pool, so every
+// piece of scratch state must be reset by prepare (before a search)
+// or release (after one) — see those methods.
 type engine struct {
 	s      *schema.Schema
 	pat    *pattern
+	cp     *compiled // nil: derive transitions per visit (naive, noCompile)
 	opts   Options
 	e      int
 	tracer Tracer // nil: tracing disabled (the hot-path default)
@@ -48,29 +58,48 @@ type engine struct {
 	stop        StopReason
 
 	visited []bool // per class: on the current path
-	best    map[state][]label.Key
-	bestT   []label.Key
-	path    []schema.RelID
 
-	found     []Completion
-	foundKeys map[string]bool // dedup of offered rel sequences
+	// bestTab is the dense best[u] table of Algorithm 2, indexed by
+	// int(cls)*numSegs+seg. Slots keep their backing arrays across
+	// searches; dirty lists the touched indices so reset is O(touched),
+	// not O(classes × segments).
+	bestTab [][]label.Key
+	dirty   []int32
+	numSegs int
+
+	bestT []label.Key
+	path  []schema.RelID
+
+	// shared, when non-nil, is the cross-branch best[T] exchange of the
+	// parallel search (exact mode only; see parallel.go).
+	shared *sharedBound
+
+	found     []foundEntry
 	truncated bool
 	stats     Stats
 }
 
+// newEngine builds a fresh, unpooled engine — the construction path of
+// the naive enumerator and of the noCompile reference configuration.
+// The serving path goes through Completer.getEngine instead.
 func newEngine(ctx context.Context, s *schema.Schema, pat *pattern, opts Options) *engine {
-	en := &engine{
-		s:         s,
-		pat:       pat,
-		opts:      opts,
-		e:         opts.e(),
-		tracer:    opts.Tracer,
-		ctx:       ctx,
-		done:      ctx.Done(),
-		visited:   make([]bool, s.NumClasses()),
-		best:      make(map[state][]label.Key),
-		foundKeys: make(map[string]bool),
-	}
+	en := &engine{s: s, visited: make([]bool, s.NumClasses())}
+	en.prepare(ctx, pat, nil, opts)
+	return en
+}
+
+// prepare readies the engine for one search over pat (with compiled
+// transition index cp, or nil for the dynamic path). It must reset
+// every piece of per-search state that release does not.
+func (en *engine) prepare(ctx context.Context, pat *pattern, cp *compiled, opts Options) {
+	en.pat = pat
+	en.cp = cp
+	en.opts = opts
+	en.e = opts.e()
+	en.tracer = opts.Tracer
+	en.ctx = ctx
+	en.done = ctx.Done()
+	en.deadline, en.hasDeadline = time.Time{}, false
 	if dl, ok := ctx.Deadline(); ok {
 		en.deadline, en.hasDeadline = dl, true
 	}
@@ -80,12 +109,44 @@ func newEngine(ctx context.Context, s *schema.Schema, pat *pattern, opts Options
 		}
 	}
 	en.checkStop = en.done != nil || en.hasDeadline
-	return en
+	en.stop = StopNone
+	en.shared = nil
+	en.numSegs = len(pat.segs)
+	if need := len(en.visited) * en.numSegs; cap(en.bestTab) < need {
+		en.bestTab = make([][]label.Key, need)
+	} else {
+		en.bestTab = en.bestTab[:need]
+	}
+	en.bestT = en.bestT[:0]
+	en.path = en.path[:0]
+	en.found = en.found[:0]
+	en.truncated = false
+	en.stats = Stats{}
+}
+
+// release clears the state a pooled engine must not carry into its
+// next search: touched best slots (length only — capacity is the point
+// of pooling), references to per-query allocations, and the context.
+func (en *engine) release() {
+	for _, idx := range en.dirty {
+		en.bestTab[idx] = en.bestTab[idx][:0]
+	}
+	en.dirty = en.dirty[:0]
+	for i := range en.found {
+		en.found[i] = foundEntry{} // drop rels references
+	}
+	en.found = en.found[:0]
+	en.bestT = en.bestT[:0]
+	en.tracer = nil
+	en.ctx = nil
+	en.done = nil
+	en.shared = nil
 }
 
 func (en *engine) run() *Result {
 	en.visited[en.pat.root] = true
-	en.traverse(en.pat.root, 0, label.Identity())
+	en.traverse(en.pat.root, 0, label.IncIdentity(), label.Identity())
+	en.visited[en.pat.root] = false
 	return en.assemble()
 }
 
@@ -112,9 +173,12 @@ func (en *engine) stopNow() bool {
 }
 
 // traverse is the recursive routine of Algorithm 2. v is the current
-// class, seg the next pattern segment, lv the label of the path from
-// the root to v (whose edges are on en.path).
-func (en *engine) traverse(v schema.ClassID, seg int, lv label.Label) {
+// class, seg the next pattern segment, lv the incremental label of the
+// path from the root to v (whose edges are on en.path). tlv is the
+// full sequence-carrying label, maintained only while tracing (the
+// tracer interface reports exact labels); with a nil tracer it stays
+// the identity and costs nothing.
+func (en *engine) traverse(v schema.ClassID, seg int, lv label.Inc, tlv label.Label) {
 	if en.stop != StopNone {
 		return // a bound already tripped: unwind without exploring
 	}
@@ -122,82 +186,110 @@ func (en *engine) traverse(v schema.ClassID, seg int, lv label.Label) {
 		en.stop = StopMaxCalls
 		return
 	}
-	// Amortized cancellation/deadline check: every stopCheckInterval
-	// calls, so the fast path (checkStop false) costs one untaken
-	// branch per call.
-	if en.checkStop && en.stats.Calls%stopCheckInterval == 0 && en.stopNow() {
-		return
+	// Amortized cancellation/deadline check and (parallel exact mode)
+	// shared-bound refresh: every stopCheckInterval calls, so the fast
+	// path costs one untaken branch per call.
+	if en.stats.Calls&stopCheckMask == 0 {
+		if en.checkStop && en.stopNow() {
+			return
+		}
+		if en.shared != nil {
+			en.refreshShared()
+		}
 	}
 	en.stats.Calls++
 	if en.tracer != nil {
-		en.tracer.OnEnter(v, seg, len(en.path), lv)
+		en.tracer.OnEnter(v, seg, len(en.path), tlv)
 	}
-	comps, kids := en.transitions(v, seg)
+	comps, kids := en.moves(v, seg)
 
 	// Lines (2)–(5): explore moves that complete the expression before
 	// ordinary children, so best[T] can prune as early as possible.
 	if !en.opts.NoEarlyTarget {
-		en.offerAll(comps, lv)
+		en.offerAll(comps, lv, tlv)
 	}
-	for _, tr := range kids {
+	for i := range kids {
 		if en.stop != StopNone {
 			break // unwind: no further exploration, keep what we have
 		}
+		tr := &kids[i]
 		u := tr.rel.To
 		if en.visited[u] {
 			if en.tracer != nil {
-				en.tracer.OnPrune(PruneCycle, tr.rel, tr.toSeg, lv)
+				en.tracer.OnPrune(PruneCycle, tr.rel, tr.toSeg, tlv)
 			}
 			continue // line (8): acyclicity
 		}
-		lu := label.Con(lv, label.MustEdge(tr.rel.Conn))
+		lu := lv.Extend(tr.rel.Conn)
 		key := lu.Key()
+		var tlu label.Label
+		if en.tracer != nil {
+			tlu = label.Con(tlv, label.MustEdge(tr.rel.Conn))
+		}
 		// Line (9): bound against the best complete labels found.
-		if !en.opts.DisableBestT && !label.In(key, en.bestT, en.e) {
+		if !en.opts.DisableBestT && !label.Fits(key, en.bestT, en.e) {
 			en.stats.PrunedBestT++
 			if en.tracer != nil {
-				en.tracer.OnPrune(PruneBestT, tr.rel, tr.toSeg, lu)
+				en.tracer.OnPrune(PruneBestT, tr.rel, tr.toSeg, tlu)
 			}
 			continue
 		}
-		st := state{cls: u, seg: tr.toSeg}
 		if !en.opts.DisableBestU {
 			// Lines (10)–(11): membership in AGG*({l_u} ∪ best[u]),
 			// optionally with one unit of semantic-length slack, with
 			// the caution-set escape hatch.
+			idx := int(u)*en.numSegs + tr.toSeg
+			slot := en.bestTab[idx]
 			testKey := key
 			if en.opts.SemLenSlack && testKey.SemLen > 0 {
 				testKey.SemLen--
 			}
-			ok := label.In(testKey, en.best[st], en.e)
+			ok := label.Fits(testKey, slot, en.e)
 			if !ok && en.opts.Caution != CautionOff {
-				if en.cautionSet(key.Conn).Intersects(label.Conns(en.best[st])) {
-					ok = true
-					en.stats.CautionSaves++
-					if en.tracer != nil {
-						en.tracer.OnPrune(CautionSave, tr.rel, tr.toSeg, lu)
+				cs := en.cautionSet(key.Conn)
+				for _, bk := range slot {
+					if cs.Has(bk.Conn) {
+						ok = true
+						en.stats.CautionSaves++
+						if en.tracer != nil {
+							en.tracer.OnPrune(CautionSave, tr.rel, tr.toSeg, tlu)
+						}
+						break
 					}
 				}
 			}
 			if !ok {
 				en.stats.PrunedBestU++
 				if en.tracer != nil {
-					en.tracer.OnPrune(PruneBestU, tr.rel, tr.toSeg, lu)
+					en.tracer.OnPrune(PruneBestU, tr.rel, tr.toSeg, tlu)
 				}
 				continue
 			}
 			// Line (12).
-			en.best[st] = label.AggStar(append(en.best[st], key), en.e)
+			if len(slot) == 0 {
+				en.dirty = append(en.dirty, int32(idx))
+			}
+			en.bestTab[idx] = label.Insert(slot, key, en.e)
 		}
 		en.visited[u] = true
 		en.path = append(en.path, tr.rel.ID)
-		en.traverse(u, tr.toSeg, lu)
+		en.traverse(u, tr.toSeg, lu, tlu)
 		en.path = en.path[:len(en.path)-1]
 		en.visited[u] = false
 	}
 	if en.opts.NoEarlyTarget {
-		en.offerAll(comps, lv)
+		en.offerAll(comps, lv, tlv)
 	}
+}
+
+// moves returns the admissible transitions at (v, seg): slice views
+// into the compiled index when one is attached, the dynamically
+// derived (and allocated) lists otherwise.
+func (en *engine) moves(v schema.ClassID, seg int) (comps, kids []trans) {
+	if en.cp != nil {
+		return en.cp.moves(v, seg)
+	}
+	return en.transitions(v, seg)
 }
 
 func (en *engine) cautionSet(c connector.Connector) connector.Set {
@@ -207,81 +299,133 @@ func (en *engine) cautionSet(c connector.Connector) connector.Set {
 	return connector.Caution(c)
 }
 
-func (en *engine) offerAll(comps []trans, lv label.Label) {
-	for _, tr := range comps {
+func (en *engine) offerAll(comps []trans, lv label.Inc, tlv label.Label) {
+	for i := range comps {
+		tr := &comps[i]
 		if en.visited[tr.rel.To] {
 			if en.tracer != nil {
-				en.tracer.OnPrune(PruneCycle, tr.rel, len(en.pat.segs), lv)
+				en.tracer.OnPrune(PruneCycle, tr.rel, len(en.pat.segs), tlv)
 			}
 			continue // the completed expression would be cyclic
 		}
-		en.offer(tr.rel, label.Con(lv, label.MustEdge(tr.rel.Conn)))
+		en.offer(tr.rel, lv.Extend(tr.rel.Conn), tlv)
 	}
 }
 
 // offer considers one complete consistent path: the current edge stack
-// plus final edge rel, with whole-path label l, and reports the
+// plus final edge rel, with whole-path label lu, and reports the
 // outcome to the tracer.
-func (en *engine) offer(rel schema.Rel, l label.Label) {
+func (en *engine) offer(rel schema.Rel, lu label.Inc, tlv label.Label) {
 	en.stats.Offers++
-	accepted := en.admit(rel, l)
+	accepted := en.admit(rel, lu.Key())
 	if en.tracer != nil {
 		rels := make([]schema.RelID, 0, len(en.path)+1)
 		rels = append(rels, en.path...)
 		rels = append(rels, rel.ID)
-		en.tracer.OnOffer(rels, l, accepted)
+		en.tracer.OnOffer(rels, label.Con(tlv, label.MustEdge(rel.Conn)), accepted)
 	}
 }
 
 // admit maintains best[T] (lines 3–4) and the optimal path set (the
 // update procedure of Section 4.5) for one offered path, reporting
 // whether the path joined the candidate set.
-func (en *engine) admit(rel schema.Rel, l label.Label) bool {
-	key := l.Key()
-	if !label.In(key, en.bestT, en.e) {
+func (en *engine) admit(rel schema.Rel, key label.Key) bool {
+	if !label.Fits(key, en.bestT, en.e) {
 		return false
 	}
-	en.bestT = label.AggStar(append(en.bestT, key), en.e)
-
-	// Drop previously found paths whose labels fell out of best[T].
-	keep := en.found[:0]
-	for _, c := range en.found {
-		if containsKey(en.bestT, c.Label.Key()) {
-			keep = append(keep, c)
-		} else {
-			delete(en.foundKeys, sigFor(c.Path.Rels))
-		}
+	en.bestT = label.Insert(en.bestT, key, en.e)
+	if en.shared != nil {
+		en.shared.publish(en.bestT, en.e)
 	}
-	en.found = keep
+	en.dropStale()
 
-	rels := make([]schema.RelID, 0, len(en.path)+1)
-	rels = append(rels, en.path...)
-	rels = append(rels, rel.ID)
-	sig := sigFor(rels)
-	if en.foundKeys[sig] {
-		return false // same edge sequence reached through a different gap split
+	sig := sigOf(en.path, rel.ID)
+	for i := range en.found {
+		if en.found[i].sig == sig && relsEqualSplit(en.found[i].rels, en.path, rel.ID) {
+			return false // same edge sequence reached through a different gap split
+		}
 	}
 	if en.opts.MaxPaths > 0 && len(en.found) >= en.opts.MaxPaths {
 		en.truncated = true
 		return false
 	}
-	resolved, err := pathexpr.FromRels(en.s, en.pat.root, rels)
-	if err != nil {
-		// Unreachable: the edge stack is chained by construction.
-		panic("core: inconsistent edge stack: " + err.Error())
-	}
-	en.foundKeys[sig] = true
-	en.found = append(en.found, Completion{Path: resolved, Label: l})
+	rels := make([]schema.RelID, 0, len(en.path)+1)
+	rels = append(rels, en.path...)
+	rels = append(rels, rel.ID)
+	en.found = append(en.found, foundEntry{rels: rels, key: key, sig: sig})
 	return true
 }
 
-func sigFor(rels []schema.RelID) string {
-	var sb strings.Builder
-	for _, r := range rels {
-		sb.WriteByte(',')
-		sb.WriteString(strconv.Itoa(int(r)))
+// dropStale removes previously found paths whose labels fell out of
+// best[T].
+func (en *engine) dropStale() {
+	keep := en.found[:0]
+	for _, f := range en.found {
+		if containsKey(en.bestT, f.key) {
+			keep = append(keep, f)
+		}
 	}
-	return sb.String()
+	for i := len(keep); i < len(en.found); i++ {
+		en.found[i] = foundEntry{}
+	}
+	en.found = keep
+}
+
+// admitEntry is admit for an already-materialized entry — the final
+// merge step of the parallel search. MaxPaths does not apply (the
+// parallel path is gated off when it is set).
+func (en *engine) admitEntry(f foundEntry) {
+	if !label.Fits(f.key, en.bestT, en.e) {
+		return
+	}
+	en.bestT = label.Insert(en.bestT, f.key, en.e)
+	en.dropStale()
+	for i := range en.found {
+		if en.found[i].sig == f.sig && relsEqual(en.found[i].rels, f.rels) {
+			return
+		}
+	}
+	en.found = append(en.found, f)
+}
+
+// sigOf hashes the edge sequence path+last with FNV-1a. Duplicate
+// detection compares sig first and the sequences themselves on match,
+// so a hash collision costs a memcmp, never a wrong answer.
+func sigOf(path []schema.RelID, last schema.RelID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, r := range path {
+		h = (h ^ uint64(uint32(r))) * prime64
+	}
+	return (h ^ uint64(uint32(last))) * prime64
+}
+
+func relsEqual(a, b []schema.RelID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// relsEqualSplit reports whether a equals path followed by last.
+func relsEqualSplit(a, path []schema.RelID, last schema.RelID) bool {
+	if len(a) != len(path)+1 || a[len(a)-1] != last {
+		return false
+	}
+	for i := range path {
+		if a[i] != path[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func containsKey(ks []label.Key, k label.Key) bool {
@@ -293,14 +437,22 @@ func containsKey(ks []label.Key, k label.Key) bool {
 	return false
 }
 
-// transitions computes the admissible moves at (v, seg), split into
+// transitions derives the admissible moves at (v, seg) from the schema
+// — the dynamic path, used by the naive enumerator, by the noCompile
+// reference configuration, and as the single source of truth the
+// compiled index is built from. See dynTransitions.
+func (en *engine) transitions(v schema.ClassID, seg int) (comps, kids []trans) {
+	return dynTransitions(en.s, en.pat, &en.opts, v, seg)
+}
+
+// dynTransitions computes the admissible moves at (v, seg), split into
 // completing moves (reaching segment index len(segs)) and ordinary
 // children. Children are returned best-edge-first (the sorted
 // children[] of Algorithm 2).
-func (en *engine) transitions(v schema.ClassID, seg int) (comps, kids []trans) {
-	sgmt := en.pat.segs[seg]
+func dynTransitions(s *schema.Schema, pat *pattern, opts *Options, v schema.ClassID, seg int) (comps, kids []trans) {
+	sgmt := pat.segs[seg]
 	add := func(t trans) {
-		if t.toSeg == len(en.pat.segs) {
+		if t.toSeg == len(pat.segs) {
 			comps = append(comps, t)
 		} else {
 			kids = append(kids, t)
@@ -308,15 +460,15 @@ func (en *engine) transitions(v schema.ClassID, seg int) (comps, kids []trans) {
 	}
 	switch sgmt.kind {
 	case segExplicit:
-		if rel, ok := en.s.OutRel(v, sgmt.name); ok && rel.Conn == sgmt.conn {
+		if rel, ok := s.OutRel(v, sgmt.name); ok && rel.Conn == sgmt.conn {
 			add(trans{rel: rel, toSeg: seg + 1})
 		}
 	case segGapName, segGapClass:
-		if en.s.Class(v).Primitive {
+		if s.Class(v).Primitive {
 			return nil, nil // gaps never pass through primitive classes
 		}
-		for _, rid := range en.s.Out(v) {
-			rel := en.s.Rel(rid)
+		for _, rid := range s.Out(v) {
+			rel := s.Rel(rid)
 			ends := false
 			if sgmt.kind == segGapName {
 				ends = rel.Name == sgmt.name || rel.To == sgmt.class
@@ -327,7 +479,7 @@ func (en *engine) transitions(v schema.ClassID, seg int) (comps, kids []trans) {
 			// appear on a gap's path — neither as intermediate classes
 			// nor as a name-anchored endpoint. An explicitly requested
 			// target class is the user's own choice and stays allowed.
-			if en.opts.Exclude[rel.To] && !(ends && sgmt.kind == segGapClass) {
+			if opts.Exclude[rel.To] && !(ends && sgmt.kind == segGapClass) {
 				continue
 			}
 			if ends {
@@ -348,10 +500,22 @@ func (en *engine) transitions(v schema.ClassID, seg int) (comps, kids []trans) {
 	return comps, kids
 }
 
-// assemble sorts, deduplicates, and preemption-filters the found
-// paths into the final Result.
+// assemble materializes, sorts, deduplicates, and preemption-filters
+// the found paths into the final Result. Materialization happens here
+// — once, for survivors only — rather than per admitted offer: the
+// exact Label of each path is recomputed from its resolved edge
+// sequence, which equals the traversal-time label because Con is
+// associative.
 func (en *engine) assemble() *Result {
-	found := en.found
+	found := make([]Completion, 0, len(en.found))
+	for _, f := range en.found {
+		resolved, err := pathexpr.FromRels(en.s, en.pat.root, f.rels)
+		if err != nil {
+			// Unreachable: the edge stack is chained by construction.
+			panic("core: inconsistent edge stack: " + err.Error())
+		}
+		found = append(found, Completion{Path: resolved, Label: resolved.Label()})
+	}
 	if !en.opts.NoPreemption {
 		var onDrop func(dropped, by Completion)
 		if en.tracer != nil {
@@ -374,9 +538,12 @@ func (en *engine) assemble() *Result {
 		}
 		return found[i].Path.String() < found[j].Path.String()
 	})
+	best := make([]label.Key, len(en.bestT))
+	copy(best, en.bestT)
+	label.SortKeys(best)
 	return &Result{
 		Completions: found,
-		Best:        en.bestT,
+		Best:        best,
 		Stats:       en.stats,
 		Truncated:   en.truncated,
 		Exhausted:   en.stop == StopMaxCalls,

@@ -1,0 +1,194 @@
+package label
+
+// This file implements the allocation-free fast path used by the
+// compiled search kernel (internal/core):
+//
+//   - Fits is an alloc-free equivalent of In, the membership test of
+//     lines (9)–(10) of Algorithm 2;
+//   - Insert folds one key into an AGG*-closed set in place, the
+//     alloc-free equivalent of AggStar(append(ks, k), e) at line (12);
+//   - Inc is an incremental [connector, semantic-length] label that
+//     extends by one primary edge in O(1), without materializing the
+//     run-collapsed connector sequence Label carries.
+//
+// All three are property-tested against their reference counterparts
+// (In, AggStar, Con∘Edge) over randomized inputs in fast_test.go.
+//
+// A note on compositionality: the engine builds best[] sets by folding
+// Insert from the empty set, whereas the reference semantics is one
+// batch AggStar over all keys ever offered. The two agree because the
+// package-default connector order is graded (connector.Better compares
+// strength ranks): the survivors of the primary reduction are exactly
+// the minimum-rank keys, so discarding a dominated key early can never
+// resurrect later — dominance is witnessed by rank alone, and ranks of
+// retained keys only improve. TestInsertFoldMatchesBatch verifies this
+// over random insertion orders.
+
+import "pathcomplete/internal/connector"
+
+// Fits reports whether k survives AggStar({k} ∪ ks, e) — exactly
+// In(k, ks, e) — without allocating. ks need not be AGG*-closed.
+func Fits(k Key, ks []Key, e int) bool {
+	if e < 1 {
+		e = 1
+	}
+	for _, y := range ks {
+		if connector.Better(y.Conn, k.Conn) {
+			return false // primary reduction: k's connector is dominated
+		}
+	}
+	// k survives the primary reduction. It survives the secondary one
+	// iff its semantic length is among the e lowest distinct lengths of
+	// the survivor set, i.e. iff fewer than e distinct lengths sit
+	// strictly below it.
+	distinct := 0
+	for i, x := range ks {
+		if x.SemLen >= k.SemLen || !fitsSurvivor(x, k, ks) {
+			continue
+		}
+		seen := false
+		for j := 0; j < i; j++ {
+			if ks[j].SemLen == x.SemLen && fitsSurvivor(ks[j], k, ks) {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			distinct++
+			if distinct >= e {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fitsSurvivor reports whether x survives the primary reduction of
+// AggStar over {k} ∪ ks.
+func fitsSurvivor(x, k Key, ks []Key) bool {
+	if connector.Better(k.Conn, x.Conn) {
+		return false
+	}
+	for _, y := range ks {
+		if connector.Better(y.Conn, x.Conn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Insert folds k into the AGG*-closed set ks, returning a set equal
+// (as a set) to AggStar(append(ks, k), e). The backing array of ks is
+// reused and the result is NOT sorted; callers needing display order
+// sort a copy. The precondition — ks is AGG*-closed under the same e —
+// is maintained inductively by every call site, starting from nil.
+func Insert(ks []Key, k Key, e int) []Key {
+	if e < 1 {
+		e = 1
+	}
+	for _, y := range ks {
+		if y == k || connector.Better(y.Conn, k.Conn) {
+			return ks // duplicate, or k dominated: the set is unchanged
+		}
+	}
+	// k survives; drop members whose connectors it dominates.
+	out := ks[:0]
+	for _, y := range ks {
+		if !connector.Better(k.Conn, y.Conn) {
+			out = append(out, y)
+		}
+	}
+	out = append(out, k)
+	// Secondary reduction: keep the e lowest distinct semantic lengths
+	// (this may evict k itself, or previous members k's arrival pushed
+	// past the cutoff).
+	cutoff := distinctCutoff(out, e)
+	kept := out[:0]
+	for _, y := range out {
+		if y.SemLen <= cutoff {
+			kept = append(kept, y)
+		}
+	}
+	return kept
+}
+
+// SortKeys sorts keys in display order — semantic length first, then
+// connector symbol — the order AggStar returns. Insert does not sort
+// (the search engine never needs order); callers surfacing a best set
+// sort a copy with this.
+func SortKeys(ks []Key) { sortKeys(ks) }
+
+// distinctCutoff returns the e-th lowest distinct semantic length of
+// the non-empty key set (or the highest present, if fewer than e
+// distinct lengths exist), by repeated min-scan — alloc-free, and the
+// sets are tiny (≤ a handful of keys at the paper's E values).
+func distinctCutoff(ks []Key, e int) int {
+	cur := ks[0].SemLen
+	for _, y := range ks[1:] {
+		if y.SemLen < cur {
+			cur = y.SemLen
+		}
+	}
+	for n := 1; n < e; n++ {
+		next := -1
+		for _, y := range ks {
+			if y.SemLen > cur && (next < 0 || y.SemLen < next) {
+				next = y.SemLen
+			}
+		}
+		if next < 0 {
+			break
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Inc is the incremental view of a path label: just enough state to
+// extend [connector, semantic length] by one primary edge in O(1).
+// Per footnote 3 of the paper, semantic length is not compositional on
+// [connector, length] pairs alone; the extra structure needed at the
+// growing end of the path is exactly the last element of the
+// run-collapsed connector sequence, which Inc carries in place of
+// Label's full sequence. The zero value is NOT the identity; use
+// IncIdentity.
+type Inc struct {
+	conn    connector.Connector
+	last    connector.Connector // last element of the collapsed sequence
+	semLen  int32
+	hasLast bool // false for the empty path (no sequence yet)
+}
+
+// IncIdentity returns the incremental view of Identity(), the label
+// Θ = [@>, 0] of the empty path.
+func IncIdentity() Inc { return Inc{conn: connector.CIsa} }
+
+// Extend returns the label of the path extended by one edge with
+// primary connector c: the incremental equivalent of
+// Con(l, MustEdge(c)).
+func (l Inc) Extend(c connector.Connector) Inc {
+	out := Inc{conn: connector.Con(l.conn, c), last: c, hasLast: true, semLen: l.semLen}
+	if l.hasLast && l.last == c && collapsible(c.Kind) {
+		return out // restructuring step 1: the run collapses; no new element
+	}
+	if c.Kind == connector.Isa || c.Kind == connector.MayBe {
+		// Step 2: a maximal series of interchanged @>/<@ elements counts
+		// its length minus one, so only extending an existing series
+		// adds semantic length.
+		if l.hasLast && (l.last.Kind == connector.Isa || l.last.Kind == connector.MayBe) {
+			out.semLen++
+		}
+	} else {
+		out.semLen++
+	}
+	return out
+}
+
+// Conn returns the composed connector of the path.
+func (l Inc) Conn() connector.Connector { return l.conn }
+
+// SemLen returns the semantic length of the path.
+func (l Inc) SemLen() int { return int(l.semLen) }
+
+// Key returns the [connector, semantic length] view of the label.
+func (l Inc) Key() Key { return Key{Conn: l.conn, SemLen: int(l.semLen)} }

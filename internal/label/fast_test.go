@@ -1,0 +1,153 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathcomplete/internal/connector"
+)
+
+// randKey draws a key with any of the fourteen connectors and a small
+// semantic length, the regime best[] sets live in.
+func randKey(r *rand.Rand) Key {
+	cs := connector.All()
+	return Key{Conn: cs[r.Intn(len(cs))], SemLen: r.Intn(7)}
+}
+
+func randKeys(r *rand.Rand, n int) []Key {
+	out := make([]Key, n)
+	for i := range out {
+		out[i] = randKey(r)
+	}
+	return out
+}
+
+// TestFitsMatchesIn property-tests the alloc-free membership test
+// against the reference In over random key sets, including sets that
+// are not AGG*-closed.
+func TestFitsMatchesIn(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		ks := randKeys(r, r.Intn(9))
+		k := randKey(r)
+		e := 1 + r.Intn(4)
+		if got, want := Fits(k, ks, e), In(k, ks, e); got != want {
+			t.Fatalf("iter %d: Fits(%v, %v, %d) = %v, In = %v", i, k, ks, e, got, want)
+		}
+	}
+}
+
+// TestInsertMatchesAggStar property-tests the in-place fold against
+// the reference batch AggStar, starting from AGG*-closed sets (the
+// documented precondition).
+func TestInsertMatchesAggStar(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		e := 1 + r.Intn(4)
+		closed := AggStar(randKeys(r, r.Intn(9)), e)
+		k := randKey(r)
+		want := AggStar(append(append([]Key{}, closed...), k), e)
+		got := Insert(append([]Key{}, closed...), k, e)
+		if !Equal(got, want) {
+			t.Fatalf("iter %d: Insert(%v, %v, %d) = %v, want %v", i, closed, k, e, got, want)
+		}
+	}
+}
+
+// TestInsertFoldMatchesBatch verifies the engine's key invariant:
+// folding Insert from the empty set over any insertion order yields
+// the same set as one batch AggStar over all keys. This is what makes
+// incremental best[] maintenance — and the parallel search's final
+// best[T] merge — equivalent to the definitional semantics.
+func TestInsertFoldMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		e := 1 + r.Intn(4)
+		ks := randKeys(r, r.Intn(12))
+		var fold []Key
+		for _, k := range ks {
+			fold = Insert(fold, k, e)
+		}
+		want := AggStar(ks, e)
+		if !Equal(fold, want) {
+			t.Fatalf("iter %d: fold(%v, e=%d) = %v, batch = %v", i, ks, e, fold, want)
+		}
+	}
+}
+
+// TestIncMatchesLabel property-tests the incremental label against the
+// sequence-carrying Label over random primary-edge walks: at every
+// prefix the composed connector and semantic length must agree.
+func TestIncMatchesLabel(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	prim := connector.Primaries()
+	for i := 0; i < 20000; i++ {
+		n := r.Intn(13)
+		inc := IncIdentity()
+		ref := Identity()
+		for j := 0; j < n; j++ {
+			c := prim[r.Intn(len(prim))]
+			inc = inc.Extend(c)
+			ref = Con(ref, MustEdge(c))
+			if inc.Key() != ref.Key() {
+				t.Fatalf("iter %d step %d: Inc key %v, Label key %v", i, j, inc.Key(), ref.Key())
+			}
+			if inc.Conn() != ref.Conn() || inc.SemLen() != ref.SemLen() {
+				t.Fatalf("iter %d step %d: Inc (%v,%d), Label (%v,%d)",
+					i, j, inc.Conn(), inc.SemLen(), ref.Conn(), ref.SemLen())
+			}
+		}
+	}
+}
+
+// TestIncIdentity pins the identity: Θ = [@>, 0].
+func TestIncIdentity(t *testing.T) {
+	if got, want := IncIdentity().Key(), Identity().Key(); got != want {
+		t.Fatalf("IncIdentity key %v, want %v", got, want)
+	}
+}
+
+// TestEdgeCacheImmutable guards the shared edge-label singletons: heavy
+// composition over edge labels must not corrupt the cached sequences.
+func TestEdgeCacheImmutable(t *testing.T) {
+	for _, c := range connector.Primaries() {
+		l := MustEdge(c)
+		// Compose aggressively in both positions.
+		x := Con(l, l)
+		for _, d := range connector.Primaries() {
+			x = Con(x, MustEdge(d))
+			x = Con(MustEdge(d), x)
+		}
+		_ = x
+		again := MustEdge(c)
+		if again.Conn() != c || again.SemLen() != c.EdgeSemLen() {
+			t.Fatalf("edge label for %v corrupted: conn=%v semlen=%d", c, again.Conn(), again.SemLen())
+		}
+		if len(again.seq) != 1 || again.seq[0] != c {
+			t.Fatalf("edge seq for %v corrupted: %v", c, again.seq)
+		}
+	}
+}
+
+// TestFitsInsertNoAllocs asserts the fast path is allocation-free for
+// already-capacious sets — the property the engine's warm-path alloc
+// budget rests on.
+func TestFitsInsertNoAllocs(t *testing.T) {
+	ks := make([]Key, 0, 8)
+	ks = Insert(ks, Key{Conn: connector.CAssoc, SemLen: 3}, 2)
+	ks = Insert(ks, Key{Conn: connector.CHasPart, SemLen: 2}, 2)
+	k := Key{Conn: connector.CHasPart, SemLen: 1}
+	if n := testing.AllocsPerRun(100, func() {
+		if !Fits(k, ks, 2) {
+			t.Fatal("Fits should hold")
+		}
+	}); n != 0 {
+		t.Fatalf("Fits allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		scratch := ks[:len(ks):cap(ks)]
+		_ = Insert(scratch, k, 2)
+	}); n != 0 {
+		t.Fatalf("Insert allocates %v per run", n)
+	}
+}

@@ -35,13 +35,28 @@ type Label struct {
 // empty path.
 func Identity() Label { return Label{conn: connector.CIsa} }
 
+// edgeCache holds the five single-edge labels, indexed by primary
+// kind. Edge labels are requested once per visited edge on the search
+// hot path; sharing one immutable singleton sequence per connector
+// removes that per-visit allocation. Con never mutates its inputs'
+// sequences (it builds fresh merged slices), so sharing is safe.
+var edgeCache = func() [5]Label {
+	var out [5]Label
+	for _, c := range connector.Primaries() {
+		out[c.Kind] = Label{conn: c, seq: []connector.Connector{c}}
+	}
+	return out
+}()
+
 // Edge returns the label of a single schema edge with connector c,
-// which must be primary (one of @>, <@, $>, <$, .).
+// which must be primary (one of @>, <@, $>, <$, .). The returned
+// label shares an immutable cached sequence; callers must not modify
+// it (no exported API does).
 func Edge(c connector.Connector) (Label, error) {
 	if !c.Primary() {
 		return Label{}, fmt.Errorf("label: edge connector must be primary, got %v", c)
 	}
-	return Label{conn: c, seq: []connector.Connector{c}}, nil
+	return edgeCache[c.Kind], nil
 }
 
 // MustEdge is Edge, panicking on a non-primary connector.
