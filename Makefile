@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race cover bench bench-json bench-smoke bench-obs experiments fuzz fuzz-smoke chaos fmt vet clean
+.PHONY: all build test test-race race cover cover-gate bench bench-json bench-smoke bench-obs experiments fuzz fuzz-smoke chaos fmt vet clean
 
 all: build vet test
 
@@ -23,6 +23,19 @@ race: test-race
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/... .
 	$(GO) tool cover -func=cover.out | tail -1
+
+# Coverage gate (CI): the search kernel and the multi-schema registry
+# are the two subsystems whose regressions are silent, so their
+# combined statement coverage must stay >= 80%.
+COVER_GATE_MIN ?= 80.0
+cover-gate:
+	$(GO) test -coverprofile=cover_gate.out \
+		-coverpkg=./internal/core/...,./internal/registry/... \
+		./internal/core/... ./internal/registry/... ./internal/server/...
+	@total=$$($(GO) tool cover -func=cover_gate.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
+	echo "combined core+registry coverage: $$total% (gate: $(COVER_GATE_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_GATE_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' \
+		|| { echo "coverage gate FAILED: $$total% < $(COVER_GATE_MIN)%"; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchmem -run xxx .
@@ -49,16 +62,19 @@ bench-obs:
 experiments:
 	$(GO) run ./cmd/experiments -all
 
-# Continuous fuzzing of the two parsers (Ctrl-C to stop).
+# Continuous fuzzing of the two parsers and the end-to-end completion
+# round trip (Ctrl-C to stop).
 fuzz:
-	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/pathexpr
-	$(GO) test -fuzz=FuzzParseSDL -fuzztime=30s ./internal/sdl
+	$(GO) test -fuzz=FuzzParse -fuzztime=5m ./internal/pathexpr
+	$(GO) test -fuzz=FuzzParseSDL -fuzztime=5m ./internal/sdl
+	$(GO) test -fuzz=FuzzCompleteRoundTrip -fuzztime=5m ./internal/core
 
-# CI-sized fuzzing: ~10s per target, enough to catch parser
+# CI-sized fuzzing: 30s per target, enough to catch parser and search
 # regressions without holding up the pipeline.
 fuzz-smoke:
-	$(GO) test -fuzz=FuzzParse -fuzztime=10s -run FuzzParse ./internal/pathexpr
-	$(GO) test -fuzz=FuzzParseSDL -fuzztime=10s -run FuzzParseSDL ./internal/sdl
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s -run FuzzParse ./internal/pathexpr
+	$(GO) test -fuzz=FuzzParseSDL -fuzztime=30s -run FuzzParseSDL ./internal/sdl
+	$(GO) test -fuzz=FuzzCompleteRoundTrip -fuzztime=30s -run FuzzCompleteRoundTrip ./internal/core
 
 # The chaos drill on its own: fault injection under the race detector
 # with concurrent clients (internal/server/chaos_test.go).
@@ -72,4 +88,4 @@ vet:
 	$(GO) vet ./...
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out cover_gate.out test_output.txt bench_output.txt

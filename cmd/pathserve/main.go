@@ -3,7 +3,11 @@
 // Figure 1) would call:
 //
 //	pathserve -addr :8080 -schema university -sample
+//	pathserve -addr :8080 -schemas-dir ./schemas -default-schema university
 //	curl -s localhost:8080/complete -d '{"expr":"ta~name"}'
+//	curl -s localhost:8080/complete?schema=parts -d '{"expr":"p~weight"}'
+//	curl -s localhost:8080/schemas
+//	curl -s -X POST localhost:8080/schemas/reload
 //	curl -s localhost:8080/complete -d '{"expr":"ta~name","trace":true}'
 //	curl -s localhost:8080/complete -d '{"expr":"ta~name","timeoutMs":50}'
 //	curl -s localhost:8080/evaluate -d '{"expr":"ta~name","approve":[0]}'
@@ -24,6 +28,13 @@
 // size-capped (-max-body), handler panics are isolated, and a
 // fault-injection switchboard (-faults / PATHCOMPLETE_FAULTS) exists
 // for chaos drills.
+//
+// With -schemas-dir the server is multi-schema: every *.sdl file in
+// the directory is served under its base name, requests pick one with
+// ?schema=, and SIGHUP (or POST /schemas/reload) reparses the
+// directory and swaps atomically — in-flight searches finish on the
+// snapshot they started with, and a failed reload leaves the previous
+// generation serving.
 package main
 
 import (
@@ -43,6 +54,7 @@ import (
 	"pathcomplete/internal/faultinject"
 	"pathcomplete/internal/objstore"
 	"pathcomplete/internal/parts"
+	"pathcomplete/internal/registry"
 	"pathcomplete/internal/schema"
 	"pathcomplete/internal/sdl"
 	"pathcomplete/internal/server"
@@ -52,17 +64,19 @@ import (
 // config carries every flag value; split from flag parsing so startup
 // validation and server assembly are table-testable.
 type config struct {
-	addr       string
-	schemaName string
-	sdlPath    string
-	storePath  string
-	sample     bool
-	engine     string
-	e          int
-	parallel   int
-	pprofOn    bool
-	cacheCap   int
-	quiet      bool
+	addr          string
+	schemaName    string
+	sdlPath       string
+	schemasDir    string
+	defaultSchema string
+	storePath     string
+	sample        bool
+	engine        string
+	e             int
+	parallel      int
+	pprofOn       bool
+	cacheCap      int
+	quiet         bool
 
 	// Hardened-path knobs.
 	timeout     time.Duration // default per-request search deadline (0: none)
@@ -79,6 +93,8 @@ func parseFlags(args []string) (config, error) {
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	fs.StringVar(&cfg.schemaName, "schema", "university", "built-in schema: university, parts, or cupid")
 	fs.StringVar(&cfg.sdlPath, "sdl", "", "load the schema from an SDL file instead")
+	fs.StringVar(&cfg.schemasDir, "schemas-dir", "", "serve every *.sdl schema in this directory (multi-schema mode; SIGHUP or POST /schemas/reload hot-reloads it)")
+	fs.StringVar(&cfg.defaultSchema, "default-schema", "", "schema name requests without ?schema= resolve to (multi-schema mode; default: first name in sorted order)")
 	fs.StringVar(&cfg.storePath, "store", "", "load object data from a snapshot file")
 	fs.BoolVar(&cfg.sample, "sample", false, "mount the built-in sample data (university only)")
 	fs.StringVar(&cfg.engine, "engine", "paper", "engine preset: paper, safe, or exact")
@@ -119,6 +135,20 @@ func (cfg config) validate() error {
 	}
 	if cfg.sample && (cfg.schemaName != "university" || cfg.sdlPath != "") {
 		return fmt.Errorf("-sample only applies to -schema university")
+	}
+	if cfg.schemasDir != "" {
+		if cfg.sdlPath != "" {
+			return fmt.Errorf("-schemas-dir and -sdl are mutually exclusive")
+		}
+		if cfg.sample {
+			return fmt.Errorf("-schemas-dir and -sample are mutually exclusive")
+		}
+		if cfg.storePath != "" {
+			return fmt.Errorf("-schemas-dir and -store are mutually exclusive (stores are single-schema)")
+		}
+	}
+	if cfg.defaultSchema != "" && cfg.schemasDir == "" {
+		return fmt.Errorf("-default-schema requires -schemas-dir")
 	}
 	if cfg.timeout < 0 {
 		return fmt.Errorf("-timeout must be >= 0, got %v", cfg.timeout)
@@ -220,23 +250,49 @@ func run(cfg config, logger *slog.Logger) error {
 		WriteTimeout: 120 * time.Second,
 		IdleTimeout:  120 * time.Second,
 	}
-	return serve(srv, logger)
+	var reload func() error
+	if cfg.schemasDir != "" {
+		reload = sv.ReloadSchemas
+	}
+	return serve(srv, logger, reload)
 }
 
 // serve runs srv until SIGINT/SIGTERM, then drains connections
-// gracefully. Split from run so shutdown is testable.
-func serve(srv *http.Server, logger *slog.Logger) error {
+// gracefully. SIGHUP triggers reload (hot schema reload in
+// multi-schema mode; nil means the signal is logged and ignored).
+// Split from run so shutdown is testable.
+func serve(srv *http.Server, logger *slog.Logger, reload func() error) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
-	select {
-	case err := <-errc:
-		// Listen failed before any signal (bad address, port in use).
-		return err
-	case <-ctx.Done():
+loop:
+	for {
+		select {
+		case err := <-errc:
+			// Listen failed before any signal (bad address, port in use).
+			return err
+		case <-hup:
+			if reload == nil {
+				logger.Warn("SIGHUP ignored: not serving a schemas directory")
+				continue
+			}
+			if err := reload(); err != nil {
+				// A failed reload leaves the previous generation serving;
+				// the process keeps running on known-good state.
+				logger.Error("schema reload failed; previous generation keeps serving", "error", err)
+			} else {
+				logger.Info("schemas reloaded on SIGHUP")
+			}
+		case <-ctx.Done():
+			break loop
+		}
 	}
 	stop() // restore default signal handling: a second ^C kills hard
 	logger.Info("pathserve shutting down")
@@ -255,6 +311,51 @@ func serve(srv *http.Server, logger *slog.Logger) error {
 // build assembles the server from the validated config; split from run
 // so the wiring is testable without binding a port.
 func build(cfg config) (*server.Server, *schema.Schema, error) {
+	var opts core.Options
+	switch cfg.engine {
+	case "paper":
+		opts = core.Paper()
+	case "safe":
+		opts = core.Safe()
+	case "exact":
+		opts = core.Exact()
+	default:
+		return nil, nil, fmt.Errorf("unknown engine %q", cfg.engine)
+	}
+	opts.E = cfg.e
+	opts.Parallel = cfg.parallel
+
+	if cfg.schemasDir != "" {
+		// Multi-schema mode: every *.sdl file in the directory is served
+		// under its base name; SIGHUP and POST /schemas/reload reparse
+		// the directory and swap atomically.
+		reg := registry.New(opts)
+		if err := reg.LoadDir(cfg.schemasDir); err != nil {
+			return nil, nil, err
+		}
+		if cfg.defaultSchema != "" {
+			if err := reg.SetDefault(cfg.defaultSchema); err != nil {
+				return nil, nil, fmt.Errorf("-default-schema: %w", err)
+			}
+		}
+		sv := server.NewFromRegistry(reg)
+		sv.SetCacheCap(cfg.cacheCap)
+		sv.SetLimits(server.Limits{
+			DefaultTimeout: cfg.timeout,
+			MaxTimeout:     cfg.maxTimeout,
+			MaxConcurrent:  cfg.maxInflight,
+			MaxQueue:       cfg.queue,
+			MaxBodyBytes:   cfg.maxBody,
+		})
+		sn, err := reg.Acquire("")
+		if err != nil {
+			return nil, nil, err
+		}
+		s := sn.Schema()
+		sn.Release()
+		return sv, s, nil
+	}
+
 	var (
 		s     *schema.Schema
 		store *objstore.Store
@@ -299,19 +400,6 @@ func build(cfg config) (*server.Server, *schema.Schema, error) {
 			return nil, nil, err
 		}
 	}
-	var opts core.Options
-	switch cfg.engine {
-	case "paper":
-		opts = core.Paper()
-	case "safe":
-		opts = core.Safe()
-	case "exact":
-		opts = core.Exact()
-	default:
-		return nil, nil, fmt.Errorf("unknown engine %q", cfg.engine)
-	}
-	opts.E = cfg.e
-	opts.Parallel = cfg.parallel
 	sv := server.New(s, store, opts)
 	sv.SetCacheCap(cfg.cacheCap)
 	sv.SetLimits(server.Limits{

@@ -177,7 +177,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	addr := pickAddr(t)
 	srv := &http.Server{Addr: addr, Handler: sv.Handler()}
 	done := make(chan error, 1)
-	go func() { done <- serve(srv, logger) }()
+	go func() { done <- serve(srv, logger, nil) }()
 
 	// Wait for the listener, then verify it serves.
 	var resp *http.Response
@@ -211,7 +211,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 func TestServeListenError(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 	srv := &http.Server{Addr: "256.256.256.256:99999"}
-	if err := serve(srv, logger); err == nil {
+	if err := serve(srv, logger, nil); err == nil {
 		t.Error("impossible address should surface the listen error")
 	}
 }

@@ -23,7 +23,10 @@ func TestRunErrors(t *testing.T) {
 	if err := run("university", "nope", 1, 92, 182, 3, 8); err == nil {
 		t.Error("unknown format should error")
 	}
-	if err := run("cupid", "sdl", 1, 3, 2, 1, 1); err == nil {
-		t.Error("impossible generator config should error")
+	if err := run("cupid", "sdl", 1, 2, 2, 0, 0); err == nil {
+		t.Error("impossible generator config (too few classes) should error")
+	}
+	if err := run("cupid", "sdl", 1, 20, 2, 0, 0); err == nil {
+		t.Error("impossible generator config (RelPairs below the backbone) should error")
 	}
 }

@@ -117,6 +117,14 @@ func (m *patternMemo) insert(h uint64, cp *compiled) *compiled {
 	return cp
 }
 
+// drop releases every memoized index (see Completer.Close).
+func (m *patternMemo) drop() {
+	m.mu.Lock()
+	m.buckets = nil
+	m.n = 0
+	m.mu.Unlock()
+}
+
 // compiledFor returns the memoized index for pat, building it on first
 // use. Safe for concurrent use; the warm path is one hash and one
 // RLock'd bucket probe.

@@ -307,12 +307,27 @@ type Completer struct {
 	opts Options
 
 	memo patternMemo
-	pool sync.Pool // *engine scratch, sized to s
+	pool *sync.Pool // *engine scratch, sized to s
 }
 
 // New returns a Completer for the given schema and options.
 func New(s *schema.Schema, opts Options) *Completer {
-	return &Completer{s: s, opts: opts}
+	return &Completer{s: s, opts: opts, pool: &sync.Pool{}}
+}
+
+// Close releases the completer's recycled resources: the pooled search
+// engines and the memoized compiled transition indexes. It exists for
+// snapshot lifecycles (a schema registry that retires a superseded
+// generation once its refcount drains) where waiting for the garbage
+// collector to notice an unreferenced Completer would hold per-schema
+// index memory across many reloads. The Completer remains usable after
+// Close — subsequent searches simply recompile and repool — but Close
+// must not be called concurrently with an in-flight search on the same
+// Completer; a registry guarantees that by only closing drained
+// snapshots.
+func (c *Completer) Close() {
+	c.memo.drop()
+	c.pool = &sync.Pool{}
 }
 
 // Schema returns the schema the completer searches.

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/sdl"
+)
+
+// FuzzCompleteRoundTrip drives the full pipeline — SDL parse, path
+// expression parse, completion search — on arbitrary inputs and checks
+// the invariants that must hold for ANY input:
+//
+//   - no panic, whatever the schema or expression;
+//   - every returned completion is a member of Ψ: an acyclic complete
+//     path expression consistent with the query (Section 3);
+//   - every returned completion round-trips: its rendered text
+//     reparses, and completing the reparsed (already complete)
+//     expression returns exactly that path again.
+//
+// The search runs under a call budget so fuzz-generated blowup schemas
+// stay fast; an exhausted budget still must return only valid paths.
+func FuzzCompleteRoundTrip(f *testing.F) {
+	f.Add("class a\nclass b\nhaspart a b part whole\nattr b name C\n", "a~name", uint8(1))
+	f.Add("schema u\nisa ta employee\nattr employee name C\n", "ta~name", uint8(2))
+	f.Add("assoc a b ab ba\nassoc b c bc cb\nattr c value R\n", "a~value", uint8(0))
+	f.Add("attr x v I\n", "x.v", uint8(3))
+	f.Add("class only\n", "only~missing", uint8(1))
+	f.Add("isa s t\nattr t label C\nattr s label C\n", "s~label", uint8(255))
+	f.Fuzz(func(t *testing.T, schemaSrc, exprSrc string, eByte uint8) {
+		s, err := sdl.ParseString(schemaSrc)
+		if err != nil {
+			return
+		}
+		e, err := pathexpr.Parse(exprSrc)
+		if err != nil {
+			return
+		}
+		opts := Exact()
+		opts.E = 1 + int(eByte%4)
+		opts.MaxCalls = 50_000
+		res, err := New(s, opts).Complete(e)
+		if err != nil {
+			return
+		}
+		for _, c := range res.Completions {
+			if !c.Path.Acyclic() {
+				t.Fatalf("cyclic completion %v for %q over %q", c.Path, exprSrc, schemaSrc)
+			}
+			if !c.Path.ConsistentWith(e) {
+				t.Fatalf("inconsistent completion %v for %q over %q", c.Path, exprSrc, schemaSrc)
+			}
+			// Round trip: the rendered completion reparses, and as an
+			// already-complete expression it completes to itself.
+			text := c.Path.String()
+			full, err := pathexpr.Parse(text)
+			if err != nil {
+				t.Fatalf("completion %q does not reparse: %v", text, err)
+			}
+			if full.Incomplete() {
+				t.Fatalf("completion %q reparsed as incomplete", text)
+			}
+			again, err := New(s, opts).Complete(full)
+			if err != nil {
+				t.Fatalf("completing the complete path %q failed: %v", text, err)
+			}
+			if len(again.Completions) != 1 || again.Completions[0].Path.String() != text {
+				got := make([]string, len(again.Completions))
+				for i, a := range again.Completions {
+					got[i] = a.Path.String()
+				}
+				t.Fatalf("complete path %q did not complete to itself: %v", text, strings.Join(got, ", "))
+			}
+		}
+	})
+}

@@ -118,11 +118,14 @@ var themedAttrPool = []string{
 
 // Generate builds a workload from the configuration.
 func Generate(cfg Config) (*Workload, error) {
-	if cfg.Classes < 10 {
-		return nil, fmt.Errorf("cupid: need at least 10 classes, got %d", cfg.Classes)
+	if cfg.Classes < 3 {
+		return nil, fmt.Errorf("cupid: need at least 3 classes, got %d", cfg.Classes)
 	}
 	if cfg.Hubs < 0 || cfg.Hubs > len(hubNames) {
 		return nil, fmt.Errorf("cupid: hubs must be in [0, %d]", len(hubNames))
+	}
+	if cfg.Classes-cfg.Hubs < 2 {
+		return nil, fmt.Errorf("cupid: need at least 2 non-hub classes, got %d", cfg.Classes-cfg.Hubs)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	b := schema.NewBuilder(fmt.Sprintf("cupid-%d", cfg.Seed))

@@ -1,0 +1,14 @@
+package cupid
+
+import "testing"
+
+func TestGenerateSmallSchemas(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 8, 15, 60} {
+		for seed := int64(0); seed < 20; seed++ {
+			cfg := Config{Seed: seed, Classes: n, RelPairs: n * 3, Hubs: 0, HubFanout: 0}
+			if _, err := Generate(cfg); err != nil {
+				t.Errorf("classes=%d seed=%d: %v", n, seed, err)
+			}
+		}
+	}
+}

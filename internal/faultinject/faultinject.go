@@ -1,10 +1,12 @@
 // Package faultinject is a tiny, dependency-free fault-injection
 // switchboard for chaos testing the serving path. Injection points are
-// named call sites (e.g. "server.complete", "store.eval") that consult
-// the armed configuration and then possibly sleep, return an injected
-// error, or panic — exactly the failure modes the server's robustness
-// machinery (deadlines, panic-recovery middleware, admission gate) must
-// absorb.
+// named call sites (e.g. "server.complete", "store.eval", or
+// "registry.reload" — the top of every schema hot reload, so drills
+// can prove a failed reload leaves the previous generation serving)
+// that consult the armed configuration and then possibly sleep, return
+// an injected error, or panic — exactly the failure modes the server's
+// robustness machinery (deadlines, panic-recovery middleware, admission
+// gate) must absorb.
 //
 // The package is disarmed by default and designed to be zero-cost in
 // that state: every injection point is a single atomic load of a bool.

@@ -1,0 +1,59 @@
+package obs
+
+import "sync"
+
+// LabelGuard bounds the cardinality of one metric label dimension.
+// Prometheus-style vec metrics allocate one child per distinct label
+// value forever, so a label fed from anything an operator (or worse, a
+// client) controls — schema names from a reloadable directory, say —
+// needs a hard cap: the first Cap distinct values pass through
+// unchanged, everything after collapses to OverflowLabel. The guard is
+// monotone (a value admitted once is admitted always), so time series
+// never flap between their own name and the overflow bucket.
+type LabelGuard struct {
+	mu   sync.Mutex
+	cap  int
+	seen map[string]struct{}
+}
+
+// OverflowLabel is the label value excess cardinality collapses to.
+const OverflowLabel = "_other"
+
+// DefaultLabelCap bounds a guarded label dimension when the caller
+// does not choose a cap.
+const DefaultLabelCap = 100
+
+// NewLabelGuard returns a guard admitting at most cap distinct values
+// (cap <= 0 selects DefaultLabelCap).
+func NewLabelGuard(cap int) *LabelGuard {
+	if cap <= 0 {
+		cap = DefaultLabelCap
+	}
+	return &LabelGuard{cap: cap, seen: make(map[string]struct{})}
+}
+
+// Bound returns v when it is (or can still become) one of the admitted
+// values, and OverflowLabel once the cap is exhausted. Empty values
+// map to OverflowLabel unconditionally. Safe for concurrent use.
+func (g *LabelGuard) Bound(v string) string {
+	if v == "" {
+		return OverflowLabel
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.seen[v]; ok {
+		return v
+	}
+	if len(g.seen) >= g.cap {
+		return OverflowLabel
+	}
+	g.seen[v] = struct{}{}
+	return v
+}
+
+// Admitted returns the number of distinct values admitted so far.
+func (g *LabelGuard) Admitted() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.seen)
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLabelGuardAdmitsUpToCap(t *testing.T) {
+	g := NewLabelGuard(3)
+	for _, v := range []string{"a", "b", "c"} {
+		if got := g.Bound(v); got != v {
+			t.Errorf("Bound(%q) = %q, want pass-through", v, got)
+		}
+	}
+	if got := g.Bound("d"); got != OverflowLabel {
+		t.Errorf("Bound beyond cap = %q, want %q", got, OverflowLabel)
+	}
+	if n := g.Admitted(); n != 3 {
+		t.Errorf("Admitted = %d, want 3", n)
+	}
+}
+
+func TestLabelGuardMonotone(t *testing.T) {
+	// A value admitted before the cap filled keeps passing through after
+	// the cap is exhausted: series never flap into the overflow bucket.
+	g := NewLabelGuard(2)
+	g.Bound("a")
+	g.Bound("b")
+	g.Bound("c") // overflow
+	for i := 0; i < 3; i++ {
+		if got := g.Bound("a"); got != "a" {
+			t.Fatalf("admitted value flapped: Bound(a) = %q", got)
+		}
+		if got := g.Bound("c"); got != OverflowLabel {
+			t.Fatalf("rejected value flapped: Bound(c) = %q", got)
+		}
+	}
+}
+
+func TestLabelGuardEmptyValue(t *testing.T) {
+	g := NewLabelGuard(10)
+	if got := g.Bound(""); got != OverflowLabel {
+		t.Errorf("Bound(\"\") = %q, want %q", got, OverflowLabel)
+	}
+	if n := g.Admitted(); n != 0 {
+		t.Errorf("empty value consumed a cap slot: Admitted = %d", n)
+	}
+}
+
+func TestLabelGuardDefaultCap(t *testing.T) {
+	g := NewLabelGuard(0)
+	for i := 0; i < DefaultLabelCap; i++ {
+		v := fmt.Sprintf("s%03d", i)
+		if got := g.Bound(v); got != v {
+			t.Fatalf("Bound(%q) = %q under default cap", v, got)
+		}
+	}
+	if got := g.Bound("one-too-many"); got != OverflowLabel {
+		t.Errorf("default cap not enforced: got %q", got)
+	}
+}
+
+func TestLabelGuardConcurrent(t *testing.T) {
+	// Hammer one guard from many goroutines; the admitted set must end
+	// exactly at the cap and every returned value must be either the
+	// input or the overflow label. Run under -race this also checks the
+	// locking.
+	g := NewLabelGuard(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v := fmt.Sprintf("v%d", i%16)
+				if got := g.Bound(v); got != v && got != OverflowLabel {
+					t.Errorf("Bound(%q) = %q", v, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := g.Admitted(); n != 8 {
+		t.Errorf("Admitted = %d, want exactly the cap (8)", n)
+	}
+}

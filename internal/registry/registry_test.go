@@ -1,0 +1,401 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/faultinject"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/sdl"
+	"pathcomplete/internal/uni"
+)
+
+// Two tiny schemas whose completions for "a~name" render differently
+// ("a$>part.name" vs "a$>link.name"), so a test can tell by the answer
+// text which generation served it.
+const (
+	schemaV1 = "class a\nclass b\nhaspart a b part whole\nattr b name C\n"
+	schemaV2 = "class a\nclass c\nhaspart a c link rev\nattr c name C\n"
+)
+
+// writeSchemaDir populates dir with the named SDL files.
+func writeSchemaDir(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, text := range files {
+		if err := os.WriteFile(filepath.Join(dir, name+".sdl"), []byte(text), 0o644); err != nil {
+			t.Fatalf("write %s: %v", name, err)
+		}
+	}
+}
+
+// completeOne runs the query through the snapshot's long-lived
+// Completer and returns the single expected completion's rendering.
+func completeOne(t *testing.T, sn *Snapshot, expr string) string {
+	t.Helper()
+	e, err := pathexpr.Parse(expr)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", expr, err)
+	}
+	res, err := sn.Completer().Complete(e)
+	if err != nil {
+		t.Fatalf("Complete(%q) on %s@%d: %v", expr, sn.Name(), sn.Generation(), err)
+	}
+	if len(res.Completions) != 1 {
+		t.Fatalf("Complete(%q): %d completions, want 1: %v", expr, len(res.Completions), res.Strings())
+	}
+	return res.Completions[0].Path.String()
+}
+
+func TestStaticRegistry(t *testing.T) {
+	r := Static(uni.New(), nil, core.Exact())
+	if got := r.DefaultName(); got != "university" {
+		t.Fatalf("DefaultName() = %q, want university", got)
+	}
+	sn, err := r.Acquire("")
+	if err != nil {
+		t.Fatalf("Acquire(\"\"): %v", err)
+	}
+	if sn.Name() != "university" || sn.Schema() == nil || sn.Completer() == nil {
+		t.Fatalf("snapshot incomplete: %+v", sn)
+	}
+	sn.Release()
+	if _, err := r.Acquire("nope"); !errors.Is(err, ErrUnknownSchema) {
+		t.Fatalf("Acquire(nope) = %v, want ErrUnknownSchema", err)
+	}
+	if err := r.Reload(); !errors.Is(err, ErrNoDir) {
+		t.Fatalf("Reload() on a static registry = %v, want ErrNoDir", err)
+	}
+	if got := r.Live(); got != 1 {
+		t.Fatalf("Live() = %d, want 1", got)
+	}
+}
+
+func TestAcquireEmptyRegistry(t *testing.T) {
+	r := New(core.Exact())
+	if _, err := r.Acquire(""); !errors.Is(err, ErrUnknownSchema) {
+		t.Fatalf("Acquire on empty registry = %v, want ErrUnknownSchema", err)
+	}
+}
+
+func TestLoadDirNamesAndDefault(t *testing.T) {
+	dir := t.TempDir()
+	writeSchemaDir(t, dir, map[string]string{"beta": schemaV2, "alpha": schemaV1})
+	r := New(core.Exact())
+	if err := r.LoadDir(dir); err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if got, want := fmt.Sprint(r.Names()), "[alpha beta]"; got != want {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	// Default falls back to the first name in sorted order.
+	if got := r.DefaultName(); got != "alpha" {
+		t.Fatalf("DefaultName() = %q, want alpha", got)
+	}
+	if err := r.SetDefault("beta"); err != nil {
+		t.Fatalf("SetDefault(beta): %v", err)
+	}
+	if got := r.DefaultName(); got != "beta" {
+		t.Fatalf("DefaultName() after SetDefault = %q, want beta", got)
+	}
+	sn, err := r.Acquire("")
+	if err != nil {
+		t.Fatalf("Acquire(\"\"): %v", err)
+	}
+	if sn.Name() != "beta" {
+		t.Fatalf("Acquire(\"\") resolved to %q, want beta", sn.Name())
+	}
+	sn.Release()
+	if err := r.SetDefault("gamma"); !errors.Is(err, ErrUnknownSchema) {
+		t.Fatalf("SetDefault(gamma) = %v, want ErrUnknownSchema", err)
+	}
+}
+
+// TestReloadSwapSemantics: a snapshot acquired before a reload keeps
+// serving its exact schema state; the new table serves the new one;
+// the superseded snapshot retires only when its last reference drops.
+func TestReloadSwapSemantics(t *testing.T) {
+	dir := t.TempDir()
+	writeSchemaDir(t, dir, map[string]string{"main": schemaV1})
+	r := New(core.Exact())
+	if err := r.LoadDir(dir); err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	var retired atomic.Int64
+	r.OnRetire(func(*Snapshot) { retired.Add(1) })
+
+	old, err := r.Acquire("main")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	oldGen := old.Generation()
+	if got := completeOne(t, old, "a~name"); got != "a$>part.name" {
+		t.Fatalf("v1 answer = %q, want a$>part.name", got)
+	}
+
+	writeSchemaDir(t, dir, map[string]string{"main": schemaV2})
+	if err := r.Reload(); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	if r.Generation() <= oldGen {
+		t.Fatalf("generation did not advance: %d -> %d", oldGen, r.Generation())
+	}
+	// Two snapshots live: the superseded one (pinned by us) + the new.
+	if got := r.Live(); got != 2 {
+		t.Fatalf("Live() mid-reload = %d, want 2", got)
+	}
+	if retired.Load() != 0 {
+		t.Fatalf("pinned snapshot retired early")
+	}
+
+	// The pinned snapshot still answers from the old schema state.
+	if got := completeOne(t, old, "a~name"); got != "a$>part.name" {
+		t.Fatalf("pinned snapshot answer changed after reload: %q", got)
+	}
+	// A fresh acquire sees the new generation and the new answer.
+	fresh, err := r.Acquire("main")
+	if err != nil {
+		t.Fatalf("Acquire after reload: %v", err)
+	}
+	if fresh.Generation() <= oldGen {
+		t.Fatalf("fresh generation %d not newer than %d", fresh.Generation(), oldGen)
+	}
+	if got := completeOne(t, fresh, "a~name"); got != "a$>link.name" {
+		t.Fatalf("v2 answer = %q, want a$>link.name", got)
+	}
+	fresh.Release()
+
+	old.Release() // the last reference: retirement happens here
+	if retired.Load() != 1 {
+		t.Fatalf("retired = %d, want 1", retired.Load())
+	}
+	if got := r.Live(); got != 1 {
+		t.Fatalf("Live() after drain = %d, want 1", got)
+	}
+}
+
+// TestReloadDropsVanishedNames: a name whose file disappeared is gone
+// after the reload, and the default falls back when it was the victim.
+func TestReloadDropsVanishedNames(t *testing.T) {
+	dir := t.TempDir()
+	writeSchemaDir(t, dir, map[string]string{"alpha": schemaV1, "beta": schemaV2})
+	r := New(core.Exact())
+	if err := r.LoadDir(dir); err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if err := os.Remove(filepath.Join(dir, "alpha.sdl")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload(); err != nil {
+		t.Fatalf("Reload: %v", err)
+	}
+	if _, err := r.Acquire("alpha"); !errors.Is(err, ErrUnknownSchema) {
+		t.Fatalf("Acquire(alpha) after removal = %v, want ErrUnknownSchema", err)
+	}
+	if got := r.DefaultName(); got != "beta" {
+		t.Fatalf("default did not fall back: %q, want beta", got)
+	}
+	if got := r.Live(); got != 1 {
+		t.Fatalf("Live() = %d, want 1", got)
+	}
+}
+
+// TestReloadFailureKeepsServing: every failure mode of Reload — an
+// injected "registry.reload" fault, an unparseable SDL file, an empty
+// directory — leaves the previous generation serving, untouched.
+func TestReloadFailureKeepsServing(t *testing.T) {
+	dir := t.TempDir()
+	writeSchemaDir(t, dir, map[string]string{"main": schemaV1})
+	r := New(core.Exact())
+	if err := r.LoadDir(dir); err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	gen := r.Generation()
+
+	check := func(stage string) {
+		t.Helper()
+		if got := r.Generation(); got != gen {
+			t.Fatalf("%s: generation moved to %d, want %d", stage, got, gen)
+		}
+		sn, err := r.Acquire("main")
+		if err != nil {
+			t.Fatalf("%s: Acquire: %v", stage, err)
+		}
+		if got := completeOne(t, sn, "a~name"); got != "a$>part.name" {
+			t.Fatalf("%s: answer = %q, want a$>part.name", stage, got)
+		}
+		sn.Release()
+	}
+
+	// 1. Injected fault at the registry.reload point.
+	faultinject.Arm(faultinject.Config{
+		Seed: 1, ErrorProb: 1,
+		Points: map[string]bool{FaultPoint: true},
+	})
+	err := r.Reload()
+	faultinject.Disarm()
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Reload under fault = %v, want ErrInjected", err)
+	}
+	check("injected fault")
+
+	// 2. An unparseable SDL file.
+	writeSchemaDir(t, dir, map[string]string{"broken": "clazz oops\n"})
+	if err := r.Reload(); err == nil {
+		t.Fatalf("Reload with a broken SDL file succeeded")
+	}
+	check("broken file")
+	if err := os.Remove(filepath.Join(dir, "broken.sdl")); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. A directory with no .sdl files at all.
+	if err := os.Remove(filepath.Join(dir, "main.sdl")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Reload(); err == nil {
+		t.Fatalf("Reload of an empty directory succeeded")
+	}
+	check("empty dir")
+}
+
+// TestInstallKeepsOtherSnapshots: Install bumps only the named entry;
+// every other name keeps its exact snapshot (no spurious rebuilds).
+func TestInstallKeepsOtherSnapshots(t *testing.T) {
+	sA, err := sdl.ParseString(schemaV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := sdl.ParseString(schemaV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(core.Exact())
+	r.Install("a", sA, nil)
+	r.Install("b", sB, nil)
+	snB, err := r.Acquire("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Install("a", sA, nil) // reinstall a only
+	snB2, err := r.Acquire("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snB != snB2 {
+		t.Fatalf("reinstalling a rebuilt b's snapshot")
+	}
+	snB.Release()
+	snB2.Release()
+	if got := r.Live(); got != 2 {
+		t.Fatalf("Live() = %d, want 2", got)
+	}
+}
+
+func TestReleaseWithoutAcquirePanics(t *testing.T) {
+	// A deliberately corrupted protocol: the snapshot holds two
+	// references (table + our acquire); releasing a third time drives
+	// the count negative, which must panic rather than silently
+	// corrupt. The registry is throwaway — it is broken after this.
+	r := Static(uni.New(), nil, core.Exact())
+	sn, err := r.Acquire("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn.Release() // ours
+	sn.Release() // steals the table's reference: snapshot retires
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Release below zero did not panic")
+		}
+	}()
+	sn.Release() // below zero: must panic
+}
+
+// TestReloadRace is the hot-reload drill: readers hammer Acquire /
+// Complete / Release while a writer swaps the directory contents
+// through 100 generations. Run under -race this is the data-race gate
+// for the snapshot protocol; the final assertions are the leak checks
+// (Live drains to the served-schema count) and generation monotonicity.
+func TestReloadRace(t *testing.T) {
+	dir := t.TempDir()
+	writeSchemaDir(t, dir, map[string]string{"main": schemaV1})
+	r := New(core.Exact())
+	if err := r.LoadDir(dir); err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+
+	const (
+		readers = 8
+		reloads = 100
+	)
+	e, err := pathexpr.Parse("a~name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				sn, err := r.Acquire("")
+				if err != nil {
+					errs <- fmt.Errorf("Acquire: %w", err)
+					return
+				}
+				res, err := sn.Completer().Complete(e)
+				if err != nil {
+					errs <- fmt.Errorf("Complete on gen %d: %w", sn.Generation(), err)
+					sn.Release()
+					return
+				}
+				got := res.Completions[0].Path.String()
+				if got != "a$>part.name" && got != "a$>link.name" {
+					errs <- fmt.Errorf("gen %d: impossible answer %q", sn.Generation(), got)
+					sn.Release()
+					return
+				}
+				sn.Release()
+			}
+		}()
+	}
+
+	lastGen := r.Generation()
+	for i := 0; i < reloads; i++ {
+		text := schemaV1
+		if i%2 == 0 {
+			text = schemaV2
+		}
+		writeSchemaDir(t, dir, map[string]string{"main": text})
+		if err := r.Reload(); err != nil {
+			t.Errorf("reload %d: %v", i, err)
+			break
+		}
+		if g := r.Generation(); g <= lastGen {
+			t.Errorf("reload %d: generation %d did not advance past %d", i, g, lastGen)
+		} else {
+			lastGen = g
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Leak assertion: with every reader reference released, only the
+	// current table's snapshots may be alive.
+	if got, want := r.Live(), len(r.Names()); got != want {
+		t.Errorf("Live() = %d after drain, want %d (snapshot leak)", got, want)
+	}
+}

@@ -1,13 +1,29 @@
 package server
 
-// A size-bounded LRU over completion results. The memo cache is what
-// makes the interactive loop feel instant (the user refines an
+// A sharded, byte-budgeted LRU over completion results. The memo cache
+// is what makes the interactive loop feel instant (the user refines an
 // expression; everything already explored re-answers from memory), but
-// an unbounded map is a memory leak under a hostile query stream: each
-// distinct (expression, E) pair is a new key, and expressions are
-// attacker-controlled. The bound turns the worst case into a working
-// set; evictions are surfaced as a metric so an operator can see when
-// the cap is too small for the real workload.
+// in a multi-schema server an unbounded map is both a memory leak and
+// a staleness hazard: each distinct (schema, generation, expression, E)
+// tuple is a new key, expressions are attacker-controlled, and a
+// reload must never let a pre-reload answer serve a post-reload query.
+//
+// The design:
+//
+//   - Entries shard per (schema, generation). A reload moves traffic
+//     to a fresh shard automatically — the generation is part of the
+//     shard identity — and the superseded shard is dropped explicitly
+//     (dropStale) rather than waiting for capacity pressure.
+//   - Recency is global: one LRU list spans all shards, and both the
+//     entry cap and the byte budget evict from the global cold end.
+//     A busy schema can therefore use the whole budget while an idle
+//     one keeps only its recent handful — but eviction never reaches
+//     across shards for any reason other than recency, so evicting
+//     schema A's cold entries cannot touch B's warm ones.
+//   - The byte budget tracks an estimate of each Result's resident
+//     size (paths, labels, best keys), so one schema with huge answer
+//     sets cannot blow the process heap while staying under the entry
+//     cap.
 
 import (
 	"container/list"
@@ -15,39 +31,81 @@ import (
 	"pathcomplete/internal/core"
 )
 
-// DefaultCacheCap bounds the completion memo cache when the caller
-// does not choose a size. Completion results are small (a handful of
-// resolved paths), so a few thousand entries is cheap; the value is a
-// safety bound, not a tuning parameter.
+// DefaultCacheCap bounds the completion memo cache entry count when
+// the caller does not choose a size.
 const DefaultCacheCap = 4096
 
+// DefaultCacheBudget bounds the estimated resident bytes of cached
+// results across all schema shards. Completion results are small (a
+// handful of resolved paths), so 64 MiB is a safety bound for the
+// adversarial case, not a tuning parameter for the ordinary one.
+const DefaultCacheBudget = 64 << 20
+
+// shardID identifies one schema generation's cache shard.
+type shardID struct {
+	schema string
+	gen    uint64
+}
+
+// cacheKey identifies one memoized completion. It doubles as the
+// singleflight key, and therefore MUST carry the schema generation:
+// collapsing a cold query into an in-flight search of a pre-reload
+// snapshot would hand back a pre-reload answer.
 type cacheKey struct {
-	expr string
-	e    int
+	shard shardID
+	expr  string
+	e     int
 }
 
 type cacheEntry struct {
-	key cacheKey
-	res *core.Result
+	key  cacheKey
+	res  *core.Result
+	size int64
 }
 
-// lruCache is a plain LRU map+list. It is not safe for concurrent use;
-// the Server guards it with its mutex.
-type lruCache struct {
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[cacheKey]*list.Element
-}
-
-func newLRU(capacity int) *lruCache {
-	if capacity <= 0 {
-		capacity = DefaultCacheCap
+// resultBytes estimates the resident size of a cached result: the
+// strings it will render plus fixed per-completion overhead. The
+// estimate only needs to be proportional, not exact — the budget is a
+// safety bound.
+func resultBytes(res *core.Result) int64 {
+	const base = 256          // Result + slice headers + list/map bookkeeping
+	const perCompletion = 128 // Resolved + label + slice headers
+	size := int64(base) + int64(len(res.Best))*24
+	for _, c := range res.Completions {
+		size += perCompletion + int64(len(c.Path.String()))
 	}
-	return &lruCache{cap: capacity, ll: list.New(), items: make(map[cacheKey]*list.Element)}
+	return size
 }
 
-// get returns the cached result and refreshes its recency.
-func (c *lruCache) get(k cacheKey) (*core.Result, bool) {
+// shardedCache is the sharded byte-budget LRU. It is not safe for
+// concurrent use; the Server guards it with its mutex.
+type shardedCache struct {
+	maxEntries int
+	budget     int64
+	used       int64
+	ll         *list.List // front = most recently used, across all shards
+	items      map[cacheKey]*list.Element
+	perShard   map[shardID]int // live entry count per shard
+}
+
+func newShardedCache(maxEntries int, budget int64) *shardedCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheCap
+	}
+	if budget <= 0 {
+		budget = DefaultCacheBudget
+	}
+	return &shardedCache{
+		maxEntries: maxEntries,
+		budget:     budget,
+		ll:         list.New(),
+		items:      make(map[cacheKey]*list.Element),
+		perShard:   make(map[shardID]int),
+	}
+}
+
+// get returns the cached result and refreshes its global recency.
+func (c *shardedCache) get(k cacheKey) (*core.Result, bool) {
 	el, ok := c.items[k]
 	if !ok {
 		return nil, false
@@ -57,22 +115,66 @@ func (c *lruCache) get(k cacheKey) (*core.Result, bool) {
 }
 
 // put inserts (or refreshes) a result and reports how many entries the
-// size bound evicted (0 or 1).
-func (c *lruCache) put(k cacheKey, res *core.Result) int {
+// entry cap and byte budget evicted.
+func (c *shardedCache) put(k cacheKey, res *core.Result) int {
+	size := resultBytes(res)
 	if el, ok := c.items[k]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.used += size - ent.size
+		ent.res, ent.size = res, size
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).res = res
-		return 0
+		return c.evictOver()
 	}
-	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, res: res})
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, res: res, size: size})
+	c.perShard[k.shard]++
+	c.used += size
+	return c.evictOver()
+}
+
+// evictOver evicts globally-least-recent entries until both bounds
+// hold.
+func (c *shardedCache) evictOver() int {
 	evicted := 0
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+	for c.ll.Len() > c.maxEntries || (c.used > c.budget && c.ll.Len() > 0) {
+		c.removeElement(c.ll.Back())
 		evicted++
 	}
 	return evicted
 }
 
-func (c *lruCache) len() int { return c.ll.Len() }
+func (c *shardedCache) removeElement(el *list.Element) {
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.used -= ent.size
+	if n := c.perShard[ent.key.shard] - 1; n > 0 {
+		c.perShard[ent.key.shard] = n
+	} else {
+		delete(c.perShard, ent.key.shard)
+	}
+}
+
+// dropStale removes every entry whose shard fails keep — the reload
+// hook: superseded generations are invalidated eagerly and surgically,
+// without touching any live shard's entries. It reports the number of
+// entries dropped.
+func (c *shardedCache) dropStale(keep func(shardID) bool) int {
+	dropped := 0
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if !keep(el.Value.(*cacheEntry).key.shard) {
+			c.removeElement(el)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// shardLen returns the number of live entries for one shard. Test and
+// metrics hook.
+func (c *shardedCache) shardLen(id shardID) int { return c.perShard[id] }
+
+func (c *shardedCache) len() int        { return c.ll.Len() }
+func (c *shardedCache) bytes() int64    { return c.used }
+func (c *shardedCache) shardCount() int { return len(c.perShard) }

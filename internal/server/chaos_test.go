@@ -203,7 +203,7 @@ func TestChaosHandlerUnderFaultInjection(t *testing.T) {
 	// The server's request accounting agrees exactly with what the
 	// clients saw (read off the registry directly: no extra scrape).
 	var buf bytes.Buffer
-	if err := sv.reg.WriteText(&buf); err != nil {
+	if err := sv.metReg.WriteText(&buf); err != nil {
 		t.Fatalf("WriteText: %v", err)
 	}
 	if got := sumRequestsTotal(buf.String()); got != clients*perEach {

@@ -33,6 +33,9 @@ const (
 	DefaultMaxE = 64
 	// DefaultMaxTraceEvents caps a request's traceLimit.
 	DefaultMaxTraceEvents = 100_000
+	// DefaultMaxBatch caps the number of queries in one /completeBatch
+	// request.
+	DefaultMaxBatch = 64
 )
 
 // Limits configures the hardened request path. The zero value of any
@@ -58,6 +61,8 @@ type Limits struct {
 	MaxE int
 	// MaxTraceEvents caps the request "traceLimit".
 	MaxTraceEvents int
+	// MaxBatch caps the number of queries in one /completeBatch body.
+	MaxBatch int
 }
 
 // DefaultLimits returns the production defaults.
@@ -87,6 +92,9 @@ func (l Limits) withDefaults() Limits {
 	}
 	if l.MaxTraceEvents <= 0 {
 		l.MaxTraceEvents = DefaultMaxTraceEvents
+	}
+	if l.MaxBatch <= 0 {
+		l.MaxBatch = DefaultMaxBatch
 	}
 	return l
 }

@@ -33,6 +33,21 @@ type metrics struct {
 	cacheMisses    *obs.Counter
 	cacheEvictions *obs.Counter
 	cacheSize      *obs.Gauge
+	cacheBytes     *obs.Gauge
+
+	// Multi-schema registry: per-schema labeled families (cardinality
+	// bounded by schemaLG; overflow collapses to obs.OverflowLabel),
+	// reload outcomes, snapshot lifecycle, and shard invalidation.
+	schemaLG           *obs.LabelGuard
+	schemaSearches     *obs.CounterVec
+	schemaCacheHits    *obs.CounterVec
+	schemaCacheMisses  *obs.CounterVec
+	schemaGeneration   *obs.GaugeVec
+	snapshotsLive      *obs.Gauge
+	reloads            *obs.Counter
+	reloadFailures     *obs.Counter
+	cacheInvalidations *obs.Counter
+	unknownSchema      *obs.Counter
 
 	// Robustness: admission control, deadlines, panic isolation,
 	// singleflight, and response-encode failures.
@@ -75,6 +90,27 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Memo cache entries evicted by the LRU size bound."),
 		cacheSize: reg.Gauge("pathcomplete_cache_entries",
 			"Memo cache entries currently resident."),
+		cacheBytes: reg.Gauge("pathcomplete_cache_bytes",
+			"Estimated resident bytes of cached completion results across all schema shards."),
+		schemaLG: obs.NewLabelGuard(obs.DefaultLabelCap),
+		schemaSearches: reg.CounterVec("pathcomplete_schema_searches_total",
+			"Completion searches executed, by schema (bounded cardinality; overflow collapses to _other).", "schema"),
+		schemaCacheHits: reg.CounterVec("pathcomplete_schema_cache_hits_total",
+			"Memo cache hits, by schema.", "schema"),
+		schemaCacheMisses: reg.CounterVec("pathcomplete_schema_cache_misses_total",
+			"Memo cache misses, by schema.", "schema"),
+		schemaGeneration: reg.GaugeVec("pathcomplete_schema_generation",
+			"Registry generation currently served, by schema.", "schema"),
+		snapshotsLive: reg.Gauge("pathcomplete_snapshots_live",
+			"Schema snapshots created and not yet drained (served + still referenced by in-flight requests)."),
+		reloads: reg.Counter("pathcomplete_schema_reloads_total",
+			"Successful registry reloads (atomic table swaps)."),
+		reloadFailures: reg.Counter("pathcomplete_schema_reload_failures_total",
+			"Registry reloads that failed and left the previous generation serving."),
+		cacheInvalidations: reg.Counter("pathcomplete_cache_invalidations_total",
+			"Memo cache entries dropped because their schema generation was superseded by a reload."),
+		unknownSchema: reg.Counter("pathcomplete_unknown_schema_total",
+			"Requests naming a schema the registry does not serve (answered 404)."),
 		inflight: reg.Gauge("pathcomplete_admission_inflight",
 			"Search requests currently holding an admission slot."),
 		sheds: reg.Counter("pathcomplete_admission_sheds_total",
@@ -91,6 +127,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Response bodies whose JSON encoding failed (logged with request ID, not silently dropped)."),
 	}
 }
+
+// schemaLabel bounds a schema name for use as a metric label value:
+// the first obs.DefaultLabelCap distinct names pass through, the rest
+// collapse to obs.OverflowLabel so a hostile or churning schema
+// directory cannot mint unbounded time series.
+func (m *metrics) schemaLabel(name string) string { return m.schemaLG.Bound(name) }
 
 // observeSearch folds one completed search into the aggregates.
 func (m *metrics) observeSearch(res *core.Result, elapsed time.Duration) {

@@ -239,25 +239,27 @@ func TestCacheEviction(t *testing.T) {
 }
 
 func TestLRURecency(t *testing.T) {
-	c := newLRU(2)
+	c := newShardedCache(2, 0)
 	r := &core.Result{}
-	c.put(cacheKey{"a", 1}, r)
-	c.put(cacheKey{"b", 1}, r)
-	if _, ok := c.get(cacheKey{"a", 1}); !ok {
+	sh := shardID{schema: "uni", gen: 1}
+	key := func(expr string) cacheKey { return cacheKey{shard: sh, expr: expr, e: 1} }
+	c.put(key("a"), r)
+	c.put(key("b"), r)
+	if _, ok := c.get(key("a")); !ok {
 		t.Fatal("a missing")
 	}
 	// a was refreshed, so inserting c evicts b.
-	if ev := c.put(cacheKey{"c", 1}, r); ev != 1 {
+	if ev := c.put(key("c"), r); ev != 1 {
 		t.Errorf("evicted = %d", ev)
 	}
-	if _, ok := c.get(cacheKey{"b", 1}); ok {
+	if _, ok := c.get(key("b")); ok {
 		t.Error("b should have been evicted")
 	}
-	if _, ok := c.get(cacheKey{"a", 1}); !ok {
+	if _, ok := c.get(key("a")); !ok {
 		t.Error("a should survive (recently used)")
 	}
 	// Re-putting an existing key is a refresh, not growth.
-	if ev := c.put(cacheKey{"a", 1}, r); ev != 0 || c.len() != 2 {
+	if ev := c.put(key("a"), r); ev != 0 || c.len() != 2 {
 		t.Errorf("refresh: evicted=%d len=%d", ev, c.len())
 	}
 }

@@ -1,36 +1,53 @@
 // Package server exposes the disambiguation mechanism as an HTTP/JSON
 // service — the shape an interactive interface of the kind the paper
-// targets (Figure 1) would consume. Endpoints:
+// targets (Figure 1) would consume. The server is multi-schema: it
+// serves every schema in a registry.Registry, pinning each request to
+// one immutable schema snapshot for its whole lifetime, and supports
+// hot reload with atomic swap. Endpoints:
 //
-//	GET  /healthz            liveness (JSON: status, schema, uptime)
-//	GET  /schema             the schema in SDL text form
+//	GET  /healthz            liveness (JSON: status, schemas, uptime)
+//	GET  /schemas            the served schemas (JSON: name, generation,
+//	                         shape, which is the default)
+//	POST /schemas/reload     reparse the SDL directory and swap
+//	                         atomically (in-flight searches finish on
+//	                         their old snapshot)
+//	GET  /schema?schema=S    schema S in SDL text form (default schema
+//	                         when the parameter is absent; same for all
+//	                         endpoints below)
 //	GET  /stats              schema shape statistics (JSON)
 //	GET  /metrics            Prometheus text exposition (search effort,
-//	                         latency histograms, cache, HTTP)
+//	                         latency histograms, cache, HTTP, per-schema
+//	                         labeled families with bounded cardinality)
 //	GET  /buildinfo          build and runtime introspection (JSON)
 //	POST /complete           {"expr": "ta~name", "e": 2} →
 //	                         candidate completions with labels and stats;
 //	                         add "trace": true for the traversal event log
+//	POST /completeBatch      {"queries": [{"expr": ...}, ...]} →
+//	                         positional results for a whole batch under
+//	                         one admission slot and one schema snapshot
 //	POST /evaluate           {"expr": "ta~name", "approve": [0]} →
 //	                         the evaluation of the approved completions
-//	                         (requires an object store)
+//	                         (requires an object store on the snapshot)
 //
 // net/http/pprof can additionally be mounted under /debug/pprof/ via
 // HandlerConfig.PProf.
 //
-// Completion results are memoized per (expression, E) in a bounded LRU
-// cache, which is what an interactive loop wants: the user refines an
-// expression, the server re-answers instantly for anything already
-// explored. Every request is instrumented: per-endpoint counters and
-// latency histograms, per-search effort aggregates from core.Stats,
-// and (when a logger is configured) structured request logs keyed by
-// request ID.
+// Completion results are memoized per (schema, generation, expression,
+// E) in a sharded LRU bounded by both an entry cap and a global byte
+// budget; a reload moves traffic to fresh shards and invalidates the
+// superseded ones. Identical cold queries collapse via singleflight
+// under the same generation-qualified key, so a reload also invalidates
+// collapsed in-flight sharing. Every request is instrumented: global
+// and per-schema counters, latency histograms, per-search effort
+// aggregates from core.Stats, and (when a logger is configured)
+// structured request logs keyed by request ID.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -44,6 +61,7 @@ import (
 	"pathcomplete/internal/objstore"
 	"pathcomplete/internal/obs"
 	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/registry"
 	"pathcomplete/internal/schema"
 	"pathcomplete/internal/sdl"
 
@@ -53,19 +71,19 @@ import (
 // Routes lists every route the server can mount, in the form the
 // obs middleware uses to normalize metric labels.
 var Routes = []string{
-	"/healthz", "/schema", "/stats", "/metrics", "/buildinfo",
-	"/complete", "/evaluate", "/debug/pprof/",
+	"/healthz", "/schema", "/schemas", "/schemas/reload", "/stats",
+	"/metrics", "/buildinfo", "/complete", "/completeBatch", "/evaluate",
+	"/debug/pprof/",
 }
 
-// Server serves one schema (and optionally one object store). It is
-// safe for concurrent use.
+// Server serves every schema of one registry. It is safe for
+// concurrent use.
 type Server struct {
-	s     *schema.Schema
-	store *objstore.Store // may be nil: /evaluate then returns 404
+	reg   *registry.Registry
 	opts  core.Options
 	start time.Time
 
-	reg    *obs.Registry
+	metReg *obs.Registry
 	met    *metrics
 	httpM  *obs.HTTPMetrics
 	logger *slog.Logger // set by HandlerWith before serving
@@ -75,36 +93,52 @@ type Server struct {
 	flights *flightGroup
 
 	mu    sync.Mutex
-	cache *lruCache
+	cache *shardedCache
 }
 
-// New returns a server over the schema with the given base engine
-// options; store may be nil when only completion is wanted. The
-// server carries its own metrics registry (see Registry), a memo cache
-// bounded at DefaultCacheCap (see SetCacheCap), and the default
-// request-path limits (see SetLimits).
+// New returns a single-schema server over s with the given base engine
+// options; store may be nil when only completion is wanted. It is
+// NewFromRegistry over a static one-entry registry — the construction
+// every single-tenant caller and test uses.
 func New(s *schema.Schema, store *objstore.Store, opts core.Options) *Server {
-	reg := obs.NewRegistry()
+	return NewFromRegistry(registry.Static(s, store, opts))
+}
+
+// NewFromRegistry returns a server over every schema the registry
+// serves (including ones that appear in later reloads). The server
+// carries its own metrics registry (see Registry), a sharded memo
+// cache bounded by DefaultCacheCap entries and DefaultCacheBudget
+// bytes (see SetCacheCap, SetCacheBudget), and the default
+// request-path limits (see SetLimits).
+func NewFromRegistry(reg *registry.Registry) *Server {
+	metReg := obs.NewRegistry()
 	lim := DefaultLimits()
-	return &Server{
-		s:       s,
-		store:   store,
-		opts:    opts,
-		start:   time.Now(),
+	sv := &Server{
 		reg:     reg,
-		met:     newMetrics(reg),
-		httpM:   obs.NewHTTPMetrics(reg),
+		opts:    reg.Options(),
+		start:   time.Now(),
+		metReg:  metReg,
+		met:     newMetrics(metReg),
+		httpM:   obs.NewHTTPMetrics(metReg),
 		lim:     lim,
 		gate:    newGate(lim.MaxConcurrent, lim.MaxQueue),
 		flights: newFlightGroup(),
-		cache:   newLRU(DefaultCacheCap),
+		cache:   newShardedCache(DefaultCacheCap, DefaultCacheBudget),
 	}
+	reg.OnRetire(func(*registry.Snapshot) {
+		sv.met.snapshotsLive.Set(int64(reg.Live()))
+	})
+	sv.syncSchemaGauges()
+	return sv
 }
+
+// SchemaRegistry returns the schema registry the server serves.
+func (sv *Server) SchemaRegistry() *registry.Registry { return sv.reg }
 
 // Registry returns the server's metrics registry (what GET /metrics
 // exposes), so a binary embedding the server can register its own
 // metrics alongside.
-func (sv *Server) Registry() *obs.Registry { return sv.reg }
+func (sv *Server) Registry() *obs.Registry { return sv.metReg }
 
 // SetCacheCap rebounds the completion memo cache to at most n entries
 // (n <= 0 restores DefaultCacheCap), dropping the current contents.
@@ -112,8 +146,72 @@ func (sv *Server) Registry() *obs.Registry { return sv.reg }
 func (sv *Server) SetCacheCap(n int) {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
-	sv.cache = newLRU(n)
+	budget := int64(DefaultCacheBudget)
+	if sv.cache != nil {
+		budget = sv.cache.budget
+	}
+	sv.cache = newShardedCache(n, budget)
 	sv.met.cacheSize.Set(0)
+	sv.met.cacheBytes.Set(0)
+}
+
+// SetCacheBudget rebounds the cache's global byte budget across all
+// schema shards (n <= 0 restores DefaultCacheBudget), dropping the
+// current contents. Call it before serving traffic.
+func (sv *Server) SetCacheBudget(n int64) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	cap := DefaultCacheCap
+	if sv.cache != nil {
+		cap = sv.cache.maxEntries
+	}
+	sv.cache = newShardedCache(cap, n)
+	sv.met.cacheSize.Set(0)
+	sv.met.cacheBytes.Set(0)
+}
+
+// ReloadSchemas reloads the registry from its SDL directory (atomic
+// swap; see registry.Registry.Reload), then drops the cache shards of
+// every superseded snapshot and refreshes the per-schema gauges. It is
+// the one reload entry point the serving layer exposes — the HTTP
+// /schemas/reload handler and the SIGHUP handler both route here.
+func (sv *Server) ReloadSchemas() error {
+	if err := sv.reg.Reload(); err != nil {
+		sv.met.reloadFailures.Inc()
+		return err
+	}
+	sv.met.reloads.Inc()
+	sv.dropStaleShards()
+	sv.syncSchemaGauges()
+	return nil
+}
+
+// dropStaleShards invalidates cache shards whose (schema, generation)
+// no longer matches a served snapshot. Live shards are untouched:
+// invalidation is per-shard by construction, never cross-schema.
+func (sv *Server) dropStaleShards() {
+	gens := sv.reg.Generations()
+	sv.mu.Lock()
+	dropped := sv.cache.dropStale(func(id shardID) bool {
+		gen, ok := gens[id.schema]
+		return ok && gen == id.gen
+	})
+	size, bytes := sv.cache.len(), sv.cache.bytes()
+	sv.mu.Unlock()
+	if dropped > 0 {
+		sv.met.cacheInvalidations.Add(uint64(dropped))
+	}
+	sv.met.cacheSize.Set(int64(size))
+	sv.met.cacheBytes.Set(bytes)
+}
+
+// syncSchemaGauges refreshes the registry-shape gauges (per-schema
+// generation, live snapshot count).
+func (sv *Server) syncSchemaGauges() {
+	for name, gen := range sv.reg.Generations() {
+		sv.met.schemaGeneration.With(sv.met.schemaLabel(name)).Set(int64(gen))
+	}
+	sv.met.snapshotsLive.Set(int64(sv.reg.Live()))
 }
 
 // HandlerConfig configures optional handler features.
@@ -138,10 +236,13 @@ func (sv *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", sv.handleHealthz)
 	mux.HandleFunc("GET /schema", sv.handleSchema)
+	mux.HandleFunc("GET /schemas", sv.handleSchemas)
+	mux.HandleFunc("POST /schemas/reload", sv.handleReload)
 	mux.HandleFunc("GET /stats", sv.handleStats)
 	mux.HandleFunc("GET /buildinfo", sv.handleBuildInfo)
-	mux.Handle("GET /metrics", sv.reg.Handler())
+	mux.Handle("GET /metrics", sv.metReg.Handler())
 	mux.HandleFunc("POST /complete", sv.handleComplete)
+	mux.HandleFunc("POST /completeBatch", sv.handleCompleteBatch)
 	mux.HandleFunc("POST /evaluate", sv.handleEvaluate)
 	if cfg.PProf {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -220,11 +321,97 @@ func (sv *Server) recoverPanics(next http.Handler) http.Handler {
 	})
 }
 
+// acquireSnapshot resolves the request's schema (the "schema" query
+// parameter; absent means the registry default) to a pinned snapshot.
+// On failure it answers 404 itself and returns ok=false. On success
+// the caller must call Release exactly once.
+func (sv *Server) acquireSnapshot(w http.ResponseWriter, r *http.Request) (*registry.Snapshot, bool) {
+	name := r.URL.Query().Get("schema")
+	sn, err := sv.reg.Acquire(name)
+	if err != nil {
+		if errors.Is(err, registry.ErrUnknownSchema) {
+			sv.met.unknownSchema.Inc()
+			sv.jsonError(w, r, http.StatusNotFound, err.Error())
+		} else {
+			sv.jsonError(w, r, http.StatusInternalServerError, err.Error())
+		}
+		return nil, false
+	}
+	return sn, true
+}
+
 func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sv.writeJSON(w, r, http.StatusOK, map[string]any{
 		"status":        "ok",
-		"schema":        sv.s.Name(),
+		"schema":        sv.reg.DefaultName(),
+		"schemas":       len(sv.reg.Names()),
+		"generation":    sv.reg.Generation(),
 		"uptimeSeconds": time.Since(sv.start).Seconds(),
+	})
+}
+
+// SchemaInfoJSON is one entry of a /schemas listing.
+type SchemaInfoJSON struct {
+	Name       string `json:"name"`
+	Generation uint64 `json:"generation"`
+	Classes    int    `json:"classes"`
+	Rels       int    `json:"rels"`
+	Default    bool   `json:"default,omitempty"`
+	Store      bool   `json:"store,omitempty"`
+}
+
+// SchemasResponse is the body of a /schemas response.
+type SchemasResponse struct {
+	Default    string           `json:"default"`
+	Generation uint64           `json:"generation"`
+	Schemas    []SchemaInfoJSON `json:"schemas"`
+}
+
+func (sv *Server) handleSchemas(w http.ResponseWriter, r *http.Request) {
+	out := SchemasResponse{
+		Default:    sv.reg.DefaultName(),
+		Generation: sv.reg.Generation(),
+		Schemas:    []SchemaInfoJSON{},
+	}
+	for _, name := range sv.reg.Names() {
+		sn, err := sv.reg.Acquire(name)
+		if err != nil {
+			continue // raced with a reload that dropped the name
+		}
+		out.Schemas = append(out.Schemas, SchemaInfoJSON{
+			Name:       sn.Name(),
+			Generation: sn.Generation(),
+			Classes:    sn.Schema().NumUserClasses(),
+			Rels:       sn.Schema().NumRels(),
+			Default:    sn.Name() == out.Default,
+			Store:      sn.Store() != nil,
+		})
+		sn.Release()
+	}
+	sv.writeJSON(w, r, http.StatusOK, out)
+}
+
+func (sv *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if err := sv.ReloadSchemas(); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, registry.ErrNoDir) {
+			status = http.StatusConflict
+		}
+		sv.jsonError(w, r, status, err.Error())
+		return
+	}
+	names := sv.reg.Names()
+	if sv.logger != nil {
+		sv.logger.LogAttrs(r.Context(), slog.LevelInfo, "schemas reloaded",
+			slog.String("id", w.Header().Get(obs.RequestIDHeader)),
+			slog.Uint64("generation", sv.reg.Generation()),
+			slog.Int("schemas", len(names)),
+		)
+	}
+	sv.writeJSON(w, r, http.StatusOK, map[string]any{
+		"status":     "reloaded",
+		"generation": sv.reg.Generation(),
+		"schemas":    names,
 	})
 }
 
@@ -254,20 +441,32 @@ func (sv *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (sv *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	sn, ok := sv.acquireSnapshot(w, r)
+	if !ok {
+		return
+	}
+	defer sn.Release()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if err := sdl.Write(w, sv.s); err != nil {
+	if err := sdl.Write(w, sn.Schema()); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 
 func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := sv.s.ComputeStats()
+	sn, ok := sv.acquireSnapshot(w, r)
+	if !ok {
+		return
+	}
+	defer sn.Release()
+	st := sn.Schema().ComputeStats()
 	kinds := make(map[string]int, len(st.RelsByKind))
 	for k, n := range st.RelsByKind {
 		kinds[k.String()] = n
 	}
 	sv.writeJSON(w, r, http.StatusOK, map[string]any{
-		"schema":      sv.s.Name(),
+		"schema":      sn.Schema().Name(),
+		"name":        sn.Name(),
+		"generation":  sn.Generation(),
 		"userClasses": st.UserClasses,
 		"rels":        st.Rels,
 		"relsByKind":  kinds,
@@ -275,7 +474,8 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// CompleteRequest is the body of POST /complete and POST /evaluate.
+// CompleteRequest is the body of POST /complete and POST /evaluate,
+// and one element of POST /completeBatch.
 type CompleteRequest struct {
 	// Expr is the (possibly incomplete) path expression.
 	Expr string `json:"expr"`
@@ -317,7 +517,11 @@ type SearchStatsJSON struct {
 
 // CompleteResponse is the body of a /complete response.
 type CompleteResponse struct {
-	Expr        string           `json:"expr"`
+	Expr string `json:"expr"`
+	// Schema and Generation identify the snapshot that answered: the
+	// schema name and the registry generation it was loaded at.
+	Schema      string           `json:"schema,omitempty"`
+	Generation  uint64           `json:"generation,omitempty"`
 	Completions []CompletionJSON `json:"completions"`
 	Calls       int              `json:"calls"`
 	Truncated   bool             `json:"truncated,omitempty"`
@@ -349,7 +553,7 @@ type completed struct {
 	rec    *core.TraceRecorder
 }
 
-func (sv *Server) complete(ctx context.Context, req CompleteRequest) (completed, int, error) {
+func (sv *Server) complete(ctx context.Context, sn *registry.Snapshot, req CompleteRequest) (completed, int, error) {
 	if err := faultinject.Inject("server.complete"); err != nil {
 		return completed{}, http.StatusInternalServerError, err
 	}
@@ -361,28 +565,37 @@ func (sv *Server) complete(ctx context.Context, req CompleteRequest) (completed,
 	if req.E > 0 {
 		opts.E = req.E
 	}
-	key := cacheKey{expr: e.String(), e: opts.E}
+	label := sv.met.schemaLabel(sn.Name())
+	key := cacheKey{
+		shard: shardID{schema: sn.Name(), gen: sn.Generation()},
+		expr:  e.String(),
+		e:     opts.E,
+	}
 	if req.Trace {
 		// Traced requests always run a fresh search with their own
 		// recorder: no cache lookup, no singleflight.
-		rec := core.NewTraceRecorder(sv.s, req.TraceLimit)
+		rec := core.NewTraceRecorder(sn.Schema(), req.TraceLimit)
 		opts.Tracer = rec
-		return sv.search(ctx, e, opts, rec, key)
+		return sv.search(ctx, sn, e, opts, rec, key)
 	}
 	sv.mu.Lock()
 	res, ok := sv.cache.get(key)
 	sv.mu.Unlock()
 	if ok {
 		sv.met.cacheHits.Inc()
+		sv.met.schemaCacheHits.With(label).Inc()
 		return completed{res: res, expr: e, cached: true}, http.StatusOK, nil
 	}
 	// Only a real failed lookup counts as a miss (traced requests
 	// never look the cache up at all).
 	sv.met.cacheMisses.Inc()
+	sv.met.schemaCacheMisses.With(label).Inc()
 
 	// Collapse a stampede of identical cold requests into one search.
+	// The key carries the snapshot generation, so a query admitted
+	// after a reload can never share a pre-reload leader's answer.
 	c, status, err, shared := sv.flights.do(ctx, key, func() (completed, int, error) {
-		return sv.search(ctx, e, opts, nil, key)
+		return sv.search(ctx, sn, e, opts, nil, key)
 	})
 	if shared {
 		if err != nil && status == 0 {
@@ -396,17 +609,28 @@ func (sv *Server) complete(ctx context.Context, req CompleteRequest) (completed,
 	return c, status, err
 }
 
-// search runs one completion search under ctx, folds the outcome into
-// the metrics, and memoizes complete (non-aborted) results. Partial
-// results are never cached: a future request with a bigger budget must
-// get a fresh, fuller search.
-func (sv *Server) search(ctx context.Context, e pathexpr.Expr, opts core.Options, rec *core.TraceRecorder, key cacheKey) (completed, int, error) {
+// search runs one completion search against the snapshot under ctx,
+// folds the outcome into the metrics, and memoizes complete
+// (non-aborted) results in the snapshot's cache shard. Partial results
+// are never cached: a future request with a bigger budget must get a
+// fresh, fuller search.
+//
+// The hot path — no per-request E override, no tracer — runs on the
+// snapshot's long-lived Completer: memoized compiled indexes and
+// pooled engines, the zero-allocation kernel of PR 3. Divergent
+// requests build a throwaway Completer with the adjusted options.
+func (sv *Server) search(ctx context.Context, sn *registry.Snapshot, e pathexpr.Expr, opts core.Options, rec *core.TraceRecorder, key cacheKey) (completed, int, error) {
 	start := time.Now()
-	res, err := core.New(sv.s, opts).CompleteContext(ctx, e)
+	cmp := sn.Completer()
+	if rec != nil || opts.E != sv.opts.E {
+		cmp = core.New(sn.Schema(), opts)
+	}
+	res, err := cmp.CompleteContext(ctx, e)
 	if err != nil {
 		return completed{}, http.StatusUnprocessableEntity, err
 	}
 	sv.met.observeSearch(res, time.Since(start))
+	sv.met.schemaSearches.With(sv.met.schemaLabel(sn.Name())).Inc()
 	switch res.StopReason {
 	case core.StopDeadline:
 		sv.met.timeouts.Inc()
@@ -416,12 +640,13 @@ func (sv *Server) search(ctx context.Context, e pathexpr.Expr, opts core.Options
 	if !res.Aborted {
 		sv.mu.Lock()
 		evicted := sv.cache.put(key, res)
-		size := sv.cache.len()
+		size, bytes := sv.cache.len(), sv.cache.bytes()
 		sv.mu.Unlock()
 		if evicted > 0 {
 			sv.met.cacheEvictions.Add(uint64(evicted))
 		}
 		sv.met.cacheSize.Set(int64(size))
+		sv.met.cacheBytes.Set(bytes)
 	}
 	return completed{res: res, expr: e, rec: rec}, http.StatusOK, nil
 }
@@ -453,35 +678,13 @@ func (sv *Server) admit(w http.ResponseWriter, r *http.Request, ctx context.Cont
 	}
 }
 
-func (sv *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
-	var req CompleteRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		sv.jsonError(w, r, decodeStatus(err), "bad request: "+err.Error())
-		return
-	}
-	if err := sv.validateComplete(&req); err != nil {
-		sv.jsonError(w, r, http.StatusBadRequest, err.Error())
-		return
-	}
-	ctx := r.Context()
-	if d := sv.effectiveTimeout(req.TimeoutMs); d > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, d)
-		defer cancel()
-	}
-	release, admitted := sv.admit(w, r, ctx)
-	if !admitted {
-		return
-	}
-	defer release()
-	c, status, err := sv.complete(ctx, req)
-	if err != nil {
-		sv.jsonError(w, r, status, err.Error())
-		return
-	}
+// completeResponse renders one completed search as the response body.
+func (sv *Server) completeResponse(sn *registry.Snapshot, c completed) CompleteResponse {
 	res := c.res
 	out := CompleteResponse{
 		Expr:       c.expr.String(),
+		Schema:     sn.Name(),
+		Generation: sn.Generation(),
 		Calls:      res.Stats.Calls,
 		Truncated:  res.Truncated,
 		Exhausted:  res.Exhausted,
@@ -513,22 +716,10 @@ func (sv *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 			SemLen: cc.Label.SemLen(),
 		})
 	}
-	sv.writeJSON(w, r, http.StatusOK, out)
+	return out
 }
 
-// EvaluateResponse is the body of a /evaluate response.
-type EvaluateResponse struct {
-	Expr   string   `json:"expr"`
-	Where  string   `json:"where,omitempty"`
-	Chosen []string `json:"chosen"`
-	Values []any    `json:"values"`
-}
-
-func (sv *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	if sv.store == nil {
-		sv.jsonError(w, r, http.StatusNotFound, "no object store mounted")
-		return
-	}
+func (sv *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var req CompleteRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		sv.jsonError(w, r, decodeStatus(err), "bad request: "+err.Error())
@@ -536,6 +727,181 @@ func (sv *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := sv.validateComplete(&req); err != nil {
 		sv.jsonError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	sn, ok := sv.acquireSnapshot(w, r)
+	if !ok {
+		return
+	}
+	defer sn.Release()
+	ctx := r.Context()
+	if d := sv.effectiveTimeout(req.TimeoutMs); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	release, admitted := sv.admit(w, r, ctx)
+	if !admitted {
+		return
+	}
+	defer release()
+	c, status, err := sv.complete(ctx, sn, req)
+	if err != nil {
+		sv.jsonError(w, r, status, err.Error())
+		return
+	}
+	sv.writeJSON(w, r, http.StatusOK, sv.completeResponse(sn, c))
+}
+
+// BatchRequest is the body of POST /completeBatch: a set of completion
+// queries answered against ONE schema snapshot — every element sees
+// the same generation even if a reload lands mid-batch.
+type BatchRequest struct {
+	// Queries lists the completion queries (each validated like a
+	// /complete body; Approve is ignored). Bounded by Limits.MaxBatch.
+	Queries []CompleteRequest `json:"queries"`
+	// TimeoutMs bounds the whole batch's wall clock (capped by the
+	// server's MaxTimeout); per-query timeoutMs tightens individual
+	// members within it.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// BatchItem is one positional result of a /completeBatch response:
+// exactly one of Error or the embedded response is meaningful.
+type BatchItem struct {
+	CompleteResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a /completeBatch response. Results are
+// positional with the request's queries.
+type BatchResponse struct {
+	Schema     string      `json:"schema"`
+	Generation uint64      `json:"generation"`
+	Results    []BatchItem `json:"results"`
+}
+
+func (sv *Server) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		sv.jsonError(w, r, decodeStatus(err), "bad request: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		sv.jsonError(w, r, http.StatusBadRequest, "empty batch: missing queries")
+		return
+	}
+	if len(req.Queries) > sv.lim.MaxBatch {
+		sv.jsonError(w, r, http.StatusBadRequest, fmt.Sprintf(
+			"batch too large: %d queries exceed the %d-query limit",
+			len(req.Queries), sv.lim.MaxBatch))
+		return
+	}
+	if req.TimeoutMs < 0 {
+		sv.jsonError(w, r, http.StatusBadRequest, "timeoutMs must be non-negative")
+		return
+	}
+	sn, ok := sv.acquireSnapshot(w, r)
+	if !ok {
+		return
+	}
+	defer sn.Release()
+	ctx := r.Context()
+	if d := sv.effectiveTimeout(req.TimeoutMs); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	// One admission slot covers the whole batch: a batch is one unit of
+	// client work, and charging per element would let small batches
+	// starve interactive queries.
+	release, admitted := sv.admit(w, r, ctx)
+	if !admitted {
+		return
+	}
+	defer release()
+
+	out := BatchResponse{
+		Schema:     sn.Name(),
+		Generation: sn.Generation(),
+		Results:    make([]BatchItem, len(req.Queries)),
+	}
+	workers := batchWorkers
+	if workers > len(req.Queries) {
+		workers = len(req.Queries)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out.Results[i] = sv.batchOne(ctx, sn, req.Queries[i])
+			}
+		}()
+	}
+	for i := range req.Queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	sv.writeJSON(w, r, http.StatusOK, out)
+}
+
+// batchWorkers bounds the per-batch search concurrency. The admission
+// gate already bounds batches themselves, so this is a fairness knob
+// (one huge batch should not monopolize every core), not a safety one.
+const batchWorkers = 4
+
+// batchOne answers one batch element through the same path as a
+// /complete request (validation, cache, singleflight), converting
+// failures into positional errors rather than failing the batch.
+func (sv *Server) batchOne(ctx context.Context, sn *registry.Snapshot, q CompleteRequest) BatchItem {
+	if err := sv.validateComplete(&q); err != nil {
+		return BatchItem{Error: err.Error()}
+	}
+	qctx := ctx
+	if q.TimeoutMs > 0 {
+		if d := sv.effectiveTimeout(q.TimeoutMs); d > 0 {
+			var cancel context.CancelFunc
+			qctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+	}
+	c, _, err := sv.complete(qctx, sn, q)
+	if err != nil {
+		return BatchItem{Error: err.Error()}
+	}
+	return BatchItem{CompleteResponse: sv.completeResponse(sn, c)}
+}
+
+// EvaluateResponse is the body of a /evaluate response.
+type EvaluateResponse struct {
+	Expr   string   `json:"expr"`
+	Schema string   `json:"schema,omitempty"`
+	Where  string   `json:"where,omitempty"`
+	Chosen []string `json:"chosen"`
+	Values []any    `json:"values"`
+}
+
+func (sv *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		sv.jsonError(w, r, decodeStatus(err), "bad request: "+err.Error())
+		return
+	}
+	if err := sv.validateComplete(&req); err != nil {
+		sv.jsonError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	sn, ok := sv.acquireSnapshot(w, r)
+	if !ok {
+		return
+	}
+	defer sn.Release()
+	if sn.Store() == nil {
+		sv.jsonError(w, r, http.StatusNotFound, "no object store mounted for schema "+sn.Name())
 		return
 	}
 	ctx := r.Context()
@@ -572,13 +938,13 @@ func (sv *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		approve := req.Approve
 		chooser = func([]core.Completion) []int { return approve }
 	}
-	in := fox.New(sv.store, opts, chooser)
+	in := fox.New(sn.Store(), opts, chooser)
 	ans, err := in.Query(req.Expr)
 	if err != nil {
 		sv.jsonError(w, r, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	out := EvaluateResponse{Expr: ans.Query.String(), Values: ans.Values}
+	out := EvaluateResponse{Expr: ans.Query.String(), Schema: sn.Name(), Values: ans.Values}
 	if out.Values == nil {
 		out.Values = []any{}
 	}
