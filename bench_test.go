@@ -10,6 +10,7 @@ package pathcomplete_test
 // regenerates the numbers behind Figures 5–7 alongside the time/op.
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -18,6 +19,7 @@ import (
 	"sync"
 	"testing"
 
+	"pathcomplete/internal/closure"
 	"pathcomplete/internal/connector"
 	"pathcomplete/internal/core"
 	"pathcomplete/internal/cupid"
@@ -314,6 +316,53 @@ func BenchmarkSchemaScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkClosureUniversityTaName measures the paper's flagship
+// warm single-gap point query both ways: through the search kernel
+// (the cost of every such query before the closure index existed) and
+// as a lookup into the materialized all-pairs index (the serving hot
+// path once background warming finishes). The closure tentpole
+// targets >=10x between the two series; the build sub-bench prices
+// the one-time warming the speedup is bought with.
+func BenchmarkClosureUniversityTaName(b *testing.B) {
+	s := uni.New()
+	e := pathexpr.MustParse("ta~name")
+	cmp := core.New(s, core.Exact())
+
+	b.Run("search", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := cmp.Complete(e)
+			if err != nil || len(res.Completions) != 2 {
+				b.Fatalf("res=%v err=%v", res, err)
+			}
+		}
+	})
+
+	ix, err := closure.Build(context.Background(), "university", 1, cmp, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := s.MustClass("ta").ID
+	b.Run("lookup", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, ok := ix.Lookup(root, "name")
+			if !ok || len(res.Completions) != 2 {
+				b.Fatalf("res=%v ok=%v", res, ok)
+			}
+		}
+	})
+
+	b.Run("build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := closure.Build(context.Background(), "university", 1, cmp, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkServerComplete measures the HTTP front end: a cold

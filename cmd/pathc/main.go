@@ -5,11 +5,15 @@
 //	pathc -schema parts 'motor~shaft'
 //	pathc -sdl my_schema.sdl 'order~total'
 //	pathc -schema university            # interactive: one expression per line
+//	pathc -server http://localhost:8080 -v 'ta~name'   # remote via the /v1 API
 //
 // Flags select the engine preset (-engine paper|safe|exact), the AGG*
 // parameter (-e), excluded classes (-exclude a,b,c), and whether to
 // evaluate the completions against the built-in sample data (-eval,
-// university schema only).
+// university schema only). With -server, completion runs against a
+// live pathserve through the versioned /v1 surface, and -v prints the
+// response meta — which engine answered (the materialized closure
+// index or the search kernel) and at which schema generation.
 package main
 
 import (
@@ -53,8 +57,41 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "fan root branches across N workers per search (0 or 1: sequential)")
 		batch      = flag.Bool("batch", false, "batch mode: read one expression per line from stdin, complete them concurrently, print results in input order")
 		workers    = flag.Int("workers", 4, "batch-mode concurrency (searches in flight at once)")
+		serverURL  = flag.String("server", "", "complete against a running pathserve at this base URL via the /v1 API instead of the in-process engine (e.g. http://localhost:8080)")
+		verbose    = flag.Bool("v", false, "with -server: print the response meta (engine, schema generation, cacheHit, durationMs)")
 	)
 	flag.Parse()
+	if *serverURL != "" {
+		switch {
+		case *eval, *dot, *explain, *trace, *why:
+			fmt.Fprintln(os.Stderr, "pathc: -eval, -dot, -explain, -trace, and -why are local-engine features; drop them to use -server")
+			os.Exit(2)
+		case *sdlPath != "" || *storePath != "":
+			fmt.Fprintln(os.Stderr, "pathc: -sdl and -store are local-engine flags; with -server the schema is picked with -schema <served-name>")
+			os.Exit(2)
+		}
+		// -schema is sent as ?schema= only when explicitly set: its
+		// local default ("university") must not override the server's
+		// default schema.
+		schemaSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "schema" {
+				schemaSet = true
+			}
+		})
+		rc := remoteConfig{
+			base: *serverURL, e: *e, timeout: *timeout, verbose: *verbose,
+			stats: *stats, batch: *batch, workers: *workers,
+		}
+		if schemaSet {
+			rc.schema = *schemaName
+		}
+		if err := runRemote(rc, flag.Args(), os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "pathc:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *why {
 		if err := runWhy(*schemaName, *sdlPath, flag.Args()); err != nil {
 			fmt.Fprintln(os.Stderr, "pathc:", err)

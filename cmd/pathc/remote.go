@@ -1,0 +1,266 @@
+package main
+
+// Remote mode: -server points pathc at a running pathserve and every
+// completion goes through the versioned /v1 HTTP surface instead of
+// the in-process engine. The client speaks the v1 envelope — data,
+// error{code,message}, meta{schema,generation,engine,cacheHit,
+// durationMs} — and -v surfaces the meta, so an operator can see at a
+// glance whether an answer came from the materialized closure index
+// or the search kernel, and which schema generation produced it.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// remoteConfig carries the flags the remote mode uses.
+type remoteConfig struct {
+	base    string // server base URL, e.g. http://localhost:8080
+	schema  string // ?schema= value ("" means the server default)
+	e       int
+	timeout time.Duration // sent as timeoutMs (0: server default)
+	verbose bool          // print the response meta
+	stats   bool
+	batch   bool
+	workers int // unused remotely (the server bounds batch concurrency)
+}
+
+// apiEnvelope mirrors the server's v1 envelope on the wire.
+type apiEnvelope struct {
+	Data  json.RawMessage `json:"data"`
+	Error *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+	Meta *struct {
+		Schema     string  `json:"schema"`
+		Generation uint64  `json:"generation"`
+		Engine     string  `json:"engine"`
+		CacheHit   bool    `json:"cacheHit"`
+		DurationMs float64 `json:"durationMs"`
+	} `json:"meta"`
+}
+
+// remoteCompletion mirrors the server's CompletionJSON.
+type remoteCompletion struct {
+	Path   string `json:"path"`
+	Conn   string `json:"conn"`
+	SemLen int    `json:"semlen"`
+}
+
+// remoteResult mirrors the fields of the server's CompleteResponse the
+// client renders.
+type remoteResult struct {
+	Expr        string             `json:"expr"`
+	Completions []remoteCompletion `json:"completions"`
+	Truncated   bool               `json:"truncated"`
+	Aborted     bool               `json:"aborted"`
+	StopReason  string             `json:"stopReason"`
+	Cached      bool               `json:"cached"`
+	Engine      string             `json:"engine"`
+	Stats       *struct {
+		Calls        int `json:"calls"`
+		Offers       int `json:"offers"`
+		PrunedBestT  int `json:"prunedBestT"`
+		PrunedBestU  int `json:"prunedBestU"`
+		CautionSaves int `json:"cautionSaves"`
+	} `json:"stats"`
+	Error string `json:"error"` // batch items only
+}
+
+// endpoint joins the base URL, a /v1 path, and the schema parameter.
+func (rc remoteConfig) endpoint(path string) (string, error) {
+	u, err := url.Parse(rc.base)
+	if err != nil {
+		return "", fmt.Errorf("-server: %w", err)
+	}
+	if u.Scheme == "" {
+		u, err = url.Parse("http://" + rc.base)
+		if err != nil {
+			return "", fmt.Errorf("-server: %w", err)
+		}
+	}
+	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	if rc.schema != "" {
+		q := u.Query()
+		q.Set("schema", rc.schema)
+		u.RawQuery = q.Encode()
+	}
+	return u.String(), nil
+}
+
+// post sends one v1 request and decodes the envelope, turning an
+// error envelope into a Go error tagged with its machine code.
+func (rc remoteConfig) post(path string, body any) (*apiEnvelope, error) {
+	ep, err := rc.endpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(ep, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var env apiEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return nil, fmt.Errorf("server %s: HTTP %d: %w", path, resp.StatusCode, err)
+	}
+	if env.Error != nil {
+		return nil, fmt.Errorf("server %s [%s]: %s", path, env.Error.Code, env.Error.Message)
+	}
+	return &env, nil
+}
+
+// metaLine renders the -v meta line for one response.
+func metaLine(env *apiEnvelope) string {
+	m := env.Meta
+	if m == nil {
+		return "  meta: (none)"
+	}
+	return fmt.Sprintf("  meta: engine=%s schema=%s generation=%d cacheHit=%v durationMs=%.2f",
+		m.Engine, m.Schema, m.Generation, m.CacheHit, m.DurationMs)
+}
+
+// printRemote renders one remote completion result in the same shape
+// as the local mode's output.
+func printRemote(w io.Writer, rc remoteConfig, res remoteResult) {
+	if res.Error != "" {
+		fmt.Fprintf(w, "  error: %s\n", res.Error)
+		return
+	}
+	if len(res.Completions) == 0 {
+		if res.Aborted {
+			fmt.Fprintf(w, "  (search stopped early: %s, before any completion was found)\n", res.StopReason)
+		} else {
+			fmt.Fprintln(w, "  (no consistent completion)")
+		}
+	}
+	for _, c := range res.Completions {
+		fmt.Fprintf(w, "  %-60s [%s, %d]\n", c.Path, c.Conn, c.SemLen)
+	}
+	if res.Truncated {
+		fmt.Fprintln(w, "  (answer set truncated)")
+	}
+	if res.Aborted && len(res.Completions) > 0 {
+		fmt.Fprintf(w, "  (search stopped early: %s; the completions above are the valid best-so-far subset)\n",
+			res.StopReason)
+	}
+	if rc.stats && res.Stats != nil {
+		fmt.Fprintf(w, "  calls=%d offers=%d prunedT=%d prunedU=%d cautionSaves=%d\n",
+			res.Stats.Calls, res.Stats.Offers, res.Stats.PrunedBestT,
+			res.Stats.PrunedBestU, res.Stats.CautionSaves)
+	}
+}
+
+// completeBody builds the /v1/complete request body for one
+// expression.
+func (rc remoteConfig) completeBody(expr string) map[string]any {
+	body := map[string]any{"expr": expr}
+	if rc.e > 1 {
+		body["e"] = rc.e
+	}
+	if rc.timeout > 0 {
+		body["timeoutMs"] = int(rc.timeout / time.Millisecond)
+	}
+	return body
+}
+
+// runRemote is the -server entry point: complete the given
+// expressions (or stdin lines) over HTTP.
+func runRemote(rc remoteConfig, args []string, in io.Reader, out io.Writer) error {
+	if rc.batch {
+		return runRemoteBatch(rc, in, out)
+	}
+	exprs := args
+	if len(exprs) == 0 {
+		sc := bufio.NewScanner(in)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			exprs = append(exprs, line)
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	}
+	for _, expr := range exprs {
+		fmt.Fprintf(out, "%s\n", expr)
+		env, err := rc.post("/v1/complete", rc.completeBody(expr))
+		if err != nil {
+			fmt.Fprintf(out, "  error: %v\n", err)
+			continue
+		}
+		var res remoteResult
+		if err := json.Unmarshal(env.Data, &res); err != nil {
+			fmt.Fprintf(out, "  error: decoding response: %v\n", err)
+			continue
+		}
+		printRemote(out, rc, res)
+		if rc.verbose {
+			fmt.Fprintln(out, metaLine(env))
+		}
+	}
+	return nil
+}
+
+// runRemoteBatch reads one expression per line and answers the whole
+// set through one /v1/completeBatch call: every element sees the same
+// schema generation even if a reload lands mid-batch.
+func runRemoteBatch(rc remoteConfig, in io.Reader, out io.Writer) error {
+	var queries []map[string]any
+	var lines []string
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines = append(lines, line)
+		queries = append(queries, map[string]any{"expr": line})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(queries) == 0 {
+		return nil
+	}
+	body := map[string]any{"queries": queries}
+	if rc.timeout > 0 {
+		body["timeoutMs"] = int(rc.timeout / time.Millisecond)
+	}
+	env, err := rc.post("/v1/completeBatch", body)
+	if err != nil {
+		return err
+	}
+	var batch struct {
+		Schema     string         `json:"schema"`
+		Generation uint64         `json:"generation"`
+		Results    []remoteResult `json:"results"`
+	}
+	if err := json.Unmarshal(env.Data, &batch); err != nil {
+		return fmt.Errorf("decoding batch response: %w", err)
+	}
+	for i, line := range lines {
+		fmt.Fprintf(out, "%s\n", line)
+		if i < len(batch.Results) {
+			printRemote(out, rc, batch.Results[i])
+		}
+	}
+	if rc.verbose {
+		fmt.Fprintln(out, metaLine(env))
+	}
+	return nil
+}

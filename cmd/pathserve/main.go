@@ -4,7 +4,12 @@
 //
 //	pathserve -addr :8080 -schema university -sample
 //	pathserve -addr :8080 -schemas-dir ./schemas -default-schema university
-//	curl -s localhost:8080/complete -d '{"expr":"ta~name"}'
+//	pathserve -addr :8080 -schema university -closure -closure-max-bytes 268435456
+//	curl -s localhost:8080/v1/complete -d '{"expr":"ta~name"}'
+//	curl -s localhost:8080/v1/schemas
+//	curl -s localhost:8080/v1/schemas/university
+//	curl -s -X POST localhost:8080/v1/schemas/reload
+//	curl -s localhost:8080/complete -d '{"expr":"ta~name"}'          # deprecated, still served
 //	curl -s localhost:8080/complete?schema=parts -d '{"expr":"p~weight"}'
 //	curl -s localhost:8080/schemas
 //	curl -s -X POST localhost:8080/schemas/reload
@@ -85,6 +90,11 @@ type config struct {
 	queue       int           // admission wait queue (0: default, -1: none)
 	maxBody     int64         // POST body cap in bytes (0: server default)
 	faults      string        // fault-injection spec ("": also consult PATHCOMPLETE_FAULTS)
+
+	// Materialized all-pairs closure.
+	closureOn       bool  // warm an all-pairs index per schema snapshot
+	closureMaxBytes int64 // byte budget across all live indexes (0: unbounded)
+	closureWorkers  int   // concurrent background builds
 }
 
 func parseFlags(args []string) (config, error) {
@@ -109,6 +119,9 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.queue, "queue", server.DefaultMaxQueue, "admission wait queue length (-1: shed immediately when saturated)")
 	fs.Int64Var(&cfg.maxBody, "max-body", server.DefaultMaxBodyBytes, "POST body size cap in bytes")
 	fs.StringVar(&cfg.faults, "faults", "", "fault-injection spec for chaos drills (e.g. delay=0.2,error=0.1); also read from "+faultinject.EnvVar)
+	fs.BoolVar(&cfg.closureOn, "closure", false, "warm a materialized all-pairs closure index per schema snapshot in the background; single-gap queries are served from it once ready")
+	fs.Int64Var(&cfg.closureMaxBytes, "closure-max-bytes", 256<<20, "byte budget across all live closure indexes and in-progress builds (0: unbounded); a build that would exceed it stops and the snapshot serves through the search kernel")
+	fs.IntVar(&cfg.closureWorkers, "closure-workers", 1, "concurrent background closure builds (>= 1)")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -173,6 +186,14 @@ func (cfg config) validate() error {
 			return fmt.Errorf("-faults: %w", err)
 		}
 	}
+	if cfg.closureOn {
+		if cfg.closureMaxBytes < 0 {
+			return fmt.Errorf("-closure-max-bytes must be >= 0, got %d", cfg.closureMaxBytes)
+		}
+		if cfg.closureWorkers < 1 {
+			return fmt.Errorf("-closure-workers must be >= 1, got %d", cfg.closureWorkers)
+		}
+	}
 	return nil
 }
 
@@ -227,6 +248,7 @@ func run(cfg config, logger *slog.Logger) error {
 		"e", cfg.e,
 		"parallel", cfg.parallel,
 		"cacheCap", cfg.cacheCap,
+		"closure", cfg.closureOn,
 		"pprof", cfg.pprofOn,
 		"timeout", lim.DefaultTimeout,
 		"maxTimeout", lim.MaxTimeout,
@@ -347,6 +369,9 @@ func build(cfg config) (*server.Server, *schema.Schema, error) {
 			MaxQueue:       cfg.queue,
 			MaxBodyBytes:   cfg.maxBody,
 		})
+		if cfg.closureOn {
+			sv.EnableClosure(cfg.closureWorkers, cfg.closureMaxBytes)
+		}
 		sn, err := reg.Acquire("")
 		if err != nil {
 			return nil, nil, err
@@ -409,5 +434,8 @@ func build(cfg config) (*server.Server, *schema.Schema, error) {
 		MaxQueue:       cfg.queue,
 		MaxBodyBytes:   cfg.maxBody,
 	})
+	if cfg.closureOn {
+		sv.EnableClosure(cfg.closureWorkers, cfg.closureMaxBytes)
+	}
 	return sv, s, nil
 }

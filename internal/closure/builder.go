@@ -1,0 +1,245 @@
+package closure
+
+// Builder is the background-warming side of the closure subsystem: a
+// bounded worker pool that materializes one Index per live schema
+// snapshot without ever blocking the serving path. The registry hands
+// every freshly installed snapshot to Warm and cancels the returned
+// Handle when the snapshot is superseded; queries consult the Handle
+// and fall through to the search kernel until (unless) the index is
+// ready.
+//
+// The Handle is a tiny three-state machine — building → ready, or
+// building/ready → disabled — with the transitions guarded by one
+// mutex so a Cancel racing the build's own publish can never leak a
+// budget reservation: whichever side loses the race observes the
+// other's state and releases (or declines to publish) accordingly.
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"pathcomplete/internal/core"
+)
+
+// State is the observable lifecycle phase of one snapshot's closure.
+type State string
+
+const (
+	// StateBuilding: the all-pairs build is queued or running; queries
+	// fall back to the search kernel.
+	StateBuilding State = "building"
+	// StateReady: the index is materialized; eligible queries are
+	// served from it.
+	StateReady State = "ready"
+	// StateDisabled: no index and none coming — the build failed, ran
+	// out of budget, was cancelled, or closure is switched off. Reason
+	// says which.
+	StateDisabled State = "disabled"
+)
+
+// Status is a point-in-time view of a Handle for /stats and /v1
+// schema listings.
+type Status struct {
+	State  State  `json:"state"`
+	Reason string `json:"reason,omitempty"`
+	// Bytes and Cells are zero unless State == ready.
+	Bytes int64 `json:"bytes,omitempty"`
+	Cells int   `json:"cells,omitempty"`
+	// BuildMs is the wall-clock build time once ready.
+	BuildMs int64 `json:"buildMs,omitempty"`
+}
+
+// Observer receives build lifecycle events; the server wires it to
+// its metric families. All methods may be called concurrently.
+type Observer interface {
+	// ClosureBuildStarted fires when a build leaves the queue and
+	// begins materializing.
+	ClosureBuildStarted(schema string)
+	// ClosureBuildFinished fires exactly once per Warm call with
+	// outcome "ready", "budget", "canceled", or "error".
+	ClosureBuildFinished(schema string, outcome string, elapsed time.Duration, bytes int64)
+}
+
+// Builder owns the worker pool and the byte budget shared by every
+// build and every live index it produced.
+type Builder struct {
+	sem    chan struct{}
+	budget *Budget
+	obs    Observer
+}
+
+// NewBuilder returns a Builder running at most workers concurrent
+// builds (minimum 1) against a shared budget of maxBytes (<= 0:
+// unbounded). obs may be nil.
+func NewBuilder(workers int, maxBytes int64, obs Observer) *Builder {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Builder{
+		sem:    make(chan struct{}, workers),
+		budget: NewBudget(maxBytes),
+		obs:    obs,
+	}
+}
+
+// Budget exposes the shared byte budget (for /stats).
+func (b *Builder) Budget() *Budget { return b.budget }
+
+// Disabled returns a Handle that is permanently disabled with the
+// given reason — what a snapshot holds when closure is switched off.
+func Disabled(reason string) *Handle {
+	h := &Handle{done: make(chan struct{})}
+	h.state = StateDisabled
+	h.reason = reason
+	close(h.done)
+	return h
+}
+
+// Warm queues a background build of the all-pairs closure for the
+// snapshot served as (name, gen) by cmp and returns its Handle
+// immediately. The caller (the registry) must keep the snapshot
+// acquired until the Handle is done or cancelled — the build runs
+// cmp's kernel — and must Cancel the Handle when the snapshot is
+// superseded or retired.
+func (b *Builder) Warm(name string, gen uint64, cmp *core.Completer) *Handle {
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &Handle{
+		b:      b,
+		state:  StateBuilding,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go b.build(ctx, h, name, gen, cmp)
+	return h
+}
+
+// build is the worker body: acquire a pool slot, run Build, publish
+// under the Handle's lock.
+func (b *Builder) build(ctx context.Context, h *Handle, name string, gen uint64, cmp *core.Completer) {
+	defer close(h.done)
+	// Wait for a worker slot — cancellable, so a superseded snapshot
+	// queued behind a long build never runs at all.
+	select {
+	case b.sem <- struct{}{}:
+		defer func() { <-b.sem }()
+	case <-ctx.Done():
+		h.finish(nil, "canceled", b)
+		return
+	}
+	if b.obs != nil {
+		b.obs.ClosureBuildStarted(name)
+	}
+	start := time.Now()
+	ix, err := Build(ctx, name, gen, cmp, b.budget)
+	outcome := "ready"
+	switch {
+	case err == nil:
+	case ctx.Err() != nil:
+		outcome = "canceled"
+	case err == ErrBudget:
+		outcome = "budget"
+	default:
+		outcome = "error: " + err.Error()
+	}
+	released := h.finish(ix, outcome, b)
+	if b.obs != nil {
+		short := outcome
+		if err != nil && ctx.Err() == nil && err != ErrBudget {
+			short = "error"
+		}
+		bytes := int64(0)
+		if ix != nil && !released {
+			bytes = ix.Bytes()
+		}
+		b.obs.ClosureBuildFinished(name, short, time.Since(start), bytes)
+	}
+}
+
+// Handle tracks one snapshot's closure through its lifecycle. Safe
+// for concurrent use.
+type Handle struct {
+	b      *Builder // nil for Disabled handles
+	mu     sync.Mutex
+	state  State
+	reason string
+	idx    *Index
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// finish publishes the build's outcome unless the Handle was already
+// cancelled, in which case the index's reservation is released here
+// (Cancel could not have released it — the index did not exist yet).
+// Reports whether the index's bytes were released.
+func (h *Handle) finish(ix *Index, outcome string, b *Builder) (released bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state == StateDisabled {
+		// Cancel won the race. A successful build's reservation must
+		// not outlive the Handle.
+		if ix != nil {
+			b.budget.Release(ix.Bytes())
+			released = true
+		}
+		return released
+	}
+	if ix != nil {
+		h.idx = ix
+		h.state = StateReady
+		return false
+	}
+	h.state = StateDisabled
+	h.reason = outcome
+	return false
+}
+
+// Index returns the materialized index, or nil while building /
+// after disable. The index is immutable and shared.
+func (h *Handle) Index() *Index {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.idx
+}
+
+// Status returns the Handle's observable state.
+func (h *Handle) Status() Status {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := Status{State: h.state, Reason: h.reason}
+	if h.idx != nil && h.state == StateReady {
+		st.Bytes = h.idx.Bytes()
+		st.Cells = h.idx.Cells()
+		st.BuildMs = h.idx.BuildDuration().Milliseconds()
+	}
+	return st
+}
+
+// Cancel transitions the Handle to disabled, stops an in-flight
+// build, and releases a ready index's budget reservation. Idempotent;
+// called by the registry when the snapshot is superseded or retired.
+func (h *Handle) Cancel() {
+	h.mu.Lock()
+	if h.state == StateDisabled {
+		h.mu.Unlock()
+		return
+	}
+	h.state = StateDisabled
+	if h.reason == "" {
+		h.reason = "canceled"
+	}
+	ix := h.idx
+	h.idx = nil
+	cancel := h.cancel
+	h.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if ix != nil && h.b != nil {
+		h.b.budget.Release(ix.Bytes())
+	}
+}
+
+// Done is closed when the build goroutine has fully exited (including
+// the cancel path). Test hook; the serving path never blocks on it.
+func (h *Handle) Done() <-chan struct{} { return h.done }

@@ -1,0 +1,210 @@
+// Package closure materializes the all-pairs side of the paper's
+// path-algebra formulation: for one immutable schema snapshot it
+// precomputes the optimal single-gap completion `root ~ anchor` for
+// every non-primitive source class × every valid gap anchor, turning
+// the dominant online query shape from a full Algorithm 2 search into
+// a map lookup.
+//
+// Correctness is by construction, not by re-derivation: every cell is
+// produced by core.Completer.AllPairsGap, which routes through the
+// exact kernel dispatch the serving path uses (caution sets and the
+// Inheritance Semantics Criterion included), so a materialized Result
+// is bit-for-bit what the online search would have returned. The
+// differential suite in this package locks that equality over the same
+// generator corpus as core/oracle_test.go.
+//
+// Lifecycle: an Index is built once per schema snapshot — typically in
+// the background by a Builder after a registry reload — and is
+// immutable afterwards. Memory is bounded by a byte Budget with
+// per-snapshot accounting: a build that would exceed the budget stops
+// and the snapshot keeps serving through the on-the-fly kernel.
+package closure
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/schema"
+)
+
+// ErrBudget is returned by Build when materializing the next cell
+// would exceed the byte budget. The partial build's reservation is
+// released; the snapshot falls back to the search kernel.
+var ErrBudget = errors.New("closure: byte budget exhausted")
+
+// Index is the immutable all-pairs closure of one schema snapshot:
+// for every valid gap anchor, the optimal completions from every
+// non-primitive root class. Safe for concurrent use (it is never
+// mutated after Build returns it).
+type Index struct {
+	schemaName string
+	generation uint64
+	// byAnchor maps anchor → dense per-class cells (indexed by
+	// schema.ClassID; nil for primitive classes, which cannot root a
+	// path expression).
+	byAnchor map[string][]*core.Result
+	anchors  int
+	cells    int
+	bytes    int64
+	elapsed  time.Duration
+}
+
+// Lookup returns the materialized Result for `root ~ anchor`, or
+// (nil, false) when the anchor is not a column of the index or the
+// root cannot root an expression. The returned Result is shared and
+// must be treated as immutable.
+func (ix *Index) Lookup(root schema.ClassID, anchor string) (*core.Result, bool) {
+	cells, ok := ix.byAnchor[anchor]
+	if !ok || int(root) >= len(cells) {
+		return nil, false
+	}
+	res := cells[root]
+	if res == nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// SchemaName returns the registry name of the snapshot the index was
+// built for.
+func (ix *Index) SchemaName() string { return ix.schemaName }
+
+// Generation returns the registry generation of that snapshot.
+func (ix *Index) Generation() uint64 { return ix.generation }
+
+// Anchors returns the number of anchor columns materialized.
+func (ix *Index) Anchors() int { return ix.anchors }
+
+// Cells returns the number of (root, anchor) cells materialized.
+func (ix *Index) Cells() int { return ix.cells }
+
+// Bytes returns the estimated resident size of the index — the amount
+// reserved against the build Budget.
+func (ix *Index) Bytes() int64 { return ix.bytes }
+
+// BuildDuration returns the wall-clock time Build spent.
+func (ix *Index) BuildDuration() time.Duration { return ix.elapsed }
+
+// resultBytes estimates the resident size of one materialized Result:
+// the rendered paths plus fixed per-completion overhead. Proportional,
+// not exact — the budget is a safety bound, and the estimator matches
+// the serving cache's so operators can reason about one unit.
+func resultBytes(res *core.Result) int64 {
+	const base = 256          // Result + slice headers + map bookkeeping
+	const perCompletion = 128 // Resolved + label + slice headers
+	size := int64(base) + int64(len(res.Best))*24
+	for _, c := range res.Completions {
+		size += perCompletion + int64(len(c.Path.String()))
+	}
+	return size
+}
+
+// Budget is a concurrency-safe byte budget shared by every build of
+// one Builder, with per-snapshot accounting done by the reservations
+// themselves: a build reserves as it materializes, releases on
+// failure, and the finished Index's reservation is released when its
+// snapshot retires. Max <= 0 means unbounded.
+type Budget struct {
+	max  int64
+	used atomic.Int64
+}
+
+// NewBudget returns a budget of max bytes (<= 0: unbounded).
+func NewBudget(max int64) *Budget { return &Budget{max: max} }
+
+// Reserve claims n bytes, reporting whether they fit.
+func (b *Budget) Reserve(n int64) bool {
+	if b == nil {
+		return true
+	}
+	for {
+		cur := b.used.Load()
+		if b.max > 0 && cur+n > b.max {
+			return false
+		}
+		if b.used.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// Release returns n bytes to the budget.
+func (b *Budget) Release(n int64) {
+	if b != nil {
+		b.used.Add(-n)
+	}
+}
+
+// Used returns the bytes currently reserved across all live indexes
+// and in-progress builds.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Max returns the budget bound (<= 0: unbounded).
+func (b *Budget) Max() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.max
+}
+
+// Build materializes the full all-pairs closure of the snapshot served
+// as (name, gen) by running cmp's kernel over every anchor × root.
+// Bytes are reserved against budget as cells materialize; on any error
+// — cancellation via ctx, or ErrBudget — the whole reservation is
+// released and no Index is returned. On success the returned Index
+// owns its reservation; the caller releases Index.Bytes() when the
+// snapshot retires.
+func Build(ctx context.Context, name string, gen uint64, cmp *core.Completer, budget *Budget) (*Index, error) {
+	start := time.Now()
+	s := cmp.Schema()
+	ix := &Index{
+		schemaName: name,
+		generation: gen,
+		byAnchor:   make(map[string][]*core.Result),
+	}
+	reserved := int64(0)
+	fail := func(err error) (*Index, error) {
+		budget.Release(reserved)
+		return nil, err
+	}
+	for _, anchor := range core.GapAnchors(s) {
+		cells := make([]*core.Result, s.NumClasses())
+		var werr error
+		err := cmp.AllPairsGap(ctx, anchor, func(root schema.ClassID, res *core.Result) {
+			if werr != nil {
+				return
+			}
+			n := resultBytes(res)
+			if !budget.Reserve(n) {
+				werr = ErrBudget
+				return
+			}
+			reserved += n
+			cells[root] = res
+			ix.cells++
+		})
+		if err == nil {
+			err = werr
+		}
+		if err != nil {
+			if errors.Is(err, ErrBudget) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return fail(err)
+			}
+			return fail(fmt.Errorf("closure: anchor %q: %w", anchor, err))
+		}
+		ix.byAnchor[anchor] = cells
+		ix.anchors++
+	}
+	ix.bytes = reserved
+	ix.elapsed = time.Since(start)
+	return ix, nil
+}

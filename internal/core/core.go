@@ -379,11 +379,20 @@ func (c *Completer) search(ctx context.Context, pat *pattern) *Result {
 	if c.opts.noCompile {
 		return newEngine(ctx, c.s, pat, c.opts).run()
 	}
-	cp := c.compiledFor(pat)
-	if c.parallelEligible(cp) {
-		return c.runParallel(ctx, cp)
+	return c.searchCompiled(ctx, pat, c.compiledFor(pat))
+}
+
+// searchCompiled runs one search of pat over the compiled transition
+// index cp, dispatching exactly as the serving path does (parallel
+// root-branch search when eligible, pooled engine otherwise). cp's
+// transition rows are root-independent (see newCompiled), so callers
+// sweeping many roots over one segment shape — the all-pairs closure
+// solver — share a single index across the sweep.
+func (c *Completer) searchCompiled(ctx context.Context, pat *pattern, cp *compiled) *Result {
+	if c.parallelEligible(pat, cp) {
+		return c.runParallel(ctx, pat, cp)
 	}
-	en := c.getEngine(ctx, cp)
+	en := c.getEngineFor(ctx, pat, cp)
 	res := en.run()
 	c.putEngine(en)
 	return res

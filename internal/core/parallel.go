@@ -47,12 +47,12 @@ import (
 // opted into (Parallel >= 2), no single-threaded-by-contract tracer is
 // attached, no traversal-order-dependent budget (MaxCalls, MaxPaths)
 // is set, and the root actually has branches to fan out.
-func (c *Completer) parallelEligible(cp *compiled) bool {
+func (c *Completer) parallelEligible(pat *pattern, cp *compiled) bool {
 	o := &c.opts
 	if o.Parallel < 2 || o.Tracer != nil || o.MaxCalls > 0 || o.MaxPaths > 0 {
 		return false
 	}
-	_, kids := cp.moves(cp.pat.root, 0)
+	_, kids := cp.moves(pat.root, 0)
 	return len(kids) >= 2
 }
 
@@ -123,14 +123,14 @@ type branchOut struct {
 
 // runParallel is the parallel counterpart of engine.run for one
 // compiled pattern.
-func (c *Completer) runParallel(ctx context.Context, cp *compiled) *Result {
-	root := cp.pat.root
+func (c *Completer) runParallel(ctx context.Context, pat *pattern, cp *compiled) *Result {
+	root := pat.root
 	comps, kids := cp.moves(root, 0)
 
 	// Phase 1 — deterministic seed bound: offer the root's completing
 	// moves first (the early-target exploration of line (2), hoisted out
 	// of the fan-out). The accumulator engine also hosts the final merge.
-	acc := c.getEngine(ctx, cp)
+	acc := c.getEngineFor(ctx, pat, cp)
 	acc.visited[root] = true
 	acc.stats.Calls++ // the root visit, counted once as in the sequential sweep
 	if !acc.opts.NoEarlyTarget {
@@ -155,7 +155,7 @@ func (c *Completer) runParallel(ctx context.Context, cp *compiled) *Result {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				outs[i] = c.runBranch(ctx, cp, kids[i], seed, shared)
+				outs[i] = c.runBranch(ctx, pat, cp, kids[i], seed, shared)
 			}
 		}()
 	}
@@ -194,11 +194,11 @@ func (c *Completer) runParallel(ctx context.Context, cp *compiled) *Result {
 // runBranch searches the subtree behind one root branch: it replays
 // the child-loop body of traverse for that branch (acyclicity, bounds,
 // best[u] seeding), recurses, and hands back its surviving entries.
-func (c *Completer) runBranch(ctx context.Context, cp *compiled, tr trans, seed []label.Key, shared *sharedBound) branchOut {
-	en := c.getEngine(ctx, cp)
+func (c *Completer) runBranch(ctx context.Context, pat *pattern, cp *compiled, tr trans, seed []label.Key, shared *sharedBound) branchOut {
+	en := c.getEngineFor(ctx, pat, cp)
 	en.shared = shared
 	en.bestT = append(en.bestT, seed...)
-	root := cp.pat.root
+	root := pat.root
 	en.visited[root] = true
 	defer func() {
 		en.visited[root] = false

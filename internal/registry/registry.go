@@ -42,6 +42,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pathcomplete/internal/closure"
 	"pathcomplete/internal/core"
 	"pathcomplete/internal/faultinject"
 	"pathcomplete/internal/objstore"
@@ -77,8 +78,9 @@ type table struct {
 type Registry struct {
 	opts core.Options
 
-	mu  sync.Mutex // serializes mutations (Reload, Install, SetDefault)
-	dir string
+	mu      sync.Mutex // serializes mutations (Reload, Install, SetDefault)
+	dir     string
+	closure *closure.Builder // nil: closure warming disabled
 
 	tab  atomic.Pointer[table]
 	gen  atomic.Uint64 // last generation number handed out
@@ -143,7 +145,8 @@ func (r *Registry) OnRetire(fn func(*Snapshot)) {
 func (r *Registry) nextGen() uint64 { return r.gen.Add(1) }
 
 // newSnapshot builds a snapshot (with its long-lived Completer) at a
-// fresh generation, holding the registry's own reference.
+// fresh generation, holding the registry's own reference, and — when
+// closure warming is enabled — queues its all-pairs build.
 func (r *Registry) newSnapshot(name string, s *schema.Schema, store *objstore.Store) *Snapshot {
 	sn := &Snapshot{
 		name:  name,
@@ -155,15 +158,74 @@ func (r *Registry) newSnapshot(name string, s *schema.Schema, store *objstore.St
 	}
 	sn.refs.Store(1) // the table's reference
 	r.live.Add(1)
+	r.warmClosure(sn)
 	return sn
 }
 
+// warmClosure queues the snapshot's background closure build (caller
+// holds r.mu). The build goroutine searches through the snapshot's
+// Completer, so the snapshot is pinned with an extra reference for
+// the build's whole lifetime and released when the build goroutine
+// exits — including the cancellation path, so a superseded snapshot
+// still drains.
+func (r *Registry) warmClosure(sn *Snapshot) {
+	b := r.closure
+	if b == nil {
+		sn.cl.Store(closure.Disabled("closure disabled"))
+		return
+	}
+	if !sn.tryAcquire() {
+		sn.cl.Store(closure.Disabled("snapshot drained"))
+		return
+	}
+	h := b.Warm(sn.name, sn.gen, sn.cmp)
+	sn.cl.Store(h)
+	go func() {
+		<-h.Done()
+		sn.Release()
+	}()
+}
+
+// EnableClosure switches on background closure warming: every
+// snapshot installed from now on is warmed through b, and every
+// currently served snapshot that is not already warming is warmed
+// immediately. Call once at boot, before serving traffic.
+func (r *Registry) EnableClosure(b *closure.Builder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closure = b
+	if b == nil {
+		return
+	}
+	for _, sn := range r.tab.Load().byName {
+		if h := sn.cl.Load(); h == nil || h.Status().State == closure.StateDisabled {
+			r.warmClosure(sn)
+		}
+	}
+}
+
+// ClosureBuilder returns the builder installed by EnableClosure, or
+// nil when closure warming is off.
+func (r *Registry) ClosureBuilder() *closure.Builder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closure
+}
+
 // swap publishes next and drops the registry's reference on every
-// snapshot of the previous table that next does not carry forward.
+// snapshot of the previous table that next does not carry forward. A
+// superseded snapshot's closure is cancelled first: an in-flight
+// build stops (and its partial reservation is released), a ready
+// index returns its bytes to the budget. Queries already holding the
+// old snapshot fall back to the search kernel — disabled is a valid
+// serving state.
 func (r *Registry) swap(next *table) {
 	prev := r.tab.Swap(next)
 	for _, sn := range prev.byName {
 		if next.byName[sn.name] != sn {
+			if h := sn.cl.Load(); h != nil {
+				h.Cancel()
+			}
 			sn.Release()
 		}
 	}

@@ -3,6 +3,7 @@ package registry
 import (
 	"sync/atomic"
 
+	"pathcomplete/internal/closure"
 	"pathcomplete/internal/core"
 	"pathcomplete/internal/objstore"
 	"pathcomplete/internal/schema"
@@ -28,6 +29,11 @@ type Snapshot struct {
 	store *objstore.Store
 	reg   *Registry
 
+	// cl is the snapshot's closure handle — building, ready, or
+	// disabled. Set before the snapshot is published; EnableClosure may
+	// replace a disabled handle on a live snapshot, hence the pointer.
+	cl atomic.Pointer[closure.Handle]
+
 	refs atomic.Int64
 	done atomic.Bool
 }
@@ -52,6 +58,19 @@ func (sn *Snapshot) Completer() *core.Completer { return sn.cmp }
 
 // Store returns the snapshot's object store, or nil.
 func (sn *Snapshot) Store() *objstore.Store { return sn.store }
+
+// Closure returns the snapshot's closure handle (never nil). While
+// the handle is not ready, queries fall back to the search kernel.
+func (sn *Snapshot) Closure() *closure.Handle {
+	if h := sn.cl.Load(); h != nil {
+		return h
+	}
+	return closure.Disabled("closure disabled")
+}
+
+// ClosureStatus returns the observable state of the snapshot's
+// closure build: ready, building, or disabled (with a reason).
+func (sn *Snapshot) ClosureStatus() closure.Status { return sn.Closure().Status() }
 
 // Refs returns the current reference count (the registry's own
 // reference included while the snapshot is current). Test hook.
@@ -88,6 +107,12 @@ func (sn *Snapshot) Release() {
 	}
 	if !sn.done.CompareAndSwap(false, true) {
 		return
+	}
+	// Budget hygiene: a drained snapshot's index must return its bytes
+	// even on lifecycles that never pass through swap (idempotent —
+	// superseded snapshots were already cancelled there).
+	if h := sn.cl.Load(); h != nil {
+		h.Cancel()
 	}
 	sn.cmp.Close()
 	sn.reg.live.Add(-1)

@@ -1,0 +1,127 @@
+package server
+
+// The reload-during-build drill: hot reloads land while all-pairs
+// closure builds are still warming, under concurrent query traffic.
+// Every superseded snapshot's build must cancel, every query must
+// answer 200 with an answer some generation actually serves, and when
+// the dust settles the byte budget must account exactly the surviving
+// index — no leaked reservations, no leaked snapshots. Run under
+// -race in CI.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pathcomplete/internal/closure"
+)
+
+func TestClosureReloadDuringBuildDrill(t *testing.T) {
+	sv, ts, dir := multiServer(t, map[string]string{"alpha": msSchemaV1})
+	sv.EnableClosure(2, 1<<30)
+	// The boot snapshot predates EnableClosure wiring in multiServer's
+	// LoadDir; EnableClosure warms it retroactively. Let it settle so
+	// the drill starts from a ready index.
+	if st := waitClosure(t, sv, "alpha"); st.State != closure.StateReady {
+		t.Fatalf("pre-drill closure = %+v, want ready", st)
+	}
+
+	const (
+		generations = 40
+		clients     = 4
+	)
+	var (
+		stop     atomic.Bool
+		non200   atomic.Int64
+		badBody  atomic.Int64
+		queries  atomic.Int64
+		closureN atomic.Int64
+		searchN  atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				resp, body := post(t, ts.URL+"/v1/complete?schema=alpha", `{"expr":"a~name"}`)
+				queries.Add(1)
+				if resp.StatusCode != http.StatusOK {
+					non200.Add(1)
+					continue
+				}
+				var env testEnvelope
+				if err := json.Unmarshal([]byte(body), &env); err != nil || env.Error != nil {
+					badBody.Add(1)
+					continue
+				}
+				var out CompleteResponse
+				if err := json.Unmarshal(env.Data, &out); err != nil || len(out.Completions) != 1 {
+					badBody.Add(1)
+					continue
+				}
+				if p := out.Completions[0].Path; p != msAnswerV1 && p != msAnswerV2 {
+					badBody.Add(1)
+					continue
+				}
+				switch env.Meta.Engine {
+				case engineClosure:
+					closureN.Add(1)
+				case engineSearch:
+					searchN.Add(1)
+				default:
+					badBody.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Reloader: alternate the schema text every generation so answers
+	// identify the snapshot that served them, reloading fast enough
+	// that most builds are still warming when superseded.
+	for g := 0; g < generations; g++ {
+		text := msSchemaV1
+		if g%2 == 0 {
+			text = msSchemaV2
+		}
+		msWriteDir(t, dir, map[string]string{"alpha": text})
+		resp, body := post(t, ts.URL+"/v1/schemas/reload", `{}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reload %d: status = %d: %s", g, resp.StatusCode, body)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if non200.Load() != 0 || badBody.Load() != 0 {
+		t.Errorf("drill: %d non-200s, %d bad bodies across %d queries",
+			non200.Load(), badBody.Load(), queries.Load())
+	}
+	t.Logf("drill: %d queries (%d closure, %d search) across %d generations",
+		queries.Load(), closureN.Load(), searchN.Load(), generations)
+
+	// Settle: the final generation's build finishes (ready), every
+	// superseded handle has cancelled, and the budget accounts exactly
+	// the one surviving index.
+	st := waitClosure(t, sv, "alpha")
+	if st.State != closure.StateReady {
+		t.Fatalf("post-drill closure = %+v, want ready", st)
+	}
+	b := sv.reg.ClosureBuilder()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Budget().Used() != st.Bytes && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond) // superseded snapshots may still be draining
+	}
+	if got := b.Budget().Used(); got != st.Bytes {
+		t.Errorf("budget used = %d after drill, want %d (the live index): leaked reservations", got, st.Bytes)
+	}
+	for sv.reg.Live() != len(sv.reg.Names()) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got, want := sv.reg.Live(), len(sv.reg.Names()); got != want {
+		t.Errorf("Live() = %d after drain, want %d (snapshot leak)", got, want)
+	}
+}

@@ -58,6 +58,18 @@ type metrics struct {
 	panicsRecovered    *obs.Counter
 	singleflightShared *obs.Counter
 	encodeFailures     *obs.Counter
+
+	// Materialized all-pairs closure: serving outcomes, build
+	// lifecycle, and the shared byte budget.
+	closureHits         *obs.Counter
+	closureMisses       *obs.Counter
+	closureFallbacks    *obs.Counter
+	closureBuilds       *obs.CounterVec
+	closureBuildSeconds *obs.Histogram
+	closureBytes        *obs.Gauge
+
+	// Versioned API: requests still arriving on pre-/v1 routes.
+	deprecated *obs.CounterVec
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -125,6 +137,20 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Completion requests that shared a concurrent identical search instead of running their own."),
 		encodeFailures: reg.Counter("pathcomplete_json_encode_failures_total",
 			"Response bodies whose JSON encoding failed (logged with request ID, not silently dropped)."),
+		closureHits: reg.Counter("pathcomplete_closure_hits_total",
+			"Completion requests answered from the materialized all-pairs closure index."),
+		closureMisses: reg.Counter("pathcomplete_closure_misses_total",
+			"Closure-eligible requests that fell back to the search kernel (index building, disabled, or missing the cell)."),
+		closureFallbacks: reg.Counter("pathcomplete_closure_fallbacks_total",
+			"Completion requests ineligible for the closure by shape (multi-gap, E override, trace, or per-request budget)."),
+		closureBuilds: reg.CounterVec("pathcomplete_closure_builds_total",
+			"Background closure builds finished, by outcome (ready, budget, canceled, error).", "outcome"),
+		closureBuildSeconds: reg.Histogram("pathcomplete_closure_build_seconds",
+			"Wall-clock duration of one all-pairs closure build.", obs.DefBuckets()),
+		closureBytes: reg.Gauge("pathcomplete_closure_bytes",
+			"Bytes reserved against the closure budget across live indexes and in-progress builds."),
+		deprecated: reg.CounterVec("pathcomplete_deprecated_requests_total",
+			"Requests served on deprecated pre-/v1 routes (answered with a Deprecation header).", "route"),
 	}
 }
 

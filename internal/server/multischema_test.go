@@ -116,8 +116,8 @@ func TestSchemasGolden(t *testing.T) {
 	want := SchemasResponse{
 		Default: "alpha",
 		Schemas: []SchemaInfoJSON{
-			{Name: "alpha", Classes: 2, Rels: 4, Default: true},
-			{Name: "beta", Classes: 2, Rels: 4},
+			{Name: "alpha", Classes: 2, Rels: 4, Default: true, Closure: "disabled"},
+			{Name: "beta", Classes: 2, Rels: 4, Closure: "disabled"},
 		},
 	}
 	if !reflect.DeepEqual(got, want) {

@@ -69,10 +69,13 @@ import (
 )
 
 // Routes lists every route the server can mount, in the form the
-// obs middleware uses to normalize metric labels.
+// obs middleware uses to normalize metric labels ("/v1/schemas/"
+// covers the per-name wildcard paths by prefix).
 var Routes = []string{
 	"/healthz", "/schema", "/schemas", "/schemas/reload", "/stats",
 	"/metrics", "/buildinfo", "/complete", "/completeBatch", "/evaluate",
+	"/v1/complete", "/v1/completeBatch", "/v1/evaluate",
+	"/v1/schemas", "/v1/schemas/", "/v1/schemas/reload",
 	"/debug/pprof/",
 }
 
@@ -91,6 +94,10 @@ type Server struct {
 	lim     Limits
 	gate    *gate
 	flights *flightGroup
+
+	// depWarned tracks which deprecated routes already logged their
+	// one-time warning.
+	depWarned sync.Map
 
 	mu    sync.Mutex
 	cache *shardedCache
@@ -244,6 +251,15 @@ func (sv *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("POST /complete", sv.handleComplete)
 	mux.HandleFunc("POST /completeBatch", sv.handleCompleteBatch)
 	mux.HandleFunc("POST /evaluate", sv.handleEvaluate)
+	// The versioned surface mounts the same handlers; the response
+	// layer renders the v1 envelope when the path carries the /v1/
+	// prefix (see v1.go).
+	mux.HandleFunc("POST /v1/complete", sv.handleComplete)
+	mux.HandleFunc("POST /v1/completeBatch", sv.handleCompleteBatch)
+	mux.HandleFunc("POST /v1/evaluate", sv.handleEvaluate)
+	mux.HandleFunc("GET /v1/schemas", sv.handleSchemas)
+	mux.HandleFunc("GET /v1/schemas/{name}", sv.handleSchemaByName)
+	mux.HandleFunc("POST /v1/schemas/reload", sv.handleReload)
 	if cfg.PProf {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -252,9 +268,12 @@ func (sv *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	// Chain, outermost first: metrics/logging (so a recovered panic is
-	// still counted and logged with its request ID), panic recovery,
-	// body size cap, routing.
-	return sv.httpM.Wrap(cfg.Logger, Routes, sv.recoverPanics(sv.limitBodies(mux)))
+	// still counted and logged with its request ID), request start
+	// stamp (so v1 envelopes report durationMs even from the panic
+	// responder), panic recovery, body size cap, deprecation stamping,
+	// routing.
+	return sv.httpM.Wrap(cfg.Logger, Routes,
+		withStart(sv.recoverPanics(sv.limitBodies(sv.deprecate(mux)))))
 }
 
 // limitBodies caps every request body with http.MaxBytesReader, so a
@@ -326,18 +345,7 @@ func (sv *Server) recoverPanics(next http.Handler) http.Handler {
 // On failure it answers 404 itself and returns ok=false. On success
 // the caller must call Release exactly once.
 func (sv *Server) acquireSnapshot(w http.ResponseWriter, r *http.Request) (*registry.Snapshot, bool) {
-	name := r.URL.Query().Get("schema")
-	sn, err := sv.reg.Acquire(name)
-	if err != nil {
-		if errors.Is(err, registry.ErrUnknownSchema) {
-			sv.met.unknownSchema.Inc()
-			sv.jsonError(w, r, http.StatusNotFound, err.Error())
-		} else {
-			sv.jsonError(w, r, http.StatusInternalServerError, err.Error())
-		}
-		return nil, false
-	}
-	return sn, true
+	return sv.resolveSchema(w, r, r.URL.Query().Get("schema"))
 }
 
 func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -358,6 +366,9 @@ type SchemaInfoJSON struct {
 	Rels       int    `json:"rels"`
 	Default    bool   `json:"default,omitempty"`
 	Store      bool   `json:"store,omitempty"`
+	// Closure reports the snapshot's all-pairs index lifecycle:
+	// "ready", "building", or "disabled".
+	Closure string `json:"closure,omitempty"`
 }
 
 // SchemasResponse is the body of a /schemas response.
@@ -385,10 +396,11 @@ func (sv *Server) handleSchemas(w http.ResponseWriter, r *http.Request) {
 			Rels:       sn.Schema().NumRels(),
 			Default:    sn.Name() == out.Default,
 			Store:      sn.Store() != nil,
+			Closure:    string(sn.ClosureStatus().State),
 		})
 		sn.Release()
 	}
-	sv.writeJSON(w, r, http.StatusOK, out)
+	sv.respond(w, r, http.StatusOK, out, nil)
 }
 
 func (sv *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -408,11 +420,11 @@ func (sv *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			slog.Int("schemas", len(names)),
 		)
 	}
-	sv.writeJSON(w, r, http.StatusOK, map[string]any{
+	sv.respond(w, r, http.StatusOK, map[string]any{
 		"status":     "reloaded",
 		"generation": sv.reg.Generation(),
 		"schemas":    names,
-	})
+	}, nil)
 }
 
 func (sv *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
@@ -440,6 +452,12 @@ func (sv *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
 	sv.writeJSON(w, r, http.StatusOK, out)
 }
 
+// handleSchema serves the legacy GET /schema endpoint: the SDL text
+// of the default (or ?schema=-named) schema. It is an alias of GET
+// /v1/schemas/{name} — both resolve through resolveSchema, so the two
+// surfaces can never disagree about a name — rendered as text/plain
+// for legacy clients, and counted under the deprecation metric by the
+// deprecate middleware like every other pre-/v1 route.
 func (sv *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	sn, ok := sv.acquireSnapshot(w, r)
 	if !ok {
@@ -463,7 +481,7 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for k, n := range st.RelsByKind {
 		kinds[k.String()] = n
 	}
-	sv.writeJSON(w, r, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"schema":      sn.Schema().Name(),
 		"name":        sn.Name(),
 		"generation":  sn.Generation(),
@@ -471,7 +489,15 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"rels":        st.Rels,
 		"relsByKind":  kinds,
 		"maxIsaDepth": st.MaxIsaDepth,
-	})
+		"closure":     sn.ClosureStatus(),
+	}
+	if b := sv.reg.ClosureBuilder(); b != nil {
+		out["closureBudget"] = map[string]int64{
+			"usedBytes": b.Budget().Used(),
+			"maxBytes":  b.Budget().Max(),
+		}
+	}
+	sv.writeJSON(w, r, http.StatusOK, out)
 }
 
 // CompleteRequest is the body of POST /complete and POST /evaluate,
@@ -535,6 +561,9 @@ type CompleteResponse struct {
 	// Shared reports that this response was computed by a concurrent
 	// identical request and shared via singleflight.
 	Shared bool `json:"shared,omitempty"`
+	// Engine identifies the subsystem that produced the answer:
+	// "closure" (materialized all-pairs index) or "search" (kernel).
+	Engine string `json:"engine,omitempty"`
 	// Stats carries the per-query effort counters when the search ran
 	// (absent on a cache hit).
 	Stats *SearchStatsJSON `json:"stats,omitempty"`
@@ -550,6 +579,10 @@ type completed struct {
 	expr   pathexpr.Expr
 	cached bool
 	shared bool
+	// engine identifies the subsystem that produced res: "closure" for
+	// a materialized all-pairs cell, "search" for the kernel (cache and
+	// singleflight hits keep the engine that originally computed them).
+	engine string
 	rec    *core.TraceRecorder
 }
 
@@ -576,7 +609,25 @@ func (sv *Server) complete(ctx context.Context, sn *registry.Snapshot, req Compl
 		// recorder: no cache lookup, no singleflight.
 		rec := core.NewTraceRecorder(sn.Schema(), req.TraceLimit)
 		opts.Tracer = rec
+		sv.met.closureFallbacks.Inc()
 		return sv.search(ctx, sn, e, opts, rec, key)
+	}
+	// The materialized all-pairs closure answers the dominant query
+	// shape — a single-gap expression at the server's default options —
+	// before the memo cache is even consulted: the lookup is one map
+	// probe on an immutable index, with no lock and no LRU bookkeeping.
+	if sv.closureEligible(req, opts) {
+		if res, hit, eligible := sv.closureLookup(sn, e); eligible {
+			if hit {
+				sv.met.closureHits.Inc()
+				return completed{res: res, expr: e, engine: engineClosure}, http.StatusOK, nil
+			}
+			sv.met.closureMisses.Inc()
+		} else {
+			sv.met.closureFallbacks.Inc()
+		}
+	} else {
+		sv.met.closureFallbacks.Inc()
 	}
 	sv.mu.Lock()
 	res, ok := sv.cache.get(key)
@@ -584,7 +635,7 @@ func (sv *Server) complete(ctx context.Context, sn *registry.Snapshot, req Compl
 	if ok {
 		sv.met.cacheHits.Inc()
 		sv.met.schemaCacheHits.With(label).Inc()
-		return completed{res: res, expr: e, cached: true}, http.StatusOK, nil
+		return completed{res: res, expr: e, cached: true, engine: engineSearch}, http.StatusOK, nil
 	}
 	// Only a real failed lookup counts as a miss (traced requests
 	// never look the cache up at all).
@@ -648,7 +699,7 @@ func (sv *Server) search(ctx context.Context, sn *registry.Snapshot, e pathexpr.
 		sv.met.cacheSize.Set(int64(size))
 		sv.met.cacheBytes.Set(bytes)
 	}
-	return completed{res: res, expr: e, rec: rec}, http.StatusOK, nil
+	return completed{res: res, expr: e, engine: engineSearch, rec: rec}, http.StatusOK, nil
 }
 
 // admit runs the admission gate for one search request, answering the
@@ -665,6 +716,11 @@ func (sv *Server) admit(w http.ResponseWriter, r *http.Request, ctx context.Cont
 	case admitShed:
 		sv.met.sheds.Inc()
 		w.Header().Set("Retry-After", "1")
+		if isV1(r) {
+			sv.jsonError(w, r, http.StatusTooManyRequests,
+				"server overloaded: admission queue full")
+			return nil, false
+		}
 		sv.writeJSON(w, r, http.StatusTooManyRequests, map[string]any{
 			"error":             "server overloaded: admission queue full",
 			"retryAfterSeconds": 1,
@@ -690,6 +746,7 @@ func (sv *Server) completeResponse(sn *registry.Snapshot, c completed) CompleteR
 		Exhausted:  res.Exhausted,
 		Cached:     c.cached,
 		Shared:     c.shared,
+		Engine:     c.engine,
 		Aborted:    res.Aborted,
 		StopReason: string(res.StopReason),
 	}
@@ -750,7 +807,7 @@ func (sv *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		sv.jsonError(w, r, status, err.Error())
 		return
 	}
-	sv.writeJSON(w, r, http.StatusOK, sv.completeResponse(sn, c))
+	sv.respond(w, r, http.StatusOK, sv.completeResponse(sn, c), completeMeta(sn, c))
 }
 
 // BatchRequest is the body of POST /completeBatch: a set of completion
@@ -846,7 +903,7 @@ func (sv *Server) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	close(next)
 	wg.Wait()
-	sv.writeJSON(w, r, http.StatusOK, out)
+	sv.respond(w, r, http.StatusOK, out, &Meta{Schema: sn.Name(), Generation: sn.Generation()})
 }
 
 // batchWorkers bounds the per-batch search concurrency. The admission
@@ -954,7 +1011,8 @@ func (sv *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if ans.Where != nil {
 		out.Where = ans.Where.String()
 	}
-	sv.writeJSON(w, r, http.StatusOK, out)
+	sv.respond(w, r, http.StatusOK, out,
+		&Meta{Schema: sn.Name(), Generation: sn.Generation(), Engine: engineSearch})
 }
 
 // decodeStatus maps a request-body decode error to its status: 413 for
@@ -988,9 +1046,18 @@ func (sv *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, 
 	}
 }
 
-// jsonError writes a machine-readable error body {"error": msg} with
-// the given status. Every error the hardened path produces — including
-// 429 sheds and recovered panics — is valid JSON.
+// jsonError writes a machine-readable error body with the given
+// status: the legacy {"error": msg} shape on pre-/v1 routes, the v1
+// envelope ({"data": null, "error": {"code", "message"}, "meta"}) on
+// the versioned surface. Every error the hardened path produces —
+// including 429 sheds and recovered panics — is valid JSON on both.
 func (sv *Server) jsonError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	if isV1(r) {
+		sv.writeJSON(w, r, status, Envelope{
+			Error: &APIError{Code: errCode(status), Message: msg},
+			Meta:  &Meta{DurationMs: float64(sinceStart(r)) / float64(time.Millisecond)},
+		})
+		return
+	}
 	sv.writeJSON(w, r, status, map[string]any{"error": msg})
 }

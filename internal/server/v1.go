@@ -1,0 +1,241 @@
+package server
+
+// The versioned /v1 surface. Every v1 response — success or failure —
+// is one uniform envelope:
+//
+//	{"data": ..., "error": null, "meta": {"schema": ..., "generation": ...,
+//	 "engine": "closure|search", "cacheHit": ..., "durationMs": ...}}
+//
+// with error responses carrying data: null and a machine-readable
+// error object {"code", "message"} whose code is one of bad_request,
+// unknown_schema, deadline, overloaded, internal. The v1 routes are
+// served by the same handlers as the legacy ones: the response layer
+// (respond / jsonError) dispatches on the /v1/ path prefix, so the
+// pipeline — validation, admission, snapshot pinning, closure, cache,
+// singleflight, search — is byte-identical across surfaces and only
+// the rendering differs. Legacy routes keep working but answer with a
+// Deprecation header, a successor Link, a bounded per-route metric,
+// and a one-time log warning.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"time"
+
+	"pathcomplete/internal/closure"
+	"pathcomplete/internal/obs"
+	"pathcomplete/internal/registry"
+	"pathcomplete/internal/sdl"
+
+	"log/slog"
+)
+
+// V1Paths lists every /v1 route pattern the server mounts, exactly as
+// it appears in docs/openapi.yaml. The openapi golden test asserts
+// the spec's path list and the mounted mux agree with this list, so a
+// new /v1 route cannot ship undocumented (or documented but
+// unmounted).
+var V1Paths = []string{
+	"/v1/complete",
+	"/v1/completeBatch",
+	"/v1/evaluate",
+	"/v1/schemas",
+	"/v1/schemas/{name}",
+	"/v1/schemas/reload",
+}
+
+// APIError is the machine-readable error object of a v1 envelope.
+type APIError struct {
+	// Code is one of "bad_request", "unknown_schema", "deadline",
+	// "overloaded", "internal".
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes of the v1 surface.
+const (
+	CodeBadRequest    = "bad_request"
+	CodeUnknownSchema = "unknown_schema"
+	CodeDeadline      = "deadline"
+	CodeOverloaded    = "overloaded"
+	CodeInternal      = "internal"
+)
+
+// Meta is the response metadata of a v1 envelope.
+type Meta struct {
+	// Schema and Generation identify the pinned snapshot, when the
+	// endpoint is snapshot-scoped.
+	Schema     string `json:"schema,omitempty"`
+	Generation uint64 `json:"generation,omitempty"`
+	// Engine identifies the answering subsystem for completion
+	// endpoints: "closure" or "search".
+	Engine string `json:"engine,omitempty"`
+	// CacheHit reports a memo-cache hit.
+	CacheHit bool `json:"cacheHit,omitempty"`
+	// DurationMs is the server-side wall clock of the request.
+	DurationMs float64 `json:"durationMs"`
+}
+
+// Envelope is the uniform body of every v1 response.
+type Envelope struct {
+	Data  any       `json:"data"`
+	Error *APIError `json:"error"`
+	Meta  *Meta     `json:"meta"`
+}
+
+// errCode maps an HTTP status to its v1 error code.
+func errCode(status int) string {
+	switch {
+	case status == http.StatusNotFound:
+		return CodeUnknownSchema
+	case status == http.StatusTooManyRequests:
+		return CodeOverloaded
+	case status == http.StatusServiceUnavailable:
+		return CodeDeadline
+	case status >= 500:
+		return CodeInternal
+	default: // 400, 409, 413, 422
+		return CodeBadRequest
+	}
+}
+
+// isV1 reports whether the request arrived on the versioned surface.
+func isV1(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/v1/") }
+
+// startKey carries the request arrival time through the context, so
+// the envelope's durationMs covers the whole handler chain.
+type startKeyType struct{}
+
+var startKey startKeyType
+
+func withStart(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), startKey, time.Now())))
+	})
+}
+
+// sinceStart returns the elapsed wall clock of the request.
+func sinceStart(r *http.Request) time.Duration {
+	if t, ok := r.Context().Value(startKey).(time.Time); ok {
+		return time.Since(t)
+	}
+	return 0
+}
+
+// respond writes a success body: the bare payload on the legacy
+// surface, the envelope on /v1/. meta may be nil (an empty Meta with
+// just durationMs is emitted).
+func (sv *Server) respond(w http.ResponseWriter, r *http.Request, status int, data any, meta *Meta) {
+	if !isV1(r) {
+		sv.writeJSON(w, r, status, data)
+		return
+	}
+	if meta == nil {
+		meta = &Meta{}
+	}
+	meta.DurationMs = float64(sinceStart(r)) / float64(time.Millisecond)
+	sv.writeJSON(w, r, status, Envelope{Data: data, Meta: meta})
+}
+
+// completeMeta builds the envelope metadata for one completed query.
+func completeMeta(sn *registry.Snapshot, c completed) *Meta {
+	return &Meta{
+		Schema:     sn.Name(),
+		Generation: sn.Generation(),
+		Engine:     c.engine,
+		CacheHit:   c.cached,
+	}
+}
+
+// SchemaDetailJSON is the data payload of GET /v1/schemas/{name}: the
+// listing entry plus the closure status and the SDL text.
+type SchemaDetailJSON struct {
+	SchemaInfoJSON
+	ClosureStatus closure.Status `json:"closureStatus"`
+	SDL           string         `json:"sdl"`
+}
+
+// handleSchemaByName serves GET /v1/schemas/{name}. The legacy GET
+// /schema endpoint is an alias of this resolution for the default (or
+// ?schema=-named) schema, rendered as text/plain SDL; both route
+// through resolveSchema so they can never disagree about which
+// snapshot a name denotes.
+func (sv *Server) handleSchemaByName(w http.ResponseWriter, r *http.Request) {
+	sn, ok := sv.resolveSchema(w, r, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	defer sn.Release()
+	var sb strings.Builder
+	if err := sdl.Write(&sb, sn.Schema()); err != nil {
+		sv.jsonError(w, r, http.StatusInternalServerError, err.Error())
+		return
+	}
+	data := SchemaDetailJSON{
+		SchemaInfoJSON: SchemaInfoJSON{
+			Name:       sn.Name(),
+			Generation: sn.Generation(),
+			Classes:    sn.Schema().NumUserClasses(),
+			Rels:       sn.Schema().NumRels(),
+			Default:    sn.Name() == sv.reg.DefaultName(),
+			Store:      sn.Store() != nil,
+			Closure:    string(sn.ClosureStatus().State),
+		},
+		ClosureStatus: sn.ClosureStatus(),
+		SDL:           sb.String(),
+	}
+	sv.respond(w, r, http.StatusOK, data, &Meta{Schema: sn.Name(), Generation: sn.Generation()})
+}
+
+// resolveSchema pins the named snapshot ("" means the registry
+// default), answering the unknown-schema error itself. On success the
+// caller must Release exactly once.
+func (sv *Server) resolveSchema(w http.ResponseWriter, r *http.Request, name string) (*registry.Snapshot, bool) {
+	sn, err := sv.reg.Acquire(name)
+	if err != nil {
+		if errors.Is(err, registry.ErrUnknownSchema) {
+			sv.met.unknownSchema.Inc()
+			sv.jsonError(w, r, http.StatusNotFound, err.Error())
+		} else {
+			sv.jsonError(w, r, http.StatusInternalServerError, err.Error())
+		}
+		return nil, false
+	}
+	return sn, true
+}
+
+// deprecatedSuccessor maps every legacy route to its v1 successor.
+// Requests on these routes keep working but are answered with a
+// Deprecation header (RFC 9745 boolean form), a successor Link, and a
+// per-route deprecation count.
+var deprecatedSuccessor = map[string]string{
+	"/complete":       "/v1/complete",
+	"/completeBatch":  "/v1/completeBatch",
+	"/evaluate":       "/v1/evaluate",
+	"/schemas":        "/v1/schemas",
+	"/schemas/reload": "/v1/schemas/reload",
+	"/schema":         "/v1/schemas/{name}",
+}
+
+// deprecate stamps legacy-route responses and counts them. The log
+// warning fires once per route per process — enough to show up in
+// operator logs without flooding them on a chatty legacy client.
+func (sv *Server) deprecate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if succ, ok := deprecatedSuccessor[r.URL.Path]; ok {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", "<"+succ+`>; rel="successor-version"`)
+			sv.met.deprecated.With(r.URL.Path).Inc()
+			if _, warned := sv.depWarned.LoadOrStore(r.URL.Path, true); !warned && sv.logger != nil {
+				sv.logger.LogAttrs(r.Context(), slog.LevelWarn, "deprecated route in use",
+					slog.String("route", r.URL.Path),
+					slog.String("successor", succ),
+					slog.String("id", w.Header().Get(obs.RequestIDHeader)),
+				)
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
