@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race cover cover-gate bench bench-json bench-closure bench-smoke bench-obs experiments fuzz fuzz-smoke chaos fmt vet clean
+.PHONY: all build test test-race race cover cover-gate bench bench-json bench-closure bench-smoke bench-obs bench-trace experiments fuzz fuzz-smoke chaos fmt vet clean
 
 all: build vet test
 
@@ -65,6 +65,17 @@ bench-smoke:
 # compare nil vs noop vs recording tracers on the flagship query.
 bench-obs:
 	$(GO) test -bench=TracerOverhead -benchmem -count=5 -run xxx ./internal/core
+
+# The tracing cost ledger: the tracked kernel series plus the
+# tracer-overhead comparison, folded into BENCH_core.json. The
+# tracing-disabled numbers here are what the span pipeline must not
+# move (the <2% / zero-alloc pin; see TestWarmCompleteAllocs for the
+# enforced guard).
+bench-trace:
+	{ $(GO) test -bench='$(TRACKED_BENCH)' -benchmem -run xxx . ; \
+	  $(GO) test -bench=TracerOverhead -benchmem -run xxx ./internal/core ; } \
+		| $(GO) run ./cmd/benchjson > BENCH_core.json
+	@echo wrote BENCH_core.json
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

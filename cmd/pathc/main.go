@@ -51,7 +51,7 @@ func main() {
 		why        = flag.Bool("why", false, "compare exactly two complete expressions instead of completing")
 		storePath  = flag.String("store", "", "load object data from a snapshot (requires -sdl; enables -eval)")
 		dot        = flag.Bool("dot", false, "emit the schema in DOT form with the completions' edges highlighted")
-		trace      = flag.Bool("trace", false, "print the traversal event log of each search")
+		trace      = flag.Bool("trace", false, "print the traversal event log of each search; with -server, force-sample the request and pretty-print its server-side span trace")
 		traceLimit = flag.Int("trace-limit", 0, "cap the trace at N events (0: default cap, negative: unlimited)")
 		timeout    = flag.Duration("timeout", 0, "wall-clock budget per search (0: none); an expired search prints its valid best-so-far completions")
 		parallel   = flag.Int("parallel", 0, "fan root branches across N workers per search (0 or 1: sequential)")
@@ -63,8 +63,8 @@ func main() {
 	flag.Parse()
 	if *serverURL != "" {
 		switch {
-		case *eval, *dot, *explain, *trace, *why:
-			fmt.Fprintln(os.Stderr, "pathc: -eval, -dot, -explain, -trace, and -why are local-engine features; drop them to use -server")
+		case *eval, *dot, *explain, *why:
+			fmt.Fprintln(os.Stderr, "pathc: -eval, -dot, -explain, and -why are local-engine features; drop them to use -server")
 			os.Exit(2)
 		case *sdlPath != "" || *storePath != "":
 			fmt.Fprintln(os.Stderr, "pathc: -sdl and -store are local-engine flags; with -server the schema is picked with -schema <served-name>")
@@ -81,7 +81,7 @@ func main() {
 		})
 		rc := remoteConfig{
 			base: *serverURL, e: *e, timeout: *timeout, verbose: *verbose,
-			stats: *stats, batch: *batch, workers: *workers,
+			stats: *stats, batch: *batch, workers: *workers, trace: *trace,
 		}
 		if schemaSet {
 			rc.schema = *schemaName

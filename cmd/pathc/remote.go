@@ -11,11 +11,14 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"strings"
 	"time"
 )
@@ -29,7 +32,8 @@ type remoteConfig struct {
 	verbose bool          // print the response meta
 	stats   bool
 	batch   bool
-	workers int // unused remotely (the server bounds batch concurrency)
+	workers int  // unused remotely (the server bounds batch concurrency)
+	trace   bool // force-sample the request; fetch and print its span trace
 }
 
 // apiEnvelope mirrors the server's v1 envelope on the wire.
@@ -44,6 +48,7 @@ type apiEnvelope struct {
 		Generation uint64  `json:"generation"`
 		Engine     string  `json:"engine"`
 		CacheHit   bool    `json:"cacheHit"`
+		TraceID    string  `json:"traceId"`
 		DurationMs float64 `json:"durationMs"`
 	} `json:"meta"`
 }
@@ -97,17 +102,47 @@ func (rc remoteConfig) endpoint(path string) (string, error) {
 }
 
 // post sends one v1 request and decodes the envelope, turning an
-// error envelope into a Go error tagged with its machine code.
+// error envelope into a Go error tagged with its machine code. With
+// -trace, the request carries a W3C traceparent whose sampled flag is
+// set, guaranteeing the server retains the request's span trace.
 func (rc remoteConfig) post(path string, body any) (*apiEnvelope, error) {
-	ep, err := rc.endpoint(path)
-	if err != nil {
-		return nil, err
-	}
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := http.Post(ep, "application/json", bytes.NewReader(buf))
+	req := func(ep string) (*http.Request, error) {
+		r, err := http.NewRequest(http.MethodPost, ep, bytes.NewReader(buf))
+		if err != nil {
+			return nil, err
+		}
+		r.Header.Set("Content-Type", "application/json")
+		if rc.trace {
+			r.Header.Set("traceparent", newTraceparent())
+		}
+		return r, nil
+	}
+	return rc.call(path, req)
+}
+
+// get sends one v1 GET request and decodes the envelope.
+func (rc remoteConfig) get(path string) (*apiEnvelope, error) {
+	return rc.call(path, func(ep string) (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, ep, nil)
+	})
+}
+
+// call resolves the endpoint, issues the request, and decodes the v1
+// envelope shared by every verb.
+func (rc remoteConfig) call(path string, build func(string) (*http.Request, error)) (*apiEnvelope, error) {
+	ep, err := rc.endpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	req, err := build(ep)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -122,14 +157,136 @@ func (rc remoteConfig) post(path string, body any) (*apiEnvelope, error) {
 	return &env, nil
 }
 
+// newTraceparent mints a W3C traceparent with the sampled flag set:
+// "00-<32 hex trace-id>-<16 hex span-id>-01". A rand failure falls
+// back to a fixed ID — the request still completes, the trace is just
+// not uniquely addressable.
+func newTraceparent() string {
+	var b [24]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00-00000000000000000000000000000001-0000000000000001-01"
+	}
+	return "00-" + hex.EncodeToString(b[:16]) + "-" + hex.EncodeToString(b[16:]) + "-01"
+}
+
 // metaLine renders the -v meta line for one response.
 func metaLine(env *apiEnvelope) string {
 	m := env.Meta
 	if m == nil {
 		return "  meta: (none)"
 	}
-	return fmt.Sprintf("  meta: engine=%s schema=%s generation=%d cacheHit=%v durationMs=%.2f",
+	line := fmt.Sprintf("  meta: engine=%s schema=%s generation=%d cacheHit=%v durationMs=%.2f",
 		m.Engine, m.Schema, m.Generation, m.CacheHit, m.DurationMs)
+	if m.TraceID != "" {
+		line += " traceId=" + m.TraceID
+	}
+	return line
+}
+
+// remoteSpan and remoteTrace mirror the server's SpanData/TraceData.
+type remoteSpan struct {
+	SpanID     string         `json:"spanId"`
+	ParentID   string         `json:"parentId"`
+	Name       string         `json:"name"`
+	OffsetMs   float64        `json:"offsetMs"`
+	DurationMs float64        `json:"durationMs"`
+	Attrs      map[string]any `json:"attrs"`
+	Error      string         `json:"error"`
+}
+
+type remoteTrace struct {
+	TraceID    string       `json:"traceId"`
+	Name       string       `json:"name"`
+	DurationMs float64      `json:"durationMs"`
+	Reason     string       `json:"reason"`
+	Spans      []remoteSpan `json:"spans"`
+}
+
+// printRemoteTrace fetches the span trace the server retained for the
+// request identified by traceID and renders it as an indented tree —
+// where the request's time went, stage by stage. The root span is
+// finalized just after the response body is written, so the first
+// fetch can race it; retry briefly before giving up.
+func printRemoteTrace(w io.Writer, rc remoteConfig, traceID string) {
+	if traceID == "" {
+		fmt.Fprintln(w, "  trace: response carried no trace ID (server predates tracing?)")
+		return
+	}
+	var env *apiEnvelope
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		env, err = rc.get("/v1/traces/" + traceID)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		fmt.Fprintf(w, "  trace %s: %v\n", traceID, err)
+		return
+	}
+	var tr remoteTrace
+	if err := json.Unmarshal(env.Data, &tr); err != nil {
+		fmt.Fprintf(w, "  trace %s: decoding: %v\n", traceID, err)
+		return
+	}
+	fmt.Fprintf(w, "  trace %s (%s, %.2fms, %d spans)\n",
+		tr.TraceID, tr.Reason, tr.DurationMs, len(tr.Spans))
+	children := make(map[string][]remoteSpan, len(tr.Spans))
+	var roots []remoteSpan
+	byID := make(map[string]bool, len(tr.Spans))
+	for _, s := range tr.Spans {
+		byID[s.SpanID] = true
+	}
+	for _, s := range tr.Spans {
+		if s.ParentID == "" || !byID[s.ParentID] {
+			roots = append(roots, s) // a root, or an orphan of a dropped span
+		} else {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		}
+	}
+	for _, s := range roots {
+		printSpan(w, s, children, 1)
+	}
+}
+
+// printSpan renders one span line and recurses into its children in
+// start order.
+func printSpan(w io.Writer, s remoteSpan, children map[string][]remoteSpan, depth int) {
+	indent := strings.Repeat("  ", depth+1)
+	name := s.Name
+	if s.Error != "" {
+		name += " !" + s.Error
+	}
+	fmt.Fprintf(w, "%s%-*s %8.2fms  +%.2fms%s\n",
+		indent, 34-2*depth, name, s.DurationMs, s.OffsetMs, attrLine(s.Attrs))
+	kids := children[s.SpanID]
+	sort.Slice(kids, func(i, j int) bool { return kids[i].OffsetMs < kids[j].OffsetMs })
+	for _, c := range kids {
+		printSpan(w, c, children, depth+1)
+	}
+}
+
+// attrLine renders a span's attributes as sorted key=value pairs.
+func attrLine(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("  {")
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%v", k, attrs[k])
+	}
+	sb.WriteString("}")
+	return sb.String()
 }
 
 // printRemote renders one remote completion result in the same shape
@@ -212,6 +369,9 @@ func runRemote(rc remoteConfig, args []string, in io.Reader, out io.Writer) erro
 		if rc.verbose {
 			fmt.Fprintln(out, metaLine(env))
 		}
+		if rc.trace && env.Meta != nil {
+			printRemoteTrace(out, rc, env.Meta.TraceID)
+		}
 	}
 	return nil
 }
@@ -261,6 +421,9 @@ func runRemoteBatch(rc remoteConfig, in io.Reader, out io.Writer) error {
 	}
 	if rc.verbose {
 		fmt.Fprintln(out, metaLine(env))
+	}
+	if rc.trace && env.Meta != nil {
+		printRemoteTrace(out, rc, env.Meta.TraceID)
 	}
 	return nil
 }

@@ -5,7 +5,11 @@
 //	pathserve -addr :8080 -schema university -sample
 //	pathserve -addr :8080 -schemas-dir ./schemas -default-schema university
 //	pathserve -addr :8080 -schema university -closure -closure-max-bytes 268435456
+//	pathserve -addr :8080 -schema university -trace-sample 0.01 -slow-threshold 250ms
 //	curl -s localhost:8080/v1/complete -d '{"expr":"ta~name"}'
+//	curl -s localhost:8080/v1/traces
+//	curl -s localhost:8080/v1/traces/4bf92f3577b34da6a3ce929d0e0e4736
+//	curl -s localhost:8080/v1/queries/slow
 //	curl -s localhost:8080/v1/schemas
 //	curl -s localhost:8080/v1/schemas/university
 //	curl -s -X POST localhost:8080/v1/schemas/reload
@@ -58,6 +62,7 @@ import (
 	"pathcomplete/internal/cupid"
 	"pathcomplete/internal/faultinject"
 	"pathcomplete/internal/objstore"
+	"pathcomplete/internal/obs"
 	"pathcomplete/internal/parts"
 	"pathcomplete/internal/registry"
 	"pathcomplete/internal/schema"
@@ -95,6 +100,11 @@ type config struct {
 	closureOn       bool  // warm an all-pairs index per schema snapshot
 	closureMaxBytes int64 // byte budget across all live indexes (0: unbounded)
 	closureWorkers  int   // concurrent background builds
+
+	// Span pipeline (/v1/traces, /v1/queries/slow).
+	traceSample   float64       // head-sampling rate in [0, 1]
+	slowThreshold time.Duration // retain+log any request at least this slow (0: off)
+	spanBuffer    int           // retained-trace ring size (0: server default)
 }
 
 func parseFlags(args []string) (config, error) {
@@ -122,6 +132,9 @@ func parseFlags(args []string) (config, error) {
 	fs.BoolVar(&cfg.closureOn, "closure", false, "warm a materialized all-pairs closure index per schema snapshot in the background; single-gap queries are served from it once ready")
 	fs.Int64Var(&cfg.closureMaxBytes, "closure-max-bytes", 256<<20, "byte budget across all live closure indexes and in-progress builds (0: unbounded); a build that would exceed it stops and the snapshot serves through the search kernel")
 	fs.IntVar(&cfg.closureWorkers, "closure-workers", 1, "concurrent background closure builds (>= 1)")
+	fs.Float64Var(&cfg.traceSample, "trace-sample", 0, "head-sample this fraction of requests into /v1/traces (0: only client-forced and tail-rule traces; 1: every request)")
+	fs.DurationVar(&cfg.slowThreshold, "slow-threshold", 0, "retain any request at least this slow in /v1/traces and log it at /v1/queries/slow regardless of sampling (0: off)")
+	fs.IntVar(&cfg.spanBuffer, "span-buffer", 0, "retained-trace ring size (0: default "+fmt.Sprint(obs.DefaultTraceBuffer)+")")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -194,6 +207,15 @@ func (cfg config) validate() error {
 			return fmt.Errorf("-closure-workers must be >= 1, got %d", cfg.closureWorkers)
 		}
 	}
+	if cfg.traceSample < 0 || cfg.traceSample > 1 {
+		return fmt.Errorf("-trace-sample must be in [0, 1], got %v", cfg.traceSample)
+	}
+	if cfg.slowThreshold < 0 {
+		return fmt.Errorf("-slow-threshold must be >= 0, got %v", cfg.slowThreshold)
+	}
+	if cfg.spanBuffer < 0 {
+		return fmt.Errorf("-span-buffer must be >= 0, got %d", cfg.spanBuffer)
+	}
 	return nil
 }
 
@@ -249,6 +271,8 @@ func run(cfg config, logger *slog.Logger) error {
 		"parallel", cfg.parallel,
 		"cacheCap", cfg.cacheCap,
 		"closure", cfg.closureOn,
+		"traceSample", cfg.traceSample,
+		"slowThreshold", cfg.slowThreshold,
 		"pprof", cfg.pprofOn,
 		"timeout", lim.DefaultTimeout,
 		"maxTimeout", lim.MaxTimeout,
@@ -372,6 +396,7 @@ func build(cfg config) (*server.Server, *schema.Schema, error) {
 		if cfg.closureOn {
 			sv.EnableClosure(cfg.closureWorkers, cfg.closureMaxBytes)
 		}
+		cfg.applyTracing(sv)
 		sn, err := reg.Acquire("")
 		if err != nil {
 			return nil, nil, err
@@ -437,5 +462,20 @@ func build(cfg config) (*server.Server, *schema.Schema, error) {
 	if cfg.closureOn {
 		sv.EnableClosure(cfg.closureWorkers, cfg.closureMaxBytes)
 	}
+	cfg.applyTracing(sv)
 	return sv, s, nil
+}
+
+// applyTracing rebuilds the server's span pipeline when any tracing
+// flag departs from the defaults; the server's zero-config pipeline
+// (client-forced sampling only) is kept otherwise.
+func (cfg config) applyTracing(sv *server.Server) {
+	if cfg.traceSample == 0 && cfg.slowThreshold == 0 && cfg.spanBuffer == 0 {
+		return
+	}
+	sv.SetTracing(obs.TraceConfig{
+		SampleRate:    cfg.traceSample,
+		SlowThreshold: cfg.slowThreshold,
+		BufferSize:    cfg.spanBuffer,
+	})
 }

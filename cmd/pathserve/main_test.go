@@ -84,6 +84,32 @@ func TestBuildAppliesLimits(t *testing.T) {
 	}
 }
 
+// TestBuildAppliesTracing: the tracing flags land on the server's span
+// pipeline; with all three at zero the default pipeline stays in place.
+func TestBuildAppliesTracing(t *testing.T) {
+	cfg := config{schemaName: "university", engine: "paper", e: 1,
+		traceSample: 0.25, slowThreshold: 250 * time.Millisecond, spanBuffer: 64}
+	sv, _, err := build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.applyTracing(sv)
+	got := sv.Tracing().Config()
+	if got.SampleRate != 0.25 || got.SlowThreshold != 250*time.Millisecond || got.BufferSize != 64 {
+		t.Errorf("tracing config = %+v", got)
+	}
+
+	sv2, _, err := build(config{schemaName: "university", engine: "paper", e: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sv2.Tracing()
+	(config{}).applyTracing(sv2)
+	if sv2.Tracing() != before {
+		t.Error("zero tracing flags replaced the default pipeline")
+	}
+}
+
 // TestValidateFlags is the startup-validation table: a misconfigured
 // process must refuse to start, not serve with clamped values.
 func TestValidateFlags(t *testing.T) {
@@ -107,6 +133,11 @@ func TestValidateFlags(t *testing.T) {
 		{"negative body cap", func(c *config) { c.maxBody = -5 }, "-max-body must be >= 0"},
 		{"bad faults spec", func(c *config) { c.faults = "delay=lots" }, "-faults"},
 		{"queue minus one ok", func(c *config) { c.queue = -1 }, ""},
+		{"trace-sample negative", func(c *config) { c.traceSample = -0.1 }, "-trace-sample must be in [0, 1]"},
+		{"trace-sample above one", func(c *config) { c.traceSample = 1.5 }, "-trace-sample must be in [0, 1]"},
+		{"negative slow-threshold", func(c *config) { c.slowThreshold = -time.Second }, "-slow-threshold must be >= 0"},
+		{"negative span-buffer", func(c *config) { c.spanBuffer = -1 }, "-span-buffer must be >= 0"},
+		{"tracing knobs ok", func(c *config) { c.traceSample = 0.01; c.slowThreshold = 250 * time.Millisecond; c.spanBuffer = 64 }, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

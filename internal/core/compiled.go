@@ -14,9 +14,20 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"pathcomplete/internal/schema"
 )
+
+// poolServed counts engines handed out from a Completer's sync.Pool
+// (as opposed to freshly allocated) across the process — the signal
+// that the zero-allocation hot path is actually recycling. Exposed as
+// a /metrics gauge refreshed on scrape.
+var poolServed atomic.Uint64
+
+// EnginePoolServed returns the process-wide count of pool-recycled
+// engine checkouts.
+func EnginePoolServed() uint64 { return poolServed.Load() }
 
 // compiled is the flat transition index for one pattern over one
 // schema. Row r = int(class)*numSegs + seg holds the completing moves
@@ -185,6 +196,8 @@ func (c *Completer) getEngineFor(ctx context.Context, pat *pattern, cp *compiled
 	en, _ := c.pool.Get().(*engine)
 	if en == nil {
 		en = &engine{s: c.s, visited: make([]bool, c.s.NumClasses())}
+	} else {
+		poolServed.Add(1)
 	}
 	en.prepare(ctx, pat, cp, c.opts)
 	return en

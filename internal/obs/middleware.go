@@ -17,11 +17,15 @@ import (
 //	http_in_flight_requests                 requests currently being served
 //
 // Construct one per Registry with NewHTTPMetrics and wrap the root
-// handler with Wrap.
+// handler with Wrap. With SetTracing, Wrap additionally opens one root
+// span per selected request (W3C traceparent ingest/emit) and
+// annotates the latency histogram with trace-ID exemplars.
 type HTTPMetrics struct {
 	requests *CounterVec
 	duration *HistogramVec
 	inFlight *Gauge
+	routeLG  *LabelGuard
+	tracing  *TracePipeline
 }
 
 // NewHTTPMetrics registers the HTTP metric families on r.
@@ -35,8 +39,13 @@ func NewHTTPMetrics(r *Registry) *HTTPMetrics {
 			DefBuckets(), "path"),
 		inFlight: r.Gauge("http_in_flight_requests",
 			"HTTP requests currently being served."),
+		routeLG: NewLabelGuard(DefaultLabelCap),
 	}
 }
+
+// SetTracing attaches the span pipeline Wrap threads through every
+// request. Call before serving traffic; nil detaches.
+func (m *HTTPMetrics) SetTracing(tp *TracePipeline) { m.tracing = tp }
 
 // RequestIDHeader is the header carrying the request ID. An inbound
 // value is trusted (so IDs propagate across hops); otherwise a fresh
@@ -70,11 +79,20 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // Wrap instruments next with the HTTP metrics and, when logger is
 // non-nil, structured request logging with request IDs.
 //
-// routes lists the known route paths; a request is attributed to the
-// longest route that matches it exactly or (for routes ending in "/")
-// by prefix, and to "other" when none does. Normalizing the path label
-// through a fixed allowlist keeps metric cardinality bounded no matter
-// what paths a hostile client probes.
+// routes lists the known route patterns; a request is attributed to
+// the most specific pattern that matches it (see NormalizeRoute), and
+// to "other" when none does. Normalizing the path label through a
+// fixed allowlist — with {name}-style wildcard segments collapsing to
+// their template, belt-and-suspendered by a LabelGuard — keeps metric
+// cardinality bounded no matter what paths a hostile client probes.
+//
+// When a span pipeline is attached (SetTracing), Wrap parses the
+// inbound W3C traceparent, opens the request's root span named
+// "METHOD route-template", echoes the resulting traceparent on the
+// response (every surface, legacy routes included), stamps the
+// terminal status on the span, and — when the trace is retained —
+// records a trace-ID exemplar on the route's latency histogram. All
+// of it is skipped at the cost of one nil test when tracing is off.
 func (m *HTTPMetrics) Wrap(logger *slog.Logger, routes []string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -87,19 +105,39 @@ func (m *HTTPMetrics) Wrap(logger *slog.Logger, routes []string, next http.Handl
 		}
 		w.Header().Set(RequestIDHeader, id)
 
+		route := m.routeLG.Bound(NormalizeRoute(routes, r.URL.Path))
+
+		var span *Span
+		if m.tracing != nil {
+			inbound, _ := ParseTraceparent(r.Header.Get(TraceparentHeader))
+			ctx, s := m.tracing.StartRoot(r.Context(), r.Method+" "+route, inbound)
+			if s != nil {
+				span = s
+				r = r.WithContext(ctx)
+				w.Header().Set(TraceparentHeader, s.Context().Traceparent())
+			}
+		}
+
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
 
-		route := NormalizeRoute(routes, r.URL.Path)
 		elapsed := time.Since(start)
+		traceID := ""
+		if span != nil {
+			span.SetStatus(sw.status)
+			span.End()
+			if span.Kept() {
+				traceID = span.TraceID()
+			}
+		}
 		m.requests.With(route, r.Method, strconv.Itoa(sw.status)).Inc()
-		m.duration.With(route).Observe(elapsed.Seconds())
+		m.duration.With(route).ObserveExemplar(elapsed.Seconds(), traceID)
 
 		if logger != nil {
-			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			attrs := []slog.Attr{
 				slog.String("id", id),
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
@@ -107,28 +145,75 @@ func (m *HTTPMetrics) Wrap(logger *slog.Logger, routes []string, next http.Handl
 				slog.Int64("bytes", sw.bytes),
 				slog.Duration("duration", elapsed),
 				slog.String("remote", r.RemoteAddr),
-			)
+			}
+			if span != nil {
+				attrs = append(attrs, slog.String("trace", span.TraceID()))
+			}
+			logger.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 		}
 	})
 }
 
 // NormalizeRoute maps a concrete request path onto the route
-// allowlist: the longest entry that equals the path, or whose value
-// ends in "/" and prefixes the path, wins; unmatched paths collapse to
-// "other".
+// allowlist. An entry matches when it equals the path, when it ends
+// in "/" and prefixes the path, or segment-by-segment when it carries
+// {name}-style template segments (each template segment matches any
+// single non-empty path segment, so "/v1/schemas/{name}" absorbs
+// every per-schema URL into one label). The longest matching entry
+// wins; unmatched paths collapse to "other".
 func NormalizeRoute(routes []string, path string) string {
 	best := ""
 	for _, rt := range routes {
-		if rt == path || (strings.HasSuffix(rt, "/") && strings.HasPrefix(path, rt)) {
-			if len(rt) > len(best) {
-				best = rt
-			}
+		if rt == path {
+			return rt // an exact entry always beats templates and prefixes
+		}
+		match := (strings.HasSuffix(rt, "/") && strings.HasPrefix(path, rt)) ||
+			(strings.Contains(rt, "{") && templateMatch(rt, path))
+		if match && len(rt) > len(best) {
+			best = rt
 		}
 	}
 	if best == "" {
 		return "other"
 	}
 	return best
+}
+
+// templateMatch reports whether path matches the route template
+// segment-by-segment, with "{...}" segments matching any single
+// non-empty segment.
+func templateMatch(tmpl, path string) bool {
+	for {
+		ts, trest, tmore := nextSegment(tmpl)
+		ps, prest, pmore := nextSegment(path)
+		if tmore != pmore {
+			return false
+		}
+		if !tmore {
+			return true
+		}
+		wild := len(ts) >= 2 && ts[0] == '{' && ts[len(ts)-1] == '}'
+		if wild {
+			if ps == "" {
+				return false
+			}
+		} else if ts != ps {
+			return false
+		}
+		tmpl, path = trest, prest
+	}
+}
+
+// nextSegment splits off the leading "/"-delimited segment.
+func nextSegment(s string) (seg, rest string, more bool) {
+	if s == "" {
+		return "", "", false
+	}
+	s = strings.TrimPrefix(s, "/")
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		return s[:i], s[i:], true
+	}
+	return s, "", true
 }
 
 // newRequestID returns 16 hex characters of crypto/rand entropy.

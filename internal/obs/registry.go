@@ -68,16 +68,28 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // increasing order; an implicit +Inf bucket catches the rest. All
 // methods are safe for concurrent use.
 type Histogram struct {
-	bounds  []float64
-	counts  []atomic.Uint64 // len(bounds)+1; the last is +Inf
-	count   atomic.Uint64
-	sumBits atomic.Uint64 // math.Float64bits of the running sum
+	bounds    []float64
+	counts    []atomic.Uint64 // len(bounds)+1; the last is +Inf
+	count     atomic.Uint64
+	sumBits   atomic.Uint64              // math.Float64bits of the running sum
+	exemplars []atomic.Pointer[exemplar] // last exemplar per bucket; nil until first use
+}
+
+// exemplar is one OpenMetrics exemplar: a reference from a histogram
+// bucket to the trace that produced a representative observation.
+type exemplar struct {
+	labels string // rendered label set, e.g. `trace_id="abc..."`
+	value  float64
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	return &Histogram{
+		bounds:    bs,
+		counts:    make([]atomic.Uint64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one sample.
@@ -92,6 +104,19 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar is Observe plus an exemplar: the observation's
+// bucket remembers the trace that produced it, and the exposition
+// annotates the bucket with OpenMetrics `# {trace_id="..."}` syntax so
+// a latency spike on a dashboard links straight to a retained trace.
+// An empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if traceID != "" {
+		i := sort.SearchFloat64s(h.bounds, v)
+		h.exemplars[i].Store(&exemplar{labels: `trace_id="` + escapeLabel(traceID) + `"`, value: v})
+	}
+	h.Observe(v)
 }
 
 // Count returns the total number of observations.
@@ -163,11 +188,24 @@ func (f *family) get(labelStr string, mk func() any) any {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	scrapers []func()
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
+}
+
+// OnScrape registers fn to run at the start of every WriteText call,
+// before any family is rendered — the hook point for gauges whose
+// value is only worth computing when somebody is looking (Go runtime
+// stats, pool counters). Hooks must not register metrics from inside
+// themselves with a different type, and should be cheap: they run on
+// the scrape path.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.scrapers = append(r.scrapers, fn)
 }
 
 func (r *Registry) family(name, help string, kind metricKind, labels []string, bounds []float64) *family {
@@ -325,6 +363,12 @@ func validName(s string) bool {
 // string, so the output is deterministic given deterministic values.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
+	scrapers := append([]func(){}, r.scrapers...)
+	r.mu.Unlock()
+	for _, fn := range scrapers {
+		fn()
+	}
+	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
 		names = append(names, n)
@@ -369,14 +413,41 @@ func (f *family) write(bw *bufio.Writer) {
 			var cum uint64
 			for bi, bound := range m.bounds {
 				cum += m.counts[bi].Load()
-				writeSample(bw, f.name+"_bucket", joinLabels(ls, `le="`+formatFloat(bound)+`"`), formatUint(cum))
+				writeExemplarSample(bw, f.name+"_bucket", joinLabels(ls, `le="`+formatFloat(bound)+`"`), formatUint(cum), m.exemplars[bi].Load())
 			}
 			cum += m.counts[len(m.bounds)].Load()
-			writeSample(bw, f.name+"_bucket", joinLabels(ls, `le="+Inf"`), formatUint(cum))
+			writeExemplarSample(bw, f.name+"_bucket", joinLabels(ls, `le="+Inf"`), formatUint(cum), m.exemplars[len(m.bounds)].Load())
 			writeSample(bw, f.name+"_sum", ls, formatFloat(m.Sum()))
 			writeSample(bw, f.name+"_count", ls, formatUint(m.Count()))
 		}
 	}
+}
+
+// writeExemplarSample writes one bucket sample, annotated with its
+// exemplar in OpenMetrics syntax when one is present:
+//
+//	name_bucket{le="0.005"} 12 # {trace_id="4bf9..."} 0.0042
+//
+// Plain Prometheus scrapers parse the line up to the '#' and ignore
+// the rest; OpenMetrics-aware ones surface the trace link.
+func writeExemplarSample(bw *bufio.Writer, name, labels, value string, ex *exemplar) {
+	if ex == nil {
+		writeSample(bw, name, labels, value)
+		return
+	}
+	bw.WriteString(name)
+	if labels != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteString(" # {")
+	bw.WriteString(ex.labels)
+	bw.WriteString("} ")
+	bw.WriteString(formatFloat(ex.value))
+	bw.WriteByte('\n')
 }
 
 func writeSample(bw *bufio.Writer, name, labels, value string) {

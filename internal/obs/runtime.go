@@ -1,0 +1,30 @@
+package obs
+
+// Go runtime gauges, refreshed lazily on scrape via Registry.OnScrape
+// rather than by a background ticker: a serving process should spend
+// zero cycles on metrics nobody is reading, and a scrape is exactly
+// the moment the values must be fresh.
+
+import "runtime"
+
+// RegisterRuntimeMetrics registers process-level Go runtime gauges on
+// r — goroutine count, heap in use, total GC pause — updated at the
+// start of every exposition. Safe to call once per registry.
+func RegisterRuntimeMetrics(r *Registry) {
+	goroutines := r.Gauge("go_goroutines",
+		"Goroutines currently live in the process.")
+	heapInuse := r.Gauge("go_memstats_heap_inuse_bytes",
+		"Bytes in in-use heap spans.")
+	gcPause := r.Gauge("go_gc_pause_total_nanoseconds",
+		"Cumulative nanoseconds the process spent in GC stop-the-world pauses.")
+	gcRuns := r.Gauge("go_gc_cycles_total",
+		"Completed GC cycles since process start.")
+	r.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heapInuse.Set(int64(ms.HeapInuse))
+		gcPause.Set(int64(ms.PauseTotalNs))
+		gcRuns.Set(int64(ms.NumGC))
+	})
+}

@@ -1,0 +1,720 @@
+package obs
+
+// Request-scoped tracing: the span pipeline behind /v1/traces and
+// /v1/queries/slow. One root span is opened per instrumented request
+// (or synthesized for a background build), child spans mark the
+// pipeline stages the request passed through — admission, cache,
+// closure lookup, kernel search, batch fan-out — and the finished
+// trace is retained in a lock-free bounded ring subject to two rules:
+//
+//   - head sampling: the root is sampled at StartRoot time, either
+//     because the inbound W3C traceparent carried the sampled flag or
+//     because the deterministic 1-in-N head sampler fired;
+//   - tail rules: an unsampled trace is still retained when it turns
+//     out slow (duration >= SlowThreshold) or failed (HTTP 5xx or an
+//     explicit span error) — the traces an operator actually wants are
+//     exactly the ones head sampling would have missed.
+//
+// Traces whose root carries query attributes (AttrExpr et al.) and
+// cross the slow threshold are additionally folded into a separate
+// slow-query ring with per-stage timings, so "why was this query
+// slow" is answerable without trawling the full trace buffer.
+//
+// The pipeline is nil-safe end to end: a nil *TracePipeline, a nil
+// *Span, and a context without a span all no-op, so instrumented code
+// pays one pointer test per stage when tracing is off.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceIDLen and SpanIDLen are the W3C trace-context identifier sizes
+// in bytes (rendered as 32 and 16 lowercase hex characters).
+const (
+	TraceIDLen = 16
+	SpanIDLen  = 8
+)
+
+// SpanContext identifies one span within one trace, plus the sampled
+// flag — the unit the W3C traceparent header carries between hops.
+type SpanContext struct {
+	TraceID [TraceIDLen]byte
+	SpanID  [SpanIDLen]byte
+	Sampled bool
+}
+
+// Valid reports whether both identifiers are non-zero, as the W3C
+// spec requires.
+func (sc SpanContext) Valid() bool {
+	return sc.TraceID != [TraceIDLen]byte{} && sc.SpanID != [SpanIDLen]byte{}
+}
+
+// TraceIDString renders the trace ID as 32 lowercase hex characters.
+func (sc SpanContext) TraceIDString() string { return hex.EncodeToString(sc.TraceID[:]) }
+
+// SpanIDString renders the span ID as 16 lowercase hex characters.
+func (sc SpanContext) SpanIDString() string { return hex.EncodeToString(sc.SpanID[:]) }
+
+// Traceparent renders the context in W3C trace-context form:
+// "00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>".
+func (sc SpanContext) Traceparent() string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceIDString() + "-" + sc.SpanIDString() + "-" + flags
+}
+
+// TraceparentHeader is the W3C header name tracing ingests and emits.
+const TraceparentHeader = "traceparent"
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts
+// the version-00 format (and tolerates future versions with the same
+// prefix layout, per the spec's forward-compatibility rule); ok is
+// false for malformed values and all-zero identifiers.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	// "xx-" + 32 + "-" + 16 + "-" + 2 == 55 bytes minimum.
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return SpanContext{}, false
+	}
+	if s[0] == 'f' && s[1] == 'f' {
+		return SpanContext{}, false // version 0xff is forbidden
+	}
+	// The spec requires lowercase hex throughout (hex.Decode alone would
+	// also admit uppercase).
+	if !isHex(s[:2]) || !isHex(s[3:35]) || !isHex(s[36:52]) || !isHex(s[53:55]) {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	hex.Decode(sc.TraceID[:], []byte(s[3:35]))
+	hex.Decode(sc.SpanID[:], []byte(s[36:52]))
+	var flags [1]byte
+	hex.Decode(flags[:], []byte(s[53:55]))
+	if len(s) > 55 && s[55] != '-' {
+		return SpanContext{}, false // version 00 has exactly four fields
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags[0]&0x01 != 0
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// newTraceID and newSpanID draw crypto/rand identifiers; on the
+// (never-observed) rand failure they fall back to a process-local
+// counter so tracing keeps working with distinguishable IDs.
+var idFallback atomic.Uint64
+
+func newTraceID() (id [TraceIDLen]byte) {
+	if _, err := rand.Read(id[:]); err != nil {
+		n := idFallback.Add(1)
+		for i := 0; i < 8; i++ {
+			id[TraceIDLen-1-i] = byte(n >> (8 * i))
+		}
+	}
+	return id
+}
+
+func newSpanID() (id [SpanIDLen]byte) {
+	if _, err := rand.Read(id[:]); err != nil {
+		n := idFallback.Add(1)
+		for i := 0; i < SpanIDLen; i++ {
+			id[SpanIDLen-1-i] = byte(n >> (8 * i))
+		}
+	}
+	return id
+}
+
+// Well-known root-span attribute keys. The slow-query log is built
+// from these: a finished root carrying AttrExpr is a completion-shaped
+// request and becomes a SlowQuery entry when it crosses the threshold.
+const (
+	AttrExpr   = "expr"
+	AttrShape  = "shape"
+	AttrSchema = "schema"
+	AttrEngine = "engine"
+)
+
+// TraceConfig configures one TracePipeline.
+type TraceConfig struct {
+	// SampleRate is the head-sampling probability in [0, 1]. The
+	// sampler is deterministic 1-in-N (N = round(1/rate)): exactly every
+	// Nth root span is sampled, so accounting is testable and a burst
+	// cannot get lucky. 0 disables head sampling (tail rules still
+	// apply); >= 1 samples everything.
+	SampleRate float64
+	// SlowThreshold retains any trace at least this slow regardless of
+	// sampling, and feeds the slow-query log. 0 disables the tail rule
+	// and the slow log.
+	SlowThreshold time.Duration
+	// BufferSize bounds the retained-trace ring (default 512).
+	BufferSize int
+	// SlowLogSize bounds the slow-query ring (default 128).
+	SlowLogSize int
+	// MaxSpans caps the spans recorded per trace (default 256); spans
+	// beyond the cap are counted in TraceData.DroppedSpans.
+	MaxSpans int
+}
+
+// Defaults for the zero TraceConfig fields.
+const (
+	DefaultTraceBuffer = 512
+	DefaultSlowLogSize = 128
+	DefaultMaxSpans    = 256
+)
+
+func (c TraceConfig) withDefaults() TraceConfig {
+	if c.BufferSize <= 0 {
+		c.BufferSize = DefaultTraceBuffer
+	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = DefaultSlowLogSize
+	}
+	if c.MaxSpans <= 0 {
+		c.MaxSpans = DefaultMaxSpans
+	}
+	if c.SampleRate < 0 {
+		c.SampleRate = 0
+	}
+	return c
+}
+
+// ring is a lock-free bounded overwrite buffer: Put claims the next
+// slot with one atomic add and stores through an atomic pointer, so
+// writers never block each other or readers; the newest len(slots)
+// values win. Snapshot is wait-free and may observe a torn window
+// (a slot mid-overwrite yields either the old or the new value, never
+// garbage) — exactly the guarantee a diagnostics buffer needs.
+type ring[T any] struct {
+	slots []atomic.Pointer[T]
+	next  atomic.Uint64
+}
+
+func newRing[T any](n int) *ring[T] {
+	return &ring[T]{slots: make([]atomic.Pointer[T], n)}
+}
+
+func (r *ring[T]) put(v *T) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(v)
+}
+
+// snapshot returns the resident values, newest first.
+func (r *ring[T]) snapshot() []*T {
+	n := r.next.Load()
+	size := uint64(len(r.slots))
+	count := n
+	if count > size {
+		count = size
+	}
+	out := make([]*T, 0, count)
+	for i := uint64(0); i < count; i++ {
+		// Walk backwards from the most recently claimed slot.
+		v := r.slots[(n-1-i)%size].Load()
+		if v != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SpanData is one finished span as retained and served.
+type SpanData struct {
+	SpanID   string `json:"spanId"`
+	ParentID string `json:"parentId,omitempty"`
+	Name     string `json:"name"`
+	// OffsetMs is the span's start relative to the trace start.
+	OffsetMs   float64        `json:"offsetMs"`
+	DurationMs float64        `json:"durationMs"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Error      string         `json:"error,omitempty"`
+}
+
+// TraceData is one finished, retained trace: the root span first,
+// children in end order.
+type TraceData struct {
+	TraceID    string    `json:"traceId"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMs float64   `json:"durationMs"`
+	// Status is the HTTP status of the traced request, when one was
+	// reported via SetStatus (0 for synthetic traces).
+	Status int `json:"status,omitempty"`
+	// Reason says which rule retained the trace: "sampled" (head),
+	// "slow", or "error" (tail).
+	Reason string `json:"reason"`
+	// DroppedSpans counts spans discarded beyond the MaxSpans cap.
+	DroppedSpans int        `json:"droppedSpans,omitempty"`
+	Spans        []SpanData `json:"spans"`
+}
+
+// StageMs is one named stage timing of a slow query.
+type StageMs struct {
+	Name       string  `json:"name"`
+	DurationMs float64 `json:"durationMs"`
+}
+
+// SlowQuery is one entry of the slow-query log.
+type SlowQuery struct {
+	Time       time.Time `json:"time"`
+	TraceID    string    `json:"traceId"`
+	Route      string    `json:"route"`
+	Schema     string    `json:"schema,omitempty"`
+	Expr       string    `json:"expr,omitempty"`
+	Shape      string    `json:"shape,omitempty"`
+	Engine     string    `json:"engine,omitempty"`
+	Status     int       `json:"status,omitempty"`
+	DurationMs float64   `json:"durationMs"`
+	// Stages lists the trace's child spans in end order — where the
+	// time went, one line per pipeline stage.
+	Stages []StageMs `json:"stages,omitempty"`
+}
+
+// TraceStats is the pipeline's self-accounting, exposed for tests and
+// the leak drill: every started root must end, and every ended root is
+// either retained (by exactly one rule) or discarded.
+type TraceStats struct {
+	RootsStarted uint64 `json:"rootsStarted"`
+	RootsEnded   uint64 `json:"rootsEnded"`
+	KeptSampled  uint64 `json:"keptSampled"`
+	KeptSlow     uint64 `json:"keptSlow"`
+	KeptError    uint64 `json:"keptError"`
+	Discarded    uint64 `json:"discarded"`
+	SlowLogged   uint64 `json:"slowLogged"`
+	// ActiveSpans counts spans started and not yet ended (roots and
+	// children); zero when the process is idle.
+	ActiveSpans int64 `json:"activeSpans"`
+}
+
+// TracePipeline owns the sampler, the retained-trace ring, and the
+// slow-query ring. All methods are safe for concurrent use and
+// nil-safe (a nil pipeline records nothing).
+type TracePipeline struct {
+	cfg      TraceConfig
+	interval uint64 // head sampler: keep every interval-th root; 0 = never, 1 = always
+	tick     atomic.Uint64
+
+	traces *ring[TraceData]
+	slow   *ring[SlowQuery]
+
+	rootsStarted atomic.Uint64
+	rootsEnded   atomic.Uint64
+	keptSampled  atomic.Uint64
+	keptSlow     atomic.Uint64
+	keptError    atomic.Uint64
+	discarded    atomic.Uint64
+	slowLogged   atomic.Uint64
+	activeSpans  atomic.Int64
+}
+
+// NewTracePipeline returns a pipeline for cfg (zero fields take the
+// documented defaults).
+func NewTracePipeline(cfg TraceConfig) *TracePipeline {
+	cfg = cfg.withDefaults()
+	var interval uint64
+	switch {
+	case cfg.SampleRate >= 1:
+		interval = 1
+	case cfg.SampleRate > 0:
+		interval = uint64(1/cfg.SampleRate + 0.5)
+		if interval == 0 {
+			interval = 1
+		}
+	}
+	return &TracePipeline{
+		cfg:      cfg,
+		interval: interval,
+		traces:   newRing[TraceData](cfg.BufferSize),
+		slow:     newRing[SlowQuery](cfg.SlowLogSize),
+	}
+}
+
+// Config returns the pipeline's effective configuration.
+func (p *TracePipeline) Config() TraceConfig {
+	if p == nil {
+		return TraceConfig{}
+	}
+	return p.cfg
+}
+
+// headSample is the deterministic 1-in-N sampler.
+func (p *TracePipeline) headSample() bool {
+	if p.interval == 0 {
+		return false
+	}
+	if p.interval == 1 {
+		return true
+	}
+	return p.tick.Add(1)%p.interval == 0
+}
+
+// trace is the per-request aggregator shared by a root span and its
+// children. Finished spans append under its mutex — span *collection*
+// is request-scoped and brief; only the cross-request store must be
+// (and is) lock-free.
+type trace struct {
+	p       *TracePipeline
+	id      [TraceIDLen]byte
+	start   time.Time
+	sampled bool
+
+	mu        sync.Mutex
+	spans     []SpanData
+	dropped   int
+	finalized bool
+}
+
+// Span is one in-flight span. A Span's mutating methods must be
+// called from one goroutine (the one running its stage); distinct
+// spans of one trace may run and End concurrently. A nil *Span
+// no-ops everywhere.
+type Span struct {
+	t      *trace
+	sc     SpanContext
+	parent [SpanIDLen]byte
+	name   string
+	start  time.Time
+	attrs  map[string]any
+	errMsg string
+	root   bool
+	status int
+	ended  bool
+	kept   bool
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying s.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartRoot opens the root span of a new trace named name. inbound is
+// the parsed traceparent of the caller (zero value when absent): its
+// trace ID is adopted and its sampled flag forces head sampling, so a
+// client can guarantee its own request is retained. The root decides
+// whether the trace records at all: when neither sampling nor the
+// slow/error tail rules could possibly retain it, StartRoot returns
+// (ctx, nil) and the request runs with zero tracing work.
+func (p *TracePipeline) StartRoot(ctx context.Context, name string, inbound SpanContext) (context.Context, *Span) {
+	if p == nil {
+		return ctx, nil
+	}
+	sampled := inbound.Sampled || p.headSample()
+	// With no head sample and no slow tail rule, only an error could
+	// retain the trace — not worth recording every request for; skip.
+	if !sampled && p.cfg.SlowThreshold <= 0 {
+		return ctx, nil
+	}
+	t := &trace{p: p, start: time.Now(), sampled: sampled}
+	if inbound.Valid() {
+		t.id = inbound.TraceID
+	} else {
+		t.id = newTraceID()
+	}
+	s := &Span{
+		t:     t,
+		sc:    SpanContext{TraceID: t.id, SpanID: newSpanID(), Sampled: sampled},
+		name:  name,
+		start: t.start,
+		root:  true,
+	}
+	if inbound.Valid() {
+		s.parent = inbound.SpanID
+	}
+	p.rootsStarted.Add(1)
+	p.activeSpans.Add(1)
+	return ContextWithSpan(ctx, s), s
+}
+
+// StartSpan opens a child span of the span carried by ctx. When ctx
+// carries none (tracing off, or the request was not selected), it
+// returns (ctx, nil) — the nil Span no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		t:      parent.t,
+		sc:     SpanContext{TraceID: parent.sc.TraceID, SpanID: newSpanID(), Sampled: parent.sc.Sampled},
+		parent: parent.sc.SpanID,
+		name:   name,
+		start:  time.Now(),
+	}
+	s.t.p.activeSpans.Add(1)
+	return ContextWithSpan(ctx, s), s
+}
+
+// Context returns the span's SpanContext (zero for nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// TraceID returns the trace's hex ID ("" for nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.sc.TraceIDString()
+}
+
+// Sampled reports whether the trace was head-sampled — the signal the
+// serving layer uses to pay for deeper (per-event) instrumentation.
+func (s *Span) Sampled() bool { return s != nil && s.sc.Sampled }
+
+// SetAttr records a key/value attribute on the span.
+func (s *Span) SetAttr(key string, v any) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = v
+}
+
+// SetError marks the span failed; a failed root retains the trace
+// under the error tail rule.
+func (s *Span) SetError(msg string) {
+	if s == nil {
+		return
+	}
+	s.errMsg = msg
+}
+
+// SetStatus records the HTTP status on a root span; >= 500 counts as
+// an error for the tail rules.
+func (s *Span) SetStatus(code int) {
+	if s == nil {
+		return
+	}
+	s.status = code
+}
+
+// Kept reports — valid on a root span after End — whether the trace
+// was retained by any rule. The middleware uses it to only attach
+// exemplars that reference a trace /v1/traces can actually serve.
+func (s *Span) Kept() bool { return s != nil && s.kept }
+
+// End finishes the span. Ending a root finalizes the whole trace:
+// retention is decided, and the trace is pushed to the store (and the
+// slow-query log, when applicable). End is idempotent.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	now := time.Now()
+	t := s.t
+	t.p.activeSpans.Add(-1)
+	data := SpanData{
+		SpanID:     s.sc.SpanIDString(),
+		Name:       s.name,
+		OffsetMs:   float64(s.start.Sub(t.start)) / float64(time.Millisecond),
+		DurationMs: float64(now.Sub(s.start)) / float64(time.Millisecond),
+		Attrs:      s.attrs,
+		Error:      s.errMsg,
+	}
+	if s.parent != [SpanIDLen]byte{} {
+		data.ParentID = hex.EncodeToString(s.parent[:])
+	}
+	if s.root {
+		t.p.rootsEnded.Add(1)
+		t.finalize(s, data, now)
+		return
+	}
+	t.mu.Lock()
+	if t.finalized || len(t.spans) >= t.p.cfg.MaxSpans {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, data)
+	}
+	t.mu.Unlock()
+}
+
+// finalize applies the retention rules and publishes the trace.
+func (t *trace) finalize(root *Span, rootData SpanData, now time.Time) {
+	p := t.p
+	dur := now.Sub(t.start)
+	reason := ""
+	switch {
+	case t.sampled:
+		reason = "sampled"
+		p.keptSampled.Add(1)
+	case root.errMsg != "" || root.status >= 500:
+		reason = "error"
+		p.keptError.Add(1)
+	case p.cfg.SlowThreshold > 0 && dur >= p.cfg.SlowThreshold:
+		reason = "slow"
+		p.keptSlow.Add(1)
+	}
+
+	t.mu.Lock()
+	t.finalized = true
+	children := t.spans
+	t.spans = nil
+	dropped := t.dropped
+	t.mu.Unlock()
+
+	// A reason of "" implies the slow rule did not fire either (the
+	// switch above would have picked it up), so nothing retains this
+	// trace.
+	if reason == "" {
+		p.discarded.Add(1)
+		return
+	}
+	root.kept = true
+	p.traces.put(&TraceData{
+		TraceID:      root.sc.TraceIDString(),
+		Name:         root.name,
+		Start:        t.start,
+		DurationMs:   float64(dur) / float64(time.Millisecond),
+		Status:       root.status,
+		Reason:       reason,
+		DroppedSpans: dropped,
+		Spans:        append([]SpanData{rootData}, children...),
+	})
+
+	slow := p.cfg.SlowThreshold > 0 && dur >= p.cfg.SlowThreshold
+
+	// Slow-query log: any slow root that looks like a query (carries
+	// the expr attribute).
+	if slow {
+		expr, ok := root.attrs[AttrExpr].(string)
+		if !ok {
+			return
+		}
+		sq := &SlowQuery{
+			Time:       t.start,
+			TraceID:    root.sc.TraceIDString(),
+			Route:      root.name,
+			Expr:       expr,
+			Status:     root.status,
+			DurationMs: float64(dur) / float64(time.Millisecond),
+		}
+		sq.Schema, _ = root.attrs[AttrSchema].(string)
+		sq.Shape, _ = root.attrs[AttrShape].(string)
+		sq.Engine, _ = root.attrs[AttrEngine].(string)
+		for _, c := range children {
+			sq.Stages = append(sq.Stages, StageMs{Name: c.Name, DurationMs: c.DurationMs})
+		}
+		p.slow.put(sq)
+		p.slowLogged.Add(1)
+	}
+}
+
+// RecordSynthetic retains a single-span trace for work that was not
+// threaded through a context — a background closure build, say —
+// subject to the same rules as a live root: head sampling, the slow
+// threshold, or a non-empty errMsg.
+func (p *TracePipeline) RecordSynthetic(name string, start time.Time, d time.Duration, attrs map[string]any, errMsg string) string {
+	if p == nil {
+		return ""
+	}
+	p.rootsStarted.Add(1)
+	p.rootsEnded.Add(1)
+	reason := ""
+	switch {
+	case p.headSample():
+		reason = "sampled"
+		p.keptSampled.Add(1)
+	case errMsg != "":
+		reason = "error"
+		p.keptError.Add(1)
+	case p.cfg.SlowThreshold > 0 && d >= p.cfg.SlowThreshold:
+		reason = "slow"
+		p.keptSlow.Add(1)
+	default:
+		p.discarded.Add(1)
+		return ""
+	}
+	id := newTraceID()
+	sc := SpanContext{TraceID: id, SpanID: newSpanID()}
+	td := &TraceData{
+		TraceID:    sc.TraceIDString(),
+		Name:       name,
+		Start:      start,
+		DurationMs: float64(d) / float64(time.Millisecond),
+		Reason:     reason,
+		Spans: []SpanData{{
+			SpanID:     sc.SpanIDString(),
+			Name:       name,
+			DurationMs: float64(d) / float64(time.Millisecond),
+			Attrs:      attrs,
+			Error:      errMsg,
+		}},
+	}
+	p.traces.put(td)
+	return td.TraceID
+}
+
+// Traces returns the retained traces, newest first.
+func (p *TracePipeline) Traces() []*TraceData {
+	if p == nil {
+		return nil
+	}
+	return p.traces.snapshot()
+}
+
+// Trace returns the retained trace with the given hex ID, or nil.
+func (p *TracePipeline) Trace(id string) *TraceData {
+	if p == nil {
+		return nil
+	}
+	for _, t := range p.traces.snapshot() {
+		if t.TraceID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// SlowQueries returns the slow-query log, newest first.
+func (p *TracePipeline) SlowQueries() []*SlowQuery {
+	if p == nil {
+		return nil
+	}
+	return p.slow.snapshot()
+}
+
+// Stats returns the pipeline's accounting snapshot.
+func (p *TracePipeline) Stats() TraceStats {
+	if p == nil {
+		return TraceStats{}
+	}
+	return TraceStats{
+		RootsStarted: p.rootsStarted.Load(),
+		RootsEnded:   p.rootsEnded.Load(),
+		KeptSampled:  p.keptSampled.Load(),
+		KeptSlow:     p.keptSlow.Load(),
+		KeptError:    p.keptError.Load(),
+		Discarded:    p.discarded.Load(),
+		SlowLogged:   p.slowLogged.Load(),
+		ActiveSpans:  p.activeSpans.Load(),
+	}
+}

@@ -1,0 +1,448 @@
+package obs
+
+// Span-pipeline tests: traceparent parsing, the deterministic head
+// sampler's accounting, the tail retention rules and their precedence,
+// ring bounds, the per-trace span cap, nil-safety of the whole API,
+// and a -race drill proving the pipeline leaks no spans under
+// concurrent roots, children, and snapshot readers.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{Sampled: true}
+	copy(sc.TraceID[:], []byte("0123456789abcdef"))
+	copy(sc.SpanID[:], []byte("fedcba98"))
+	got, ok := ParseTraceparent(sc.Traceparent())
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected its own output", sc.Traceparent())
+	}
+	if got != sc {
+		t.Errorf("round trip = %+v, want %+v", got, sc)
+	}
+
+	sc.Sampled = false
+	if !strings.HasSuffix(sc.Traceparent(), "-00") {
+		t.Errorf("unsampled flags = %q", sc.Traceparent())
+	}
+	got, ok = ParseTraceparent(sc.Traceparent())
+	if !ok || got.Sampled {
+		t.Errorf("unsampled round trip = %+v ok=%v", got, ok)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if _, ok := ParseTraceparent(valid); !ok {
+		t.Fatalf("reference header rejected: %q", valid)
+	}
+	// Future versions with the same layout are accepted; extra fields
+	// after the flags are tolerated when "-"-separated.
+	for _, s := range []string{
+		strings.Replace(valid, "00-", "01-", 1),
+		valid + "-extrafield",
+	} {
+		if _, ok := ParseTraceparent(s); !ok {
+			t.Errorf("forward-compatible value rejected: %q", s)
+		}
+	}
+	for name, s := range map[string]string{
+		"empty":          "",
+		"short":          "00-abc-def-01",
+		"bad separators": strings.Replace(valid, "-", "_", -1),
+		"version ff":     strings.Replace(valid, "00-", "ff-", 1),
+		"hex version":    strings.Replace(valid, "00-", "0G-", 1),
+		"zero trace id":  "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero span id":   "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"uppercase hex":  strings.ToUpper(valid),
+		"no 4th dash":    valid + "x",
+	} {
+		if sc, ok := ParseTraceparent(s); ok {
+			t.Errorf("%s: accepted %q as %+v", name, s, sc)
+		}
+	}
+}
+
+// TestHeadSamplerDeterministic: at rate 1/4 exactly every 4th root is
+// selected — a burst cannot get lucky and accounting is exact.
+func TestHeadSamplerDeterministic(t *testing.T) {
+	p := NewTracePipeline(TraceConfig{SampleRate: 0.25})
+	kept := 0
+	for i := 0; i < 100; i++ {
+		_, s := p.StartRoot(context.Background(), "GET /x", SpanContext{})
+		if s != nil {
+			kept++
+			s.End()
+		}
+	}
+	if kept != 25 {
+		t.Errorf("sampled %d of 100 at rate 0.25, want exactly 25", kept)
+	}
+	st := p.Stats()
+	if st.RootsStarted != 25 || st.RootsEnded != 25 || st.KeptSampled != 25 {
+		t.Errorf("stats = %+v", st)
+	}
+	// With no slow threshold, unselected requests never become roots at
+	// all — the zero-work fast path.
+	if st.Discarded != 0 || st.ActiveSpans != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestInboundSampledForcesRetention: a client traceparent with the
+// sampled flag guarantees its request is retained under the client's
+// trace ID, with the root parented to the client span.
+func TestInboundSampledForcesRetention(t *testing.T) {
+	p := NewTracePipeline(TraceConfig{}) // zero config: nothing sampled locally
+	inbound, _ := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	ctx, root := p.StartRoot(context.Background(), "POST /v1/complete", inbound)
+	if root == nil {
+		t.Fatal("sampled inbound context did not select the request")
+	}
+	if !root.Sampled() {
+		t.Error("root not sampled")
+	}
+	if root.TraceID() != inbound.TraceIDString() {
+		t.Errorf("trace id = %q, want adopted %q", root.TraceID(), inbound.TraceIDString())
+	}
+	_, child := StartSpan(ctx, "search")
+	child.SetAttr("calls", 7)
+	child.End()
+	root.End()
+	if !root.Kept() {
+		t.Error("root.Kept() = false after sampled End")
+	}
+
+	td := p.Trace(inbound.TraceIDString())
+	if td == nil {
+		t.Fatal("trace not retrievable by the inbound ID")
+	}
+	if td.Reason != "sampled" || len(td.Spans) != 2 {
+		t.Fatalf("trace = %+v", td)
+	}
+	if td.Spans[0].ParentID != inbound.SpanIDString() {
+		t.Errorf("root parent = %q, want inbound span %q", td.Spans[0].ParentID, inbound.SpanIDString())
+	}
+	if td.Spans[1].ParentID != td.Spans[0].SpanID || td.Spans[1].Name != "search" {
+		t.Errorf("child span = %+v", td.Spans[1])
+	}
+	if v, ok := td.Spans[1].Attrs["calls"].(int); !ok || v != 7 {
+		t.Errorf("child attrs = %+v", td.Spans[1].Attrs)
+	}
+}
+
+// TestTailRules: unsampled roots are still retained when slow or
+// failed; plain fast successes are discarded; head sampling takes
+// precedence in the accounting.
+func TestTailRules(t *testing.T) {
+	t.Run("slow", func(t *testing.T) {
+		p := NewTracePipeline(TraceConfig{SlowThreshold: time.Nanosecond})
+		_, root := p.StartRoot(context.Background(), "POST /v1/complete", SpanContext{})
+		if root == nil {
+			t.Fatal("slow threshold set but root not recording")
+		}
+		root.SetAttr(AttrExpr, "ta~name")
+		root.SetAttr(AttrSchema, "university")
+		time.Sleep(time.Millisecond)
+		root.SetStatus(200)
+		root.End()
+		if !root.Kept() {
+			t.Fatal("slow trace not kept")
+		}
+		td := p.Trace(root.TraceID())
+		if td == nil || td.Reason != "slow" {
+			t.Fatalf("trace = %+v", td)
+		}
+		qs := p.SlowQueries()
+		if len(qs) != 1 || qs[0].Expr != "ta~name" || qs[0].Schema != "university" || qs[0].TraceID != root.TraceID() {
+			t.Errorf("slow log = %+v", qs)
+		}
+		if st := p.Stats(); st.KeptSlow != 1 || st.SlowLogged != 1 {
+			t.Errorf("stats = %+v", st)
+		}
+	})
+
+	t.Run("error status", func(t *testing.T) {
+		p := NewTracePipeline(TraceConfig{SlowThreshold: time.Hour})
+		_, root := p.StartRoot(context.Background(), "POST /v1/complete", SpanContext{})
+		root.SetStatus(503)
+		root.End()
+		td := p.Trace(root.TraceID())
+		if td == nil || td.Reason != "error" || td.Status != 503 {
+			t.Fatalf("trace = %+v", td)
+		}
+	})
+
+	t.Run("explicit error", func(t *testing.T) {
+		p := NewTracePipeline(TraceConfig{SlowThreshold: time.Hour})
+		_, root := p.StartRoot(context.Background(), "warm", SpanContext{})
+		root.SetError("boom")
+		root.End()
+		td := p.Trace(root.TraceID())
+		if td == nil || td.Reason != "error" || td.Spans[0].Error != "boom" {
+			t.Fatalf("trace = %+v", td)
+		}
+	})
+
+	t.Run("fast success discarded", func(t *testing.T) {
+		p := NewTracePipeline(TraceConfig{SlowThreshold: time.Hour})
+		_, root := p.StartRoot(context.Background(), "GET /healthz", SpanContext{})
+		root.SetStatus(200)
+		root.End()
+		if root.Kept() {
+			t.Error("fast success kept")
+		}
+		if len(p.Traces()) != 0 {
+			t.Errorf("traces = %+v", p.Traces())
+		}
+		if st := p.Stats(); st.Discarded != 1 {
+			t.Errorf("stats = %+v", st)
+		}
+	})
+
+	t.Run("sampled wins the accounting over slow", func(t *testing.T) {
+		p := NewTracePipeline(TraceConfig{SampleRate: 1, SlowThreshold: time.Nanosecond})
+		_, root := p.StartRoot(context.Background(), "POST /v1/complete", SpanContext{})
+		root.SetAttr(AttrExpr, "ta~name")
+		time.Sleep(time.Millisecond)
+		root.End()
+		st := p.Stats()
+		if st.KeptSampled != 1 || st.KeptSlow != 0 {
+			t.Errorf("stats = %+v", st)
+		}
+		// The slow-query log still gets its entry: the two concerns are
+		// independent.
+		if st.SlowLogged != 1 {
+			t.Errorf("slow not logged: %+v", st)
+		}
+	})
+}
+
+// TestRingBounds: the retained-trace ring keeps exactly the newest
+// BufferSize traces, newest first.
+func TestRingBounds(t *testing.T) {
+	p := NewTracePipeline(TraceConfig{SampleRate: 1, BufferSize: 4})
+	var last string
+	for i := 0; i < 10; i++ {
+		_, root := p.StartRoot(context.Background(), "GET /x", SpanContext{})
+		root.End()
+		last = root.TraceID()
+	}
+	ts := p.Traces()
+	if len(ts) != 4 {
+		t.Fatalf("retained %d traces with BufferSize 4", len(ts))
+	}
+	if ts[0].TraceID != last {
+		t.Errorf("snapshot not newest-first: head = %s, want %s", ts[0].TraceID, last)
+	}
+	if st := p.Stats(); st.KeptSampled != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestMaxSpansCap: children beyond MaxSpans are dropped and counted,
+// never silently lost.
+func TestMaxSpansCap(t *testing.T) {
+	p := NewTracePipeline(TraceConfig{SampleRate: 1, MaxSpans: 2})
+	ctx, root := p.StartRoot(context.Background(), "GET /x", SpanContext{})
+	for i := 0; i < 5; i++ {
+		_, c := StartSpan(ctx, "stage")
+		c.End()
+	}
+	root.End()
+	td := p.Trace(root.TraceID())
+	if td == nil {
+		t.Fatal("trace lost")
+	}
+	if len(td.Spans) != 3 { // root + 2 children
+		t.Errorf("spans = %d, want 3", len(td.Spans))
+	}
+	if td.DroppedSpans != 3 {
+		t.Errorf("droppedSpans = %d, want 3", td.DroppedSpans)
+	}
+	if st := p.Stats(); st.ActiveSpans != 0 {
+		t.Errorf("active spans leaked: %+v", st)
+	}
+}
+
+// TestRecordSynthetic covers the background-build path: sampled,
+// error, and discarded outcomes.
+func TestRecordSynthetic(t *testing.T) {
+	p := NewTracePipeline(TraceConfig{SampleRate: 1})
+	id := p.RecordSynthetic("closure.build", time.Now(), 5*time.Millisecond,
+		map[string]any{AttrSchema: "university", "outcome": "ready"}, "")
+	if id == "" {
+		t.Fatal("sampled synthetic trace not retained")
+	}
+	td := p.Trace(id)
+	if td == nil || td.Name != "closure.build" || len(td.Spans) != 1 {
+		t.Fatalf("trace = %+v", td)
+	}
+	if td.Spans[0].Attrs[AttrSchema] != "university" {
+		t.Errorf("attrs = %+v", td.Spans[0].Attrs)
+	}
+
+	p2 := NewTracePipeline(TraceConfig{})
+	if id := p2.RecordSynthetic("closure.build", time.Now(), 0, nil, "build failed"); id == "" {
+		t.Error("failed build not retained under the error rule")
+	} else if td := p2.Trace(id); td == nil || td.Reason != "error" {
+		t.Errorf("trace = %+v", td)
+	}
+	if id := p2.RecordSynthetic("closure.build", time.Now(), 0, nil, ""); id != "" {
+		t.Errorf("unremarkable build retained: %s", id)
+	}
+	if st := p2.Stats(); st.KeptError != 1 || st.Discarded != 1 || st.RootsStarted != 2 || st.RootsEnded != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestNilSafety: every entry point must no-op on nil receivers and
+// span-less contexts — this is the disabled fast path.
+func TestNilSafety(t *testing.T) {
+	var p *TracePipeline
+	ctx, root := p.StartRoot(context.Background(), "GET /x", SpanContext{Sampled: true})
+	if root != nil {
+		t.Fatal("nil pipeline produced a span")
+	}
+	if s := SpanFromContext(ctx); s != nil {
+		t.Fatal("nil pipeline stored a span in ctx")
+	}
+	_, child := StartSpan(ctx, "stage")
+	if child != nil {
+		t.Fatal("span-less ctx produced a child")
+	}
+	// All nil-span methods must be callable.
+	child.SetAttr("k", "v")
+	child.SetError("e")
+	child.SetStatus(500)
+	child.End()
+	if child.TraceID() != "" || child.Sampled() || child.Kept() || child.Context().Valid() {
+		t.Error("nil span accessors not zero-valued")
+	}
+	if p.Traces() != nil || p.SlowQueries() != nil || p.Trace("x") != nil {
+		t.Error("nil pipeline snapshots not nil")
+	}
+	if st := p.Stats(); st != (TraceStats{}) {
+		t.Errorf("nil stats = %+v", st)
+	}
+	if id := p.RecordSynthetic("x", time.Now(), 0, nil, "err"); id != "" {
+		t.Errorf("nil RecordSynthetic = %q", id)
+	}
+	if cfg := p.Config(); cfg != (TraceConfig{}) {
+		t.Errorf("nil config = %+v", cfg)
+	}
+}
+
+// TestEndIdempotent: a double End must not double-count.
+func TestEndIdempotent(t *testing.T) {
+	p := NewTracePipeline(TraceConfig{SampleRate: 1})
+	_, root := p.StartRoot(context.Background(), "GET /x", SpanContext{})
+	root.End()
+	root.End()
+	if st := p.Stats(); st.RootsEnded != 1 || st.ActiveSpans != 0 || st.KeptSampled != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestPipelineConcurrency is the leak drill: many goroutines running
+// full root+children traces against a small ring while readers
+// snapshot concurrently. Under -race this also proves the lock-free
+// store. Afterwards the books must balance exactly.
+func TestPipelineConcurrency(t *testing.T) {
+	p := NewTracePipeline(TraceConfig{SampleRate: 0.5, SlowThreshold: time.Hour, BufferSize: 8, MaxSpans: 4})
+	const workers, perWorker = 8, 200
+
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent snapshot reader
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.Traces()
+				p.SlowQueries()
+				p.Stats()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx, root := p.StartRoot(context.Background(), "GET /x", SpanContext{})
+				if root == nil {
+					t.Error("slow threshold set but root not recording")
+					return
+				}
+				for c := 0; c < 6; c++ { // deliberately over MaxSpans
+					_, s := StartSpan(ctx, "stage")
+					s.SetAttr("i", c)
+					s.End()
+				}
+				if w == 0 && i%3 == 0 {
+					root.SetStatus(500)
+				} else {
+					root.SetStatus(200)
+				}
+				root.End()
+			}
+		}(w)
+	}
+	wgDone := make(chan struct{})
+	go func() { wg.Wait(); close(wgDone) }()
+	select {
+	case <-wgDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrency drill did not finish")
+	}
+	close(stop)
+	<-readerDone
+
+	st := p.Stats()
+	total := uint64(workers * perWorker)
+	if st.RootsStarted != total || st.RootsEnded != total {
+		t.Errorf("roots = %d started / %d ended, want %d", st.RootsStarted, st.RootsEnded, total)
+	}
+	if got := st.KeptSampled + st.KeptSlow + st.KeptError + st.Discarded; got != total {
+		t.Errorf("retention accounting = %d (%+v), want %d", got, st, total)
+	}
+	if st.ActiveSpans != 0 {
+		t.Errorf("leaked %d active spans", st.ActiveSpans)
+	}
+	if len(p.Traces()) > 8 {
+		t.Errorf("ring over bound: %d", len(p.Traces()))
+	}
+}
+
+// TestNormalizeRouteTemplates pins the route-template rules the /v1
+// surface depends on for metric cardinality.
+func TestNormalizeRouteTemplates(t *testing.T) {
+	routes := []string{
+		"/v1/schemas", "/v1/schemas/{name}", "/v1/schemas/reload",
+		"/v1/traces", "/v1/traces/{id}", "/debug/",
+	}
+	for path, want := range map[string]string{
+		"/v1/schemas":            "/v1/schemas",
+		"/v1/schemas/university": "/v1/schemas/{name}",
+		"/v1/schemas/reload":     "/v1/schemas/reload", // exact beats the template
+		"/v1/traces/abc123":      "/v1/traces/{id}",
+		"/v1/traces":             "/v1/traces",
+		"/v1/schemas/a/b":        "other", // template is one segment only
+		"/v1/schemas/":           "other", // template segment must be non-empty
+		"/debug/pprof/heap":      "/debug/",
+		"/nope":                  "other",
+	} {
+		if got := NormalizeRoute(routes, path); got != want {
+			t.Errorf("NormalizeRoute(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"pathcomplete/internal/closure"
 	"pathcomplete/internal/core"
+	"pathcomplete/internal/obs"
 	"pathcomplete/internal/pathexpr"
 	"pathcomplete/internal/registry"
 )
@@ -45,13 +46,22 @@ type closureObserver struct{ sv *Server }
 
 func (o closureObserver) ClosureBuildStarted(string) {}
 
-func (o closureObserver) ClosureBuildFinished(schema, outcome string, elapsed time.Duration, _ int64) {
+func (o closureObserver) ClosureBuildFinished(schema, outcome string, elapsed time.Duration, bytes int64) {
 	m := o.sv.met
 	m.closureBuilds.With(outcome).Inc()
 	m.closureBuildSeconds.Observe(elapsed.Seconds())
 	if b := o.sv.reg.ClosureBuilder(); b != nil {
 		m.closureBytes.Set(b.Budget().Used())
 	}
+	// Background warm builds have no request context to thread a span
+	// through; synthesize a single-span trace subject to the same
+	// sampling and slow/error tail rules as a live request.
+	errMsg := ""
+	if outcome == "error" {
+		errMsg = "closure build failed"
+	}
+	o.sv.traceP.RecordSynthetic("closure.build", time.Now().Add(-elapsed), elapsed,
+		map[string]any{obs.AttrSchema: schema, "outcome": outcome, "bytes": bytes}, errMsg)
 }
 
 // closureEligible reports whether the request may be answered from

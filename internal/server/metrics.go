@@ -161,7 +161,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 func (m *metrics) schemaLabel(name string) string { return m.schemaLG.Bound(name) }
 
 // observeSearch folds one completed search into the aggregates.
-func (m *metrics) observeSearch(res *core.Result, elapsed time.Duration) {
+// traceID, when non-empty, annotates the latency histogram bucket
+// with an OpenMetrics exemplar referencing the retained trace.
+func (m *metrics) observeSearch(res *core.Result, elapsed time.Duration, traceID string) {
 	m.searches.Inc()
 	m.searchCalls.Add(uint64(res.Stats.Calls))
 	m.searchOffers.Add(uint64(res.Stats.Offers))
@@ -175,5 +177,5 @@ func (m *metrics) observeSearch(res *core.Result, elapsed time.Duration) {
 	if res.Truncated {
 		m.truncated.Inc()
 	}
-	m.searchSeconds.Observe(elapsed.Seconds())
+	m.searchSeconds.ObserveExemplar(elapsed.Seconds(), traceID)
 }

@@ -52,6 +52,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
@@ -75,7 +76,8 @@ var Routes = []string{
 	"/healthz", "/schema", "/schemas", "/schemas/reload", "/stats",
 	"/metrics", "/buildinfo", "/complete", "/completeBatch", "/evaluate",
 	"/v1/complete", "/v1/completeBatch", "/v1/evaluate",
-	"/v1/schemas", "/v1/schemas/", "/v1/schemas/reload",
+	"/v1/schemas", "/v1/schemas/{name}", "/v1/schemas/reload",
+	"/v1/traces", "/v1/traces/{id}", "/v1/queries/slow",
 	"/debug/pprof/",
 }
 
@@ -89,6 +91,7 @@ type Server struct {
 	metReg *obs.Registry
 	met    *metrics
 	httpM  *obs.HTTPMetrics
+	traceP *obs.TracePipeline
 	logger *slog.Logger // set by HandlerWith before serving
 
 	lim     Limits
@@ -131,13 +134,35 @@ func NewFromRegistry(reg *registry.Registry) *Server {
 		gate:    newGate(lim.MaxConcurrent, lim.MaxQueue),
 		flights: newFlightGroup(),
 		cache:   newShardedCache(DefaultCacheCap, DefaultCacheBudget),
+		// The default pipeline head-samples nothing and has no slow
+		// threshold, so only a client that forces sampling (traceparent
+		// with the sampled flag) pays for span recording; SetTracing
+		// turns the knobs up.
+		traceP: obs.NewTracePipeline(obs.TraceConfig{}),
 	}
+	sv.httpM.SetTracing(sv.traceP)
+	obs.RegisterRuntimeMetrics(metReg)
+	poolServed := metReg.Gauge("pathcomplete_engine_pool_served_total",
+		"Search engine checkouts served from the sync.Pool rather than freshly allocated.")
+	metReg.OnScrape(func() { poolServed.Set(int64(core.EnginePoolServed())) })
 	reg.OnRetire(func(*registry.Snapshot) {
 		sv.met.snapshotsLive.Set(int64(reg.Live()))
 	})
 	sv.syncSchemaGauges()
 	return sv
 }
+
+// SetTracing replaces the server's span pipeline with one built from
+// cfg — how pathserve's -trace-sample, -slow-threshold, and
+// -span-buffer flags take effect. Call before serving traffic.
+func (sv *Server) SetTracing(cfg obs.TraceConfig) {
+	sv.traceP = obs.NewTracePipeline(cfg)
+	sv.httpM.SetTracing(sv.traceP)
+}
+
+// Tracing returns the server's span pipeline (what /v1/traces and
+// /v1/queries/slow serve).
+func (sv *Server) Tracing() *obs.TracePipeline { return sv.traceP }
 
 // SchemaRegistry returns the schema registry the server serves.
 func (sv *Server) SchemaRegistry() *registry.Registry { return sv.reg }
@@ -260,6 +285,9 @@ func (sv *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("GET /v1/schemas", sv.handleSchemas)
 	mux.HandleFunc("GET /v1/schemas/{name}", sv.handleSchemaByName)
 	mux.HandleFunc("POST /v1/schemas/reload", sv.handleReload)
+	mux.HandleFunc("GET /v1/traces", sv.handleTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", sv.handleTraceByID)
+	mux.HandleFunc("GET /v1/queries/slow", sv.handleSlowQueries)
 	if cfg.PProf {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -345,7 +373,13 @@ func (sv *Server) recoverPanics(next http.Handler) http.Handler {
 // On failure it answers 404 itself and returns ok=false. On success
 // the caller must call Release exactly once.
 func (sv *Server) acquireSnapshot(w http.ResponseWriter, r *http.Request) (*registry.Snapshot, bool) {
-	return sv.resolveSchema(w, r, r.URL.Query().Get("schema"))
+	_, span := obs.StartSpan(r.Context(), "snapshot")
+	sn, ok := sv.resolveSchema(w, r, r.URL.Query().Get("schema"))
+	if !ok {
+		span.SetError("schema resolution failed")
+	}
+	span.End()
+	return sn, ok
 }
 
 func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -594,6 +628,14 @@ func (sv *Server) complete(ctx context.Context, sn *registry.Snapshot, req Compl
 	if err != nil {
 		return completed{}, http.StatusBadRequest, err
 	}
+	// Stamp the query attributes on the nearest span (the request root,
+	// or the per-item span of a batch): these are what the slow-query
+	// log keys its entries on.
+	if s := obs.SpanFromContext(ctx); s != nil {
+		s.SetAttr(obs.AttrExpr, e.String())
+		s.SetAttr(obs.AttrShape, exprShape(e))
+		s.SetAttr(obs.AttrSchema, sn.Name())
+	}
 	opts := sv.opts
 	if req.E > 0 {
 		opts.E = req.E
@@ -617,7 +659,11 @@ func (sv *Server) complete(ctx context.Context, sn *registry.Snapshot, req Compl
 	// before the memo cache is even consulted: the lookup is one map
 	// probe on an immutable index, with no lock and no LRU bookkeeping.
 	if sv.closureEligible(req, opts) {
-		if res, hit, eligible := sv.closureLookup(sn, e); eligible {
+		_, cs := obs.StartSpan(ctx, "closure")
+		res, hit, eligible := sv.closureLookup(sn, e)
+		cs.SetAttr("hit", hit)
+		cs.End()
+		if eligible {
 			if hit {
 				sv.met.closureHits.Inc()
 				return completed{res: res, expr: e, engine: engineClosure}, http.StatusOK, nil
@@ -629,9 +675,12 @@ func (sv *Server) complete(ctx context.Context, sn *registry.Snapshot, req Compl
 	} else {
 		sv.met.closureFallbacks.Inc()
 	}
+	_, gs := obs.StartSpan(ctx, "cache")
 	sv.mu.Lock()
 	res, ok := sv.cache.get(key)
 	sv.mu.Unlock()
+	gs.SetAttr("hit", ok)
+	gs.End()
 	if ok {
 		sv.met.cacheHits.Inc()
 		sv.met.schemaCacheHits.With(label).Inc()
@@ -645,9 +694,12 @@ func (sv *Server) complete(ctx context.Context, sn *registry.Snapshot, req Compl
 	// Collapse a stampede of identical cold requests into one search.
 	// The key carries the snapshot generation, so a query admitted
 	// after a reload can never share a pre-reload leader's answer.
+	sfCtx, sf := obs.StartSpan(ctx, "singleflight")
 	c, status, err, shared := sv.flights.do(ctx, key, func() (completed, int, error) {
-		return sv.search(ctx, sn, e, opts, nil, key)
+		return sv.search(sfCtx, sn, e, opts, nil, key)
 	})
+	sf.SetAttr("shared", shared)
+	sf.End()
 	if shared {
 		if err != nil && status == 0 {
 			// Our own context ended while waiting on the leader.
@@ -672,15 +724,45 @@ func (sv *Server) complete(ctx context.Context, sn *registry.Snapshot, req Compl
 // requests build a throwaway Completer with the adjusted options.
 func (sv *Server) search(ctx context.Context, sn *registry.Snapshot, e pathexpr.Expr, opts core.Options, rec *core.TraceRecorder, key cacheKey) (completed, int, error) {
 	start := time.Now()
+	sctx, span := obs.StartSpan(ctx, "search")
+	// A head-sampled trace pays for per-event counts: bridge the kernel's
+	// Tracer hooks into the span via a CountingTracer. Unsampled (tail-
+	// rule-only) and untraced requests keep Options.Tracer nil, so the
+	// kernel's nil-fast-path overhead pin holds on the default path.
+	var ct *core.CountingTracer
+	if span.Sampled() && rec == nil {
+		ct = &core.CountingTracer{}
+		opts.Tracer = ct
+	}
 	cmp := sn.Completer()
-	if rec != nil || opts.E != sv.opts.E {
+	if rec != nil || ct != nil || opts.E != sv.opts.E {
 		cmp = core.New(sn.Schema(), opts)
 	}
-	res, err := cmp.CompleteContext(ctx, e)
+	res, err := cmp.CompleteContext(sctx, e)
 	if err != nil {
+		span.SetError(err.Error())
+		span.End()
 		return completed{}, http.StatusUnprocessableEntity, err
 	}
-	sv.met.observeSearch(res, time.Since(start))
+	elapsed := time.Since(start)
+	span.SetAttr("calls", res.Stats.Calls)
+	span.SetAttr("offers", res.Stats.Offers)
+	span.SetAttr("pruned", res.Stats.PrunedBestT+res.Stats.PrunedBestU)
+	if ct != nil {
+		span.SetAttr("events.enter", ct.Enters)
+		span.SetAttr("events.prune", ct.Prunes)
+		span.SetAttr("events.offer", ct.Offers)
+		span.SetAttr("events.preempt", ct.Preempts)
+	}
+	span.End()
+	// Exemplar only for head-sampled traces: sampling guarantees
+	// retention, so the /metrics annotation always resolves on
+	// /v1/traces/{id}.
+	exID := ""
+	if span.Sampled() {
+		exID = span.TraceID()
+	}
+	sv.met.observeSearch(res, elapsed, exID)
 	sv.met.schemaSearches.With(sv.met.schemaLabel(sn.Name())).Inc()
 	switch res.StopReason {
 	case core.StopDeadline:
@@ -706,7 +788,13 @@ func (sv *Server) search(ctx context.Context, sn *registry.Snapshot, e pathexpr.
 // shed (429 + Retry-After) and queue-timeout (503) cases itself. On
 // ok the caller must call release exactly once.
 func (sv *Server) admit(w http.ResponseWriter, r *http.Request, ctx context.Context) (release func(), ok bool) {
-	switch sv.gate.acquire(ctx) {
+	_, span := obs.StartSpan(ctx, "admit")
+	outcome := sv.gate.acquire(ctx)
+	if outcome != admitOK {
+		span.SetError("not admitted")
+	}
+	span.End()
+	switch outcome {
 	case admitOK:
 		sv.met.inflight.Inc()
 		return func() {
@@ -804,9 +892,11 @@ func (sv *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	c, status, err := sv.complete(ctx, sn, req)
 	if err != nil {
+		obs.SpanFromContext(r.Context()).SetError(err.Error())
 		sv.jsonError(w, r, status, err.Error())
 		return
 	}
+	obs.SpanFromContext(r.Context()).SetAttr(obs.AttrEngine, c.engine)
 	sv.respond(w, r, http.StatusOK, sv.completeResponse(sn, c), completeMeta(sn, c))
 }
 
@@ -887,6 +977,9 @@ func (sv *Server) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
 	if workers > len(req.Queries) {
 		workers = len(req.Queries)
 	}
+	bctx, bspan := obs.StartSpan(ctx, "fanout")
+	bspan.SetAttr("queries", len(req.Queries))
+	bspan.SetAttr("workers", workers)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for wk := 0; wk < workers; wk++ {
@@ -894,7 +987,7 @@ func (sv *Server) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out.Results[i] = sv.batchOne(ctx, sn, req.Queries[i])
+				out.Results[i] = sv.batchOne(bctx, sn, req.Queries[i])
 			}
 		}()
 	}
@@ -903,6 +996,7 @@ func (sv *Server) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	close(next)
 	wg.Wait()
+	bspan.End()
 	sv.respond(w, r, http.StatusOK, out, &Meta{Schema: sn.Name(), Generation: sn.Generation()})
 }
 
@@ -918,6 +1012,10 @@ func (sv *Server) batchOne(ctx context.Context, sn *registry.Snapshot, q Complet
 	if err := sv.validateComplete(&q); err != nil {
 		return BatchItem{Error: err.Error()}
 	}
+	// One span per batch element, owned by the worker goroutine running
+	// it (distinct spans of one trace may run concurrently).
+	ctx, span := obs.StartSpan(ctx, "batch.item")
+	defer span.End()
 	qctx := ctx
 	if q.TimeoutMs > 0 {
 		if d := sv.effectiveTimeout(q.TimeoutMs); d > 0 {
@@ -928,8 +1026,10 @@ func (sv *Server) batchOne(ctx context.Context, sn *registry.Snapshot, q Complet
 	}
 	c, _, err := sv.complete(qctx, sn, q)
 	if err != nil {
+		span.SetError(err.Error())
 		return BatchItem{Error: err.Error()}
 	}
+	span.SetAttr(obs.AttrEngine, c.engine)
 	return BatchItem{CompleteResponse: sv.completeResponse(sn, c)}
 }
 
@@ -995,8 +1095,15 @@ func (sv *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		approve := req.Approve
 		chooser = func([]core.Completion) []int { return approve }
 	}
+	if s := obs.SpanFromContext(r.Context()); s != nil {
+		s.SetAttr(obs.AttrExpr, req.Expr)
+		s.SetAttr(obs.AttrSchema, sn.Name())
+		s.SetAttr(obs.AttrEngine, engineSearch)
+	}
+	_, espan := obs.StartSpan(ctx, "evaluate")
 	in := fox.New(sn.Store(), opts, chooser)
 	ans, err := in.Query(req.Expr)
+	espan.End()
 	if err != nil {
 		sv.jsonError(w, r, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -1013,6 +1120,24 @@ func (sv *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	sv.respond(w, r, http.StatusOK, out,
 		&Meta{Schema: sn.Name(), Generation: sn.Generation(), Engine: engineSearch})
+}
+
+// exprShape renders an expression with every identifier replaced by
+// "_" — "ta~name" becomes "_~_" — the name-free pattern shape the
+// slow-query log reports, so slow entries group by structure (gap
+// count, connectors) rather than by specific class names.
+func exprShape(e pathexpr.Expr) string {
+	var sb strings.Builder
+	sb.WriteByte('_')
+	for _, st := range e.Steps {
+		if st.Gap {
+			sb.WriteByte('~')
+		} else {
+			sb.WriteString(st.Conn.String())
+		}
+		sb.WriteByte('_')
+	}
+	return sb.String()
 }
 
 // decodeStatus maps a request-body decode error to its status: 413 for
@@ -1055,7 +1180,10 @@ func (sv *Server) jsonError(w http.ResponseWriter, r *http.Request, status int, 
 	if isV1(r) {
 		sv.writeJSON(w, r, status, Envelope{
 			Error: &APIError{Code: errCode(status), Message: msg},
-			Meta:  &Meta{DurationMs: float64(sinceStart(r)) / float64(time.Millisecond)},
+			Meta: &Meta{
+				TraceID:    obs.SpanFromContext(r.Context()).TraceID(),
+				DurationMs: float64(sinceStart(r)) / float64(time.Millisecond),
+			},
 		})
 		return
 	}

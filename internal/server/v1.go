@@ -41,15 +41,18 @@ var V1Paths = []string{
 	"/v1/complete",
 	"/v1/completeBatch",
 	"/v1/evaluate",
+	"/v1/queries/slow",
 	"/v1/schemas",
 	"/v1/schemas/{name}",
 	"/v1/schemas/reload",
+	"/v1/traces",
+	"/v1/traces/{id}",
 }
 
 // APIError is the machine-readable error object of a v1 envelope.
 type APIError struct {
-	// Code is one of "bad_request", "unknown_schema", "deadline",
-	// "overloaded", "internal".
+	// Code is one of "bad_request", "unknown_schema", "not_found",
+	// "deadline", "overloaded", "internal".
 	Code    string `json:"code"`
 	Message string `json:"message"`
 }
@@ -58,6 +61,7 @@ type APIError struct {
 const (
 	CodeBadRequest    = "bad_request"
 	CodeUnknownSchema = "unknown_schema"
+	CodeNotFound      = "not_found"
 	CodeDeadline      = "deadline"
 	CodeOverloaded    = "overloaded"
 	CodeInternal      = "internal"
@@ -74,6 +78,10 @@ type Meta struct {
 	Engine string `json:"engine,omitempty"`
 	// CacheHit reports a memo-cache hit.
 	CacheHit bool `json:"cacheHit,omitempty"`
+	// TraceID is the hex trace ID of this request when it is being
+	// recorded by the span pipeline — the key for /v1/traces/{id} and
+	// the /metrics exemplars. Absent when the request was not selected.
+	TraceID string `json:"traceId,omitempty"`
 	// DurationMs is the server-side wall clock of the request.
 	DurationMs float64 `json:"durationMs"`
 }
@@ -135,6 +143,7 @@ func (sv *Server) respond(w http.ResponseWriter, r *http.Request, status int, da
 	if meta == nil {
 		meta = &Meta{}
 	}
+	meta.TraceID = obs.SpanFromContext(r.Context()).TraceID()
 	meta.DurationMs = float64(sinceStart(r)) / float64(time.Millisecond)
 	sv.writeJSON(w, r, status, Envelope{Data: data, Meta: meta})
 }
