@@ -52,6 +52,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -105,6 +106,7 @@ type config struct {
 	traceSample   float64       // head-sampling rate in [0, 1]
 	slowThreshold time.Duration // retain+log any request at least this slow (0: off)
 	spanBuffer    int           // retained-trace ring size (0: server default)
+	inboundLimit  float64       // client-forced samples/sec (0: unlimited; <0: ignore the flag)
 }
 
 func parseFlags(args []string) (config, error) {
@@ -135,6 +137,7 @@ func parseFlags(args []string) (config, error) {
 	fs.Float64Var(&cfg.traceSample, "trace-sample", 0, "head-sample this fraction of requests into /v1/traces (0: only client-forced and tail-rule traces; 1: every request)")
 	fs.DurationVar(&cfg.slowThreshold, "slow-threshold", 0, "retain any request at least this slow in /v1/traces and log it at /v1/queries/slow regardless of sampling (0: off)")
 	fs.IntVar(&cfg.spanBuffer, "span-buffer", 0, "retained-trace ring size (0: default "+fmt.Sprint(obs.DefaultTraceBuffer)+")")
+	fs.Float64Var(&cfg.inboundLimit, "trace-inbound-limit", 0, "max client-forced samples per second honored from inbound traceparent sampled flags (0: unlimited; negative: ignore the flag entirely) — set on untrusted networks so clients cannot flush the trace ring")
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
 	}
@@ -215,6 +218,9 @@ func (cfg config) validate() error {
 	}
 	if cfg.spanBuffer < 0 {
 		return fmt.Errorf("-span-buffer must be >= 0, got %d", cfg.spanBuffer)
+	}
+	if math.IsNaN(cfg.inboundLimit) || math.IsInf(cfg.inboundLimit, 0) {
+		return fmt.Errorf("-trace-inbound-limit must be finite, got %v", cfg.inboundLimit)
 	}
 	return nil
 }
@@ -470,12 +476,13 @@ func build(cfg config) (*server.Server, *schema.Schema, error) {
 // flag departs from the defaults; the server's zero-config pipeline
 // (client-forced sampling only) is kept otherwise.
 func (cfg config) applyTracing(sv *server.Server) {
-	if cfg.traceSample == 0 && cfg.slowThreshold == 0 && cfg.spanBuffer == 0 {
+	if cfg.traceSample == 0 && cfg.slowThreshold == 0 && cfg.spanBuffer == 0 && cfg.inboundLimit == 0 {
 		return
 	}
 	sv.SetTracing(obs.TraceConfig{
 		SampleRate:    cfg.traceSample,
 		SlowThreshold: cfg.slowThreshold,
 		BufferSize:    cfg.spanBuffer,
+		InboundLimit:  cfg.inboundLimit,
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -88,14 +89,16 @@ func TestBuildAppliesLimits(t *testing.T) {
 // pipeline; with all three at zero the default pipeline stays in place.
 func TestBuildAppliesTracing(t *testing.T) {
 	cfg := config{schemaName: "university", engine: "paper", e: 1,
-		traceSample: 0.25, slowThreshold: 250 * time.Millisecond, spanBuffer: 64}
+		traceSample: 0.25, slowThreshold: 250 * time.Millisecond, spanBuffer: 64,
+		inboundLimit: 16}
 	sv, _, err := build(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.applyTracing(sv)
 	got := sv.Tracing().Config()
-	if got.SampleRate != 0.25 || got.SlowThreshold != 250*time.Millisecond || got.BufferSize != 64 {
+	if got.SampleRate != 0.25 || got.SlowThreshold != 250*time.Millisecond || got.BufferSize != 64 ||
+		got.InboundLimit != 16 {
 		t.Errorf("tracing config = %+v", got)
 	}
 
@@ -137,7 +140,15 @@ func TestValidateFlags(t *testing.T) {
 		{"trace-sample above one", func(c *config) { c.traceSample = 1.5 }, "-trace-sample must be in [0, 1]"},
 		{"negative slow-threshold", func(c *config) { c.slowThreshold = -time.Second }, "-slow-threshold must be >= 0"},
 		{"negative span-buffer", func(c *config) { c.spanBuffer = -1 }, "-span-buffer must be >= 0"},
-		{"tracing knobs ok", func(c *config) { c.traceSample = 0.01; c.slowThreshold = 250 * time.Millisecond; c.spanBuffer = 64 }, ""},
+		{"NaN inbound limit", func(c *config) { c.inboundLimit = math.NaN() }, "-trace-inbound-limit must be finite"},
+		{"inf inbound limit", func(c *config) { c.inboundLimit = math.Inf(1) }, "-trace-inbound-limit must be finite"},
+		{"negative inbound limit ok", func(c *config) { c.inboundLimit = -1 }, ""},
+		{"tracing knobs ok", func(c *config) {
+			c.traceSample = 0.01
+			c.slowThreshold = 250 * time.Millisecond
+			c.spanBuffer = 64
+			c.inboundLimit = 16
+		}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -88,7 +88,9 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 //
 // When a span pipeline is attached (SetTracing), Wrap parses the
 // inbound W3C traceparent, opens the request's root span named
-// "METHOD route-template", echoes the resulting traceparent on the
+// "METHOD route-template" (the inbound sampled flag is honored
+// subject to the pipeline's TraceConfig.InboundLimit — it is
+// client-controlled), echoes the resulting traceparent on the
 // response (every surface, legacy routes included), stamps the
 // terminal status on the span, and — when the trace is retained —
 // records a trace-ID exemplar on the route's latency histogram. All

@@ -43,6 +43,20 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// SyncTo advances the counter to an externally tracked monotonic
+// total — the scrape-time bridge for sources that expose a running
+// total rather than increments (runtime.MemStats, pool counters).
+// A value at or behind the current count is a no-op, so the counter
+// never regresses even when scrapes race.
+func (c *Counter) SyncTo(total uint64) {
+	for {
+		old := c.v.Load()
+		if total <= old || c.v.CompareAndSwap(old, total) {
+			return
+		}
+	}
+}
+
 // Gauge is a metric that can go up and down. The zero value is ready
 // to use; all methods are safe for concurrent use.
 type Gauge struct {
@@ -107,10 +121,13 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // ObserveExemplar is Observe plus an exemplar: the observation's
-// bucket remembers the trace that produced it, and the exposition
-// annotates the bucket with OpenMetrics `# {trace_id="..."}` syntax so
-// a latency spike on a dashboard links straight to a retained trace.
-// An empty traceID degrades to a plain Observe.
+// bucket remembers the trace that produced it, and the OpenMetrics
+// exposition (WriteOpenMetrics; negotiated by Handler via the Accept
+// header) annotates the bucket with `# {trace_id="..."}` syntax so a
+// latency spike on a dashboard links straight to a retained trace.
+// The classic 0.0.4 text format never carries the annotation — its
+// parsers reject exemplar suffixes. An empty traceID degrades to a
+// plain Observe.
 func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	if traceID != "" {
 		i := sort.SearchFloat64s(h.bounds, v)
@@ -361,7 +378,19 @@ func validName(s string) bool {
 // WriteText renders every family in the Prometheus text exposition
 // format (version 0.0.4), families sorted by name and series by label
 // string, so the output is deterministic given deterministic values.
-func (r *Registry) WriteText(w io.Writer) error {
+// Exemplars are not rendered: the 0.0.4 grammar has no room for them
+// (a parser expects an optional timestamp after the value, so an
+// exemplar suffix fails the whole scrape) — they are an OpenMetrics
+// feature, see WriteOpenMetrics.
+func (r *Registry) WriteText(w io.Writer) error { return r.write(w, false) }
+
+// WriteOpenMetrics renders every family in the OpenMetrics text
+// format: counter families advertise their name without the `_total`
+// sample suffix, histogram buckets carry their `# {...}` exemplar
+// annotations, and the output is terminated by the mandatory `# EOF`.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error { return r.write(w, true) }
+
+func (r *Registry) write(w io.Writer, openMetrics bool) error {
 	r.mu.Lock()
 	scrapers := append([]func(){}, r.scrapers...)
 	r.mu.Unlock()
@@ -382,12 +411,15 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 	bw := bufio.NewWriter(w)
 	for _, f := range fams {
-		f.write(bw)
+		f.write(bw, openMetrics)
+	}
+	if openMetrics {
+		bw.WriteString("# EOF\n")
 	}
 	return bw.Flush()
 }
 
-func (f *family) write(bw *bufio.Writer) {
+func (f *family) write(bw *bufio.Writer, openMetrics bool) {
 	f.mu.Lock()
 	order := append([]string(nil), f.order...)
 	series := make([]any, len(order))
@@ -398,10 +430,17 @@ func (f *family) write(bw *bufio.Writer) {
 	if len(series) == 0 {
 		return
 	}
-	if f.help != "" {
-		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+	// OpenMetrics names a counter family without the `_total` sample
+	// suffix ("# TYPE jobs counter" owning the sample "jobs_total");
+	// every counter this codebase registers carries the suffix.
+	famName := f.name
+	if openMetrics && f.kind == kindCounter {
+		famName = strings.TrimSuffix(famName, "_total")
 	}
-	fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+	if f.help != "" {
+		fmt.Fprintf(bw, "# HELP %s %s\n", famName, strings.ReplaceAll(f.help, "\n", " "))
+	}
+	fmt.Fprintf(bw, "# TYPE %s %s\n", famName, f.kind)
 	for i, s := range series {
 		ls := order[i]
 		switch m := s.(type) {
@@ -413,14 +452,23 @@ func (f *family) write(bw *bufio.Writer) {
 			var cum uint64
 			for bi, bound := range m.bounds {
 				cum += m.counts[bi].Load()
-				writeExemplarSample(bw, f.name+"_bucket", joinLabels(ls, `le="`+formatFloat(bound)+`"`), formatUint(cum), m.exemplars[bi].Load())
+				writeExemplarSample(bw, f.name+"_bucket", joinLabels(ls, `le="`+formatFloat(bound)+`"`), formatUint(cum), m.exemplar(bi, openMetrics))
 			}
 			cum += m.counts[len(m.bounds)].Load()
-			writeExemplarSample(bw, f.name+"_bucket", joinLabels(ls, `le="+Inf"`), formatUint(cum), m.exemplars[len(m.bounds)].Load())
+			writeExemplarSample(bw, f.name+"_bucket", joinLabels(ls, `le="+Inf"`), formatUint(cum), m.exemplar(len(m.bounds), openMetrics))
 			writeSample(bw, f.name+"_sum", ls, formatFloat(m.Sum()))
 			writeSample(bw, f.name+"_count", ls, formatUint(m.Count()))
 		}
 	}
+}
+
+// exemplar returns the bucket's exemplar for rendering, or nil when
+// the output format cannot carry one.
+func (h *Histogram) exemplar(i int, openMetrics bool) *exemplar {
+	if !openMetrics {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // writeExemplarSample writes one bucket sample, annotated with its
@@ -428,8 +476,9 @@ func (f *family) write(bw *bufio.Writer) {
 //
 //	name_bucket{le="0.005"} 12 # {trace_id="4bf9..."} 0.0042
 //
-// Plain Prometheus scrapers parse the line up to the '#' and ignore
-// the rest; OpenMetrics-aware ones surface the trace link.
+// Callers pass a nil exemplar in the 0.0.4 text format: its parsers
+// expect only an optional timestamp after the value, so the
+// annotation is valid OpenMetrics alone.
 func writeExemplarSample(bw *bufio.Writer, name, labels, value string, ex *exemplar) {
 	if ex == nil {
 		writeSample(bw, name, labels, value)
@@ -473,10 +522,24 @@ func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// OpenMetricsContentType is the content type negotiated for the
+// exemplar-carrying exposition.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // Handler returns an http.Handler serving the exposition at any path
-// it is mounted on (conventionally GET /metrics).
+// it is mounted on (conventionally GET /metrics). The format is
+// negotiated on the Accept header: a scraper asking for
+// `application/openmetrics-text` (Prometheus does when configured for
+// it) gets the OpenMetrics rendering with exemplars and `# EOF`;
+// everyone else gets the classic 0.0.4 text format, which cannot
+// carry exemplars.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WriteText(w)
 	})

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"strings"
 	"sync"
@@ -50,6 +52,91 @@ req_total{path="/a",code="500"} 2
 	}
 }
 
+// TestExemplarExposition: exemplars are an OpenMetrics feature. The
+// classic 0.0.4 text format must never carry them (its parsers expect
+// only an optional timestamp after the value, so one annotated bucket
+// line would fail a whole stock-Prometheus scrape), while the
+// OpenMetrics rendering annotates the bucket and terminates with
+// `# EOF`.
+func TestExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "Jobs processed.").Inc()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.5, 1})
+	h.ObserveExemplar(0.25, "4bf92f3577b34da6a3ce929d0e0e4736")
+
+	var plain strings.Builder
+	if err := r.WriteText(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "# {") {
+		t.Errorf("0.0.4 exposition carries an exemplar:\n%s", plain.String())
+	}
+	if strings.Contains(plain.String(), "# EOF") {
+		t.Errorf("0.0.4 exposition carries the OpenMetrics terminator:\n%s", plain.String())
+	}
+
+	var om strings.Builder
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	got := om.String()
+	if !strings.Contains(got, `latency_seconds_bucket{le="0.5"} 1 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.25`) {
+		t.Errorf("OpenMetrics exposition missing the exemplar:\n%s", got)
+	}
+	if !strings.HasSuffix(got, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition not terminated by # EOF:\n%s", got)
+	}
+	// OpenMetrics counter families drop the `_total` sample suffix from
+	// their metadata lines.
+	if !strings.Contains(got, "# TYPE jobs counter") || !strings.Contains(got, "jobs_total 1") {
+		t.Errorf("OpenMetrics counter naming wrong:\n%s", got)
+	}
+}
+
+// TestHandlerContentNegotiation: /metrics speaks OpenMetrics only to
+// scrapers that ask for it on the Accept header.
+func TestHandlerContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{1})
+	h.ObserveExemplar(0.5, "abc123")
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	fetch := func(accept string) (string, string) {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("Content-Type"), string(body)
+	}
+
+	ct, body := fetch("") // stock text-format scraper
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("default content type = %q", ct)
+	}
+	if strings.Contains(body, "# {") || strings.Contains(body, "# EOF") {
+		t.Errorf("plain scrape carries OpenMetrics syntax:\n%s", body)
+	}
+
+	// Prometheus's negotiated OpenMetrics Accept value.
+	ct, body = fetch("application/openmetrics-text;version=1.0.0;q=0.5,text/plain;version=0.0.4;q=0.4")
+	if ct != OpenMetricsContentType {
+		t.Errorf("negotiated content type = %q", ct)
+	}
+	if !strings.Contains(body, `# {trace_id="abc123"}`) || !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("OpenMetrics scrape missing exemplar or terminator:\n%s", body)
+	}
+}
+
 func TestRegistrationIdempotent(t *testing.T) {
 	r := NewRegistry()
 	a := r.Counter("x_total", "X.")
@@ -81,6 +168,18 @@ func TestRegistrationIdempotent(t *testing.T) {
 		}()
 		r.Counter("bad name", "")
 	}()
+}
+
+// TestCounterSyncTo: the scrape-time mirror for externally tracked
+// monotonic totals never regresses, even when values race.
+func TestCounterSyncTo(t *testing.T) {
+	var c Counter
+	c.SyncTo(10)
+	c.SyncTo(7) // stale observation: ignored
+	c.SyncTo(12)
+	if c.Value() != 12 {
+		t.Errorf("counter = %d, want 12", c.Value())
+	}
 }
 
 func TestGaugeUpDown(t *testing.T) {

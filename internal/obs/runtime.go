@@ -1,30 +1,34 @@
 package obs
 
-// Go runtime gauges, refreshed lazily on scrape via Registry.OnScrape
+// Go runtime metrics, refreshed lazily on scrape via Registry.OnScrape
 // rather than by a background ticker: a serving process should spend
 // zero cycles on metrics nobody is reading, and a scrape is exactly
-// the moment the values must be fresh.
+// the moment the values must be fresh. Point-in-time values are
+// gauges; monotonic totals are counters (mirrored from the runtime's
+// running totals with Counter.SyncTo) so their `_total` names carry
+// the type rate() expects.
 
 import "runtime"
 
-// RegisterRuntimeMetrics registers process-level Go runtime gauges on
-// r — goroutine count, heap in use, total GC pause — updated at the
-// start of every exposition. Safe to call once per registry.
+// RegisterRuntimeMetrics registers process-level Go runtime metrics on
+// r — goroutine count and heap in use as gauges, GC pause time and
+// cycle totals as counters — updated at the start of every exposition.
+// Safe to call once per registry.
 func RegisterRuntimeMetrics(r *Registry) {
 	goroutines := r.Gauge("go_goroutines",
 		"Goroutines currently live in the process.")
 	heapInuse := r.Gauge("go_memstats_heap_inuse_bytes",
 		"Bytes in in-use heap spans.")
-	gcPause := r.Gauge("go_gc_pause_total_nanoseconds",
+	gcPause := r.Counter("go_gc_pause_nanoseconds_total",
 		"Cumulative nanoseconds the process spent in GC stop-the-world pauses.")
-	gcRuns := r.Gauge("go_gc_cycles_total",
+	gcRuns := r.Counter("go_gc_cycles_total",
 		"Completed GC cycles since process start.")
 	r.OnScrape(func() {
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
 		goroutines.Set(int64(runtime.NumGoroutine()))
 		heapInuse.Set(int64(ms.HeapInuse))
-		gcPause.Set(int64(ms.PauseTotalNs))
-		gcRuns.Set(int64(ms.NumGC))
+		gcPause.SyncTo(ms.PauseTotalNs)
+		gcRuns.SyncTo(uint64(ms.NumGC))
 	})
 }

@@ -8,8 +8,10 @@ package obs
 // trace is retained in a lock-free bounded ring subject to two rules:
 //
 //   - head sampling: the root is sampled at StartRoot time, either
-//     because the inbound W3C traceparent carried the sampled flag or
-//     because the deterministic 1-in-N head sampler fired;
+//     because the inbound W3C traceparent carried the sampled flag
+//     (subject to TraceConfig.InboundLimit — the flag is
+//     client-controlled) or because the deterministic 1-in-N head
+//     sampler fired;
 //   - tail rules: an unsampled trace is still retained when it turns
 //     out slow (duration >= SlowThreshold) or failed (HTTP 5xx or an
 //     explicit span error) — the traces an operator actually wants are
@@ -73,10 +75,11 @@ func (sc SpanContext) Traceparent() string {
 // TraceparentHeader is the W3C header name tracing ingests and emits.
 const TraceparentHeader = "traceparent"
 
-// ParseTraceparent parses a W3C traceparent header value. It accepts
-// the version-00 format (and tolerates future versions with the same
-// prefix layout, per the spec's forward-compatibility rule); ok is
-// false for malformed values and all-zero identifiers.
+// ParseTraceparent parses a W3C traceparent header value. Version 00
+// must be exactly its four fields (55 characters); future versions
+// with the same prefix layout are accepted and may carry extra
+// "-"-separated trailing fields, per the spec's forward-compatibility
+// rule. ok is false for malformed values and all-zero identifiers.
 func ParseTraceparent(s string) (SpanContext, bool) {
 	// "xx-" + 32 + "-" + 16 + "-" + 2 == 55 bytes minimum.
 	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
@@ -90,14 +93,18 @@ func ParseTraceparent(s string) (SpanContext, bool) {
 	if !isHex(s[:2]) || !isHex(s[3:35]) || !isHex(s[36:52]) || !isHex(s[53:55]) {
 		return SpanContext{}, false
 	}
+	if s[:2] == "00" {
+		if len(s) != 55 {
+			return SpanContext{}, false // version 00 has exactly four fields
+		}
+	} else if len(s) > 55 && s[55] != '-' {
+		return SpanContext{}, false // later versions: extra fields are "-"-separated
+	}
 	var sc SpanContext
 	hex.Decode(sc.TraceID[:], []byte(s[3:35]))
 	hex.Decode(sc.SpanID[:], []byte(s[36:52]))
 	var flags [1]byte
 	hex.Decode(flags[:], []byte(s[53:55]))
-	if len(s) > 55 && s[55] != '-' {
-		return SpanContext{}, false // version 00 has exactly four fields
-	}
 	if !sc.Valid() {
 		return SpanContext{}, false
 	}
@@ -162,6 +169,16 @@ type TraceConfig struct {
 	// sampling, and feeds the slow-query log. 0 disables the tail rule
 	// and the slow log.
 	SlowThreshold time.Duration
+	// InboundLimit bounds how often an inbound traceparent's sampled
+	// flag is honored: anyone who can reach the server can set the flag,
+	// and unlimited trust would let one client keep every ring slot and
+	// exemplar pinned to its own traffic. 0 trusts every inbound flag
+	// (the default — what `pathc -trace` and the acceptance walk rely
+	// on); > 0 is a token-bucket rate of client-forced samples per
+	// second (burst of max(rate, 1)); < 0 ignores the inbound flag
+	// entirely. A denied request is still eligible for head sampling
+	// and the tail rules, and is counted in TraceStats.InboundDenied.
+	InboundLimit float64
 	// BufferSize bounds the retained-trace ring (default 512).
 	BufferSize int
 	// SlowLogSize bounds the slow-query ring (default 128).
@@ -296,6 +313,9 @@ type TraceStats struct {
 	KeptError    uint64 `json:"keptError"`
 	Discarded    uint64 `json:"discarded"`
 	SlowLogged   uint64 `json:"slowLogged"`
+	// InboundDenied counts requests whose inbound sampled flag was
+	// refused by TraceConfig.InboundLimit.
+	InboundDenied uint64 `json:"inboundDenied"`
 	// ActiveSpans counts spans started and not yet ended (roots and
 	// children); zero when the process is idle.
 	ActiveSpans int64 `json:"activeSpans"`
@@ -306,20 +326,63 @@ type TraceStats struct {
 // nil-safe (a nil pipeline records nothing).
 type TracePipeline struct {
 	cfg      TraceConfig
-	interval uint64 // head sampler: keep every interval-th root; 0 = never, 1 = always
-	tick     atomic.Uint64
+	interval uint64        // head sampler: keep every interval-th root; 0 = never, 1 = always
+	tick     atomic.Uint64 // request roots
+	// synthTick is the synthetic (RecordSynthetic) sampler's own
+	// counter: background builds must not perturb the documented
+	// deterministic 1-in-N cadence of request sampling.
+	synthTick atomic.Uint64
+	inbound   *inboundLimiter // nil: trust every inbound sampled flag
 
 	traces *ring[TraceData]
 	slow   *ring[SlowQuery]
 
-	rootsStarted atomic.Uint64
-	rootsEnded   atomic.Uint64
-	keptSampled  atomic.Uint64
-	keptSlow     atomic.Uint64
-	keptError    atomic.Uint64
-	discarded    atomic.Uint64
-	slowLogged   atomic.Uint64
-	activeSpans  atomic.Int64
+	rootsStarted  atomic.Uint64
+	rootsEnded    atomic.Uint64
+	keptSampled   atomic.Uint64
+	keptSlow      atomic.Uint64
+	keptError     atomic.Uint64
+	discarded     atomic.Uint64
+	slowLogged    atomic.Uint64
+	inboundDenied atomic.Uint64
+	activeSpans   atomic.Int64
+}
+
+// inboundLimiter is the token bucket behind TraceConfig.InboundLimit:
+// rate tokens per second, capped at burst, one token per honored
+// client-forced sample. It sits only on the inbound-sampled path, so
+// a plain mutex is fine.
+type inboundLimiter struct {
+	rate, burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+func newInboundLimiter(rate float64) *inboundLimiter {
+	burst := rate
+	if burst < 1 {
+		burst = 1
+	}
+	return &inboundLimiter{rate: rate, burst: burst, tokens: burst}
+}
+
+func (l *inboundLimiter) allow(now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.last.IsZero() && now.After(l.last) {
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+	if l.tokens >= 1 {
+		l.tokens--
+		return true
+	}
+	return false
 }
 
 // NewTracePipeline returns a pipeline for cfg (zero fields take the
@@ -336,12 +399,16 @@ func NewTracePipeline(cfg TraceConfig) *TracePipeline {
 			interval = 1
 		}
 	}
-	return &TracePipeline{
+	p := &TracePipeline{
 		cfg:      cfg,
 		interval: interval,
 		traces:   newRing[TraceData](cfg.BufferSize),
 		slow:     newRing[SlowQuery](cfg.SlowLogSize),
 	}
+	if cfg.InboundLimit > 0 {
+		p.inbound = newInboundLimiter(cfg.InboundLimit)
+	}
+	return p
 }
 
 // Config returns the pipeline's effective configuration.
@@ -352,15 +419,31 @@ func (p *TracePipeline) Config() TraceConfig {
 	return p.cfg
 }
 
-// headSample is the deterministic 1-in-N sampler.
-func (p *TracePipeline) headSample() bool {
+// sampleTick is the deterministic 1-in-N sampler over the given tick
+// counter; request roots and synthetic traces each bring their own so
+// neither perturbs the other's cadence.
+func (p *TracePipeline) sampleTick(tick *atomic.Uint64) bool {
 	if p.interval == 0 {
 		return false
 	}
 	if p.interval == 1 {
 		return true
 	}
-	return p.tick.Add(1)%p.interval == 0
+	return tick.Add(1)%p.interval == 0
+}
+
+// headSample decides head sampling for request roots.
+func (p *TracePipeline) headSample() bool { return p.sampleTick(&p.tick) }
+
+// allowInbound decides whether to honor one inbound sampled flag.
+func (p *TracePipeline) allowInbound(now time.Time) bool {
+	if p.cfg.InboundLimit < 0 {
+		return false
+	}
+	if p.inbound == nil {
+		return true
+	}
+	return p.inbound.allow(now)
 }
 
 // trace is the per-request aggregator shared by a root span and its
@@ -412,16 +495,28 @@ func SpanFromContext(ctx context.Context) *Span {
 
 // StartRoot opens the root span of a new trace named name. inbound is
 // the parsed traceparent of the caller (zero value when absent): its
-// trace ID is adopted and its sampled flag forces head sampling, so a
-// client can guarantee its own request is retained. The root decides
-// whether the trace records at all: when neither sampling nor the
-// slow/error tail rules could possibly retain it, StartRoot returns
-// (ctx, nil) and the request runs with zero tracing work.
+// trace ID is adopted and its sampled flag forces head sampling —
+// subject to TraceConfig.InboundLimit, since the flag is
+// client-controlled — so a client can guarantee its own request is
+// retained. The root decides whether the trace records at all: when
+// neither sampling nor the slow/error tail rules could possibly
+// retain it, StartRoot returns (ctx, nil) and the request runs with
+// zero tracing work.
 func (p *TracePipeline) StartRoot(ctx context.Context, name string, inbound SpanContext) (context.Context, *Span) {
 	if p == nil {
 		return ctx, nil
 	}
-	sampled := inbound.Sampled || p.headSample()
+	sampled := false
+	if inbound.Sampled {
+		if p.allowInbound(time.Now()) {
+			sampled = true
+		} else {
+			p.inboundDenied.Add(1)
+		}
+	}
+	if !sampled {
+		sampled = p.headSample()
+	}
 	// With no head sample and no slow tail rule, only an error could
 	// retain the trace — not worth recording every request for; skip.
 	if !sampled && p.cfg.SlowThreshold <= 0 {
@@ -630,8 +725,10 @@ func (t *trace) finalize(root *Span, rootData SpanData, now time.Time) {
 
 // RecordSynthetic retains a single-span trace for work that was not
 // threaded through a context — a background closure build, say —
-// subject to the same rules as a live root: head sampling, the slow
-// threshold, or a non-empty errMsg.
+// subject to the same rules as a live root: head sampling (at the
+// configured rate, but on the synthetic sampler's own tick counter,
+// so builds never steal a request's deterministic sample slot), the
+// slow threshold, or a non-empty errMsg.
 func (p *TracePipeline) RecordSynthetic(name string, start time.Time, d time.Duration, attrs map[string]any, errMsg string) string {
 	if p == nil {
 		return ""
@@ -640,7 +737,7 @@ func (p *TracePipeline) RecordSynthetic(name string, start time.Time, d time.Dur
 	p.rootsEnded.Add(1)
 	reason := ""
 	switch {
-	case p.headSample():
+	case p.sampleTick(&p.synthTick):
 		reason = "sampled"
 		p.keptSampled.Add(1)
 	case errMsg != "":
@@ -708,13 +805,14 @@ func (p *TracePipeline) Stats() TraceStats {
 		return TraceStats{}
 	}
 	return TraceStats{
-		RootsStarted: p.rootsStarted.Load(),
-		RootsEnded:   p.rootsEnded.Load(),
-		KeptSampled:  p.keptSampled.Load(),
-		KeptSlow:     p.keptSlow.Load(),
-		KeptError:    p.keptError.Load(),
-		Discarded:    p.discarded.Load(),
-		SlowLogged:   p.slowLogged.Load(),
-		ActiveSpans:  p.activeSpans.Load(),
+		RootsStarted:  p.rootsStarted.Load(),
+		RootsEnded:    p.rootsEnded.Load(),
+		KeptSampled:   p.keptSampled.Load(),
+		KeptSlow:      p.keptSlow.Load(),
+		KeptError:     p.keptError.Load(),
+		Discarded:     p.discarded.Load(),
+		SlowLogged:    p.slowLogged.Load(),
+		InboundDenied: p.inboundDenied.Load(),
+		ActiveSpans:   p.activeSpans.Load(),
 	}
 }

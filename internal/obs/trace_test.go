@@ -41,26 +41,28 @@ func TestParseTraceparentRejects(t *testing.T) {
 	if _, ok := ParseTraceparent(valid); !ok {
 		t.Fatalf("reference header rejected: %q", valid)
 	}
-	// Future versions with the same layout are accepted; extra fields
-	// after the flags are tolerated when "-"-separated.
-	for _, s := range []string{
-		strings.Replace(valid, "00-", "01-", 1),
-		valid + "-extrafield",
-	} {
+	// Future versions with the same layout are accepted, including
+	// extra "-"-separated fields after the flags; version 00 is exactly
+	// four fields, so the same trailing data rejects.
+	future := strings.Replace(valid, "00-", "01-", 1)
+	for _, s := range []string{future, future + "-extrafield"} {
 		if _, ok := ParseTraceparent(s); !ok {
 			t.Errorf("forward-compatible value rejected: %q", s)
 		}
 	}
 	for name, s := range map[string]string{
-		"empty":          "",
-		"short":          "00-abc-def-01",
-		"bad separators": strings.Replace(valid, "-", "_", -1),
-		"version ff":     strings.Replace(valid, "00-", "ff-", 1),
-		"hex version":    strings.Replace(valid, "00-", "0G-", 1),
-		"zero trace id":  "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
-		"zero span id":   "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
-		"uppercase hex":  strings.ToUpper(valid),
-		"no 4th dash":    valid + "x",
+		"empty":                  "",
+		"short":                  "00-abc-def-01",
+		"bad separators":         strings.Replace(valid, "-", "_", -1),
+		"version ff":             strings.Replace(valid, "00-", "ff-", 1),
+		"hex version":            strings.Replace(valid, "00-", "0G-", 1),
+		"zero trace id":          "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero span id":           "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"uppercase hex":          strings.ToUpper(valid),
+		"no 4th dash":            valid + "x",
+		"version 00 extra field": valid + "-extrafield",
+		"version 00 extra dash":  valid + "-",
+		"future version no dash": future + "x",
 	} {
 		if sc, ok := ParseTraceparent(s); ok {
 			t.Errorf("%s: accepted %q as %+v", name, s, sc)
@@ -299,6 +301,97 @@ func TestRecordSynthetic(t *testing.T) {
 	if st := p2.Stats(); st.KeptError != 1 || st.Discarded != 1 || st.RootsStarted != 2 || st.RootsEnded != 2 {
 		t.Errorf("stats = %+v", st)
 	}
+}
+
+// TestSyntheticSamplerIndependent: background builds tick their own
+// sampler, so interleaving them must not perturb the documented
+// deterministic 1-in-N cadence of request sampling (and vice versa).
+func TestSyntheticSamplerIndependent(t *testing.T) {
+	p := NewTracePipeline(TraceConfig{SampleRate: 0.25})
+	requestKept, synthKept := 0, 0
+	for i := 0; i < 100; i++ {
+		if p.RecordSynthetic("closure.build", time.Now(), 0, nil, "") != "" {
+			synthKept++
+		}
+		_, s := p.StartRoot(context.Background(), "GET /x", SpanContext{})
+		if s != nil {
+			requestKept++
+			s.End()
+		}
+	}
+	if requestKept != 25 {
+		t.Errorf("request roots sampled = %d of 100 at rate 0.25, want exactly 25", requestKept)
+	}
+	if synthKept != 25 {
+		t.Errorf("synthetic traces sampled = %d of 100 at rate 0.25, want exactly 25", synthKept)
+	}
+}
+
+// TestInboundLimit: the knob that stops an unauthenticated client from
+// monopolizing the ring by setting the traceparent sampled flag on
+// every request.
+func TestInboundLimit(t *testing.T) {
+	inbound, _ := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+
+	t.Run("bucket refill", func(t *testing.T) {
+		l := newInboundLimiter(2)
+		now := time.Now()
+		for i := 0; i < 2; i++ { // burst == rate
+			if !l.allow(now) {
+				t.Fatalf("allow %d = false within the burst", i)
+			}
+		}
+		if l.allow(now) {
+			t.Error("allow = true with the bucket drained")
+		}
+		if !l.allow(now.Add(time.Second)) { // 2 tokens refilled, capped at burst
+			t.Error("allow = false after a full refill interval")
+		}
+		if !l.allow(now.Add(time.Second)) {
+			t.Error("second refilled token missing")
+		}
+		if l.allow(now.Add(time.Second)) {
+			t.Error("refill exceeded the burst cap")
+		}
+	})
+
+	t.Run("rate limited", func(t *testing.T) {
+		p := NewTracePipeline(TraceConfig{InboundLimit: 1})
+		_, first := p.StartRoot(context.Background(), "POST /v1/complete", inbound)
+		if first == nil {
+			t.Fatal("first forced request denied with a token available")
+		}
+		first.End()
+		_, second := p.StartRoot(context.Background(), "POST /v1/complete", inbound)
+		if second != nil {
+			t.Error("second forced request honored with the bucket drained")
+			second.End()
+		}
+		if st := p.Stats(); st.InboundDenied != 1 {
+			t.Errorf("stats = %+v, want 1 inbound denial", st)
+		}
+	})
+
+	t.Run("ignored entirely", func(t *testing.T) {
+		p := NewTracePipeline(TraceConfig{InboundLimit: -1})
+		if _, s := p.StartRoot(context.Background(), "POST /v1/complete", inbound); s != nil {
+			t.Error("negative limit still honored the inbound flag")
+			s.End()
+		}
+		if st := p.Stats(); st.InboundDenied != 1 {
+			t.Errorf("stats = %+v", st)
+		}
+		// A denied request still gets its fair shot at head sampling.
+		p2 := NewTracePipeline(TraceConfig{InboundLimit: -1, SampleRate: 1})
+		_, s := p2.StartRoot(context.Background(), "POST /v1/complete", inbound)
+		if s == nil {
+			t.Fatal("denied inbound flag also suppressed head sampling")
+		}
+		if s.TraceID() != inbound.TraceIDString() {
+			t.Errorf("trace id = %q, want the inbound id still adopted", s.TraceID())
+		}
+		s.End()
+	})
 }
 
 // TestNilSafety: every entry point must no-op on nil receivers and

@@ -142,9 +142,9 @@ func NewFromRegistry(reg *registry.Registry) *Server {
 	}
 	sv.httpM.SetTracing(sv.traceP)
 	obs.RegisterRuntimeMetrics(metReg)
-	poolServed := metReg.Gauge("pathcomplete_engine_pool_served_total",
+	poolServed := metReg.Counter("pathcomplete_engine_pool_served_total",
 		"Search engine checkouts served from the sync.Pool rather than freshly allocated.")
-	metReg.OnScrape(func() { poolServed.Set(int64(core.EnginePoolServed())) })
+	metReg.OnScrape(func() { poolServed.SyncTo(core.EnginePoolServed()) })
 	reg.OnRetire(func(*registry.Snapshot) {
 		sv.met.snapshotsLive.Set(int64(reg.Live()))
 	})

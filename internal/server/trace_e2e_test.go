@@ -160,8 +160,16 @@ func TestTraceEndToEnd(t *testing.T) {
 		t.Errorf("trace %.3fms shorter than meta.durationMs %.3fms", td.DurationMs, env.Meta.DurationMs)
 	}
 
-	// The latency histograms carry an exemplar referencing the trace.
-	mresp, err := http.Get(ts + "/metrics")
+	// The latency histograms carry an exemplar referencing the trace —
+	// on the OpenMetrics rendering only, which a scraper opts into via
+	// the Accept header; the classic 0.0.4 text format cannot carry the
+	// annotation without breaking stock parsers.
+	mreq, err := http.NewRequest(http.MethodGet, ts+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mreq.Header.Set("Accept", "application/openmetrics-text;version=1.0.0")
+	mresp, err := http.DefaultClient.Do(mreq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,11 +177,20 @@ func TestTraceEndToEnd(t *testing.T) {
 	if !strings.Contains(metrics, `# {trace_id="`+forcedTraceID+`"}`) {
 		t.Error("/metrics carries no exemplar for the forced trace")
 	}
-	// Satellite: the runtime gauges ride the same scrape.
+	// A plain text-format scrape of the same registry must stay free of
+	// exemplar syntax (a stock Prometheus parser rejects it).
+	plainResp, err := http.Get(ts + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain := readAll(t, plainResp); strings.Contains(plain, "# {") {
+		t.Error("plain /metrics scrape carries exemplar syntax")
+	}
+	// Satellite: the runtime metrics ride the same scrape.
 	for _, m := range []string{"go_goroutines", "go_memstats_heap_inuse_bytes",
-		"go_gc_pause_total_nanoseconds", "pathcomplete_engine_pool_served_total"} {
+		"go_gc_pause_nanoseconds_total", "pathcomplete_engine_pool_served_total"} {
 		if !strings.Contains(metrics, m+" ") {
-			t.Errorf("/metrics missing runtime gauge %s", m)
+			t.Errorf("/metrics missing runtime metric %s", m)
 		}
 	}
 }
