@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race cover cover-gate bench bench-json bench-closure bench-smoke bench-obs bench-trace experiments fuzz fuzz-smoke chaos fmt vet clean
+.PHONY: all build test test-race race cover cover-gate bench bench-json bench-closure bench-smoke bench-obs bench-trace bench-coldstart bench-coldstart-smoke experiments fuzz fuzz-smoke chaos chaos-persist fmt vet clean
 
 all: build vet test
 
@@ -77,6 +77,24 @@ bench-trace:
 		| $(GO) run ./cmd/benchjson > BENCH_core.json
 	@echo wrote BENCH_core.json
 
+# The durable-state cost ledger: the tracked kernel series plus the
+# coldstart comparison (restore the 1000-class closure from its
+# checksummed on-disk file vs rebuild it by search), folded into
+# BENCH_core.json. The disk/rebuild ratio is the restart guarantee the
+# persistence tentpole sells: >=10x.
+bench-coldstart:
+	{ $(GO) test -bench='$(TRACKED_BENCH)' -benchmem -run xxx . ; \
+	  $(GO) test -bench=TracerOverhead -benchmem -run xxx ./internal/core ; \
+	  $(GO) test -bench=Coldstart -benchmem -run xxx -timeout 30m . ; } \
+		| $(GO) run ./cmd/benchjson > BENCH_core.json
+	@echo wrote BENCH_core.json
+
+# CI-sized variant: one iteration per series, enough to prove restore
+# and rebuild still agree cell-for-cell on the big schema.
+bench-coldstart-smoke:
+	$(GO) test -bench=Coldstart -benchtime=1x -benchmem -run xxx -timeout 30m . \
+		| $(GO) run ./cmd/benchjson > /dev/null
+
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
 	$(GO) run ./cmd/experiments -all
@@ -99,6 +117,14 @@ fuzz-smoke:
 # with concurrent clients (internal/server/chaos_test.go).
 chaos:
 	$(GO) test -race -run TestChaos -count=1 -v ./internal/server
+
+# The crash/restart drill over durable state: 50 kill-9/restart cycles
+# sharing one data directory, with injected disk faults, torn writes,
+# and post-mortem file corruption — every boot differential-checked
+# against a fresh compile (internal/registry/chaos_test.go), under the
+# race detector.
+chaos-persist:
+	$(GO) test -race -run TestChaosPersist -count=1 -v ./internal/registry
 
 fmt:
 	gofmt -w .

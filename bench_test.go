@@ -26,6 +26,7 @@ import (
 	"pathcomplete/internal/experiment"
 	"pathcomplete/internal/label"
 	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/persist"
 	"pathcomplete/internal/server"
 	"pathcomplete/internal/uni"
 )
@@ -360,6 +361,68 @@ func BenchmarkClosureUniversityTaName(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := closure.Build(context.Background(), "university", 1, cmp, nil); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkColdstart prices the restart decision on a 1000-class
+// generated schema: warming the all-pairs closure by search from
+// scratch (what every restart paid before durable snapshots) versus
+// restoring it from the checksummed on-disk file, validation and all.
+// The disk series is the robustness tentpole's >=10x claim; the
+// rebuild series is the bill it avoids.
+//
+// The relationship count stays near the containment backbone (tree-
+// like): every cross edge beyond the tree multiplies the simple paths
+// the exhaustive sweep must enumerate, and at this class count even a
+// few percent extra edges move one rebuild from tens of seconds into
+// hours. The restore series is indifferent to density — it decodes
+// cells instead of searching — which is exactly the asymmetry the
+// durable snapshot exploits.
+func BenchmarkColdstart(b *testing.B) {
+	const name = "cupid1k"
+	w, err := cupid.Generate(cupid.Config{
+		Seed: 7, Classes: 1000, RelPairs: 760, Hubs: 0, HubFanout: 0,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cmp := core.New(w.Schema, core.Exact())
+	ix, err := closure.Build(context.Background(), name, 1, cmp, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := persist.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := persist.Capture(name, w.Schema, core.Exact(), 1, 0, ix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ps.Save(f); err != nil {
+		b.Fatal(err)
+	}
+	ps.Flush()
+
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := closure.Build(context.Background(), name, 1, cmp, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("disk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got, err := ps.Restore(name, w.Schema, core.Exact(), 1)
+			if err != nil || got == nil {
+				b.Fatalf("restore: (%v, %v)", got, err)
+			}
+			if got.Cells() != ix.Cells() {
+				b.Fatalf("restored %d cells, built %d", got.Cells(), ix.Cells())
 			}
 		}
 	})

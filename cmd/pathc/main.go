@@ -59,6 +59,7 @@ func main() {
 		workers    = flag.Int("workers", 4, "batch-mode concurrency (searches in flight at once)")
 		serverURL  = flag.String("server", "", "complete against a running pathserve at this base URL via the /v1 API instead of the in-process engine (e.g. http://localhost:8080)")
 		verbose    = flag.Bool("v", false, "with -server: print the response meta (engine, schema generation, cacheHit, durationMs)")
+		retries    = flag.Int("retries", 0, "with -server: retry a request answered 429 or 503 up to N times, honoring the Retry-After header with bounded jittered backoff (0: fail immediately, today's behavior)")
 	)
 	flag.Parse()
 	if *serverURL != "" {
@@ -79,9 +80,14 @@ func main() {
 				schemaSet = true
 			}
 		})
+		if *retries < 0 {
+			fmt.Fprintln(os.Stderr, "pathc: -retries must be >= 0")
+			os.Exit(2)
+		}
 		rc := remoteConfig{
 			base: *serverURL, e: *e, timeout: *timeout, verbose: *verbose,
 			stats: *stats, batch: *batch, workers: *workers, trace: *trace,
+			retries: *retries,
 		}
 		if schemaSet {
 			rc.schema = *schemaName

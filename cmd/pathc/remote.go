@@ -16,9 +16,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -34,6 +36,7 @@ type remoteConfig struct {
 	batch   bool
 	workers int  // unused remotely (the server bounds batch concurrency)
 	trace   bool // force-sample the request; fetch and print its span trace
+	retries int  // max retries after a 429/503 (0: fail immediately)
 }
 
 // apiEnvelope mirrors the server's v1 envelope on the wire.
@@ -132,29 +135,80 @@ func (rc remoteConfig) get(path string) (*apiEnvelope, error) {
 }
 
 // call resolves the endpoint, issues the request, and decodes the v1
-// envelope shared by every verb.
+// envelope shared by every verb. A 429 (admission shed) or 503 (queue
+// timeout) answer is retried up to rc.retries times — both mean "the
+// server is alive but momentarily saturated", the one failure mode a
+// client-side pause genuinely fixes — waiting out the server's
+// Retry-After hint (or an exponential fallback) with jitter, bounded
+// by retryMaxDelay. Every other status, and any transport error, is
+// surfaced immediately: retrying a 400 or a refused connection only
+// delays the real answer. build runs once per attempt, so each retry
+// carries a fresh body reader.
 func (rc remoteConfig) call(path string, build func(string) (*http.Request, error)) (*apiEnvelope, error) {
 	ep, err := rc.endpoint(path)
 	if err != nil {
 		return nil, err
 	}
-	req, err := build(ep)
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		req, err := build(ep)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if attempt < rc.retries && retryableStatus(resp.StatusCode) {
+			after := resp.Header.Get("Retry-After")
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(retryDelay(after, attempt))
+			continue
+		}
+		defer resp.Body.Close()
+		var env apiEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			return nil, fmt.Errorf("server %s: HTTP %d: %w", path, resp.StatusCode, err)
+		}
+		if env.Error != nil {
+			return nil, fmt.Errorf("server %s [%s]: %s", path, env.Error.Code, env.Error.Message)
+		}
+		return &env, nil
 	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return nil, err
+}
+
+// retryableStatus reports whether a response status signals transient
+// server overload worth retrying.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// Backoff bounds: the exponential fallback starts at retryBaseDelay
+// and every wait — server-hinted or not — is capped at retryMaxDelay,
+// so a confused server cannot park the client for minutes.
+const (
+	retryBaseDelay = 100 * time.Millisecond
+	retryMaxDelay  = 5 * time.Second
+)
+
+// retryDelay computes the wait before retry attempt (0-based): the
+// server's Retry-After hint in delta-seconds form when present and
+// parsable, otherwise retryBaseDelay doubled per attempt; capped at
+// retryMaxDelay, then jittered ±25% so a herd of clients shed at the
+// same instant does not return in lockstep.
+func retryDelay(retryAfter string, attempt int) time.Duration {
+	d := retryBaseDelay << min(attempt, 10)
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
 	}
-	defer resp.Body.Close()
-	var env apiEnvelope
-	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
-		return nil, fmt.Errorf("server %s: HTTP %d: %w", path, resp.StatusCode, err)
+	if d > retryMaxDelay {
+		d = retryMaxDelay
 	}
-	if env.Error != nil {
-		return nil, fmt.Errorf("server %s [%s]: %s", path, env.Error.Code, env.Error.Message)
+	if d <= 0 {
+		return 0
 	}
-	return &env, nil
+	quarter := int64(d) / 4
+	return d - time.Duration(quarter/2) + time.Duration(mrand.Int63n(quarter+1))
 }
 
 // newTraceparent mints a W3C traceparent with the sampled flag set:

@@ -1,0 +1,142 @@
+package main
+
+// Remote-mode retry behavior: -retries 0 keeps today's fail-fast
+// semantics, a positive budget waits out 429/503 answers honoring
+// Retry-After, and non-overload failures are never retried.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// overloadedServer answers v1 envelopes: the first fail requests get
+// failStatus (with a Retry-After hint), everything after succeeds.
+func overloadedServer(t *testing.T, fail int, failStatus int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		if n <= int64(fail) {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(failStatus)
+			w.Write([]byte(`{"data":null,"error":{"code":"overloaded","message":"admission queue full"},"meta":{"durationMs":0}}`))
+			return
+		}
+		w.Write([]byte(`{"data":{"expr":"ta~name","completions":[]},"error":null,"meta":{"durationMs":1}}`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func TestRemoteRetryRecovers(t *testing.T) {
+	ts, hits := overloadedServer(t, 2, http.StatusTooManyRequests)
+	rc := remoteConfig{base: ts.URL, retries: 3}
+	env, err := rc.post("/v1/complete", map[string]any{"expr": "ta~name"})
+	if err != nil {
+		t.Fatalf("post with retries: %v", err)
+	}
+	if env.Error != nil {
+		t.Fatalf("envelope error after retries: %+v", env.Error)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server hits = %d, want 3 (two sheds + one success)", got)
+	}
+}
+
+func TestRemoteRetry503(t *testing.T) {
+	ts, hits := overloadedServer(t, 1, http.StatusServiceUnavailable)
+	rc := remoteConfig{base: ts.URL, retries: 1}
+	if _, err := rc.post("/v1/complete", map[string]any{"expr": "ta~name"}); err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Errorf("server hits = %d, want 2", got)
+	}
+}
+
+// TestRemoteRetryDefaultOff: the zero value preserves the pre-flag
+// behavior — one attempt, the overload error surfaced immediately.
+func TestRemoteRetryDefaultOff(t *testing.T) {
+	ts, hits := overloadedServer(t, 1, http.StatusTooManyRequests)
+	rc := remoteConfig{base: ts.URL}
+	_, err := rc.post("/v1/complete", map[string]any{"expr": "ta~name"})
+	if err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("err = %v, want the overload surfaced", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server hits = %d, want exactly 1 without -retries", got)
+	}
+}
+
+// TestRemoteRetryBudgetExhausted: more sheds than budget → the last
+// overload answer is surfaced, after retries+1 total attempts.
+func TestRemoteRetryBudgetExhausted(t *testing.T) {
+	ts, hits := overloadedServer(t, 100, http.StatusTooManyRequests)
+	rc := remoteConfig{base: ts.URL, retries: 2}
+	if _, err := rc.post("/v1/complete", map[string]any{"expr": "ta~name"}); err == nil {
+		t.Fatal("want error once the retry budget is exhausted")
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server hits = %d, want 3 (initial + 2 retries)", got)
+	}
+}
+
+// TestRemoteNoRetryOnClientError: a 4xx that is not overload is a
+// real answer — retrying it would just repeat the mistake.
+func TestRemoteNoRetryOnClientError(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"data":null,"error":{"code":"bad_request","message":"missing expr"},"meta":{"durationMs":0}}`))
+	}))
+	t.Cleanup(ts.Close)
+	rc := remoteConfig{base: ts.URL, retries: 5}
+	_, err := rc.post("/v1/complete", map[string]any{})
+	if err == nil || !strings.Contains(err.Error(), "bad_request") {
+		t.Fatalf("err = %v", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server hits = %d, want 1 (4xx is not retryable)", got)
+	}
+}
+
+func TestRetryDelay(t *testing.T) {
+	// Retry-After wins over the exponential fallback, with jitter
+	// keeping the wait within ±25% of the hint.
+	for i := 0; i < 50; i++ {
+		d := retryDelay("1", 0)
+		if d < 750*time.Millisecond || d > 1250*time.Millisecond {
+			t.Fatalf("retryDelay(\"1\") = %v, want ~1s", d)
+		}
+	}
+	// No hint: exponential from the base.
+	for i := 0; i < 50; i++ {
+		if d := retryDelay("", 0); d < 75*time.Millisecond || d > 125*time.Millisecond {
+			t.Fatalf("retryDelay(\"\", 0) = %v, want ~100ms", d)
+		}
+		if d := retryDelay("", 2); d < 300*time.Millisecond || d > 500*time.Millisecond {
+			t.Fatalf("retryDelay(\"\", 2) = %v, want ~400ms", d)
+		}
+	}
+	// The cap bounds both a huge hint and a deep attempt, and an
+	// unparsable hint (e.g. an HTTP-date) falls back to exponential.
+	if d := retryDelay("3600", 0); d > retryMaxDelay+retryMaxDelay/4 {
+		t.Errorf("huge Retry-After not capped: %v", d)
+	}
+	if d := retryDelay("", 60); d > retryMaxDelay+retryMaxDelay/4 {
+		t.Errorf("deep attempt not capped: %v", d)
+	}
+	if d := retryDelay("Wed, 21 Oct 2026 07:28:00 GMT", 0); d < 75*time.Millisecond || d > 125*time.Millisecond {
+		t.Errorf("unparsable hint should fall back to exponential, got %v", d)
+	}
+	if d := retryDelay("0", 5); d != 0 {
+		t.Errorf("Retry-After 0 should not wait, got %v", d)
+	}
+}

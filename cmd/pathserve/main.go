@@ -5,6 +5,7 @@
 //	pathserve -addr :8080 -schema university -sample
 //	pathserve -addr :8080 -schemas-dir ./schemas -default-schema university
 //	pathserve -addr :8080 -schema university -closure -closure-max-bytes 268435456
+//	pathserve -addr :8080 -schemas-dir ./schemas -closure -persist -data-dir ./data
 //	pathserve -addr :8080 -schema university -trace-sample 0.01 -slow-threshold 250ms
 //	curl -s localhost:8080/v1/complete -d '{"expr":"ta~name"}'
 //	curl -s localhost:8080/v1/traces
@@ -24,6 +25,7 @@
 //	curl -s localhost:8080/stats
 //	curl -s localhost:8080/metrics
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/readyz
 //	curl -s localhost:8080/buildinfo
 //
 // The process is production-shaped: slog request logging with request
@@ -44,6 +46,16 @@
 // directory and swaps atomically — in-flight searches finish on the
 // snapshot they started with, and a failed reload leaves the previous
 // generation serving.
+//
+// With -closure -persist -data-dir the warmed closure state is also
+// durable: each schema's compiled index is written to the data
+// directory (checksummed, fsynced, atomically renamed) when warming
+// completes, and the next boot restores it instead of recompiling —
+// corrupt, stale, or torn files are quarantined and the schema falls
+// back to a fresh compile, so bad durable state never fails a start.
+// /readyz reports readiness (default schema installed, recovery done,
+// not draining) alongside the pure-liveness /healthz; SIGTERM flips
+// /readyz not-ready and flushes pending saves before draining.
 package main
 
 import (
@@ -65,6 +77,7 @@ import (
 	"pathcomplete/internal/objstore"
 	"pathcomplete/internal/obs"
 	"pathcomplete/internal/parts"
+	"pathcomplete/internal/persist"
 	"pathcomplete/internal/registry"
 	"pathcomplete/internal/schema"
 	"pathcomplete/internal/sdl"
@@ -102,6 +115,10 @@ type config struct {
 	closureMaxBytes int64 // byte budget across all live indexes (0: unbounded)
 	closureWorkers  int   // concurrent background builds
 
+	// Durable state (crash-safe snapshot persistence).
+	persistOn bool   // persist warmed closure state; restore it on boot
+	dataDir   string // directory holding the durable snapshot files
+
 	// Span pipeline (/v1/traces, /v1/queries/slow).
 	traceSample   float64       // head-sampling rate in [0, 1]
 	slowThreshold time.Duration // retain+log any request at least this slow (0: off)
@@ -134,6 +151,8 @@ func parseFlags(args []string) (config, error) {
 	fs.BoolVar(&cfg.closureOn, "closure", false, "warm a materialized all-pairs closure index per schema snapshot in the background; single-gap queries are served from it once ready")
 	fs.Int64Var(&cfg.closureMaxBytes, "closure-max-bytes", 256<<20, "byte budget across all live closure indexes and in-progress builds (0: unbounded); a build that would exceed it stops and the snapshot serves through the search kernel")
 	fs.IntVar(&cfg.closureWorkers, "closure-workers", 1, "concurrent background closure builds (>= 1)")
+	fs.BoolVar(&cfg.persistOn, "persist", false, "durably persist each schema's compiled closure state to -data-dir when it finishes warming, and restore it (checksum- and schema-verified) on startup instead of recompiling; requires -closure and -data-dir")
+	fs.StringVar(&cfg.dataDir, "data-dir", "", "directory for durable state (created if absent; corrupt or stale snapshot files are moved to its quarantine/ subdirectory, never served)")
 	fs.Float64Var(&cfg.traceSample, "trace-sample", 0, "head-sample this fraction of requests into /v1/traces (0: only client-forced and tail-rule traces; 1: every request)")
 	fs.DurationVar(&cfg.slowThreshold, "slow-threshold", 0, "retain any request at least this slow in /v1/traces and log it at /v1/queries/slow regardless of sampling (0: off)")
 	fs.IntVar(&cfg.spanBuffer, "span-buffer", 0, "retained-trace ring size (0: default "+fmt.Sprint(obs.DefaultTraceBuffer)+")")
@@ -210,6 +229,17 @@ func (cfg config) validate() error {
 			return fmt.Errorf("-closure-workers must be >= 1, got %d", cfg.closureWorkers)
 		}
 	}
+	if cfg.persistOn {
+		if !cfg.closureOn {
+			return fmt.Errorf("-persist requires -closure (the durable payload is the warmed closure state)")
+		}
+		if cfg.dataDir == "" {
+			return fmt.Errorf("-persist requires -data-dir")
+		}
+	}
+	if cfg.dataDir != "" && !cfg.persistOn {
+		return fmt.Errorf("-data-dir requires -persist")
+	}
 	if cfg.traceSample < 0 || cfg.traceSample > 1 {
 		return fmt.Errorf("-trace-sample must be in [0, 1], got %v", cfg.traceSample)
 	}
@@ -231,6 +261,10 @@ func main() {
 		os.Exit(2) // the FlagSet already printed the problem
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	// Lifecycle events logged outside the request path (durable-state
+	// quarantines, save failures) go through slog.Default — point it at
+	// the same handler so they share the request log's format.
+	slog.SetDefault(logger)
 	if err := run(cfg, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "pathserve:", err)
 		os.Exit(1)
@@ -277,6 +311,8 @@ func run(cfg config, logger *slog.Logger) error {
 		"parallel", cfg.parallel,
 		"cacheCap", cfg.cacheCap,
 		"closure", cfg.closureOn,
+		"persist", cfg.persistOn,
+		"dataDir", cfg.dataDir,
 		"traceSample", cfg.traceSample,
 		"slowThreshold", cfg.slowThreshold,
 		"pprof", cfg.pprofOn,
@@ -306,14 +342,17 @@ func run(cfg config, logger *slog.Logger) error {
 	if cfg.schemasDir != "" {
 		reload = sv.ReloadSchemas
 	}
-	return serve(srv, logger, reload)
+	return serve(srv, logger, reload, sv.BeginDrain)
 }
 
 // serve runs srv until SIGINT/SIGTERM, then drains connections
 // gracefully. SIGHUP triggers reload (hot schema reload in
 // multi-schema mode; nil means the signal is logged and ignored).
-// Split from run so shutdown is testable.
-func serve(srv *http.Server, logger *slog.Logger, reload func() error) error {
+// drain, when non-nil, runs at the start of shutdown — before the
+// HTTP drain — to flip /readyz not-ready and flush pending durable
+// saves, so a clean SIGTERM always leaves the newest generation on
+// disk. Split from run so shutdown is testable.
+func serve(srv *http.Server, logger *slog.Logger, reload func() error, drain func()) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -348,6 +387,9 @@ loop:
 	}
 	stop() // restore default signal handling: a second ^C kills hard
 	logger.Info("pathserve shutting down")
+	if drain != nil {
+		drain()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -399,6 +441,9 @@ func build(cfg config) (*server.Server, *schema.Schema, error) {
 			MaxQueue:       cfg.queue,
 			MaxBodyBytes:   cfg.maxBody,
 		})
+		if err := cfg.setupPersist(sv); err != nil {
+			return nil, nil, err
+		}
 		if cfg.closureOn {
 			sv.EnableClosure(cfg.closureWorkers, cfg.closureMaxBytes)
 		}
@@ -465,11 +510,35 @@ func build(cfg config) (*server.Server, *schema.Schema, error) {
 		MaxQueue:       cfg.queue,
 		MaxBodyBytes:   cfg.maxBody,
 	})
+	if err := cfg.setupPersist(sv); err != nil {
+		return nil, nil, err
+	}
 	if cfg.closureOn {
 		sv.EnableClosure(cfg.closureWorkers, cfg.closureMaxBytes)
 	}
 	cfg.applyTracing(sv)
 	return sv, s, nil
+}
+
+// setupPersist opens the durable store under -data-dir and wires it
+// into the registry and server. It must run before EnableClosure: the
+// retrofit warm pass that EnableClosure triggers is where each
+// snapshot consults the store and restores from disk instead of
+// recompiling. Opening the store also sweeps temp-file debris a
+// crashed predecessor left behind; corrupt or stale snapshots are
+// quarantined at restore time, so bad durable state can never fail
+// the boot.
+func (cfg config) setupPersist(sv *server.Server) error {
+	if !cfg.persistOn {
+		return nil
+	}
+	ps, err := persist.Open(cfg.dataDir)
+	if err != nil {
+		return fmt.Errorf("-data-dir: %w", err)
+	}
+	sv.SchemaRegistry().EnablePersist(ps)
+	sv.AttachPersist()
+	return nil
 }
 
 // applyTracing rebuilds the server's span pipeline when any tracing

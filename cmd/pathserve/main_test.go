@@ -143,6 +143,15 @@ func TestValidateFlags(t *testing.T) {
 		{"NaN inbound limit", func(c *config) { c.inboundLimit = math.NaN() }, "-trace-inbound-limit must be finite"},
 		{"inf inbound limit", func(c *config) { c.inboundLimit = math.Inf(1) }, "-trace-inbound-limit must be finite"},
 		{"negative inbound limit ok", func(c *config) { c.inboundLimit = -1 }, ""},
+		{"persist without closure", func(c *config) { c.persistOn = true; c.dataDir = "/tmp/x" }, "-persist requires -closure"},
+		{"persist without data-dir", func(c *config) { c.persistOn = true; c.closureOn = true; c.closureWorkers = 1 }, "-persist requires -data-dir"},
+		{"data-dir without persist", func(c *config) { c.dataDir = "/tmp/x" }, "-data-dir requires -persist"},
+		{"persist ok", func(c *config) {
+			c.persistOn = true
+			c.closureOn = true
+			c.closureWorkers = 1
+			c.dataDir = "/tmp/x"
+		}, ""},
 		{"tracing knobs ok", func(c *config) {
 			c.traceSample = 0.01
 			c.slowThreshold = 250 * time.Millisecond
@@ -219,7 +228,8 @@ func TestServeGracefulShutdown(t *testing.T) {
 	addr := pickAddr(t)
 	srv := &http.Server{Addr: addr, Handler: sv.Handler()}
 	done := make(chan error, 1)
-	go func() { done <- serve(srv, logger, nil) }()
+	drained := make(chan struct{})
+	go func() { done <- serve(srv, logger, nil, func() { close(drained) }) }()
 
 	// Wait for the listener, then verify it serves.
 	var resp *http.Response
@@ -248,13 +258,103 @@ func TestServeGracefulShutdown(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("serve did not shut down after SIGTERM")
 	}
+	select {
+	case <-drained:
+	default:
+		t.Error("drain hook did not run during shutdown")
+	}
 }
 
 func TestServeListenError(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 	srv := &http.Server{Addr: "256.256.256.256:99999"}
-	if err := serve(srv, logger, nil); err == nil {
+	if err := serve(srv, logger, nil, nil); err == nil {
 		t.Error("impossible address should surface the listen error")
+	}
+}
+
+// TestBuildPersistRestore boots the full pathserve wiring with
+// durable persistence twice over one data directory: the first boot
+// compiles, warms, and saves; the second restores from disk — each
+// stage observed through the public HTTP surfaces (/v1/schemas/{name}
+// persistStatus, /readyz).
+func TestBuildPersistRestore(t *testing.T) {
+	data := t.TempDir()
+	cfg := config{schemaName: "university", engine: "exact", e: 1,
+		closureOn: true, closureWorkers: 1, persistOn: true, dataDir: data}
+
+	type detail struct {
+		ClosureStatus struct {
+			State    string `json:"state"`
+			Restored bool   `json:"restored"`
+		} `json:"closureStatus"`
+		PersistStatus struct {
+			Enabled  bool `json:"enabled"`
+			Saved    bool `json:"saved"`
+			Restored bool `json:"restored"`
+		} `json:"persistStatus"`
+	}
+	getDetail := func(ts *httptest.Server) detail {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/v1/schemas/university")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var env struct {
+			Data detail `json:"data"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		return env.Data
+	}
+	assertReady := func(ts *httptest.Server) {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("readyz = %d, want 200", resp.StatusCode)
+		}
+	}
+
+	sv1, _, err := build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(sv1.Handler())
+	defer ts1.Close()
+	assertReady(ts1)
+	deadline := time.Now().Add(10 * time.Second)
+	var d detail
+	for d = getDetail(ts1); !d.PersistStatus.Saved; d = getDetail(ts1) {
+		if time.Now().After(deadline) {
+			t.Fatalf("first boot never persisted: %+v", d)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !d.PersistStatus.Enabled || d.PersistStatus.Restored {
+		t.Fatalf("first boot persistStatus = %+v, want enabled+saved, not restored", d.PersistStatus)
+	}
+	sv1.BeginDrain() // the SIGTERM path: flush anything still pending
+
+	sv2, _, err := build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(sv2.Handler())
+	defer ts2.Close()
+	assertReady(ts2)
+	d2 := getDetail(ts2)
+	if d2.ClosureStatus.State != "ready" || !d2.ClosureStatus.Restored {
+		t.Fatalf("restart closure = %+v, want ready+restored with no rebuild", d2.ClosureStatus)
+	}
+	if !d2.PersistStatus.Restored || !d2.PersistStatus.Saved {
+		t.Fatalf("restart persistStatus = %+v, want saved+restored", d2.PersistStatus)
 	}
 }
 

@@ -46,8 +46,12 @@ type Status struct {
 	// Bytes and Cells are zero unless State == ready.
 	Bytes int64 `json:"bytes,omitempty"`
 	Cells int   `json:"cells,omitempty"`
-	// BuildMs is the wall-clock build time once ready.
+	// BuildMs is the wall-clock build time once ready — restore time
+	// when Restored is set.
 	BuildMs int64 `json:"buildMs,omitempty"`
+	// Restored reports that the ready index was deserialized from a
+	// durable snapshot instead of being materialized by search.
+	Restored bool `json:"restored,omitempty"`
 }
 
 // Observer receives build lifecycle events; the server wires it to
@@ -94,6 +98,23 @@ func Disabled(reason string) *Handle {
 	h.reason = reason
 	close(h.done)
 	return h
+}
+
+// Adopt wraps a restored index in an immediately-ready Handle,
+// reserving its bytes against the shared budget — the fast half of
+// the cold-start path, once the persistence layer has deserialized
+// the index. It reports false (and returns no Handle) when the budget
+// cannot fit the index; the caller falls back to Warm, which stops at
+// the same bound and leaves the snapshot on the search kernel. An
+// adopted Handle's Done channel is already closed (there is no build
+// goroutine) and Cancel releases the reservation as usual.
+func (b *Builder) Adopt(ix *Index) (*Handle, bool) {
+	if !b.budget.Reserve(ix.Bytes()) {
+		return nil, false
+	}
+	h := &Handle{b: b, state: StateReady, idx: ix, done: make(chan struct{})}
+	close(h.done)
+	return h, true
 }
 
 // Warm queues a background build of the all-pairs closure for the
@@ -211,6 +232,7 @@ func (h *Handle) Status() Status {
 		st.Bytes = h.idx.Bytes()
 		st.Cells = h.idx.Cells()
 		st.BuildMs = h.idx.BuildDuration().Milliseconds()
+		st.Restored = h.idx.Restored()
 	}
 	return st
 }

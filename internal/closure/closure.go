@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -51,6 +52,7 @@ type Index struct {
 	cells    int
 	bytes    int64
 	elapsed  time.Duration
+	restored bool
 }
 
 // Lookup returns the materialized Result for `root ~ anchor`, or
@@ -86,8 +88,58 @@ func (ix *Index) Cells() int { return ix.cells }
 // reserved against the build Budget.
 func (ix *Index) Bytes() int64 { return ix.bytes }
 
-// BuildDuration returns the wall-clock time Build spent.
+// BuildDuration returns the wall-clock time Build spent — or, for a
+// restored index, the time deserialization spent.
 func (ix *Index) BuildDuration() time.Duration { return ix.elapsed }
+
+// Restored reports whether the index was rebuilt from a durable
+// snapshot (internal/persist) rather than materialized by search.
+func (ix *Index) Restored() bool { return ix.restored }
+
+// Walk visits every materialized cell in deterministic order (anchors
+// sorted, roots ascending) — the iteration the persistence layer
+// serializes, so two saves of the same index are byte-identical.
+func (ix *Index) Walk(fn func(anchor string, root schema.ClassID, res *core.Result)) {
+	anchors := make([]string, 0, len(ix.byAnchor))
+	for a := range ix.byAnchor {
+		anchors = append(anchors, a)
+	}
+	sort.Strings(anchors)
+	for _, a := range anchors {
+		for root, res := range ix.byAnchor[a] {
+			if res != nil {
+				fn(a, schema.ClassID(root), res)
+			}
+		}
+	}
+}
+
+// Restore assembles an Index from deserialized cells for the snapshot
+// served as (name, gen). Cell, anchor, and byte accounting is
+// recomputed from the cells themselves with the same estimator Build
+// uses, so a restored index reserves exactly what the rebuild would
+// have. elapsed records the deserialization time (surfaced as BuildMs
+// with Restored set, so operators can read the cold-start win off
+// /stats). The caller must not retain or mutate byAnchor.
+func Restore(name string, gen uint64, byAnchor map[string][]*core.Result, elapsed time.Duration) *Index {
+	ix := &Index{
+		schemaName: name,
+		generation: gen,
+		byAnchor:   byAnchor,
+		elapsed:    elapsed,
+		restored:   true,
+	}
+	for _, cells := range byAnchor {
+		ix.anchors++
+		for _, res := range cells {
+			if res != nil {
+				ix.cells++
+				ix.bytes += resultBytes(res)
+			}
+		}
+	}
+	return ix
+}
 
 // resultBytes estimates the resident size of one materialized Result:
 // the rendered paths plus fixed per-completion overhead. Proportional,
@@ -98,7 +150,7 @@ func resultBytes(res *core.Result) int64 {
 	const perCompletion = 128 // Resolved + label + slice headers
 	size := int64(base) + int64(len(res.Best))*24
 	for _, c := range res.Completions {
-		size += perCompletion + int64(len(c.Path.String()))
+		size += perCompletion + int64(c.Path.StringLen())
 	}
 	return size
 }

@@ -128,6 +128,19 @@ func (c Connector) String() string {
 	return s
 }
 
+// StringLen returns len(c.String()) without building the string —
+// byte-accounting loops over millions of path steps call this.
+func (c Connector) StringLen() int {
+	if !c.Kind.Valid() {
+		return len(c.String())
+	}
+	n := len(kindSymbols[c.Kind])
+	if c.Possibly {
+		n++
+	}
+	return n
+}
+
 // Name returns the long English name, e.g. "Possibly-Has-Part".
 func (c Connector) Name() string {
 	if c.Possibly {

@@ -8,6 +8,14 @@
 // robustness machinery (deadlines, panic-recovery middleware, admission
 // gate) must absorb.
 //
+// The persistence layer (internal/persist) adds disk-shaped points:
+// "persist.write" (the payload write of a snapshot file, which also
+// honours the short-write injector below), "persist.fsync" (the
+// fsync before the atomic rename), and "persist.load" (the top of
+// every snapshot load). Together they simulate torn writes, lost
+// durability, and corrupt reads without root privileges or a real
+// crash, so the crash/restart chaos drill runs in ordinary CI.
+//
 // The package is disarmed by default and designed to be zero-cost in
 // that state: every injection point is a single atomic load of a bool.
 // It is armed programmatically (Arm), from a spec string (ArmSpec — the
@@ -18,11 +26,14 @@
 // Spec strings are comma-separated key=value pairs:
 //
 //	delay=0.2,maxdelay=5ms,error=0.1,panic=0.01,seed=42,points=server.complete|store.eval
+//	shortwrite=0.3,points=persist.write
 //
-// delay/error/panic are per-call probabilities in [0,1]; maxdelay
-// bounds the injected sleep (uniform in (0,maxdelay]); seed makes the
-// fault stream reproducible; points restricts injection to the named
-// points (default: all points fire).
+// delay/error/panic/shortwrite are per-call probabilities in [0,1];
+// maxdelay bounds the injected sleep (uniform in (0,maxdelay]); seed
+// makes the fault stream reproducible; points restricts injection to
+// the named points (default: all points fire). shortwrite only fires
+// at points that consult ShortWrite — writers truncate the write to a
+// random prefix and fail, the on-disk image of a crash mid-write.
 package faultinject
 
 import (
@@ -58,6 +69,11 @@ type Config struct {
 	ErrorProb float64
 	// PanicProb is the per-call probability of a panic.
 	PanicProb float64
+	// ShortWriteProb is the per-call probability that a write point
+	// consulting ShortWrite truncates its write to a random prefix —
+	// the torn-write image a crash between write and fsync leaves
+	// behind. Only points that call ShortWrite are affected.
+	ShortWriteProb float64
 	// Points restricts injection to the named points. nil or empty:
 	// every point fires.
 	Points map[string]bool
@@ -68,22 +84,24 @@ const DefaultMaxDelay = 5 * time.Millisecond
 
 // Stats counts the faults fired since the package was last armed.
 type Stats struct {
-	Delays  uint64
-	Errors  uint64
-	Panics  uint64
-	Visited uint64 // injection-point executions while armed
+	Delays      uint64
+	Errors      uint64
+	Panics      uint64
+	ShortWrites uint64
+	Visited     uint64 // injection-point executions while armed
 }
 
 var (
 	armed atomic.Bool // the only state touched while disarmed
 
-	mu      sync.Mutex
-	cfg     Config
-	rng     *rand.Rand
-	delays  atomic.Uint64
-	errs    atomic.Uint64
-	panics  atomic.Uint64
-	visited atomic.Uint64
+	mu          sync.Mutex
+	cfg         Config
+	rng         *rand.Rand
+	delays      atomic.Uint64
+	errs        atomic.Uint64
+	panics      atomic.Uint64
+	shortwrites atomic.Uint64
+	visited     atomic.Uint64
 )
 
 // Arm installs cfg and enables injection. Counters reset.
@@ -101,6 +119,7 @@ func Arm(c Config) {
 	delays.Store(0)
 	errs.Store(0)
 	panics.Store(0)
+	shortwrites.Store(0)
 	visited.Store(0)
 	mu.Unlock()
 	armed.Store(true)
@@ -116,10 +135,11 @@ func Armed() bool { return armed.Load() }
 // Snapshot returns the fault counters accumulated since Arm.
 func Snapshot() Stats {
 	return Stats{
-		Delays:  delays.Load(),
-		Errors:  errs.Load(),
-		Panics:  panics.Load(),
-		Visited: visited.Load(),
+		Delays:      delays.Load(),
+		Errors:      errs.Load(),
+		Panics:      panics.Load(),
+		ShortWrites: shortwrites.Load(),
+		Visited:     visited.Load(),
 	}
 }
 
@@ -137,7 +157,7 @@ func ParseSpec(spec string) (Config, error) {
 			return Config{}, fmt.Errorf("faultinject: malformed field %q (want key=value)", field)
 		}
 		switch k {
-		case "delay", "error", "panic":
+		case "delay", "error", "panic", "shortwrite":
 			p, err := strconv.ParseFloat(v, 64)
 			if err != nil || p < 0 || p > 1 {
 				return Config{}, fmt.Errorf("faultinject: %s=%q is not a probability in [0,1]", k, v)
@@ -149,6 +169,8 @@ func ParseSpec(spec string) (Config, error) {
 				c.ErrorProb = p
 			case "panic":
 				c.PanicProb = p
+			case "shortwrite":
+				c.ShortWriteProb = p
 			}
 		case "maxdelay":
 			d, err := time.ParseDuration(v)
@@ -228,6 +250,33 @@ func Inject(point string) error {
 		return nil
 	}
 	return fire(point, true)
+}
+
+// ShortWrite rolls the short-write injector at the named point for a
+// write of n bytes. When it fires it returns a truncation length in
+// [0, n) and true: the caller must write only that prefix and fail,
+// leaving the torn image a crash between write and fsync would leave.
+// Disarmed (or when the roll does not fire), it returns (n, false)
+// and the caller writes normally. Disarmed, it is a single atomic
+// load, like every other point.
+func ShortWrite(point string, n int) (int, bool) {
+	if !armed.Load() || n <= 0 {
+		return n, false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if rng == nil || cfg.ShortWriteProb <= 0 {
+		return n, false
+	}
+	if len(cfg.Points) > 0 && !cfg.Points[point] {
+		return n, false
+	}
+	visited.Add(1)
+	if rng.Float64() >= cfg.ShortWriteProb {
+		return n, false
+	}
+	shortwrites.Add(1)
+	return int(rng.Int63n(int64(n))), true
 }
 
 // Disturb is Inject for void call sites that cannot propagate an

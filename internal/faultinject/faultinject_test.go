@@ -138,6 +138,64 @@ func TestFromEnv(t *testing.T) {
 	}
 }
 
+func TestShortWrite(t *testing.T) {
+	// Disarmed: never fires, full length back.
+	Disarm()
+	if n, fired := ShortWrite("persist.write", 100); fired || n != 100 {
+		t.Errorf("disarmed ShortWrite = (%d, %v), want (100, false)", n, fired)
+	}
+
+	// Armed at probability 1: always fires, truncation strictly short.
+	Arm(Config{ShortWriteProb: 1, Seed: 7})
+	defer Disarm()
+	for i := 0; i < 50; i++ {
+		n, fired := ShortWrite("persist.write", 100)
+		if !fired {
+			t.Fatal("shortwrite=1 did not fire")
+		}
+		if n < 0 || n >= 100 {
+			t.Fatalf("truncation = %d, want in [0, 100)", n)
+		}
+	}
+	if s := Snapshot(); s.ShortWrites != 50 {
+		t.Errorf("ShortWrites = %d, want 50", s.ShortWrites)
+	}
+
+	// A zero-length write cannot be torn.
+	if n, fired := ShortWrite("persist.write", 0); fired || n != 0 {
+		t.Errorf("ShortWrite(0) = (%d, %v), want (0, false)", n, fired)
+	}
+
+	// The point filter applies to short writes too.
+	Arm(Config{ShortWriteProb: 1, Seed: 7, Points: map[string]bool{"other.point": true}})
+	if _, fired := ShortWrite("persist.write", 100); fired {
+		t.Error("point filter did not suppress the short write")
+	}
+
+	// Probabilities besides shortwrite leave ShortWrite silent: the
+	// error/panic mix must not tear writes as a side effect.
+	Arm(Config{ErrorProb: 1, PanicProb: 1, Seed: 7})
+	if _, fired := ShortWrite("persist.write", 100); fired {
+		t.Error("error/panic config fired the short-write injector")
+	}
+}
+
+func TestParseSpecShortWrite(t *testing.T) {
+	c, err := ParseSpec("shortwrite=0.25,points=persist.write")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if c.ShortWriteProb != 0.25 {
+		t.Errorf("ShortWriteProb = %v, want 0.25", c.ShortWriteProb)
+	}
+	if !c.Points["persist.write"] {
+		t.Errorf("points = %v", c.Points)
+	}
+	if _, err := ParseSpec("shortwrite=1.5"); err == nil {
+		t.Error("shortwrite=1.5 accepted, want probability range error")
+	}
+}
+
 func BenchmarkInjectDisarmed(b *testing.B) {
 	Disarm()
 	b.ReportAllocs()

@@ -1,0 +1,82 @@
+package pathexpr
+
+// Bulk construction of Resolved values. The persist restore path
+// re-mints millions of completions at boot; built one FromRels call at
+// a time that is three heap allocations per path, and on a small host
+// the garbage — not the decoding — dominates the cold start. The arena
+// performs the exact validation FromRels performs and produces the
+// exact field values, but carves the structs and their backing arrays
+// out of chunked blocks, so construction is amortized-zero garbage.
+//
+// Values built by the arena are ordinary immutable Resolved values;
+// they stay valid for as long as they are referenced, independent of
+// the arena. The arena itself is single-threaded scratch state.
+
+import (
+	"fmt"
+
+	"pathcomplete/internal/schema"
+)
+
+// arenaChunk is the block size (in values) the arena grows by. Blocks
+// are never reallocated once handed out, so pointers into them are
+// stable.
+const arenaChunk = 4096
+
+// ResolvedArena bulk-builds Resolved values bound to one schema.
+type ResolvedArena struct {
+	s        *schema.Schema
+	resolved []Resolved
+	rels     []schema.RelID
+	classes  []schema.ClassID
+}
+
+// NewResolvedArena returns an empty arena for paths over s.
+func NewResolvedArena(s *schema.Schema) *ResolvedArena {
+	return &ResolvedArena{s: s}
+}
+
+// FromRels is FromRels carved out of the arena: the same chaining
+// validation, the same resulting value (nil Rels for an empty path
+// included), amortized allocation. A failed call leaves the arena
+// untouched.
+func (a *ResolvedArena) FromRels(root schema.ClassID, rels []schema.RelID) (*Resolved, error) {
+	cur := root
+	for _, rid := range rels {
+		rel := a.s.Rel(rid)
+		if rel.From != cur {
+			return nil, fmt.Errorf("pathexpr: relationship %s.%s does not start at %s",
+				a.s.Class(rel.From).Name, rel.Name, a.s.Class(cur).Name)
+		}
+		cur = rel.To
+	}
+
+	var rbuf []schema.RelID
+	if n := len(rels); n > 0 {
+		if cap(a.rels)-len(a.rels) < n {
+			a.rels = make([]schema.RelID, 0, max(arenaChunk, n))
+		}
+		off := len(a.rels)
+		a.rels = a.rels[:off+n]
+		rbuf = a.rels[off : off+n : off+n]
+		copy(rbuf, rels)
+	}
+
+	n := len(rels) + 1
+	if cap(a.classes)-len(a.classes) < n {
+		a.classes = make([]schema.ClassID, 0, max(arenaChunk, n))
+	}
+	off := len(a.classes)
+	a.classes = a.classes[:off+n]
+	cbuf := a.classes[off : off+n : off+n]
+	cbuf[0] = root
+	for i, rid := range rels {
+		cbuf[i+1] = a.s.Rel(rid).To
+	}
+
+	if cap(a.resolved) == len(a.resolved) {
+		a.resolved = make([]Resolved, 0, arenaChunk)
+	}
+	a.resolved = append(a.resolved, Resolved{Schema: a.s, Root: root, Rels: rbuf, Classes: cbuf})
+	return &a.resolved[len(a.resolved)-1], nil
+}

@@ -264,6 +264,19 @@ func (r *Resolved) Expr() Expr {
 // String renders the resolved expression in query syntax.
 func (r *Resolved) String() string { return r.Expr().String() }
 
+// StringLen returns len(r.String()) without materializing the Expr or
+// the string. The closure byte estimator prices every cell by its
+// rendered length; computed via String itself that pricing pass
+// allocates two strings per completion and dominates a large restore.
+func (r *Resolved) StringLen() int {
+	n := len(r.Schema.Class(r.Root).Name)
+	for _, rid := range r.Rels {
+		rel := r.Schema.Rel(rid)
+		n += rel.Conn.StringLen() + len(rel.Name)
+	}
+	return n
+}
+
 // Label computes the path label (composed connector plus semantic
 // length) of the resolved expression.
 func (r *Resolved) Label() label.Label {

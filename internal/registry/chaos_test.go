@@ -1,0 +1,260 @@
+package registry
+
+// The kill-9/restart chaos drill over durable state: 50 process
+// "lifetimes" share one data directory. Each cycle boots a fresh
+// registry + store (a restart), differential-checks what it serves,
+// and then dies in a randomly chosen way — clean shutdown, kill -9
+// mid-warm (the registry is simply abandoned, background goroutines
+// and all), torn writes on every persist, injected read faults at the
+// next boot, or post-mortem file corruption/deletion. The invariants:
+// a boot NEVER fails on bad durable state; every boot serves answers
+// identical to a fresh compile; a restart after a clean shutdown
+// restores everything from disk with zero recompiles; a corrupted
+// file is quarantined (never served) with a transparent recompile
+// fallback.
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/closure"
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/faultinject"
+	"pathcomplete/internal/persist"
+	"pathcomplete/internal/schema"
+)
+
+// chaosCycles is sized to the acceptance drill; the schemas are tiny,
+// so the whole run stays in test-suite territory (a few seconds).
+const chaosCycles = 50
+
+// corruptSnap applies one random mutation to a durable file.
+func corruptSnap(t *testing.T, rng *rand.Rand, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch rng.Intn(4) {
+	case 0: // single bit flip somewhere in the image
+		data[rng.Intn(len(data))] ^= 1 << uint(rng.Intn(8))
+	case 1: // truncation (a torn file that somehow got renamed)
+		data = data[:rng.Intn(len(data))]
+	case 2: // version from the future
+		copy(data, "PCSNAP99")
+	case 3: // complete garbage of the original length
+		rng.Read(data)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// liveSnaps lists the durable files currently in data.
+func liveSnaps(t *testing.T, data string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(data, "*"+persist.FileSuffix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+// checkAnswers asserts both schemas answer a~name from the generation
+// that should be serving — the cheap smoke differential every boot
+// gets, including ones about to be killed mid-warm.
+func checkAnswers(t *testing.T, r *Registry, cycle int) {
+	t.Helper()
+	for name, want := range map[string]string{"alpha": "part", "beta": "link"} {
+		sn, err := r.Acquire(name)
+		if err != nil {
+			t.Fatalf("cycle %d: Acquire(%s): %v", cycle, name, err)
+		}
+		got := completeOne(t, sn, "a~name")
+		sn.Release()
+		if !strings.Contains(got, want) {
+			t.Fatalf("cycle %d: %s answered %q, want a %q completion", cycle, name, got, want)
+		}
+	}
+}
+
+// checkClosureDifferential waits for every closure (restored or
+// rebuilt) and compares it cell-for-cell against a fresh build on the
+// live snapshot — bit-for-bit, both directions.
+func checkClosureDifferential(t *testing.T, r *Registry, cycle int) {
+	t.Helper()
+	for _, name := range r.Names() {
+		waitFor(t, "closure ready", func() bool {
+			sn, err := r.Acquire(name)
+			if err != nil {
+				return false
+			}
+			st := sn.ClosureStatus()
+			sn.Release()
+			return st.State == closure.StateReady
+		})
+		sn, err := r.Acquire(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := closure.Build(context.Background(), name, sn.Generation(), sn.Completer(), closure.NewBudget(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := sn.Closure().Index()
+		cells := 0
+		fresh.Walk(func(anchor string, root schema.ClassID, want *core.Result) {
+			cells++
+			have, ok := live.Lookup(root, anchor)
+			if !ok || !reflect.DeepEqual(have, want) {
+				t.Fatalf("cycle %d: %s cell (%d, %q) differs from a fresh compile", cycle, name, root, anchor)
+			}
+		})
+		if live.Cells() != cells {
+			t.Fatalf("cycle %d: %s serves %d cells, fresh compile has %d", cycle, name, live.Cells(), cells)
+		}
+		sn.Release()
+	}
+}
+
+func TestChaosPersistKillRestart(t *testing.T) {
+	dir := t.TempDir()
+	data := t.TempDir()
+	writeSchemaDir(t, dir, map[string]string{"alpha": schemaV1, "beta": schemaV2})
+	rng := rand.New(rand.NewSource(20260808))
+	t.Cleanup(faultinject.Disarm)
+
+	type fate int
+	const (
+		fateClean     fate = iota // warm, persist, flush: a clean SIGTERM
+		fateKill                  // abandon mid-warm: kill -9
+		fateTornWrite             // every persist write tears, then die
+		fateCorrupt               // clean, then scribble on a durable file
+		fateDelete                // clean, then delete a durable file
+	)
+
+	var (
+		prevClean      bool // last lifetime ended clean with intact files
+		wantQuarantine bool // a corrupted file awaits the next boot
+		wantRecompile  bool // a deleted file awaits the next boot
+		bootFault      bool // this boot reads disk through injected faults
+		zombies        []*Registry
+		zombieStores   []*persist.Store
+	)
+
+	for cycle := 0; cycle < chaosCycles; cycle++ {
+		// Some restarts happen on a machine whose disk is still sick:
+		// every durable read faults, which must quarantine and fall
+		// back, never crash. Only after a clean run with both files
+		// intact, so the exact quarantine count is assertable.
+		bootFault = prevClean && !wantQuarantine && !wantRecompile && rng.Intn(4) == 0
+		if bootFault {
+			faultinject.Arm(faultinject.Config{
+				ErrorProb: 1,
+				Points:    map[string]bool{persist.FaultLoad: true},
+				Seed:      int64(cycle + 1),
+			})
+		}
+		r, ps := persistReg(t, dir, data) // the restart: must never fail
+		faultinject.Disarm()
+		checkAnswers(t, r, cycle)
+
+		st := ps.Stats()
+		switch {
+		case bootFault:
+			if st.Quarantines != 2 || st.Restores != 0 {
+				t.Fatalf("cycle %d (boot fault): stats = %+v, want both reads quarantined", cycle, st)
+			}
+		case prevClean && wantQuarantine:
+			if st.Quarantines < 1 || st.Recompiles < 1 {
+				t.Fatalf("cycle %d (after corruption): stats = %+v, want quarantine + recompile", cycle, st)
+			}
+		case prevClean && wantRecompile:
+			if st.Recompiles < 1 || st.Quarantines != 0 {
+				t.Fatalf("cycle %d (after deletion): stats = %+v, want a silent recompile", cycle, st)
+			}
+		case prevClean:
+			// The flagship guarantee: a restart after a clean shutdown
+			// rebuilds nothing.
+			if st.Restores != 2 || st.Recompiles != 0 || st.Quarantines != 0 {
+				t.Fatalf("cycle %d (clean restart): stats = %+v, want 2 restores and zero recompiles", cycle, st)
+			}
+		}
+		wantQuarantine, wantRecompile = false, false
+
+		f := fate(rng.Intn(5))
+		if cycle == chaosCycles-1 {
+			f = fateClean // end the drill with a verifiable ledger
+		}
+		switch f {
+		case fateKill:
+			// Die mid-warm: no drain, no flush. The abandoned registry's
+			// goroutines keep running like a doomed process's threads in
+			// their last scheduler quantum; later cycles drain them
+			// before mutating files so every corruption is attributable.
+			zombies, zombieStores = append(zombies, r), append(zombieStores, ps)
+			prevClean = false
+			continue
+		case fateTornWrite:
+			faultinject.Arm(faultinject.Config{
+				ShortWriteProb: 1,
+				Points:         map[string]bool{persist.FaultWrite: true},
+				Seed:           int64(cycle + 1),
+			})
+			checkClosureDifferential(t, r, cycle)
+			ps.Flush() // every attempted save tears and leaves its tmp
+			faultinject.Disarm()
+			prevClean = false
+			continue
+		}
+
+		// The remaining fates all finish the lifetime cleanly first.
+		checkClosureDifferential(t, r, cycle)
+		waitWarmSaved(t, r, ps)
+		for i, z := range zombies {
+			waitWarmSaved(t, z, zombieStores[i])
+		}
+		zombies, zombieStores = nil, nil
+		prevClean = true
+
+		snaps := liveSnaps(t, data)
+		if len(snaps) != 2 {
+			t.Fatalf("cycle %d: %d durable files after a clean run, want 2", cycle, len(snaps))
+		}
+		switch f {
+		case fateCorrupt:
+			corruptSnap(t, rng, snaps[rng.Intn(len(snaps))])
+			wantQuarantine = true
+		case fateDelete:
+			if err := os.Remove(snaps[rng.Intn(len(snaps))]); err != nil {
+				t.Fatal(err)
+			}
+			wantRecompile = true
+		}
+	}
+
+	// Post-mortem of the whole drill: quarantined evidence was
+	// preserved, not destroyed, and no temp debris survived a boot.
+	if ents, _ := os.ReadDir(filepath.Join(data, persist.QuarantineDir)); len(ents) == 0 {
+		t.Error("50 chaotic lifetimes quarantined nothing — the drill never bit")
+	}
+	for _, ent := range mustReadDir(t, data) {
+		if strings.HasPrefix(ent.Name(), ".tmp-") {
+			t.Errorf("temp debris %s survived the final clean cycle", ent.Name())
+		}
+	}
+}
+
+func mustReadDir(t *testing.T, dir string) []os.DirEntry {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ents
+}

@@ -41,11 +41,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pathcomplete/internal/closure"
 	"pathcomplete/internal/core"
 	"pathcomplete/internal/faultinject"
 	"pathcomplete/internal/objstore"
+	"pathcomplete/internal/persist"
 	"pathcomplete/internal/schema"
 	"pathcomplete/internal/sdl"
 )
@@ -81,6 +83,7 @@ type Registry struct {
 	mu      sync.Mutex // serializes mutations (Reload, Install, SetDefault)
 	dir     string
 	closure *closure.Builder // nil: closure warming disabled
+	persist *persist.Store   // nil: durable snapshots disabled
 
 	tab  atomic.Pointer[table]
 	gen  atomic.Uint64 // last generation number handed out
@@ -162,12 +165,17 @@ func (r *Registry) newSnapshot(name string, s *schema.Schema, store *objstore.St
 	return sn
 }
 
-// warmClosure queues the snapshot's background closure build (caller
-// holds r.mu). The build goroutine searches through the snapshot's
-// Completer, so the snapshot is pinned with an extra reference for
-// the build's whole lifetime and released when the build goroutine
-// exits — including the cancellation path, so a superseded snapshot
-// still drains.
+// warmClosure gives the snapshot its closure (caller holds r.mu):
+// when a persist store is enabled and holds a verified durable
+// snapshot, the index is restored from disk and adopted ready
+// immediately — the cold-start fast path; otherwise a background
+// build is queued. The build goroutine searches through the
+// snapshot's Completer, so the snapshot is pinned with an extra
+// reference for the build's whole lifetime and released when the
+// build goroutine exits — including the cancellation path, so a
+// superseded snapshot still drains. A freshly warmed (not restored)
+// closure is persisted from the same watcher goroutine before the pin
+// drops, so the index it serializes cannot be retired under it.
 func (r *Registry) warmClosure(sn *Snapshot) {
 	b := r.closure
 	if b == nil {
@@ -178,12 +186,69 @@ func (r *Registry) warmClosure(sn *Snapshot) {
 		sn.cl.Store(closure.Disabled("snapshot drained"))
 		return
 	}
+	if ps := r.persist; ps != nil {
+		// Recovery state machine: a valid durable snapshot skips the
+		// whole build; every failure mode inside Restore (missing,
+		// corrupt, stale — the latter two quarantined) falls through
+		// to the ordinary warm below. Startup never fails here.
+		if ix, _ := ps.Restore(sn.name, sn.s, r.opts, sn.gen); ix != nil {
+			if h, ok := b.Adopt(ix); ok {
+				sn.cl.Store(h)
+				sn.Release() // no build goroutine — nothing pins the Completer
+				return
+			}
+		}
+	}
 	h := b.Warm(sn.name, sn.gen, sn.cmp)
 	sn.cl.Store(h)
 	go func() {
 		<-h.Done()
+		r.persistWarm(sn, h)
 		sn.Release()
 	}()
+}
+
+// persistWarm durably saves a freshly warmed closure. Failures are
+// counted and observed inside the store; a snapshot whose build did
+// not end ready (cancelled, budget, error) saves nothing.
+func (r *Registry) persistWarm(sn *Snapshot, h *closure.Handle) {
+	r.mu.Lock()
+	ps := r.persist
+	r.mu.Unlock()
+	if ps == nil {
+		return
+	}
+	st := h.Status()
+	if st.State != closure.StateReady || st.Restored {
+		return
+	}
+	ix := h.Index()
+	if ix == nil {
+		return
+	}
+	f, err := persist.Capture(sn.name, sn.s, r.opts, sn.gen, time.Now().Unix(), ix)
+	if err != nil {
+		return
+	}
+	_ = ps.Save(f)
+}
+
+// EnablePersist installs the durable snapshot store: from now on
+// every snapshot install first attempts a disk restore of its closure
+// and every completed warm is persisted. Call at boot before
+// LoadDir/EnableClosure — durable state only participates in installs
+// that happen after it.
+func (r *Registry) EnablePersist(ps *persist.Store) {
+	r.mu.Lock()
+	r.persist = ps
+	r.mu.Unlock()
+}
+
+// PersistStore returns the store installed by EnablePersist, or nil.
+func (r *Registry) PersistStore() *persist.Store {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.persist
 }
 
 // EnableClosure switches on background closure warming: every
@@ -368,6 +433,16 @@ func (r *Registry) Reload() error {
 	}
 	next.gen = r.gen.Load()
 	r.swap(next)
+	// Durable state must not outlive its schema: names the directory
+	// no longer serves lose their snapshot files (same-name
+	// supersession is handled by the store's atomic overwrite).
+	if r.persist != nil {
+		for name := range cur.byName {
+			if _, ok := next.byName[name]; !ok {
+				_ = r.persist.Delete(name)
+			}
+		}
+	}
 	return nil
 }
 

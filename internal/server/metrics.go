@@ -68,6 +68,20 @@ type metrics struct {
 	closureBuildSeconds *obs.Histogram
 	closureBytes        *obs.Gauge
 
+	// Durable snapshot persistence: save/restore lifecycle of the
+	// crash-safe on-disk state (internal/persist). The counters are
+	// scrape-synced from the store's own Stats, so events that fired
+	// before the observer was attached (boot-time restores) are never
+	// undercounted.
+	persistSaves          *obs.Counter
+	persistSaveFailures   *obs.Counter
+	persistSavesSkipped   *obs.Counter
+	persistRestores       *obs.Counter
+	persistRecompiles     *obs.Counter
+	persistQuarantines    *obs.Counter
+	persistSaveSeconds    *obs.Histogram
+	persistRestoreSeconds *obs.Histogram
+
 	// Versioned API: requests still arriving on pre-/v1 routes.
 	deprecated *obs.CounterVec
 }
@@ -149,6 +163,22 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Wall-clock duration of one all-pairs closure build.", obs.DefBuckets()),
 		closureBytes: reg.Gauge("pathcomplete_closure_bytes",
 			"Bytes reserved against the closure budget across live indexes and in-progress builds."),
+		persistSaves: reg.Counter("pathcomplete_persist_saves_total",
+			"Snapshot files durably written (temp file + fsync + atomic rename)."),
+		persistSaveFailures: reg.Counter("pathcomplete_persist_save_failures_total",
+			"Snapshot writes that failed; the previous durable file, if any, is intact."),
+		persistSavesSkipped: reg.Counter("pathcomplete_persist_saves_skipped_total",
+			"Saves dropped by the generation gate (a background persist lost the race against a newer reload)."),
+		persistRestores: reg.Counter("pathcomplete_persist_restores_total",
+			"Closure indexes restored from a durable snapshot instead of rebuilt."),
+		persistRecompiles: reg.Counter("pathcomplete_persist_recompiles_total",
+			"Cold starts that fell back to SDL recompilation (missing, stale, or corrupt durable state)."),
+		persistQuarantines: reg.Counter("pathcomplete_persist_quarantines_total",
+			"Durable files moved to quarantine because they failed checksum, version, or schema validation."),
+		persistSaveSeconds: reg.Histogram("pathcomplete_persist_save_duration_seconds",
+			"Wall-clock duration of one durable snapshot write.", obs.DefBuckets()),
+		persistRestoreSeconds: reg.Histogram("pathcomplete_persist_restore_duration_seconds",
+			"Wall-clock duration of one verified restore from disk.", obs.DefBuckets()),
 		deprecated: reg.CounterVec("pathcomplete_deprecated_requests_total",
 			"Requests served on deprecated pre-/v1 routes (answered with a Deprecation header).", "route"),
 	}

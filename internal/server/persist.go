@@ -1,0 +1,149 @@
+package server
+
+// Durable-state wiring and readiness. The registry owns the persist
+// store (registry.EnablePersist); the server layers three things on
+// top: metric families fed by the store's lifecycle observer and
+// scrape-synced counters, a persistStatus block on the introspection
+// surfaces (/stats, /v1/schemas/{name}), and the liveness/readiness
+// split — /healthz stays pure liveness (the process is up and can
+// answer), while /readyz answers whether this process should receive
+// traffic: the default schema is installed (which, because boot
+// recovery runs synchronously before the listener starts, implies the
+// recovery state machine has finished) and the server has not begun
+// draining. Both endpoints bypass the admission gate by construction —
+// they never call admit — so a saturated search queue can never make
+// an orchestrator think the process is dead.
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"pathcomplete/internal/persist"
+)
+
+// AttachPersist wires the registry's persist store (installed with
+// registry.EnablePersist) into the server: lifecycle events feed the
+// persist metric families, the counters scrape-sync from the store's
+// authoritative Stats, and BeginDrain flushes pending saves. Call
+// once at boot, after EnablePersist and before serving traffic; it is
+// a no-op (returning nil) when the registry has no store.
+func (sv *Server) AttachPersist() *persist.Store {
+	ps := sv.reg.PersistStore()
+	if ps == nil {
+		return nil
+	}
+	ps.SetObserver(persistObserver{sv: sv, log: slog.Default()})
+	sv.metReg.OnScrape(func() {
+		st := ps.Stats()
+		sv.met.persistSaves.SyncTo(st.Saves)
+		sv.met.persistSaveFailures.SyncTo(st.SaveFailures)
+		sv.met.persistSavesSkipped.SyncTo(st.SavesSkipped)
+		sv.met.persistRestores.SyncTo(st.Restores)
+		sv.met.persistRecompiles.SyncTo(st.Recompiles)
+		sv.met.persistQuarantines.SyncTo(st.Quarantines)
+	})
+	return ps
+}
+
+// persistObserver folds persistence lifecycle events into the latency
+// histograms (the counters scrape-sync from Stats instead, so events
+// that predate the observer are still counted) and logs the ones an
+// operator must see. It carries its own logger, captured at attach
+// time: lifecycle events fire from background warm goroutines, which
+// must not race the request logger the handler installs later.
+type persistObserver struct {
+	sv  *Server
+	log *slog.Logger
+}
+
+func (o persistObserver) PersistSaved(name string, gen uint64, bytes int, elapsed time.Duration) {
+	o.sv.met.persistSaveSeconds.Observe(elapsed.Seconds())
+}
+
+func (o persistObserver) PersistSaveFailed(name string, err error) {
+	o.log.Warn("durable snapshot save failed; state stays memory-only until the next warm",
+		"schema", name, "error", err.Error())
+}
+
+func (o persistObserver) PersistRestored(name string, gen uint64, elapsed time.Duration) {
+	o.sv.met.persistRestoreSeconds.Observe(elapsed.Seconds())
+}
+
+func (o persistObserver) PersistQuarantined(name, reason string) {
+	o.log.Warn("durable snapshot quarantined; recompiling from SDL",
+		"schema", name, "reason", reason)
+}
+
+// PersistStatusJSON reports one schema's durable snapshot state on
+// the introspection surfaces.
+type PersistStatusJSON struct {
+	// Enabled reports whether a persist store is attached at all.
+	Enabled bool `json:"enabled"`
+	// Saved reports whether this process has durably written (or
+	// adopted on restore) a snapshot file for the schema; when it has,
+	// SavedGeneration is the generation that file carries.
+	Saved           bool   `json:"saved,omitempty"`
+	SavedGeneration uint64 `json:"savedGeneration,omitempty"`
+	// Restored reports that the serving closure index was loaded from
+	// disk at startup instead of recompiled.
+	Restored bool `json:"restored,omitempty"`
+}
+
+// persistStatus builds the durable-state block for one schema.
+func (sv *Server) persistStatus(name string, restored bool) *PersistStatusJSON {
+	ps := sv.reg.PersistStore()
+	if ps == nil {
+		return &PersistStatusJSON{}
+	}
+	out := &PersistStatusJSON{Enabled: true, Restored: restored}
+	out.SavedGeneration, out.Saved = ps.SavedGeneration(name)
+	return out
+}
+
+// BeginDrain flips the server not-ready (future /readyz probes answer
+// 503, so the balancer stops routing here) and flushes every pending
+// durable save — the SIGTERM half of crash safety: a clean shutdown
+// leaves the newest generation on disk so the next boot restores
+// instead of recompiling. Idempotent; /healthz keeps answering 200
+// throughout, because a draining process is alive, just not accepting
+// new work.
+func (sv *Server) BeginDrain() {
+	if sv.draining.Swap(true) {
+		return
+	}
+	if ps := sv.reg.PersistStore(); ps != nil {
+		ps.Flush()
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (sv *Server) Draining() bool { return sv.draining.Load() }
+
+// handleReadyz answers GET /readyz: 200 when this process should
+// receive traffic, 503 otherwise. Distinct from /healthz on purpose —
+// an orchestrator restarts on failed liveness but merely unroutes on
+// failed readiness, and a draining or still-recovering process wants
+// the latter.
+func (sv *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if sv.draining.Load() {
+		sv.writeJSON(w, r, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining",
+		})
+		return
+	}
+	sn, err := sv.reg.Acquire("")
+	if err != nil {
+		sv.writeJSON(w, r, http.StatusServiceUnavailable, map[string]any{
+			"status": "starting",
+			"reason": err.Error(),
+		})
+		return
+	}
+	defer sn.Release()
+	sv.writeJSON(w, r, http.StatusOK, map[string]any{
+		"status":     "ready",
+		"schema":     sn.Name(),
+		"generation": sn.Generation(),
+	})
+}

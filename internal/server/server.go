@@ -6,6 +6,10 @@
 // hot reload with atomic swap. Endpoints:
 //
 //	GET  /healthz            liveness (JSON: status, schemas, uptime)
+//	GET  /readyz             readiness: 200 once the default schema is
+//	                         installed and recovery has finished, 503
+//	                         while starting or draining (see persist.go);
+//	                         like /healthz, never gated by admission
 //	GET  /schemas            the served schemas (JSON: name, generation,
 //	                         shape, which is the default)
 //	POST /schemas/reload     reparse the SDL directory and swap
@@ -54,6 +58,7 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pathcomplete/internal/core"
@@ -73,7 +78,7 @@ import (
 // obs middleware uses to normalize metric labels ("/v1/schemas/"
 // covers the per-name wildcard paths by prefix).
 var Routes = []string{
-	"/healthz", "/schema", "/schemas", "/schemas/reload", "/stats",
+	"/healthz", "/readyz", "/schema", "/schemas", "/schemas/reload", "/stats",
 	"/metrics", "/buildinfo", "/complete", "/completeBatch", "/evaluate",
 	"/v1/complete", "/v1/completeBatch", "/v1/evaluate",
 	"/v1/schemas", "/v1/schemas/{name}", "/v1/schemas/reload",
@@ -97,6 +102,10 @@ type Server struct {
 	lim     Limits
 	gate    *gate
 	flights *flightGroup
+
+	// draining flips true at BeginDrain: /readyz answers 503 from then
+	// on, while /healthz (liveness) keeps answering 200.
+	draining atomic.Bool
 
 	// depWarned tracks which deprecated routes already logged their
 	// one-time warning.
@@ -267,6 +276,7 @@ func (sv *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	sv.logger = cfg.Logger
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", sv.handleHealthz)
+	mux.HandleFunc("GET /readyz", sv.handleReadyz)
 	mux.HandleFunc("GET /schema", sv.handleSchema)
 	mux.HandleFunc("GET /schemas", sv.handleSchemas)
 	mux.HandleFunc("POST /schemas/reload", sv.handleReload)
@@ -530,6 +540,10 @@ func (sv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"usedBytes": b.Budget().Used(),
 			"maxBytes":  b.Budget().Max(),
 		}
+	}
+	if ps := sv.reg.PersistStore(); ps != nil {
+		out["persist"] = ps.Stats()
+		out["persistStatus"] = sv.persistStatus(sn.Name(), sn.ClosureStatus().Restored)
 	}
 	sv.writeJSON(w, r, http.StatusOK, out)
 }

@@ -163,7 +163,10 @@ func completeMeta(sn *registry.Snapshot, c completed) *Meta {
 type SchemaDetailJSON struct {
 	SchemaInfoJSON
 	ClosureStatus closure.Status `json:"closureStatus"`
-	SDL           string         `json:"sdl"`
+	// PersistStatus reports the schema's durable snapshot state
+	// (enabled=false when the process runs without a persist store).
+	PersistStatus *PersistStatusJSON `json:"persistStatus,omitempty"`
+	SDL           string             `json:"sdl"`
 }
 
 // handleSchemaByName serves GET /v1/schemas/{name}. The legacy GET
@@ -193,6 +196,7 @@ func (sv *Server) handleSchemaByName(w http.ResponseWriter, r *http.Request) {
 			Closure:    string(sn.ClosureStatus().State),
 		},
 		ClosureStatus: sn.ClosureStatus(),
+		PersistStatus: sv.persistStatus(sn.Name(), sn.ClosureStatus().Restored),
 		SDL:           sb.String(),
 	}
 	sv.respond(w, r, http.StatusOK, data, &Meta{Schema: sn.Name(), Generation: sn.Generation()})
