@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race cover cover-gate bench bench-json bench-closure bench-smoke bench-obs bench-trace bench-coldstart bench-coldstart-smoke experiments fuzz fuzz-smoke chaos chaos-persist fmt vet clean
+.PHONY: all build test test-race race cover cover-gate bench bench-json bench-closure bench-smoke bench-obs bench-trace bench-coldstart bench-coldstart-smoke experiments fuzz fuzz-smoke chaos chaos-persist chaos-sessions fmt vet clean
 
 all: build vet test
 
@@ -25,16 +25,18 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Coverage gate (CI): the search kernel, the multi-schema registry,
-# and the all-pairs closure index are the subsystems whose regressions
-# are silent (a wrong cached/materialized answer still returns 200),
-# so their combined statement coverage must stay >= 80%.
+# the all-pairs closure index, and the interactive-session machinery
+# (session state machine + WebSocket framing) are the subsystems whose
+# regressions are silent (a wrong cached/materialized/streamed answer
+# still looks like success), so their combined statement coverage must
+# stay >= 80%.
 COVER_GATE_MIN ?= 80.0
 cover-gate:
 	$(GO) test -coverprofile=cover_gate.out \
-		-coverpkg=./internal/core/...,./internal/registry/...,./internal/closure/... \
-		./internal/core/... ./internal/registry/... ./internal/closure/... ./internal/server/...
+		-coverpkg=./internal/core/...,./internal/registry/...,./internal/closure/...,./internal/session,./internal/ws \
+		./internal/core/... ./internal/registry/... ./internal/closure/... ./internal/server/... ./internal/session/... ./internal/ws/...
 	@total=$$($(GO) tool cover -func=cover_gate.out | awk '/^total:/ { gsub(/%/, "", $$3); print $$3 }'); \
-	echo "combined core+registry coverage: $$total% (gate: $(COVER_GATE_MIN)%)"; \
+	echo "combined core+registry+session coverage: $$total% (gate: $(COVER_GATE_MIN)%)"; \
 	awk -v t="$$total" -v min="$(COVER_GATE_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' \
 		|| { echo "coverage gate FAILED: $$total% < $(COVER_GATE_MIN)%"; exit 1; }
 
@@ -105,6 +107,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=5m ./internal/pathexpr
 	$(GO) test -fuzz=FuzzParseSDL -fuzztime=5m ./internal/sdl
 	$(GO) test -fuzz=FuzzCompleteRoundTrip -fuzztime=5m ./internal/core
+	$(GO) test -fuzz=FuzzSessionProtocol -fuzztime=5m ./internal/session
 
 # CI-sized fuzzing: 30s per target, enough to catch parser and search
 # regressions without holding up the pipeline.
@@ -112,6 +115,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s -run FuzzParse ./internal/pathexpr
 	$(GO) test -fuzz=FuzzParseSDL -fuzztime=30s -run FuzzParseSDL ./internal/sdl
 	$(GO) test -fuzz=FuzzCompleteRoundTrip -fuzztime=30s -run FuzzCompleteRoundTrip ./internal/core
+	$(GO) test -fuzz=FuzzSessionProtocol -fuzztime=30s -run FuzzSessionProtocol ./internal/session
 
 # The chaos drill on its own: fault injection under the race detector
 # with concurrent clients (internal/server/chaos_test.go).
@@ -125,6 +129,17 @@ chaos:
 # race detector.
 chaos-persist:
 	$(GO) test -race -run TestChaosPersist -count=1 -v ./internal/registry
+
+# The interactive-session drill: 2000 concurrent WebSocket keystroke
+# sessions against one server while a reloader hot-swaps the schema and
+# fault injection corrupts sends and searches, under the race detector.
+# Passes only if every session unwinds (zero leaked sessions, admission
+# slots, snapshot refs, or goroutines) and a fresh session still
+# completes afterwards (internal/server/sessions_test.go).
+CHAOS_SESSIONS ?= 2000
+chaos-sessions:
+	PATHCOMPLETE_CHAOS_SESSIONS=$(CHAOS_SESSIONS) \
+		$(GO) test -race -run TestChaosSessions -count=1 -v -timeout 10m ./internal/server
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,134 @@
+package main
+
+// -follow: an interactive keystroke session against a running
+// pathserve. Each stdin line is sent as one update frame on a
+// /v1/sessions WebSocket, and the streamed answer — per-anchor
+// candidate batches, the merged final with its reuse stats, rebind
+// announcements when the server hot-reloads mid-session — is printed
+// as it arrives. Unlike the one-shot remote mode, a session pins one
+// schema snapshot and reuses the traversal frontier across refining
+// inputs, so `ta~n` then `ta~na` costs one search plus a merge.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	neturl "net/url"
+	"strings"
+
+	"pathcomplete/internal/session"
+	"pathcomplete/internal/ws"
+)
+
+// runFollow drives one interactive session until EOF or "quit".
+func runFollow(rc remoteConfig, in io.Reader, out io.Writer) error {
+	url := strings.TrimRight(rc.base, "/") + "/v1/sessions"
+	if rc.schema != "" {
+		url += "?schema=" + neturl.QueryEscape(rc.schema)
+	}
+	conn, err := ws.Dial(url)
+	if err != nil {
+		return fmt.Errorf("session dial: %w", err)
+	}
+	defer conn.Close(ws.CloseNormal, "")
+
+	hello, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("session hello: %w", err)
+	}
+	if hello.Type == session.TypeError {
+		return fmt.Errorf("session refused (%s): %s", hello.Code, hello.Message)
+	}
+	if hello.Type != session.TypeHello {
+		return fmt.Errorf("session: first frame is %q, want hello", hello.Type)
+	}
+	fmt.Fprintf(out, "session %s: schema %s, generation %d. Type keystrokes (one state per line):\n",
+		hello.Session, hello.Schema, hello.Generation)
+
+	// The printer owns the read side: frames stream in while stdin
+	// blocks, so a slow typist still sees batches arrive live.
+	done := make(chan error, 1)
+	go func() { done <- followPrint(conn, rc, out) }()
+
+	seq := uint64(0)
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		seq++
+		data, err := json.Marshal(session.ClientFrame{Type: session.TypeUpdate, Seq: seq, Expr: line})
+		if err != nil {
+			return err
+		}
+		if err := conn.WriteMessage(ws.OpText, data); err != nil {
+			return fmt.Errorf("session send: %w", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	conn.Close(ws.CloseNormal, "")
+	<-done // the printer exits on the close it just observed
+	return nil
+}
+
+// readFrame reads and decodes one server frame.
+func readFrame(conn *ws.Conn) (session.ServerFrame, error) {
+	var f session.ServerFrame
+	_, data, err := conn.ReadMessage()
+	if err != nil {
+		return f, err
+	}
+	return f, json.Unmarshal(data, &f)
+}
+
+// followPrint renders server frames until the connection ends.
+func followPrint(conn *ws.Conn, rc remoteConfig, out io.Writer) error {
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return err // clean close included: the writer ignores it
+		}
+		switch f.Type {
+		case session.TypeBatch:
+			if rc.verbose {
+				reused := ""
+				if f.Reused {
+					reused = " (reused)"
+				}
+				fmt.Fprintf(out, "  [%d] anchor %s: %d candidates%s\n",
+					f.Seq, f.Anchor, len(f.Candidates), reused)
+			}
+		case session.TypeFinal:
+			fmt.Fprintf(out, "%s\n", f.Expr)
+			if len(f.Completions) == 0 {
+				fmt.Fprintln(out, "  (no consistent completion)")
+			}
+			for _, c := range f.Completions {
+				fmt.Fprintf(out, "  %-60s [%s, %d]\n", c.Path, c.Conn, c.SemLen)
+			}
+			if f.Aborted {
+				fmt.Fprintf(out, "  (search stopped early: %s)\n", f.StopReason)
+			}
+			if rc.stats && f.Stats != nil {
+				fmt.Fprintf(out, "  engine=%s calls=%d anchors=%d reused=%d cold=%d source=%d\n",
+					f.Engine, f.Stats.Calls, f.Stats.Anchors, f.Stats.Reused, f.Stats.Cold, f.Stats.Source)
+			}
+		case session.TypeSkipped:
+			if rc.verbose {
+				fmt.Fprintf(out, "  [%d] superseded by a newer keystroke\n", f.Seq)
+			}
+		case session.TypeError:
+			fmt.Fprintf(out, "  error (%s): %s\n", f.Code, f.Message)
+		case session.TypeRebind:
+			fmt.Fprintf(out, "  (schema reloaded: now %s generation %d; session state reset)\n",
+				f.Schema, f.Generation)
+		}
+	}
+}

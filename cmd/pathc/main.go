@@ -6,6 +6,7 @@
 //	pathc -sdl my_schema.sdl 'order~total'
 //	pathc -schema university            # interactive: one expression per line
 //	pathc -server http://localhost:8080 -v 'ta~name'   # remote via the /v1 API
+//	pathc -server http://localhost:8080 -follow -stats # interactive keystroke session
 //
 // Flags select the engine preset (-engine paper|safe|exact), the AGG*
 // parameter (-e), excluded classes (-exclude a,b,c), and whether to
@@ -60,8 +61,13 @@ func main() {
 		serverURL  = flag.String("server", "", "complete against a running pathserve at this base URL via the /v1 API instead of the in-process engine (e.g. http://localhost:8080)")
 		verbose    = flag.Bool("v", false, "with -server: print the response meta (engine, schema generation, cacheHit, durationMs)")
 		retries    = flag.Int("retries", 0, "with -server: retry a request answered 429 or 503 up to N times, honoring the Retry-After header with bounded jittered backoff (0: fail immediately, today's behavior)")
+		follow     = flag.Bool("follow", false, "with -server: open an interactive keystroke session (/v1/sessions WebSocket) — each stdin line is one typing state, answers stream and refine as you narrow the expression")
 	)
 	flag.Parse()
+	if *follow && *serverURL == "" {
+		fmt.Fprintln(os.Stderr, "pathc: -follow requires -server (sessions are a pathserve surface)")
+		os.Exit(2)
+	}
 	if *serverURL != "" {
 		switch {
 		case *eval, *dot, *explain, *why:
@@ -91,6 +97,17 @@ func main() {
 		}
 		if schemaSet {
 			rc.schema = *schemaName
+		}
+		if *follow {
+			if *batch || *trace {
+				fmt.Fprintln(os.Stderr, "pathc: -follow and -batch/-trace are mutually exclusive")
+				os.Exit(2)
+			}
+			if err := runFollow(rc, os.Stdin, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "pathc:", err)
+				os.Exit(1)
+			}
+			return
 		}
 		if err := runRemote(rc, flag.Args(), os.Stdin, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "pathc:", err)

@@ -110,6 +110,10 @@ type config struct {
 	maxBody     int64         // POST body cap in bytes (0: server default)
 	faults      string        // fault-injection spec ("": also consult PATHCOMPLETE_FAULTS)
 
+	// Interactive sessions (/v1/sessions).
+	maxSessions     int           // open-session cap (0: server default)
+	sessionDebounce time.Duration // keystroke settle window (0: default; <0: none)
+
 	// Materialized all-pairs closure.
 	closureOn       bool  // warm an all-pairs index per schema snapshot
 	closureMaxBytes int64 // byte budget across all live indexes (0: unbounded)
@@ -148,6 +152,8 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.queue, "queue", server.DefaultMaxQueue, "admission wait queue length (-1: shed immediately when saturated)")
 	fs.Int64Var(&cfg.maxBody, "max-body", server.DefaultMaxBodyBytes, "POST body size cap in bytes")
 	fs.StringVar(&cfg.faults, "faults", "", "fault-injection spec for chaos drills (e.g. delay=0.2,error=0.1); also read from "+faultinject.EnvVar)
+	fs.IntVar(&cfg.maxSessions, "max-sessions", server.DefaultMaxSessions, "max interactive WebSocket sessions open at once (/v1/sessions; beyond it connects are refused with 429)")
+	fs.DurationVar(&cfg.sessionDebounce, "session-debounce", server.DefaultSessionDebounce, "keystroke settle window per session: updates arriving within it coalesce into one search (negative: react to every keystroke immediately)")
 	fs.BoolVar(&cfg.closureOn, "closure", false, "warm a materialized all-pairs closure index per schema snapshot in the background; single-gap queries are served from it once ready")
 	fs.Int64Var(&cfg.closureMaxBytes, "closure-max-bytes", 256<<20, "byte budget across all live closure indexes and in-progress builds (0: unbounded); a build that would exceed it stops and the snapshot serves through the search kernel")
 	fs.IntVar(&cfg.closureWorkers, "closure-workers", 1, "concurrent background closure builds (>= 1)")
@@ -215,6 +221,9 @@ func (cfg config) validate() error {
 	}
 	if cfg.maxBody < 0 {
 		return fmt.Errorf("-max-body must be >= 0, got %d", cfg.maxBody)
+	}
+	if cfg.maxSessions < 0 {
+		return fmt.Errorf("-max-sessions must be >= 0, got %d", cfg.maxSessions)
 	}
 	if cfg.faults != "" {
 		if _, err := faultinject.ParseSpec(cfg.faults); err != nil {
@@ -321,6 +330,8 @@ func run(cfg config, logger *slog.Logger) error {
 		"maxInflight", lim.MaxConcurrent,
 		"queue", lim.MaxQueue,
 		"maxBody", lim.MaxBodyBytes,
+		"maxSessions", lim.MaxSessions,
+		"sessionDebounce", lim.SessionDebounce,
 	)
 
 	reqLogger := logger
@@ -504,11 +515,13 @@ func build(cfg config) (*server.Server, *schema.Schema, error) {
 	sv := server.New(s, store, opts)
 	sv.SetCacheCap(cfg.cacheCap)
 	sv.SetLimits(server.Limits{
-		DefaultTimeout: cfg.timeout,
-		MaxTimeout:     cfg.maxTimeout,
-		MaxConcurrent:  cfg.maxInflight,
-		MaxQueue:       cfg.queue,
-		MaxBodyBytes:   cfg.maxBody,
+		DefaultTimeout:  cfg.timeout,
+		MaxTimeout:      cfg.maxTimeout,
+		MaxConcurrent:   cfg.maxInflight,
+		MaxQueue:        cfg.queue,
+		MaxBodyBytes:    cfg.maxBody,
+		MaxSessions:     cfg.maxSessions,
+		SessionDebounce: cfg.sessionDebounce,
 	})
 	if err := cfg.setupPersist(sv); err != nil {
 		return nil, nil, err

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/uni"
+)
+
+// frontierView projects the fields the prefix-differential contract
+// covers: completions with labels, and the best set.
+type frontierView struct {
+	Completions []string
+	Labels      []string
+	Best        []string
+}
+
+func viewOf(r *Result) frontierView {
+	v := frontierView{}
+	for _, c := range r.Completions {
+		v.Completions = append(v.Completions, c.Path.String())
+		v.Labels = append(v.Labels, c.Label.String())
+	}
+	for _, k := range r.Best {
+		v.Best = append(v.Best, k.Conn.String()+"/"+itoa(k.SemLen))
+	}
+	return v
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// TestFrontierRefinementReusesCells is the acceptance-criterion test:
+// a scripted ta~n → ta~na → ta~nam refinement must reuse the prior
+// frontier — every refinement Advance reports zero cold cells and
+// zero traverse calls, strictly fewer than the cold keystroke.
+func TestFrontierRefinementReusesCells(t *testing.T) {
+	s := uni.New()
+	c := New(s, Exact())
+	fr, err := c.NewFrontier(pathexpr.MustParse("ta~n"))
+	if err != nil {
+		t.Fatalf("NewFrontier: %v", err)
+	}
+	first, info, err := fr.Advance(context.Background(), "n", nil)
+	if err != nil {
+		t.Fatalf("Advance(n): %v", err)
+	}
+	if info.Cold == 0 || info.Calls == 0 {
+		t.Fatalf("cold keystroke: Cold=%d Calls=%d, want both > 0", info.Cold, info.Calls)
+	}
+	coldCalls := info.Calls
+	for _, prefix := range []string{"na", "nam", "name"} {
+		res, ri, err := fr.Advance(context.Background(), prefix, nil)
+		if err != nil {
+			t.Fatalf("Advance(%s): %v", prefix, err)
+		}
+		if ri.Cold != 0 || ri.Calls != 0 {
+			t.Errorf("refinement %q: Cold=%d Calls=%d, want 0/0", prefix, ri.Cold, ri.Calls)
+		}
+		if ri.Reused != ri.Anchors {
+			t.Errorf("refinement %q: Reused=%d Anchors=%d, want equal", prefix, ri.Reused, ri.Anchors)
+		}
+		if ri.Calls >= coldCalls {
+			t.Errorf("refinement %q: Calls=%d not strictly below cold %d", prefix, ri.Calls, coldCalls)
+		}
+		// Refinement narrows: its answers are a subset of the wider prefix's.
+		wider := make(map[string]bool)
+		for _, cc := range first.Completions {
+			wider[cc.String()] = true
+		}
+		for _, cc := range res.Completions {
+			if !wider[cc.String()] {
+				t.Errorf("refinement %q: completion %s absent from prefix %q answer", prefix, cc.String(), "n")
+			}
+		}
+	}
+}
+
+// TestFrontierFinalEqualsOneShot: once the prefix has narrowed to a
+// single concrete anchor, the merged frontier answer must be
+// bit-for-bit the one-shot Complete answer for that anchor.
+func TestFrontierFinalEqualsOneShot(t *testing.T) {
+	s := uni.New()
+	c := New(s, Exact())
+	fr, err := c.NewFrontier(pathexpr.MustParse("ta~n"))
+	if err != nil {
+		t.Fatalf("NewFrontier: %v", err)
+	}
+	for _, anchor := range GapAnchors(s) {
+		m := fr.Matches(anchor)
+		if len(m) != 1 || m[0] != anchor {
+			continue // anchor is a proper prefix of another; merge is wider
+		}
+		got, _, err := fr.Advance(context.Background(), anchor, nil)
+		if err != nil {
+			t.Fatalf("Advance(%s): %v", anchor, err)
+		}
+		want, err := c.Complete(pathexpr.MustParse("ta~" + anchor))
+		if err != nil {
+			t.Fatalf("Complete(ta~%s): %v", anchor, err)
+		}
+		if !reflect.DeepEqual(viewOf(got), viewOf(want)) {
+			t.Errorf("anchor %q: frontier = %+v, one-shot = %+v", anchor, viewOf(got), viewOf(want))
+		}
+	}
+}
+
+// TestFrontierIncrementalEqualsCold: for every prefix length of every
+// anchor, a warmed frontier (advanced keystroke by keystroke) and a
+// cold CompletePrefixContext must agree exactly.
+func TestFrontierIncrementalEqualsCold(t *testing.T) {
+	s := uni.New()
+	c := New(s, Exact())
+	fr, err := c.NewFrontier(pathexpr.MustParse("ta~x"))
+	if err != nil {
+		t.Fatalf("NewFrontier: %v", err)
+	}
+	anchors := GapAnchors(s)
+	prefixes := map[string]bool{}
+	for _, a := range anchors {
+		for i := 1; i <= len(a); i++ {
+			prefixes[a[:i]] = true
+		}
+	}
+	for p := range prefixes {
+		warm, _, err := fr.Advance(context.Background(), p, nil)
+		if err != nil {
+			t.Fatalf("warm Advance(%s): %v", p, err)
+		}
+		cold, err := c.CompletePrefixContext(context.Background(), pathexpr.MustParse("ta~"+p))
+		if err != nil {
+			t.Fatalf("CompletePrefixContext(ta~%s): %v", p, err)
+		}
+		if !reflect.DeepEqual(viewOf(warm), viewOf(cold)) {
+			t.Errorf("prefix %q: warm = %+v, cold = %+v", p, viewOf(warm), viewOf(cold))
+		}
+	}
+}
+
+// TestFrontierEmitOrder: emit fires once per matching anchor, in
+// sorted order, and the merged completions are drawn from the union
+// of the emitted cells.
+func TestFrontierEmitOrder(t *testing.T) {
+	s := uni.New()
+	c := New(s, Exact())
+	fr, err := c.NewFrontier(pathexpr.MustParse("ta~x"))
+	if err != nil {
+		t.Fatalf("NewFrontier: %v", err)
+	}
+	var emitted []string
+	union := map[string]bool{}
+	res, info, err := fr.Advance(context.Background(), "", func(anchor string, cell *Result, reused bool) {
+		emitted = append(emitted, anchor)
+		if reused {
+			t.Errorf("anchor %q emitted as reused on a cold frontier", anchor)
+		}
+		for _, cc := range cell.Completions {
+			union[cc.String()] = true
+		}
+	})
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if !sort.StringsAreSorted(emitted) {
+		t.Errorf("emit order not sorted: %v", emitted)
+	}
+	if !reflect.DeepEqual(emitted, GapAnchors(s)) {
+		t.Errorf("emitted = %v, want every anchor %v", emitted, GapAnchors(s))
+	}
+	if info.Anchors != len(emitted) {
+		t.Errorf("Anchors = %d, emits = %d", info.Anchors, len(emitted))
+	}
+	for _, cc := range res.Completions {
+		if !union[cc.String()] {
+			t.Errorf("merged completion %s not in any emitted cell", cc.String())
+		}
+	}
+}
+
+// TestFrontierValidation locks the constructor and no-match errors to
+// compile's wording family.
+func TestFrontierValidation(t *testing.T) {
+	s := uni.New()
+	c := New(s, Exact())
+	if _, err := c.NewFrontier(pathexpr.MustParse("ta.grad")); err == nil || !strings.Contains(err.Error(), "ending in a ~ gap") {
+		t.Errorf("non-gap-final: err = %v", err)
+	}
+	if _, err := c.NewFrontier(pathexpr.Expr{Root: "nosuch", Steps: []pathexpr.Step{{Gap: true, Name: "n"}}}); err == nil || !strings.Contains(err.Error(), `unknown root class "nosuch"`) {
+		t.Errorf("unknown root: err = %v", err)
+	}
+	if _, err := c.NewFrontier(pathexpr.MustParse("C~n")); err == nil || !strings.Contains(err.Error(), "is primitive") {
+		t.Errorf("primitive root: err = %v", err)
+	}
+	if _, err := c.NewFrontier(pathexpr.MustParse("ta~zzz.x~n")); err == nil || !strings.Contains(err.Error(), "no relationship or class named") {
+		t.Errorf("bad earlier gap: err = %v", err)
+	}
+	fr, err := c.NewFrontier(pathexpr.MustParse("ta~n"))
+	if err != nil {
+		t.Fatalf("NewFrontier: %v", err)
+	}
+	if _, _, err := fr.Advance(context.Background(), "zzz", nil); err == nil || !strings.Contains(err.Error(), `name prefix "zzz"`) {
+		t.Errorf("no-match prefix: err = %v", err)
+	}
+}
+
+// TestFrontierAbortNotCached: a canceled search yields a partial
+// Aborted result whose cell is not cached, so a later Advance with a
+// live context recomputes and converges to the full answer.
+func TestFrontierAbortNotCached(t *testing.T) {
+	s := uni.New()
+	c := New(s, Exact())
+	fr, err := c.NewFrontier(pathexpr.MustParse("ta~n"))
+	if err != nil {
+		t.Fatalf("NewFrontier: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, info, err := fr.Advance(ctx, "name", nil)
+	if err != nil {
+		t.Fatalf("Advance(canceled): %v", err)
+	}
+	if !res.Aborted || res.StopReason != StopCanceled {
+		t.Fatalf("canceled Advance: Aborted=%v StopReason=%q", res.Aborted, res.StopReason)
+	}
+	if fr.Cells() != 0 {
+		t.Fatalf("aborted cell cached: Cells() = %d", fr.Cells())
+	}
+	res, info, err = fr.Advance(context.Background(), "name", nil)
+	if err != nil {
+		t.Fatalf("Advance(retry): %v", err)
+	}
+	if res.Aborted || info.Cold == 0 {
+		t.Fatalf("retry: Aborted=%v Cold=%d, want full recompute", res.Aborted, info.Cold)
+	}
+	want, err := c.CompletePrefixContext(context.Background(), pathexpr.MustParse("ta~name"))
+	if err != nil {
+		t.Fatalf("CompletePrefixContext: %v", err)
+	}
+	if !reflect.DeepEqual(viewOf(res), viewOf(want)) {
+		t.Errorf("retry answer diverged: %+v vs %+v", viewOf(res), viewOf(want))
+	}
+}
+
+// TestFrontierCellSource: a source hit replaces the kernel search and
+// yields the identical merged answer.
+func TestFrontierCellSource(t *testing.T) {
+	s := uni.New()
+	c := New(s, Exact())
+	want, err := c.CompletePrefixContext(context.Background(), pathexpr.MustParse("ta~name"))
+	if err != nil {
+		t.Fatalf("CompletePrefixContext: %v", err)
+	}
+	fr, err := c.NewFrontier(pathexpr.MustParse("ta~n"))
+	if err != nil {
+		t.Fatalf("NewFrontier: %v", err)
+	}
+	hits := 0
+	fr.SetCellSource(func(anchor string) (*Result, bool) {
+		r, err := c.CompleteContext(context.Background(), pathexpr.MustParse("ta~"+anchor))
+		if err != nil {
+			t.Fatalf("source Complete(%s): %v", anchor, err)
+		}
+		hits++
+		return r, true
+	})
+	got, info, err := fr.Advance(context.Background(), "name", nil)
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if info.Cold != 0 || info.Source == 0 || info.Source != hits {
+		t.Errorf("Cold=%d Source=%d hits=%d, want 0/n/n", info.Cold, info.Source, hits)
+	}
+	if !reflect.DeepEqual(viewOf(got), viewOf(want)) {
+		t.Errorf("source-fed answer diverged: %+v vs %+v", viewOf(got), viewOf(want))
+	}
+}

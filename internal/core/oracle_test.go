@@ -257,6 +257,140 @@ func TestOracleDifferential(t *testing.T) {
 	}
 }
 
+// TestOracleIncrementalPrefix is the incremental-vs-oneshot lane: the
+// session surface answers keystroke prefixes by advancing a cached
+// per-anchor frontier, and this lane proves over the generated corpus
+// that the warm incremental answer is bit-for-bit the cold one-shot
+// answer at every keystroke. For each schema it types each sampled
+// anchor character by character through one shared Frontier (exactly
+// a session's lifetime: cells accumulate across keystrokes) and
+// requires, per prefix,
+//
+//	warm Advance == cold CompletePrefixContext  on answers, order,
+//	                labels, and best set, and
+//	warm Advance == one-shot Complete           whenever the prefix
+//	                has narrowed to exactly its own anchor, and
+//	refinements after the first keystroke run zero cold searches
+//	                (the resumability invariant), and
+//	a prefix matching nothing errors on both paths.
+//
+// Disagreements persist reproducers under testdata/oracle_failures/
+// like the engine lane above.
+func TestOracleIncrementalPrefix(t *testing.T) {
+	n := int64(40)
+	if testing.Short() {
+		n = 12
+	}
+	disagreements := 0
+	for i := int64(0); i < n; i++ {
+		cfg := oracleConfig(i*5 + 2) // stride for shape diversity at low n
+		w, err := cupid.Generate(cfg)
+		if err != nil {
+			t.Fatalf("schema %d: Generate(%+v): %v", i, cfg, err)
+		}
+		s := w.Schema
+		r := rand.New(rand.NewSource(i*31337 + 7))
+
+		opts := core.Exact()
+		opts.E = 1 + int(i)%3
+		opts.NoPreemption = i%2 == 0
+		cmp := core.New(s, opts)
+
+		var roots []string
+		for _, c := range s.Classes() {
+			if !c.Primitive {
+				roots = append(roots, c.Name)
+			}
+		}
+		r.Shuffle(len(roots), func(a, b int) { roots[a], roots[b] = roots[b], roots[a] })
+		if len(roots) > 2 {
+			roots = roots[:2]
+		}
+		anchors := core.GapAnchors(s)
+		queried := 0
+		for _, root := range roots {
+			base := pathexpr.Expr{Root: root, Steps: []pathexpr.Step{{Gap: true, Name: "x"}}}
+			fr, err := cmp.NewFrontier(base)
+			if err != nil {
+				continue // primitive-only or degenerate root shape
+			}
+			// Sample up to five anchors to type out; keep the shared
+			// attribute names when present (the ambiguous ones).
+			typed := map[string]bool{}
+			for _, a := range []string{"value", "name", "units"} {
+				typed[a] = true
+			}
+			for k := 0; k < 2 && len(anchors) > 0; k++ {
+				typed[anchors[r.Intn(len(anchors))]] = true
+			}
+			names := make([]string, 0, len(typed))
+			for a := range typed {
+				names = append(names, a)
+			}
+			sort.Strings(names)
+			for _, anchor := range names {
+				prevCells := -1
+				for l := 1; l <= len(anchor); l++ {
+					prefix := anchor[:l]
+					warm, info, werr := fr.Advance(nil, prefix, nil)
+					e := pathexpr.Expr{Root: root, Steps: []pathexpr.Step{{Gap: true, Name: prefix}}}
+					cold, cerr := cmp.CompletePrefixContext(nil, e)
+					if (werr != nil) != (cerr != nil) {
+						disagreements++
+						report := fmt.Sprintf("warm err: %v\ncold err: %v", werr, cerr)
+						t.Errorf("schema %d %s prefix %q: error disagreement:\n%s", i, root, prefix, report)
+						dumpOracleFailure(t, cfg, s, e, opts, report)
+						break
+					}
+					if werr != nil {
+						break // no anchor matches this prefix in this schema
+					}
+					queried++
+					wv, cv := view(warm), view(cold)
+					if !reflect.DeepEqual(wv, cv) {
+						disagreements++
+						report := fmt.Sprintf("warm: %+v\ncold: %+v", wv, cv)
+						t.Errorf("schema %d (classes=%d, E=%d) %s prefix %q: warm vs cold disagree:\n%s", i, cfg.Classes, opts.E, root, prefix, report)
+						dumpOracleFailure(t, cfg, s, e, opts, report)
+					}
+					// Resumability: once every matching cell exists, a
+					// refinement must not search. Cells only grow, so after
+					// the first keystroke of this anchor the narrower
+					// prefixes are fully covered.
+					if prevCells >= 0 && info.Cold != 0 {
+						t.Errorf("schema %d %s prefix %q: refinement ran %d cold searches (Calls=%d)", i, root, prefix, info.Cold, info.Calls)
+					}
+					prevCells = fr.Cells()
+					if m := fr.Matches(prefix); len(m) == 1 && m[0] == prefix {
+						one, oerr := cmp.Complete(e)
+						if oerr != nil {
+							t.Errorf("schema %d %s anchor %q: Complete errored where frontier did not: %v", i, root, prefix, oerr)
+							continue
+						}
+						wv2 := view(warm)
+						ov := view(one)
+						if !reflect.DeepEqual(wv2, ov) {
+							disagreements++
+							report := fmt.Sprintf("frontier: %+v\noneshot:  %+v", wv2, ov)
+							t.Errorf("schema %d (classes=%d) %s anchor %q: frontier vs one-shot Complete disagree:\n%s", i, cfg.Classes, root, prefix, report)
+							dumpOracleFailure(t, cfg, s, e, opts, report)
+						}
+					}
+				}
+			}
+			if _, _, err := fr.Advance(nil, "zz\x00nope", nil); err == nil {
+				t.Errorf("schema %d %s: impossible prefix matched", i, root)
+			}
+		}
+		if queried == 0 {
+			t.Errorf("schema %d (classes=%d): incremental lane found no typeable prefixes", i, cfg.Classes)
+		}
+	}
+	if disagreements > 0 {
+		t.Logf("incremental lane: %d disagreements; reproducers under testdata/oracle_failures/", disagreements)
+	}
+}
+
 // TestOracleConfigCoverage pins the corpus shape: the configs the
 // suite derives must cover the full 3..60 size range and include
 // hubful (cyclic) and hub-free (near-tree) schemas. A silent change to

@@ -36,6 +36,14 @@ const (
 	// DefaultMaxBatch caps the number of queries in one /completeBatch
 	// request.
 	DefaultMaxBatch = 64
+	// DefaultMaxSessions caps concurrently open interactive WebSocket
+	// sessions (/v1/sessions); beyond it new sessions are refused with
+	// 429 before the upgrade.
+	DefaultMaxSessions = 256
+	// DefaultSessionDebounce is the keystroke settle window of an
+	// interactive session: updates arriving within it coalesce into
+	// one search.
+	DefaultSessionDebounce = 15 * time.Millisecond
 )
 
 // Limits configures the hardened request path. The zero value of any
@@ -63,6 +71,11 @@ type Limits struct {
 	MaxTraceEvents int
 	// MaxBatch caps the number of queries in one /completeBatch body.
 	MaxBatch int
+	// MaxSessions caps concurrently open interactive sessions.
+	MaxSessions int
+	// SessionDebounce is the per-session keystroke settle window
+	// (0: DefaultSessionDebounce; negative: no debounce).
+	SessionDebounce time.Duration
 }
 
 // DefaultLimits returns the production defaults.
@@ -95,6 +108,12 @@ func (l Limits) withDefaults() Limits {
 	}
 	if l.MaxBatch <= 0 {
 		l.MaxBatch = DefaultMaxBatch
+	}
+	if l.MaxSessions <= 0 {
+		l.MaxSessions = DefaultMaxSessions
+	}
+	if l.SessionDebounce == 0 {
+		l.SessionDebounce = DefaultSessionDebounce
 	}
 	return l
 }

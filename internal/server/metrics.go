@@ -82,6 +82,19 @@ type metrics struct {
 	persistSaveSeconds    *obs.Histogram
 	persistRestoreSeconds *obs.Histogram
 
+	// Interactive keystroke sessions (/v1/sessions): lifecycle, frame
+	// traffic, and per-schema attribution.
+	sessionsOpen     *obs.Gauge
+	sessionsTotal    *obs.Counter
+	sessionsRejected *obs.Counter
+	sessionUpdates   *obs.Counter
+	sessionBatches   *obs.Counter
+	sessionFinals    *obs.Counter
+	sessionSkipped   *obs.Counter
+	sessionRebinds   *obs.Counter
+	sessionErrors    *obs.CounterVec
+	schemaSessions   *obs.CounterVec
+
 	// Versioned API: requests still arriving on pre-/v1 routes.
 	deprecated *obs.CounterVec
 }
@@ -179,6 +192,26 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Wall-clock duration of one durable snapshot write.", obs.DefBuckets()),
 		persistRestoreSeconds: reg.Histogram("pathcomplete_persist_restore_duration_seconds",
 			"Wall-clock duration of one verified restore from disk.", obs.DefBuckets()),
+		sessionsOpen: reg.Gauge("pathcomplete_sessions_open",
+			"Interactive WebSocket sessions currently open."),
+		sessionsTotal: reg.Counter("pathcomplete_sessions_total",
+			"Interactive WebSocket sessions accepted over the process lifetime."),
+		sessionsRejected: reg.Counter("pathcomplete_sessions_rejected_total",
+			"Session connects refused with 429 by the MaxSessions cap."),
+		sessionUpdates: reg.Counter("pathcomplete_session_updates_total",
+			"Keystroke update frames accepted across all sessions."),
+		sessionBatches: reg.Counter("pathcomplete_session_batches_total",
+			"Per-anchor candidate batch frames streamed across all sessions."),
+		sessionFinals: reg.Counter("pathcomplete_session_finals_total",
+			"Updates answered with a final merged frame."),
+		sessionSkipped: reg.Counter("pathcomplete_session_skipped_total",
+			"Updates superseded by a newer keystroke before a final answer."),
+		sessionRebinds: reg.Counter("pathcomplete_session_rebinds_total",
+			"Sessions rebound to a new snapshot generation after a reload."),
+		sessionErrors: reg.CounterVec("pathcomplete_session_errors_total",
+			"Error frames sent to session clients, by protocol error code.", "code"),
+		schemaSessions: reg.CounterVec("pathcomplete_schema_sessions_total",
+			"Interactive sessions accepted, by schema.", "schema"),
 		deprecated: reg.CounterVec("pathcomplete_deprecated_requests_total",
 			"Requests served on deprecated pre-/v1 routes (answered with a Deprecation header).", "route"),
 	}

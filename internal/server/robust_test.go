@@ -386,7 +386,7 @@ func TestSingleflightPanicSettles(t *testing.T) {
 // TestSingleflightOverHTTP drives the collapse end to end: concurrent
 // identical cold requests against a slow search share one result.
 func TestSingleflightOverHTTP(t *testing.T) {
-	sv, ts := newTestSrv(t, slowSchema(t, 4, 7))
+	sv, ts := newTestSrv(t, slowSchema(t, 4, 8))
 	const followers = 3
 	body := `{"expr":"l0w0~label"}`
 
@@ -399,7 +399,21 @@ func TestSingleflightOverHTTP(t *testing.T) {
 		_, b := post(t, ts.URL+"/complete", body)
 		errs[0] = json.Unmarshal([]byte(b), &results[0])
 	}()
-	time.Sleep(100 * time.Millisecond) // the search runs for hundreds of ms
+	// Launch the followers only once the leader's flight is registered
+	// (a blind sleep races a fast machine: the search must merely
+	// outlive the followers' local round trips, not the sleep).
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		sv.flights.mu.Lock()
+		inFlight := len(sv.flights.m)
+		sv.flights.mu.Unlock()
+		if inFlight > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader flight never registered")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
 	for i := 1; i <= followers; i++ {
 		wg.Add(1)
 		go func(i int) {

@@ -48,10 +48,12 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -82,7 +84,7 @@ var Routes = []string{
 	"/metrics", "/buildinfo", "/complete", "/completeBatch", "/evaluate",
 	"/v1/complete", "/v1/completeBatch", "/v1/evaluate",
 	"/v1/schemas", "/v1/schemas/{name}", "/v1/schemas/reload",
-	"/v1/traces", "/v1/traces/{id}", "/v1/queries/slow",
+	"/v1/traces", "/v1/traces/{id}", "/v1/queries/slow", "/v1/sessions",
 	"/debug/pprof/",
 }
 
@@ -110,6 +112,10 @@ type Server struct {
 	// depWarned tracks which deprecated routes already logged their
 	// one-time warning.
 	depWarned sync.Map
+
+	// sessions counts open interactive sessions against
+	// Limits.MaxSessions.
+	sessions atomic.Int64
 
 	mu    sync.Mutex
 	cache *shardedCache
@@ -298,6 +304,7 @@ func (sv *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("GET /v1/traces", sv.handleTraces)
 	mux.HandleFunc("GET /v1/traces/{id}", sv.handleTraceByID)
 	mux.HandleFunc("GET /v1/queries/slow", sv.handleSlowQueries)
+	mux.HandleFunc("GET /v1/sessions", sv.handleSessions)
 	if cfg.PProf {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -342,6 +349,21 @@ func (w *recoveryWriter) WriteHeader(code int) {
 func (w *recoveryWriter) Write(p []byte) (int, error) {
 	w.wrote = true
 	return w.ResponseWriter.Write(p)
+}
+
+// Hijack lets the WebSocket session endpoint take the connection
+// through the recovery middleware; a hijacked response counts as
+// written (a later panic cannot be answered with a JSON 500).
+func (w *recoveryWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := w.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, fmt.Errorf("server: underlying ResponseWriter does not support hijacking")
+	}
+	conn, rw, err := hj.Hijack()
+	if err == nil {
+		w.wrote = true
+	}
+	return conn, rw, err
 }
 
 // recoverPanics isolates handler panics: the panic is counted and

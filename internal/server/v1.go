@@ -45,6 +45,7 @@ var V1Paths = []string{
 	"/v1/schemas",
 	"/v1/schemas/{name}",
 	"/v1/schemas/reload",
+	"/v1/sessions",
 	"/v1/traces",
 	"/v1/traces/{id}",
 }

@@ -1,0 +1,187 @@
+// Package session implements interactive keystroke sessions: a
+// long-lived connection on which a client types an incomplete path
+// expression character by character and receives streamed, ranked
+// candidate batches that refine with every keystroke.
+//
+// The wire protocol is JSON text frames over WebSocket. The client
+// sends update frames with a strictly increasing sequence number; the
+// server answers every accepted sequence number with zero or more
+// batch frames followed by exactly one terminal frame — final, error,
+// or skipped (the update was superseded by a newer keystroke before
+// its search finished). A session is pinned to one registry snapshot;
+// when a reload retires the pinned generation the session rebinds to
+// the new one, announces it with a rebind frame, and drops every
+// piece of per-session cached state (the satellite-4 invariant: no
+// cross-generation partials, ever).
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Client → server frame types.
+const (
+	// TypeUpdate carries one keystroke state: the full expression text
+	// as currently typed.
+	TypeUpdate = "update"
+)
+
+// Server → client frame types.
+const (
+	// TypeHello opens the session: its id and the pinned snapshot.
+	TypeHello = "hello"
+	// TypeBatch streams the candidates of one anchor cell as the
+	// bounded search produces it.
+	TypeBatch = "batch"
+	// TypeFinal terminates an update with the merged ranked answer.
+	TypeFinal = "final"
+	// TypeError terminates an update (or, when fatal, the session)
+	// with a code and message.
+	TypeError = "error"
+	// TypeSkipped terminates an update that was superseded by a newer
+	// one before it produced a final answer.
+	TypeSkipped = "skipped"
+	// TypeRebind announces that a reload retired the pinned snapshot
+	// and the session now answers from a new generation.
+	TypeRebind = "rebind"
+)
+
+// Error codes carried by TypeError frames.
+const (
+	// CodeBadFrame: the frame was not a well-formed update. Fatal: the
+	// server closes the session after sending it.
+	CodeBadFrame = "bad_frame"
+	// CodeBadSeq: the sequence number did not increase. Fatal.
+	CodeBadSeq = "bad_seq"
+	// CodeBadExpr: the expression failed to parse, exceeded the length
+	// limit, or matched nothing. Terminal for its seq only.
+	CodeBadExpr = "bad_expr"
+	// CodeOverloaded: the admission gate shed the search. Terminal for
+	// its seq only.
+	CodeOverloaded = "overloaded"
+	// CodeUnknownSchema: the requested schema is not registered. Fatal,
+	// sent before the hello.
+	CodeUnknownSchema = "unknown_schema"
+	// CodeInternal: the search failed unexpectedly (including injected
+	// faults). Terminal for its seq only.
+	CodeInternal = "internal"
+)
+
+// Engine values reported by final frames.
+const (
+	// EngineFrontier: the answer was merged from the session's
+	// per-anchor frontier (the incremental path).
+	EngineFrontier = "frontier"
+	// EngineSearch: the answer came from a one-shot kernel search (the
+	// expression was complete or not gap-final).
+	EngineSearch = "search"
+)
+
+// MaxClientFrame bounds the size of one client frame in bytes; larger
+// WebSocket messages fail the read and close the session.
+const MaxClientFrame = 1 << 16
+
+// ClientFrame is the single client → server frame shape.
+type ClientFrame struct {
+	Type string `json:"type"`
+	// Seq must increase strictly across the session; the server echoes
+	// it on every frame answering this update.
+	Seq uint64 `json:"seq"`
+	// Expr is the full expression text as typed so far.
+	Expr string `json:"expr"`
+}
+
+// Candidate is one ranked completion candidate (mirrors the REST
+// surface's completion shape).
+type Candidate struct {
+	Path   string `json:"path"`
+	Conn   string `json:"conn"`
+	SemLen int    `json:"semlen"`
+}
+
+// BestKey is one optimal label key of the merged answer.
+type BestKey struct {
+	Conn   string `json:"conn"`
+	SemLen int    `json:"semlen"`
+}
+
+// Stats reports the effort of one update's search, including the
+// frontier reuse split — the observable proof that a refinement
+// keystroke restarted from the previous frontier instead of the root.
+type Stats struct {
+	// Calls is the traverse-call cost of this update: zero when every
+	// cell was reused.
+	Calls int `json:"calls"`
+	// Anchors is the number of anchors the typed prefix matched.
+	Anchors int `json:"anchors,omitempty"`
+	// Reused counts anchor cells served from the session frontier.
+	Reused int `json:"reused,omitempty"`
+	// Cold counts anchor cells computed fresh for this update.
+	Cold int `json:"cold,omitempty"`
+	// Source counts anchor cells served by the closure index.
+	Source int `json:"source,omitempty"`
+}
+
+// ServerFrame is the single server → client frame shape; which fields
+// are populated depends on Type.
+type ServerFrame struct {
+	Type string `json:"type"`
+	// Seq echoes the update this frame answers (batch, final, error,
+	// skipped). Zero on hello and rebind.
+	Seq uint64 `json:"seq,omitempty"`
+
+	// Hello and rebind.
+	Session    string `json:"session,omitempty"`
+	Schema     string `json:"schema,omitempty"`
+	Generation uint64 `json:"generation,omitempty"`
+
+	// Batch.
+	Anchor     string      `json:"anchor,omitempty"`
+	Reused     bool        `json:"reused,omitempty"`
+	Candidates []Candidate `json:"candidates,omitempty"`
+
+	// Final.
+	Expr        string      `json:"expr,omitempty"`
+	Completions []Candidate `json:"completions,omitempty"`
+	Best        []BestKey   `json:"best,omitempty"`
+	Engine      string      `json:"engine,omitempty"`
+	Stats       *Stats      `json:"stats,omitempty"`
+	Aborted     bool        `json:"aborted,omitempty"`
+	StopReason  string      `json:"stopReason,omitempty"`
+
+	// Error.
+	Code    string `json:"code,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+// protoError is a client protocol violation; fatal ones close the
+// session after the error frame is sent.
+type protoError struct {
+	code  string
+	msg   string
+	fatal bool
+}
+
+func (e *protoError) Error() string { return e.code + ": " + e.msg }
+
+// decodeClient parses and validates one client frame against the
+// session's sequence state. lastSeq is the highest accepted sequence
+// number so far (0 before the first update; client sequence numbers
+// start at 1).
+func decodeClient(data []byte, lastSeq uint64, maxExpr int) (ClientFrame, *protoError) {
+	var f ClientFrame
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, &protoError{code: CodeBadFrame, msg: "malformed frame: " + err.Error(), fatal: true}
+	}
+	if f.Type != TypeUpdate {
+		return f, &protoError{code: CodeBadFrame, msg: fmt.Sprintf("unknown frame type %q", f.Type), fatal: true}
+	}
+	if f.Seq <= lastSeq {
+		return f, &protoError{code: CodeBadSeq, msg: fmt.Sprintf("seq %d does not increase past %d", f.Seq, lastSeq), fatal: true}
+	}
+	if maxExpr > 0 && len(f.Expr) > maxExpr {
+		return f, &protoError{code: CodeBadExpr, msg: fmt.Sprintf("expression exceeds %d bytes", maxExpr), fatal: false}
+	}
+	return f, nil
+}

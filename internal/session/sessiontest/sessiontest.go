@@ -1,0 +1,301 @@
+// Package sessiontest is the reusable WebSocket client harness for
+// interactive completion sessions: scripted keystroke tapes, frame
+// collection with per-update exchanges, and the protocol assertions
+// (frame order, monotonic refinement, batch coverage) the session
+// suites share. It speaks the internal/session wire protocol over the
+// internal/ws client and injects read deadlines for hang detection.
+package sessiontest
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"pathcomplete/internal/session"
+	"pathcomplete/internal/ws"
+)
+
+// Client is one scripted session connection.
+type Client struct {
+	conn *ws.Conn
+	// ReadTimeout bounds every frame read (deadline injection: a
+	// server that stops answering fails the test instead of hanging
+	// it). Zero means no deadline.
+	ReadTimeout time.Duration
+	// Hello is the opening frame, captured by Dial.
+	Hello session.ServerFrame
+	seq   uint64
+}
+
+// Exchange is everything the server said about one update seq.
+type Exchange struct {
+	Seq     uint64
+	Expr    string
+	Batches []session.ServerFrame
+	Final   *session.ServerFrame
+	Err     *session.ServerFrame
+	Skipped bool
+	// Rebinds collects rebind announcements observed while this
+	// exchange was being read (they carry no seq).
+	Rebinds []session.ServerFrame
+}
+
+// Terminal reports whether the exchange has received its terminal
+// frame (final, error, or skipped).
+func (ex *Exchange) Terminal() bool { return ex.Final != nil || ex.Err != nil || ex.Skipped }
+
+// Dial connects to a session endpoint (ws:// or http:// URL of
+// /v1/sessions) and reads the hello frame.
+func Dial(url string, readTimeout time.Duration) (*Client, error) {
+	conn, err := ws.Dial(url)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, ReadTimeout: readTimeout}
+	hello, err := c.Next()
+	if err != nil {
+		conn.Close(ws.CloseNormal, "")
+		return nil, fmt.Errorf("sessiontest: no hello: %w", err)
+	}
+	if hello.Type != session.TypeHello {
+		conn.Close(ws.CloseNormal, "")
+		return nil, fmt.Errorf("sessiontest: first frame is %q, want hello", hello.Type)
+	}
+	c.Hello = hello
+	return c, nil
+}
+
+// Close ends the session cleanly.
+func (c *Client) Close() error { return c.conn.Close(ws.CloseNormal, "") }
+
+// Conn exposes the underlying connection for protocol-abuse tests.
+func (c *Client) Conn() *ws.Conn { return c.conn }
+
+// Send transmits one update frame and returns its seq (allocated
+// sequentially).
+func (c *Client) Send(expr string) (uint64, error) {
+	c.seq++
+	return c.seq, c.SendFrame(session.ClientFrame{Type: session.TypeUpdate, Seq: c.seq, Expr: expr})
+}
+
+// SendFrame transmits an explicit client frame (protocol-abuse tests
+// forge seqs and types with it).
+func (c *Client) SendFrame(f session.ClientFrame) error {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	return c.conn.WriteMessage(ws.OpText, data)
+}
+
+// SendRaw transmits raw bytes as a text frame (malformed-JSON tests).
+func (c *Client) SendRaw(data []byte) error {
+	return c.conn.WriteMessage(ws.OpText, data)
+}
+
+// Next reads one server frame, honoring ReadTimeout.
+func (c *Client) Next() (session.ServerFrame, error) {
+	var f session.ServerFrame
+	if c.ReadTimeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.ReadTimeout)); err != nil {
+			return f, err
+		}
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
+	_, data, err := c.conn.ReadMessage()
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("sessiontest: undecodable server frame %q: %w", data, err)
+	}
+	return f, nil
+}
+
+// Collect reads frames until every listed seq has its terminal frame,
+// returning one exchange per seq. Frames for unlisted seqs fail the
+// collection — every update must be accounted for by its test.
+func (c *Client) Collect(seqs ...uint64) (map[uint64]*Exchange, error) {
+	want := make(map[uint64]*Exchange, len(seqs))
+	for _, s := range seqs {
+		want[s] = &Exchange{Seq: s}
+	}
+	open := len(seqs)
+	var rebinds []session.ServerFrame
+	for open > 0 {
+		f, err := c.Next()
+		if err != nil {
+			return want, err
+		}
+		if f.Type == session.TypeRebind {
+			rebinds = append(rebinds, f)
+			continue
+		}
+		ex, ok := want[f.Seq]
+		if !ok {
+			return want, fmt.Errorf("sessiontest: frame %q for unexpected seq %d", f.Type, f.Seq)
+		}
+		if ex.Terminal() {
+			return want, fmt.Errorf("sessiontest: frame %q after terminal for seq %d", f.Type, f.Seq)
+		}
+		switch f.Type {
+		case session.TypeBatch:
+			ex.Batches = append(ex.Batches, f)
+		case session.TypeFinal:
+			ff := f
+			ex.Final = &ff
+			ex.Expr = f.Expr
+			open--
+		case session.TypeError:
+			ff := f
+			ex.Err = &ff
+			open--
+		case session.TypeSkipped:
+			ex.Skipped = true
+			open--
+		default:
+			return want, fmt.Errorf("sessiontest: unexpected frame type %q", f.Type)
+		}
+	}
+	for _, ex := range want {
+		ex.Rebinds = rebinds
+	}
+	return want, nil
+}
+
+// Type plays a keystroke tape deterministically: each expression is
+// sent and its exchange fully collected before the next keystroke, so
+// every update yields a final (never a skipped). Any error frame
+// fails the test.
+func (c *Client) Type(t *testing.T, exprs ...string) []*Exchange {
+	t.Helper()
+	out := make([]*Exchange, 0, len(exprs))
+	for _, expr := range exprs {
+		seq, err := c.Send(expr)
+		if err != nil {
+			t.Fatalf("sessiontest: send %q: %v", expr, err)
+		}
+		exs, err := c.Collect(seq)
+		if err != nil {
+			t.Fatalf("sessiontest: collect %q: %v", expr, err)
+		}
+		ex := exs[seq]
+		if ex.Err != nil {
+			t.Fatalf("sessiontest: %q: error frame %s: %s", expr, ex.Err.Code, ex.Err.Message)
+		}
+		if ex.Final == nil {
+			t.Fatalf("sessiontest: %q: no final frame (skipped=%v)", expr, ex.Skipped)
+		}
+		AssertOrdered(t, ex)
+		out = append(out, ex)
+	}
+	return out
+}
+
+// Burst sends a keystroke burst without waiting between updates, then
+// collects all exchanges: earlier updates may legitimately be skipped,
+// but the last one must end in a final or error.
+func (c *Client) Burst(t *testing.T, exprs ...string) []*Exchange {
+	t.Helper()
+	seqs := make([]uint64, 0, len(exprs))
+	for _, expr := range exprs {
+		seq, err := c.Send(expr)
+		if err != nil {
+			t.Fatalf("sessiontest: burst send %q: %v", expr, err)
+		}
+		seqs = append(seqs, seq)
+	}
+	exs, err := c.Collect(seqs...)
+	if err != nil {
+		t.Fatalf("sessiontest: burst collect: %v", err)
+	}
+	out := make([]*Exchange, 0, len(seqs))
+	for _, s := range seqs {
+		out = append(out, exs[s])
+	}
+	last := out[len(out)-1]
+	if last.Skipped {
+		t.Fatalf("sessiontest: burst: newest update seq %d was skipped — nothing answered the latest keystroke", last.Seq)
+	}
+	return out
+}
+
+// AssertOrdered checks the frame-order invariants of one exchange:
+// batches precede the terminal (structural, enforced by Collect), the
+// batch anchors arrive sorted and unique, and — when the exchange
+// ended in a frontier final — the final's completions are covered by
+// the union of the batch candidates.
+func AssertOrdered(t *testing.T, ex *Exchange) {
+	t.Helper()
+	anchors := make([]string, 0, len(ex.Batches))
+	union := map[string]bool{}
+	for _, b := range ex.Batches {
+		anchors = append(anchors, b.Anchor)
+		for _, cand := range b.Candidates {
+			union[cand.Path] = true
+		}
+	}
+	if !sort.StringsAreSorted(anchors) {
+		t.Errorf("seq %d: batch anchors out of order: %v", ex.Seq, anchors)
+	}
+	for i := 1; i < len(anchors); i++ {
+		if anchors[i] == anchors[i-1] {
+			t.Errorf("seq %d: duplicate batch anchor %q", ex.Seq, anchors[i])
+		}
+	}
+	if ex.Final != nil && ex.Final.Engine == session.EngineFrontier {
+		for _, cand := range ex.Final.Completions {
+			if !union[cand.Path] {
+				t.Errorf("seq %d: final completion %s not streamed in any batch", ex.Seq, cand.Path)
+			}
+		}
+	}
+}
+
+// AssertRefines checks monotonic refinement between two finals of the
+// same frontier base: the narrower prefix's completions and batch
+// anchors must be subsets of the wider prefix's.
+func AssertRefines(t *testing.T, wider, narrower *Exchange) {
+	t.Helper()
+	if wider.Final == nil || narrower.Final == nil {
+		t.Fatalf("AssertRefines needs two finals (wider seq %d, narrower seq %d)", wider.Seq, narrower.Seq)
+	}
+	paths := map[string]bool{}
+	for _, cand := range wider.Final.Completions {
+		paths[cand.Path] = true
+	}
+	for _, cand := range narrower.Final.Completions {
+		if !paths[cand.Path] {
+			t.Errorf("refinement seq %d: completion %s absent from wider seq %d", narrower.Seq, cand.Path, wider.Seq)
+		}
+	}
+	anchors := map[string]bool{}
+	for _, b := range wider.Batches {
+		anchors[b.Anchor] = true
+	}
+	for _, b := range narrower.Batches {
+		if !anchors[b.Anchor] {
+			t.Errorf("refinement seq %d: batch anchor %q absent from wider seq %d", narrower.Seq, b.Anchor, wider.Seq)
+		}
+	}
+}
+
+// AssertReused checks the resumability invariant on a refinement
+// final: zero cold cells, zero traverse calls, every batch reused.
+func AssertReused(t *testing.T, ex *Exchange) {
+	t.Helper()
+	st := ex.Final.Stats
+	if st == nil {
+		t.Fatalf("seq %d: final has no stats", ex.Seq)
+	}
+	if st.Cold != 0 || st.Calls != 0 {
+		t.Errorf("seq %d: refinement ran cold work: cold=%d calls=%d", ex.Seq, st.Cold, st.Calls)
+	}
+	for _, b := range ex.Batches {
+		if !b.Reused {
+			t.Errorf("seq %d: batch anchor %q not served from the frontier", ex.Seq, b.Anchor)
+		}
+	}
+}

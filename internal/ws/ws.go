@@ -1,0 +1,444 @@
+// Package ws is a minimal RFC 6455 WebSocket implementation — just the
+// subset the session surface needs — built on the standard library
+// alone (net, net/http, crypto/sha1): no x/net dependency, matching
+// the repo's no-new-dependencies rule.
+//
+// Supported: the HTTP/1.1 upgrade handshake (server via http.Hijacker,
+// client via Dial), text/binary messages with fragmentation on read,
+// client-to-server masking (enforced in both directions, as the RFC
+// requires), ping/pong (pings are answered automatically inside
+// ReadMessage), the close handshake, and a per-message size cap.
+// Not supported, by design: extensions (permessage-deflate),
+// subprotocol negotiation, TLS dialing, and streaming partial
+// messages — the session protocol exchanges small JSON frames.
+package ws
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Message opcodes (RFC 6455 §5.2). Continuation frames are consumed
+// internally by ReadMessage and never surface.
+const (
+	opContinuation = 0x0
+	OpText         = 0x1
+	OpBinary       = 0x2
+	OpClose        = 0x8
+	OpPing         = 0x9
+	OpPong         = 0xA
+)
+
+// Close codes (RFC 6455 §7.4.1) used by this package.
+const (
+	CloseNormal        = 1000
+	CloseGoingAway     = 1001
+	CloseProtocolError = 1002
+	CloseTooBig        = 1009
+	CloseInternal      = 1011
+)
+
+// DefaultMaxMessage caps an assembled message (all fragments) unless
+// SetMaxMessage overrides it.
+const DefaultMaxMessage = 1 << 20
+
+// acceptGUID is the fixed GUID of the accept-key derivation (§1.3).
+const acceptGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// CloseError is returned by ReadMessage when the peer sent a close
+// frame: the handshake completed (the echo was sent) and the
+// connection is done.
+type CloseError struct {
+	Code   int
+	Reason string
+}
+
+func (e *CloseError) Error() string {
+	return fmt.Sprintf("ws: connection closed by peer: code %d %q", e.Code, e.Reason)
+}
+
+// Conn is one WebSocket connection. Reads must come from a single
+// goroutine; writes are internally serialized, so WriteMessage and
+// Close may be called concurrently with the reader (ReadMessage itself
+// writes pong and close echoes through the same lock).
+type Conn struct {
+	conn       net.Conn
+	br         *bufio.Reader
+	client     bool // true: mask outgoing frames, require unmasked inbound
+	maxMessage int64
+
+	wmu       sync.Mutex
+	closeSent bool
+}
+
+// SetMaxMessage bounds the byte size of one assembled inbound message;
+// n <= 0 restores DefaultMaxMessage. Call before reading.
+func (c *Conn) SetMaxMessage(n int64) {
+	if n <= 0 {
+		n = DefaultMaxMessage
+	}
+	c.maxMessage = n
+}
+
+// SetReadDeadline bounds the next ReadMessage (zero clears it) — the
+// harness's deadline-injection hook and the server's idle bound.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
+
+// AcceptKey derives the Sec-WebSocket-Accept value for a client key
+// (§4.2.2 step 5.4): base64(SHA-1(key + GUID)).
+func AcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + acceptGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// IsUpgradeRequest reports whether r asks for a WebSocket upgrade —
+// how an HTTP handler decides between upgrading and serving a plain
+// JSON error to ordinary GETs on the same route.
+func IsUpgradeRequest(r *http.Request) bool {
+	return headerHasToken(r.Header, "Upgrade", "websocket") &&
+		headerHasToken(r.Header, "Connection", "upgrade")
+}
+
+// headerHasToken reports whether any comma-separated token of the
+// named header equals want, case-insensitively.
+func headerHasToken(h http.Header, name, want string) bool {
+	for _, v := range h.Values(name) {
+		for _, tok := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(tok), want) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Upgrade performs the server side of the opening handshake: it
+// validates the request, hijacks the connection, clears any server
+// read/write deadlines left on it (pathserve's http.Server timeouts
+// must not apply to a long-lived session), and writes the 101
+// response. On a validation error nothing has been written and the
+// caller still owns the ResponseWriter (answer 400 as it pleases);
+// after a successful hijack the returned Conn owns the socket.
+func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if r.Method != http.MethodGet {
+		return nil, fmt.Errorf("ws: handshake requires GET, got %s", r.Method)
+	}
+	if !IsUpgradeRequest(r) {
+		return nil, errors.New("ws: not a websocket upgrade request")
+	}
+	if v := r.Header.Get("Sec-WebSocket-Version"); v != "13" {
+		return nil, fmt.Errorf("ws: unsupported websocket version %q", v)
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		return nil, errors.New("ws: missing Sec-WebSocket-Key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		return nil, errors.New("ws: response writer does not support hijacking")
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("ws: hijack: %w", err)
+	}
+	// The HTTP server's ReadTimeout/WriteTimeout may have armed
+	// deadlines on the raw connection; a session lives longer than any
+	// single request.
+	_ = conn.SetDeadline(time.Time{})
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + AcceptKey(key) + "\r\n\r\n"
+	if _, err := conn.Write([]byte(resp)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ws: write handshake response: %w", err)
+	}
+	return &Conn{conn: conn, br: rw.Reader, maxMessage: DefaultMaxMessage}, nil
+}
+
+// Dial performs the client side of the opening handshake against a
+// ws:// (or http://, treated identically) URL. TLS (wss/https) is out
+// of scope for this package.
+func Dial(rawURL string) (*Conn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("ws: dial: %w", err)
+	}
+	switch u.Scheme {
+	case "ws", "http":
+	default:
+		return nil, fmt.Errorf("ws: dial: unsupported scheme %q", u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, fmt.Errorf("ws: dial: %w", err)
+	}
+	var keyBytes [16]byte
+	if _, err := rand.Read(keyBytes[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ws: dial: entropy: %w", err)
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes[:])
+	path := u.RequestURI()
+	if path == "" {
+		path = "/"
+	}
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ws: dial: write handshake: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ws: dial: read handshake response: %w", err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		conn.Close()
+		return nil, fmt.Errorf("ws: dial: handshake refused: %s: %s",
+			resp.Status, strings.TrimSpace(string(body)))
+	}
+	if got, want := resp.Header.Get("Sec-WebSocket-Accept"), AcceptKey(key); got != want {
+		conn.Close()
+		return nil, fmt.Errorf("ws: dial: bad Sec-WebSocket-Accept %q", got)
+	}
+	return &Conn{conn: conn, br: br, client: true, maxMessage: DefaultMaxMessage}, nil
+}
+
+// frameHeader is one parsed frame header.
+type frameHeader struct {
+	fin    bool
+	opcode int
+	masked bool
+	mask   [4]byte
+	length int64
+}
+
+// readHeader parses and validates one frame header, enforcing the
+// masking direction of §5.1: clients MUST mask, servers MUST NOT.
+func (c *Conn) readHeader() (frameHeader, error) {
+	var h frameHeader
+	var b [8]byte
+	if _, err := io.ReadFull(c.br, b[:2]); err != nil {
+		return h, err
+	}
+	if b[0]&0x70 != 0 {
+		return h, errors.New("ws: protocol error: nonzero reserved bits")
+	}
+	h.fin = b[0]&0x80 != 0
+	h.opcode = int(b[0] & 0x0F)
+	h.masked = b[1]&0x80 != 0
+	switch n := int64(b[1] & 0x7F); {
+	case n < 126:
+		h.length = n
+	case n == 126:
+		if _, err := io.ReadFull(c.br, b[:2]); err != nil {
+			return h, err
+		}
+		h.length = int64(binary.BigEndian.Uint16(b[:2]))
+	default: // 127
+		if _, err := io.ReadFull(c.br, b[:8]); err != nil {
+			return h, err
+		}
+		v := binary.BigEndian.Uint64(b[:8])
+		if v > 1<<62 {
+			return h, errors.New("ws: protocol error: absurd frame length")
+		}
+		h.length = int64(v)
+	}
+	if c.client && h.masked {
+		return h, errors.New("ws: protocol error: masked frame from server")
+	}
+	if !c.client && !h.masked {
+		return h, errors.New("ws: protocol error: unmasked frame from client")
+	}
+	if h.masked {
+		if _, err := io.ReadFull(c.br, h.mask[:]); err != nil {
+			return h, err
+		}
+	}
+	return h, nil
+}
+
+// readPayload reads and unmasks one frame payload.
+func (c *Conn) readPayload(h frameHeader) ([]byte, error) {
+	p := make([]byte, h.length)
+	if _, err := io.ReadFull(c.br, p); err != nil {
+		return nil, err
+	}
+	if h.masked {
+		maskBytes(h.mask, 0, p)
+	}
+	return p, nil
+}
+
+// maskBytes XORs p with the mask starting at key offset pos.
+func maskBytes(mask [4]byte, pos int, p []byte) {
+	for i := range p {
+		p[i] ^= mask[(pos+i)&3]
+	}
+}
+
+// ReadMessage reads the next data message, transparently handling
+// control frames: pings are answered with pongs, pongs are dropped,
+// and a close frame completes the close handshake and returns a
+// *CloseError. Fragmented messages are assembled; the total size is
+// bounded by SetMaxMessage.
+func (c *Conn) ReadMessage() (int, []byte, error) {
+	var (
+		msg    []byte
+		opcode = -1 // opcode of the message being assembled
+	)
+	for {
+		h, err := c.readHeader()
+		if err != nil {
+			return 0, nil, err
+		}
+		if h.opcode >= OpClose { // control frame
+			if !h.fin || h.length > 125 {
+				return 0, nil, errors.New("ws: protocol error: fragmented or oversized control frame")
+			}
+			p, err := c.readPayload(h)
+			if err != nil {
+				return 0, nil, err
+			}
+			switch h.opcode {
+			case OpPing:
+				if err := c.WriteMessage(OpPong, p); err != nil {
+					return 0, nil, err
+				}
+			case OpPong:
+				// Unsolicited pongs are permitted and ignored (§5.5.3).
+			case OpClose:
+				ce := &CloseError{Code: CloseNormal}
+				if len(p) >= 2 {
+					ce.Code = int(binary.BigEndian.Uint16(p[:2]))
+					ce.Reason = string(p[2:])
+				}
+				_ = c.writeClose(ce.Code, "") // echo completes the handshake
+				return 0, nil, ce
+			default:
+				return 0, nil, fmt.Errorf("ws: protocol error: unknown control opcode %#x", h.opcode)
+			}
+			continue
+		}
+		switch {
+		case opcode < 0 && (h.opcode == OpText || h.opcode == OpBinary):
+			opcode = h.opcode
+		case opcode >= 0 && h.opcode == opContinuation:
+			// continuing the message in flight
+		default:
+			return 0, nil, fmt.Errorf("ws: protocol error: unexpected data opcode %#x", h.opcode)
+		}
+		if int64(len(msg))+h.length > c.maxMessage {
+			_ = c.writeClose(CloseTooBig, "message too big")
+			return 0, nil, fmt.Errorf("ws: message exceeds %d-byte limit", c.maxMessage)
+		}
+		p, err := c.readPayload(h)
+		if err != nil {
+			return 0, nil, err
+		}
+		msg = append(msg, p...)
+		if h.fin {
+			return opcode, msg, nil
+		}
+	}
+}
+
+// WriteMessage writes one unfragmented data or control message.
+func (c *Conn) WriteMessage(opcode int, p []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closeSent && opcode != OpClose {
+		return errors.New("ws: write after close")
+	}
+	return c.writeFrame(opcode, p)
+}
+
+// writeFrame writes one frame under the caller-held write lock. The
+// whole frame is built in one buffer and written with one Write call,
+// so concurrent writers can never interleave frame bytes.
+func (c *Conn) writeFrame(opcode int, p []byte) error {
+	var hdr [14]byte
+	hdr[0] = 0x80 | byte(opcode) // FIN always set: no write fragmentation
+	n := 2
+	switch l := len(p); {
+	case l < 126:
+		hdr[1] = byte(l)
+	case l <= 0xFFFF:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(l))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(l))
+		n = 10
+	}
+	buf := make([]byte, 0, n+4+len(p))
+	if c.client {
+		hdr[1] |= 0x80
+		var mask [4]byte
+		if _, err := rand.Read(mask[:]); err != nil {
+			return fmt.Errorf("ws: mask entropy: %w", err)
+		}
+		buf = append(buf, hdr[:n]...)
+		buf = append(buf, mask[:]...)
+		off := len(buf)
+		buf = append(buf, p...)
+		maskBytes(mask, 0, buf[off:])
+	} else {
+		buf = append(buf, hdr[:n]...)
+		buf = append(buf, p...)
+	}
+	_, err := c.conn.Write(buf)
+	return err
+}
+
+// writeClose sends one close frame, at most once per connection.
+func (c *Conn) writeClose(code int, reason string) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closeSent {
+		return nil
+	}
+	c.closeSent = true
+	p := make([]byte, 2, 2+len(reason))
+	binary.BigEndian.PutUint16(p, uint16(code))
+	p = append(p, reason...)
+	return c.writeFrame(OpClose, p)
+}
+
+// Close sends a close frame (unless one was already sent) and closes
+// the underlying connection. The peer's ReadMessage observes a
+// *CloseError with the given code.
+func (c *Conn) Close(code int, reason string) error {
+	err := c.writeClose(code, reason)
+	if cerr := c.conn.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,476 @@
+package ws
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAcceptKey pins the RFC 6455 §1.3 worked example.
+func TestAcceptKey(t *testing.T) {
+	got := AcceptKey("dGhlIHNhbXBsZSBub25jZQ==")
+	want := "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+	if got != want {
+		t.Fatalf("AcceptKey = %q, want %q", got, want)
+	}
+}
+
+// echoServer upgrades and echoes every data message until the client
+// closes. Errors after upgrade end the handler silently (the client
+// side of each test asserts what it saw).
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := Upgrade(w, r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		defer c.Close(CloseNormal, "")
+		for {
+			op, msg, err := c.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := c.WriteMessage(op, msg); err != nil {
+				return
+			}
+		}
+	}))
+}
+
+func TestDialEcho(t *testing.T) {
+	ts := echoServer(t)
+	defer ts.Close()
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close(CloseNormal, "")
+	for _, msg := range []string{"hello", "", strings.Repeat("x", 70_000)} {
+		if err := c.WriteMessage(OpText, []byte(msg)); err != nil {
+			t.Fatalf("write %d bytes: %v", len(msg), err)
+		}
+		op, got, err := c.ReadMessage()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if op != OpText || string(got) != msg {
+			t.Fatalf("echo mismatch: op=%d len=%d, want op=%d len=%d", op, len(got), OpText, len(msg))
+		}
+	}
+	if err := c.WriteMessage(OpBinary, []byte{0, 1, 2}); err != nil {
+		t.Fatalf("write binary: %v", err)
+	}
+	if op, got, err := c.ReadMessage(); err != nil || op != OpBinary || !bytes.Equal(got, []byte{0, 1, 2}) {
+		t.Fatalf("binary echo: op=%d msg=%v err=%v", op, got, err)
+	}
+}
+
+// TestCloseHandshake: a client-initiated close is echoed by the server
+// and surfaces as *CloseError with the initiating code.
+func TestCloseHandshake(t *testing.T) {
+	ts := echoServer(t)
+	defer ts.Close()
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if err := c.writeClose(CloseGoingAway, "done"); err != nil {
+		t.Fatalf("writeClose: %v", err)
+	}
+	_, _, err = c.ReadMessage()
+	var ce *CloseError
+	if !errors.As(err, &ce) {
+		t.Fatalf("ReadMessage after close = %v, want *CloseError", err)
+	}
+	if ce.Code != CloseGoingAway {
+		t.Fatalf("close code = %d, want %d", ce.Code, CloseGoingAway)
+	}
+	if err := c.WriteMessage(OpText, []byte("late")); err == nil {
+		t.Fatal("WriteMessage after close sent: want error")
+	}
+	c.conn.Close()
+}
+
+// TestServerInitiatedClose: the server's Close surfaces on the client
+// as a *CloseError carrying the server's code and reason.
+func TestServerInitiatedClose(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := Upgrade(w, r)
+		if err != nil {
+			t.Errorf("Upgrade: %v", err)
+			return
+		}
+		c.Close(CloseInternal, "shutting down")
+	}))
+	defer ts.Close()
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.conn.Close()
+	_, _, err = c.ReadMessage()
+	var ce *CloseError
+	if !errors.As(err, &ce) {
+		t.Fatalf("ReadMessage = %v, want *CloseError", err)
+	}
+	if ce.Code != CloseInternal || ce.Reason != "shutting down" {
+		t.Fatalf("close = %d %q, want %d %q", ce.Code, ce.Reason, CloseInternal, "shutting down")
+	}
+}
+
+// TestPingPong: a client ping is answered by the server automatically
+// inside its ReadMessage loop, without surfacing as a message.
+func TestPingPong(t *testing.T) {
+	ts := echoServer(t)
+	defer ts.Close()
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close(CloseNormal, "")
+	if err := c.WriteMessage(OpPing, []byte("beat")); err != nil {
+		t.Fatalf("write ping: %v", err)
+	}
+	if err := c.WriteMessage(OpText, []byte("after")); err != nil {
+		t.Fatalf("write text: %v", err)
+	}
+	// The client reads the pong itself: its own ReadMessage handles it
+	// silently and returns the echoed text.
+	op, msg, err := c.ReadMessage()
+	if err != nil || op != OpText || string(msg) != "after" {
+		t.Fatalf("read after ping = (%d, %q, %v), want text %q", op, msg, err, "after")
+	}
+}
+
+// rawDial performs the handshake by hand so tests can write malformed
+// frames directly.
+func rawDial(t *testing.T, url string) net.Conn {
+	t.Helper()
+	host := strings.TrimPrefix(url, "http://")
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	req := "GET / HTTP/1.1\r\nHost: " + host + "\r\n" +
+		"Upgrade: websocket\r\nConnection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatalf("raw handshake: %v", err)
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		t.Fatalf("raw handshake response: %v", err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		t.Fatalf("raw handshake status = %s", resp.Status)
+	}
+	return conn
+}
+
+// TestServerRejectsUnmaskedClientFrame: the RFC requires client frames
+// to be masked; the server must drop the connection on a bare one.
+func TestServerRejectsUnmaskedClientFrame(t *testing.T) {
+	errc := make(chan error, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := Upgrade(w, r)
+		if err != nil {
+			t.Errorf("Upgrade: %v", err)
+			return
+		}
+		_, _, err = c.ReadMessage()
+		errc <- err
+		c.conn.Close()
+	}))
+	defer ts.Close()
+	conn := rawDial(t, ts.URL)
+	defer conn.Close()
+	// FIN text frame, 2-byte payload, mask bit clear.
+	if _, err := conn.Write([]byte{0x81, 0x02, 'h', 'i'}); err != nil {
+		t.Fatalf("write raw frame: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil || !strings.Contains(err.Error(), "unmasked") {
+			t.Fatalf("server read error = %v, want unmasked-frame protocol error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never rejected the unmasked frame")
+	}
+}
+
+// maskedFrame builds one masked client frame by hand.
+func maskedFrame(fin bool, opcode int, payload []byte) []byte {
+	var buf bytes.Buffer
+	b0 := byte(opcode)
+	if fin {
+		b0 |= 0x80
+	}
+	buf.WriteByte(b0)
+	if len(payload) > 125 {
+		buf.WriteByte(0x80 | 126)
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(payload)))
+		buf.Write(l[:])
+	} else {
+		buf.WriteByte(0x80 | byte(len(payload)))
+	}
+	mask := [4]byte{0x12, 0x34, 0x56, 0x78}
+	buf.Write(mask[:])
+	for i, b := range payload {
+		buf.WriteByte(b ^ mask[i&3])
+	}
+	return buf.Bytes()
+}
+
+// TestFragmentedRead: a message split across text + continuation
+// frames (with an interleaved ping) assembles into one read.
+func TestFragmentedRead(t *testing.T) {
+	got := make(chan string, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := Upgrade(w, r)
+		if err != nil {
+			t.Errorf("Upgrade: %v", err)
+			return
+		}
+		_, msg, err := c.ReadMessage()
+		if err != nil {
+			t.Errorf("fragmented read: %v", err)
+			got <- ""
+			return
+		}
+		got <- string(msg)
+		c.Close(CloseNormal, "")
+	}))
+	defer ts.Close()
+	conn := rawDial(t, ts.URL)
+	defer conn.Close()
+	var stream bytes.Buffer
+	stream.Write(maskedFrame(false, OpText, []byte("hel")))
+	stream.Write(maskedFrame(true, OpPing, []byte("p"))) // control frames may interleave
+	stream.Write(maskedFrame(false, opContinuation, []byte("lo ")))
+	stream.Write(maskedFrame(true, opContinuation, []byte("world")))
+	if _, err := conn.Write(stream.Bytes()); err != nil {
+		t.Fatalf("write fragments: %v", err)
+	}
+	select {
+	case s := <-got:
+		if s != "hello world" {
+			t.Fatalf("assembled message = %q, want %q", s, "hello world")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never assembled the fragments")
+	}
+}
+
+// TestProtocolErrors: bad frames (reserved bits, stray continuation,
+// fragmented control) all fail the read.
+func TestProtocolErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"reserved bits", []byte{0xC1, 0x80, 0, 0, 0, 0}},
+		{"stray continuation", maskedFrame(true, opContinuation, []byte("x"))},
+		{"fragmented control", maskedFrame(false, OpPing, nil)},
+		{"unknown control opcode", maskedFrame(true, 0xB, nil)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errc := make(chan error, 1)
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				c, err := Upgrade(w, r)
+				if err != nil {
+					return
+				}
+				_, _, err = c.ReadMessage()
+				errc <- err
+				c.conn.Close()
+			}))
+			defer ts.Close()
+			conn := rawDial(t, ts.URL)
+			defer conn.Close()
+			if _, err := conn.Write(tc.frame); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			select {
+			case err := <-errc:
+				if err == nil {
+					t.Fatal("malformed frame accepted")
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("server never errored")
+			}
+		})
+	}
+}
+
+// TestMaxMessage: an inbound message past the cap fails the read and
+// sends a 1009 close.
+func TestMaxMessage(t *testing.T) {
+	errc := make(chan error, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		c.SetMaxMessage(16)
+		_, _, err = c.ReadMessage()
+		errc <- err
+		c.conn.Close()
+	}))
+	defer ts.Close()
+	conn := rawDial(t, ts.URL)
+	defer conn.Close()
+	if _, err := conn.Write(maskedFrame(true, OpText, bytes.Repeat([]byte("a"), 200))); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil || !strings.Contains(err.Error(), "limit") {
+			t.Fatalf("oversized read error = %v, want size-limit error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never rejected the oversized message")
+	}
+}
+
+// TestUpgradeRejections: handshake validation failures return an error
+// before anything is written, leaving the ResponseWriter usable.
+func TestUpgradeRejections(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := Upgrade(w, r); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+	}))
+	defer ts.Close()
+	cases := []struct {
+		name    string
+		headers map[string]string
+		method  string
+	}{
+		{"plain GET", nil, http.MethodGet},
+		{"POST upgrade", map[string]string{
+			"Upgrade": "websocket", "Connection": "Upgrade",
+			"Sec-WebSocket-Key": "dGhlIHNhbXBsZSBub25jZQ==", "Sec-WebSocket-Version": "13",
+		}, http.MethodPost},
+		{"bad version", map[string]string{
+			"Upgrade": "websocket", "Connection": "Upgrade",
+			"Sec-WebSocket-Key": "dGhlIHNhbXBsZSBub25jZQ==", "Sec-WebSocket-Version": "8",
+		}, http.MethodGet},
+		{"missing key", map[string]string{
+			"Upgrade": "websocket", "Connection": "Upgrade", "Sec-WebSocket-Version": "13",
+		}, http.MethodGet},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, _ := http.NewRequest(tc.method, ts.URL, nil)
+			for k, v := range tc.headers {
+				req.Header.Set(k, v)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatalf("request: %v", err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}
+
+// TestDialErrors: refused handshakes and unsupported schemes error.
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("wss://example.com/x"); err == nil {
+		t.Fatal("Dial(wss) must fail: TLS is unsupported")
+	}
+	if _, err := Dial("://bad"); err == nil {
+		t.Fatal("Dial with unparsable URL must fail")
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no websockets here", http.StatusNotFound)
+	}))
+	defer ts.Close()
+	if _, err := Dial(ts.URL); err == nil || !strings.Contains(err.Error(), "handshake refused") {
+		t.Fatalf("Dial against non-ws endpoint = %v, want handshake-refused error", err)
+	}
+}
+
+// TestConcurrentWrites: frames from concurrent writers never
+// interleave (the echo would fail to parse if they did).
+func TestConcurrentWrites(t *testing.T) {
+	ts := echoServer(t)
+	defer ts.Close()
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close(CloseNormal, "")
+	const writers, perEach = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			msg := bytes.Repeat([]byte{byte('a' + w)}, 300)
+			for i := 0; i < perEach; i++ {
+				if err := c.WriteMessage(OpText, msg); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < writers*perEach; i++ {
+		_, msg, err := c.ReadMessage()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if len(msg) != 300 {
+			t.Fatalf("read %d: interleaved frame, len=%d", i, len(msg))
+		}
+		for _, b := range msg[1:] {
+			if b != msg[0] {
+				t.Fatalf("read %d: corrupted frame", i)
+			}
+		}
+	}
+	wg.Wait()
+}
+
+// TestReadDeadline: an armed read deadline interrupts a blocked read —
+// the harness's deadline-injection hook.
+func TestReadDeadline(t *testing.T) {
+	ts := echoServer(t)
+	defer ts.Close()
+	c, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close(CloseNormal, "")
+	if err := c.SetReadDeadline(time.Now().Add(30 * time.Millisecond)); err != nil {
+		t.Fatalf("SetReadDeadline: %v", err)
+	}
+	_, _, err = c.ReadMessage()
+	var ne net.Error
+	// The deadline error must be a timeout, so callers can distinguish
+	// an injected deadline from a dead peer.
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("read past the deadline = %v, want a net timeout error", err)
+	}
+	if err := c.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatalf("clear deadline: %v", err)
+	}
+}
