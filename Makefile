@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race cover cover-gate bench bench-json bench-closure bench-smoke bench-obs bench-trace bench-coldstart bench-coldstart-smoke experiments fuzz fuzz-smoke chaos chaos-persist chaos-sessions fmt vet clean
+.PHONY: all build test test-race race cover cover-gate bench bench-json bench-closure bench-smoke bench-obs bench-trace bench-coldstart bench-coldstart-smoke bench-constrained bench-constrained-smoke experiments fuzz fuzz-smoke chaos chaos-persist chaos-sessions fmt vet clean
 
 all: build vet test
 
@@ -95,6 +95,24 @@ bench-coldstart:
 # and rebuild still agree cell-for-cell on the big schema.
 bench-coldstart-smoke:
 	$(GO) test -bench=Coldstart -benchtime=1x -benchmem -run xxx -timeout 30m . \
+		| $(GO) run ./cmd/benchjson > /dev/null
+
+# The gap-annotation cost ledger: the tracked kernel series plus the
+# constrained lanes (regex-constrained gap, pushed-down predicate,
+# degenerate .* constraint, and their composition — each against the
+# in-run unconstrained baseline), folded into BENCH_core.json. The
+# unconstrained baseline is the number the annotations must not move;
+# its alloc bound is enforced by TestWarmCompleteAllocs in CI.
+bench-constrained:
+	$(GO) test -bench='$(TRACKED_BENCH)|Constrained' -benchmem -run xxx . \
+		| $(GO) run ./cmd/benchjson > BENCH_core.json
+	@echo wrote BENCH_core.json
+
+# CI-sized variant: one iteration per lane, enough to prove the
+# constrained benchmarks still run (the regex/predicate kernels still
+# answer with the pinned completion counts) and the JSON still parses.
+bench-constrained-smoke:
+	$(GO) test -bench=Constrained -benchtime=1x -benchmem -run xxx . \
 		| $(GO) run ./cmd/benchjson > /dev/null
 
 # Regenerate every table and figure of the paper's evaluation.

@@ -27,6 +27,7 @@ import (
 	"pathcomplete/internal/label"
 	"pathcomplete/internal/pathexpr"
 	"pathcomplete/internal/persist"
+	"pathcomplete/internal/schema"
 	"pathcomplete/internal/server"
 	"pathcomplete/internal/uni"
 )
@@ -124,6 +125,83 @@ func BenchmarkUniversityTaName(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkConstrainedTaName measures the annotated variants of the
+// flagship query: a regex-constrained gap (the DFA product folded into
+// the compiled traversal), a pushed-down predicate, and the degenerate
+// .* constraint that must answer like the unconstrained query. The
+// unconstrained lane rides along as the in-run baseline, so one run
+// shows the cost of each gap annotation side by side.
+func BenchmarkConstrainedTaName(b *testing.B) {
+	s := uni.New()
+	for _, tc := range []struct {
+		name string
+		expr string
+		want int // expected completion count
+	}{
+		{"baseline", "ta~name", 2},
+		{"regex", "ta~(grad.*)~name", 1},
+		{"degenerate", "ta~(.*)~name", 2},
+		{"predicate", `ta~name[self != "zz"]`, 2},
+		{"composed", `ta~(grad.*)~name[self != "zz"]`, 1},
+	} {
+		e := pathexpr.MustParse(tc.expr)
+		b.Run(tc.name, func(b *testing.B) {
+			c := core.New(s, core.Exact())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := c.Complete(e)
+				if err != nil || len(res.Completions) != tc.want {
+					b.Fatalf("res=%v err=%v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConstrainedScaling runs a constrained single-gap query on
+// generated schemas of growing size — the regex product must scale
+// with the traversal, not with the full class count.
+func BenchmarkConstrainedScaling(b *testing.B) {
+	for _, n := range []int{25, 50, 100} {
+		w, err := cupid.Generate(cupid.Config{Classes: n, RelPairs: 2 * n, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		root, anchor := benchPick(b, w.Schema)
+		e := pathexpr.MustParse(root + "~(.*)~" + anchor)
+		b.Run(benchN(n), func(b *testing.B) {
+			c := core.New(w.Schema, core.Exact())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Complete(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchPick returns a deterministic non-primitive root and a rel-name
+// anchor for the generated schema.
+func benchPick(b *testing.B, s *schema.Schema) (root, anchor string) {
+	b.Helper()
+	for _, c := range s.Classes() {
+		if !c.Primitive && root == "" {
+			root = c.Name
+		}
+	}
+	for _, r := range s.Rels() {
+		if r.Conn != connector.CIsa {
+			anchor = r.Name
+			break
+		}
+	}
+	if root == "" || anchor == "" {
+		b.Fatal("no usable root/anchor in generated schema")
+	}
+	return root, anchor
 }
 
 // BenchmarkFigure5Recall regenerates the Figure 5 series: average

@@ -14,7 +14,9 @@
 //	curl -s localhost:8080/v1/schemas
 //	curl -s localhost:8080/v1/schemas/university
 //	curl -s -X POST localhost:8080/v1/schemas/reload
-//	curl -s localhost:8080/complete -d '{"expr":"ta~name"}'          # deprecated, still served
+//	curl -s localhost:8080/v1/explain -d '{"expr":"ta~name"}'
+//	curl -s 'localhost:8080/v1/explain?expr=ta~name'
+//	curl -s localhost:8080/complete -d '{"expr":"ta~name"}'          # deprecated, still served (see -legacy-routes)
 //	curl -s localhost:8080/complete?schema=parts -d '{"expr":"p~weight"}'
 //	curl -s localhost:8080/schemas
 //	curl -s -X POST localhost:8080/schemas/reload
@@ -101,6 +103,7 @@ type config struct {
 	pprofOn       bool
 	cacheCap      int
 	quiet         bool
+	legacyRoutes  string // legacy (pre-/v1) route mode: on, warn, off
 
 	// Hardened-path knobs.
 	timeout     time.Duration // default per-request search deadline (0: none)
@@ -146,6 +149,7 @@ func parseFlags(args []string) (config, error) {
 	fs.BoolVar(&cfg.pprofOn, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	fs.IntVar(&cfg.cacheCap, "cache", server.DefaultCacheCap, "completion memo cache bound (entries, >= 0)")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress per-request logging")
+	fs.StringVar(&cfg.legacyRoutes, "legacy-routes", server.LegacyWarn, "legacy (pre-/v1) route serving: on (deprecation headers only), warn (adds the RFC 8594 Sunset date and a one-time log per route), off (410 Gone naming the /v1 successor)")
 	fs.DurationVar(&cfg.timeout, "timeout", 0, "default per-request search deadline (0: none beyond -max-timeout)")
 	fs.DurationVar(&cfg.maxTimeout, "max-timeout", server.DefaultMaxTimeout, "cap on any per-request timeoutMs")
 	fs.IntVar(&cfg.maxInflight, "max-inflight", server.DefaultMaxConcurrent, "max searches running at once")
@@ -186,6 +190,11 @@ func (cfg config) validate() error {
 	case "paper", "safe", "exact":
 	default:
 		return fmt.Errorf("unknown engine %q (want paper, safe, or exact)", cfg.engine)
+	}
+	switch cfg.legacyRoutes {
+	case "", server.LegacyOn, server.LegacyWarn, server.LegacyOff: // "": the server default (warn)
+	default:
+		return fmt.Errorf("unknown -legacy-routes mode %q (want on, warn, or off)", cfg.legacyRoutes)
 	}
 	if cfg.sample && (cfg.schemaName != "university" || cfg.sdlPath != "") {
 		return fmt.Errorf("-sample only applies to -schema university")
@@ -452,6 +461,11 @@ func build(cfg config) (*server.Server, *schema.Schema, error) {
 			MaxQueue:       cfg.queue,
 			MaxBodyBytes:   cfg.maxBody,
 		})
+		if cfg.legacyRoutes != "" {
+			if err := sv.SetLegacyRoutes(cfg.legacyRoutes); err != nil {
+				return nil, nil, err
+			}
+		}
 		if err := cfg.setupPersist(sv); err != nil {
 			return nil, nil, err
 		}
@@ -523,6 +537,11 @@ func build(cfg config) (*server.Server, *schema.Schema, error) {
 		MaxSessions:     cfg.maxSessions,
 		SessionDebounce: cfg.sessionDebounce,
 	})
+	if cfg.legacyRoutes != "" {
+		if err := sv.SetLegacyRoutes(cfg.legacyRoutes); err != nil {
+			return nil, nil, err
+		}
+	}
 	if err := cfg.setupPersist(sv); err != nil {
 		return nil, nil, err
 	}

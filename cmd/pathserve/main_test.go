@@ -135,6 +135,8 @@ func TestValidateFlags(t *testing.T) {
 		{"queue below -1", func(c *config) { c.queue = -2 }, "-queue must be >= -1"},
 		{"negative body cap", func(c *config) { c.maxBody = -5 }, "-max-body must be >= 0"},
 		{"bad faults spec", func(c *config) { c.faults = "delay=lots" }, "-faults"},
+		{"bad legacy-routes mode", func(c *config) { c.legacyRoutes = "maybe" }, "unknown -legacy-routes mode"},
+		{"legacy-routes off ok", func(c *config) { c.legacyRoutes = "off" }, ""},
 		{"queue minus one ok", func(c *config) { c.queue = -1 }, ""},
 		{"trace-sample negative", func(c *config) { c.traceSample = -0.1 }, "-trace-sample must be in [0, 1]"},
 		{"trace-sample above one", func(c *config) { c.traceSample = 1.5 }, "-trace-sample must be in [0, 1]"},

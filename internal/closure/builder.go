@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"pathcomplete/internal/core"
+	"pathcomplete/internal/schema"
 )
 
 // State is the observable lifecycle phase of one snapshot's closure.
@@ -52,6 +53,9 @@ type Status struct {
 	// Restored reports that the ready index was deserialized from a
 	// durable snapshot instead of being materialized by search.
 	Restored bool `json:"restored,omitempty"`
+	// ReusedCells reports how many cells were carried over from the
+	// previous generation by edge-granular reuse (0 for full builds).
+	ReusedCells int `json:"reusedCells,omitempty"`
 }
 
 // Observer receives build lifecycle events; the server wires it to
@@ -124,6 +128,19 @@ func (b *Builder) Adopt(ix *Index) (*Handle, bool) {
 // cmp's kernel — and must Cancel the Handle when the snapshot is
 // superseded or retired.
 func (b *Builder) Warm(name string, gen uint64, cmp *core.Completer) *Handle {
+	return b.WarmReusing(name, gen, cmp, nil, nil)
+}
+
+// WarmReusing is Warm with edge-granular reuse: cells of prev — the
+// previous generation's ready index, built against prevSchema — whose
+// supporting edges the schema diff did not touch are rehydrated
+// instead of re-searched (see BuildReusing). Passing a nil prev or
+// prevSchema degrades to a full build. The caller must capture prev
+// and prevSchema BEFORE cancelling the previous snapshot's handle
+// (Cancel drops the handle's index pointer); the index itself is
+// immutable and safe to read after its budget reservation is
+// released.
+func (b *Builder) WarmReusing(name string, gen uint64, cmp *core.Completer, prev *Index, prevSchema *schema.Schema) *Handle {
 	ctx, cancel := context.WithCancel(context.Background())
 	h := &Handle{
 		b:      b,
@@ -131,13 +148,13 @@ func (b *Builder) Warm(name string, gen uint64, cmp *core.Completer) *Handle {
 		cancel: cancel,
 		done:   make(chan struct{}),
 	}
-	go b.build(ctx, h, name, gen, cmp)
+	go b.build(ctx, h, name, gen, cmp, prev, prevSchema)
 	return h
 }
 
-// build is the worker body: acquire a pool slot, run Build, publish
-// under the Handle's lock.
-func (b *Builder) build(ctx context.Context, h *Handle, name string, gen uint64, cmp *core.Completer) {
+// build is the worker body: acquire a pool slot, run Build (or
+// BuildReusing), publish under the Handle's lock.
+func (b *Builder) build(ctx context.Context, h *Handle, name string, gen uint64, cmp *core.Completer, prev *Index, prevSchema *schema.Schema) {
 	defer close(h.done)
 	// Wait for a worker slot — cancellable, so a superseded snapshot
 	// queued behind a long build never runs at all.
@@ -152,7 +169,13 @@ func (b *Builder) build(ctx context.Context, h *Handle, name string, gen uint64,
 		b.obs.ClosureBuildStarted(name)
 	}
 	start := time.Now()
-	ix, err := Build(ctx, name, gen, cmp, b.budget)
+	var ix *Index
+	var err error
+	if prev != nil && prevSchema != nil {
+		ix, _, err = BuildReusing(ctx, name, gen, cmp, b.budget, prev, prevSchema)
+	} else {
+		ix, err = Build(ctx, name, gen, cmp, b.budget)
+	}
 	outcome := "ready"
 	switch {
 	case err == nil:
@@ -233,6 +256,7 @@ func (h *Handle) Status() Status {
 		st.Cells = h.idx.Cells()
 		st.BuildMs = h.idx.BuildDuration().Milliseconds()
 		st.Restored = h.idx.Restored()
+		st.ReusedCells = h.idx.ReusedCells()
 	}
 	return st
 }

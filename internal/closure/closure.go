@@ -50,6 +50,7 @@ type Index struct {
 	byAnchor map[string][]*core.Result
 	anchors  int
 	cells    int
+	reused   int
 	bytes    int64
 	elapsed  time.Duration
 	restored bool
@@ -83,6 +84,10 @@ func (ix *Index) Anchors() int { return ix.anchors }
 
 // Cells returns the number of (root, anchor) cells materialized.
 func (ix *Index) Cells() int { return ix.cells }
+
+// ReusedCells returns how many cells were carried over from the
+// previous generation's index by BuildReusing (0 for a full build).
+func (ix *Index) ReusedCells() int { return ix.reused }
 
 // Bytes returns the estimated resident size of the index — the amount
 // reserved against the build Budget.

@@ -152,7 +152,13 @@ func patEqual(a, b *pattern) bool {
 		return false
 	}
 	for i := range a.segs {
-		if a.segs[i] != b.segs[i] {
+		x, y := &a.segs[i], &b.segs[i]
+		// Field-wise on identity, not struct equality: dfa and predOK
+		// are derived deterministically from (constraint, predSrc) over
+		// the Completer's fixed schema, so the sources alone decide
+		// pattern identity.
+		if x.kind != y.kind || x.conn != y.conn || x.name != y.name ||
+			x.class != y.class || x.constraint != y.constraint || x.predSrc != y.predSrc {
 			return false
 		}
 	}
@@ -179,6 +185,14 @@ func patHash(p *pattern) uint64 {
 			mix(uint64(sg.name[i]))
 		}
 		mix(uint64(uint32(sg.class)))
+		for i := 0; i < len(sg.constraint); i++ {
+			mix(uint64(sg.constraint[i]))
+		}
+		mix(uint64(len(sg.constraint)))
+		for i := 0; i < len(sg.predSrc); i++ {
+			mix(uint64(sg.predSrc[i]))
+		}
+		mix(uint64(len(sg.predSrc)))
 	}
 	return h
 }

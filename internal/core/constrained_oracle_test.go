@@ -1,0 +1,173 @@
+package core_test
+
+// The constrained lane of the randomized differential-oracle suite:
+// over the cupid-generated schema corpus, regex-constrained and
+// predicate-annotated queries are verified against the naive reference
+// (enumerate the unconstrained Ψ, post-filter with the stdlib regexp
+// engine over every gap segmentation, then AGG*), and universal
+// constraints are locked to bit-for-bit degeneracy — answers, order,
+// labels, AND Stats — with their unconstrained counterparts.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"regexp"
+	"testing"
+
+	"pathcomplete/internal/core"
+	"pathcomplete/internal/cupid"
+	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
+)
+
+// oracleConstraints derives constraint sources from one unconstrained
+// answer, mirroring the in-package generator: fragment literal, first-
+// name prefix, connector-qualified suffix, plus a dead pattern.
+func oracleConstraints(s *schema.Schema, res *core.Result) []string {
+	out := []string{`zqx9never`}
+	for i, c := range res.Completions {
+		if i >= 2 || len(c.Path.Rels) == 0 {
+			break
+		}
+		frag := pathexpr.SpellFragment(s, c.Path.Rels)
+		first := s.Rel(c.Path.Rels[0]).Name
+		last := s.Rel(c.Path.Rels[len(c.Path.Rels)-1])
+		out = append(out,
+			regexp.QuoteMeta(frag),
+			regexp.QuoteMeta(first)+`.*`,
+			`.*`+regexp.QuoteMeta(last.Conn.String()+last.Name),
+		)
+	}
+	return out
+}
+
+// TestOracleConstrained sweeps constrained and predicate queries over
+// the generated corpus in Exact mode and requires the compiled kernel
+// to agree with the naive post-filter reference on answers, order,
+// labels, and the optimal label set.
+func TestOracleConstrained(t *testing.T) {
+	n := int64(60)
+	if testing.Short() {
+		n = 15
+	}
+	preds := []string{`self = "x"`, `value > 10`, `name != "a"`, `units <= 2.5`}
+	for i := int64(0); i < n; i++ {
+		cfg := oracleConfig(i)
+		w, err := cupid.Generate(cfg)
+		if err != nil {
+			t.Fatalf("schema %d: Generate(%+v): %v", i, cfg, err)
+		}
+		s := w.Schema
+		r := rand.New(rand.NewSource(i*52361 + 11))
+		opts := core.Exact()
+		opts.E = 1 + int(i)%2
+		opts.NoPreemption = i%2 == 0
+		cmp := core.New(s, opts)
+
+		var roots []string
+		for _, c := range s.Classes() {
+			if !c.Primitive {
+				roots = append(roots, c.Name)
+			}
+		}
+		r.Shuffle(len(roots), func(a, b int) { roots[a], roots[b] = roots[b], roots[a] })
+		if len(roots) > 2 {
+			roots = roots[:2]
+		}
+		for _, root := range roots {
+			for _, anchor := range oracleAnchors(s, r) {
+				base := pathexpr.Expr{Root: root, Steps: []pathexpr.Step{{Gap: true, Name: anchor}}}
+				plain, err := cmp.Complete(base)
+				if err != nil || len(plain.Completions) == 0 {
+					continue
+				}
+				queries := make([]pathexpr.Expr, 0, 8)
+				for _, re := range oracleConstraints(s, plain) {
+					queries = append(queries, pathexpr.Expr{Root: root,
+						Steps: []pathexpr.Step{{Gap: true, Name: anchor, Constraint: re}}})
+				}
+				queries = append(queries, pathexpr.Expr{Root: root,
+					Steps: []pathexpr.Step{{Gap: true, Name: anchor, Pred: preds[int(i)%len(preds)]}}})
+				for _, e := range queries {
+					got, err := cmp.Complete(e)
+					if err != nil {
+						t.Fatalf("schema %d %v: %v", i, e, err)
+					}
+					naive, err := core.NaiveComplete(s, e, opts, oracleEnumLimit)
+					if err != nil {
+						if err == core.ErrEnumLimit {
+							continue
+						}
+						t.Fatalf("schema %d %v: NaiveComplete: %v", i, e, err)
+					}
+					gv, nv := view(got), view(naive)
+					gv.Best, nv.Best = sortedBest(gv.Best), sortedBest(nv.Best)
+					if !reflect.DeepEqual(gv, nv) {
+						report := fmt.Sprintf("compiled: %+v\nnaive:    %+v", gv, nv)
+						t.Errorf("schema %d (classes=%d) %v: constrained compiled vs naive disagree:\n%s",
+							i, cfg.Classes, e, report)
+						dumpOracleFailure(t, cfg, s, e, opts, report)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOracleUniversalDegeneracy locks the .*-degeneracy acceptance
+// criterion over the cupid corpus: for every query in the mix, the
+// ~(.*)~anchor answer is bit-for-bit identical — completions, order,
+// labels, best set, flags, and Stats — to the unconstrained ~anchor
+// answer, because the universal constraint is normalized away at
+// compile time and the two queries share one memoized pattern.
+func TestOracleUniversalDegeneracy(t *testing.T) {
+	n := int64(40)
+	if testing.Short() {
+		n = 10
+	}
+	for i := int64(0); i < n; i++ {
+		cfg := oracleConfig(i*2 + 1)
+		w, err := cupid.Generate(cfg)
+		if err != nil {
+			t.Fatalf("schema %d: Generate(%+v): %v", i, cfg, err)
+		}
+		s := w.Schema
+		r := rand.New(rand.NewSource(i*77617 + 3))
+		opts := core.Safe()
+		opts.PreferSpecific = i%3 == 0
+		cmp := core.New(s, opts)
+		var roots []string
+		for _, c := range s.Classes() {
+			if !c.Primitive {
+				roots = append(roots, c.Name)
+			}
+		}
+		r.Shuffle(len(roots), func(a, b int) { roots[a], roots[b] = roots[b], roots[a] })
+		if len(roots) > 3 {
+			roots = roots[:3]
+		}
+		for _, root := range roots {
+			for _, anchor := range oracleAnchors(s, r) {
+				base := pathexpr.Expr{Root: root, Steps: []pathexpr.Step{{Gap: true, Name: anchor}}}
+				plain, err := cmp.Complete(base)
+				if err != nil {
+					continue
+				}
+				for _, re := range []string{`.*`, `.+`} {
+					e := pathexpr.Expr{Root: root, Steps: []pathexpr.Step{{Gap: true, Name: anchor, Constraint: re}}}
+					got, err := cmp.Complete(e)
+					if err != nil {
+						t.Fatalf("schema %d %v: %v", i, e, err)
+					}
+					if !reflect.DeepEqual(view(got), view(plain)) || got.Stats != plain.Stats {
+						report := fmt.Sprintf("constrained:   %+v %+v\nunconstrained: %+v %+v",
+							view(got), got.Stats, view(plain), plain.Stats)
+						t.Errorf("schema %d %v: universal constraint not degenerate:\n%s", i, e, report)
+						dumpOracleFailure(t, cfg, s, e, opts, report)
+					}
+				}
+			}
+		}
+	}
+}

@@ -29,8 +29,10 @@ import (
 	"time"
 
 	"pathcomplete/internal/connector"
+	"pathcomplete/internal/gapre"
 	"pathcomplete/internal/label"
 	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/pred"
 	"pathcomplete/internal/schema"
 )
 
@@ -276,6 +278,18 @@ type Result struct {
 	// StopReason identifies the bound that stopped the search
 	// (StopNone when the search ran to completion).
 	StopReason StopReason
+	// Support is the union of the edge sets of every path found with an
+	// optimal label, taken BEFORE preemption, specificity filtering, and
+	// truncation — so it covers witnesses of Best that Completions does
+	// not carry. It is the invalidation footprint of the answer: as long
+	// as the schema's classes are unchanged, no edges were added, and no
+	// Support edge was removed or re-labeled, the answer (Completions,
+	// order, labels, and Best) is still exactly correct — removals
+	// elsewhere only shrink Ψ without touching any optimal-key witness.
+	// A Truncated or Aborted result's Support is incomplete and must not
+	// be used for reuse decisions. Nil for merged (frontier) results and
+	// results restored from durable snapshots.
+	Support EdgeSet
 }
 
 // Exprs returns the completions as plain expressions, in result order.
@@ -360,9 +374,25 @@ func (c *Completer) CompleteContext(ctx context.Context, e pathexpr.Expr) (*Resu
 		if err != nil {
 			return nil, err
 		}
+		// A complete expression with segment predicates is still subject
+		// to schema-level admissibility: a step whose end class cannot
+		// carry the attribute has an empty (not invalid) answer.
+		for i, st := range e.Steps {
+			if st.Pred == "" {
+				continue
+			}
+			p, perr := pred.Parse(st.Pred)
+			if perr != nil {
+				return nil, fmt.Errorf("core: segment predicate %q: %w", st.Pred, perr)
+			}
+			if !predAdmits(c.s, p, r.Classes[i+1]) {
+				return &Result{}, nil
+			}
+		}
 		return &Result{
 			Completions: []Completion{{Path: r, Label: r.Label()}},
 			Best:        []label.Key{r.Label().Key()},
+			Support:     EdgesOf(c.s, r.Rels),
 		}, nil
 	}
 	pat, err := compile(c.s, e)
@@ -445,15 +475,72 @@ type segment struct {
 	// default to their target class name (Section 2.1), a gap anchored
 	// on a class name also ends at any edge into that class.
 	class schema.ClassID
+
+	// constraint is the regex source of a ~(RE)~ gap ("" when
+	// unconstrained) and dfa its determinization over this schema's
+	// edge alphabet; the search runs the product of the schema graph
+	// and this automaton, so pruning happens inside Algorithm 2 rather
+	// than as a post-filter. A constraint whose automaton accepts every
+	// non-empty fragment is dropped at compile time (dfa nil,
+	// constraint ""), which makes e.g. ~(.*)~name bit-for-bit identical
+	// to the unconstrained ~name — same pattern identity, same memoized
+	// index, same Stats.
+	constraint string
+	dfa        *gapre.Machine
+	// predSrc is the canonical source of a [attr op literal] predicate
+	// on this segment ("" when none) and predOK its schema-level
+	// admissibility per class: predOK[c] is false exactly when objects
+	// of class c are predicate-false by construction (the class cannot
+	// carry the attribute with a compatible primitive type), so edges
+	// ending the segment at such classes are pruned during the search.
+	predSrc string
+	predOK  []bool
 }
 
 // pattern is an incomplete path expression compiled against a schema:
 // a root class plus a segment sequence. The search runs over states
 // (class, segment index); reaching segment index len(segs) completes a
 // path.
+//
+// When any segment carries a regex constraint the search state widens
+// to (class, segment, automaton state): cols[i] is the column offset of
+// segment i in the widened best[u] table and totalCols the table width
+// per class (an unconstrained segment occupies one column, a
+// constrained one as many columns as its automaton has states). cols is
+// nil for fully unconstrained patterns, keeping their table layout —
+// and the allocation-free hot path — byte-identical to before.
 type pattern struct {
 	root schema.ClassID
 	segs []segment
+
+	cols      []int32
+	totalCols int
+}
+
+// annotated reports whether any segment carries a regex constraint or a
+// pushed-down predicate.
+func (p *pattern) annotated() bool {
+	for i := range p.segs {
+		if p.segs[i].constraint != "" || p.segs[i].predSrc != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// stripped returns a copy of the pattern with every constraint and
+// predicate removed — the unconstrained pattern whose answer set the
+// annotated search is a filter of. Used by the naive reference.
+func (p *pattern) stripped() *pattern {
+	sp := &pattern{root: p.root, segs: make([]segment, len(p.segs))}
+	copy(sp.segs, p.segs)
+	for i := range sp.segs {
+		sp.segs[i].constraint = ""
+		sp.segs[i].dfa = nil
+		sp.segs[i].predSrc = ""
+		sp.segs[i].predOK = nil
+	}
+	return sp
 }
 
 // compile checks the expression against the schema and builds the
@@ -477,10 +564,128 @@ func compile(s *schema.Schema, e pathexpr.Expr) (*pattern, error) {
 				return nil, fmt.Errorf("core: no relationship or class named %q anywhere in schema %s",
 					st.Name, s.Name())
 			}
+			seg.constraint = st.Constraint
+			seg.predSrc = st.Pred
 			pat.segs = append(pat.segs, seg)
 			continue
 		}
-		pat.segs = append(pat.segs, segment{kind: segExplicit, conn: st.Conn, name: st.Name})
+		pat.segs = append(pat.segs, segment{kind: segExplicit, conn: st.Conn, name: st.Name, predSrc: st.Pred})
+	}
+	if err := annotate(s, pat); err != nil {
+		return nil, err
 	}
 	return pat, nil
+}
+
+// annotate compiles the pattern's regex constraints to automata over
+// the schema's edge alphabet and its predicates to per-class
+// admissibility tables, then lays out the widened best[u] columns.
+// Universal constraints (automata accepting every non-empty fragment,
+// e.g. .* or .+) are dropped entirely, normalizing the pattern to its
+// unconstrained identity.
+func annotate(s *schema.Schema, pat *pattern) error {
+	var first, rest []string
+	for i := range pat.segs {
+		seg := &pat.segs[i]
+		if seg.constraint != "" {
+			rx, err := gapre.Compile(seg.constraint)
+			if err != nil {
+				return fmt.Errorf("core: gap constraint %q: %w", seg.constraint, err)
+			}
+			if first == nil {
+				rels := s.Rels()
+				first = make([]string, len(rels))
+				rest = make([]string, len(rels))
+				for _, rel := range rels {
+					first[rel.ID] = rel.Name
+					rest[rel.ID] = rel.Conn.String() + rel.Name
+				}
+			}
+			m, err := gapre.Determinize(rx, first, rest)
+			if err != nil {
+				return fmt.Errorf("core: gap constraint %q: %w", seg.constraint, err)
+			}
+			if m.Universal() {
+				seg.constraint = ""
+			} else {
+				seg.dfa = m
+			}
+		}
+		if seg.predSrc != "" {
+			p, err := pred.Parse(seg.predSrc)
+			if err != nil {
+				return fmt.Errorf("core: segment predicate %q: %w", seg.predSrc, err)
+			}
+			seg.predOK = make([]bool, s.NumClasses())
+			for _, cls := range s.Classes() {
+				seg.predOK[cls.ID] = predAdmits(s, p, cls.ID)
+			}
+		}
+	}
+	constrained := false
+	for i := range pat.segs {
+		if pat.segs[i].dfa != nil {
+			constrained = true
+			break
+		}
+	}
+	if constrained {
+		pat.cols = make([]int32, len(pat.segs))
+		off := int32(0)
+		for i := range pat.segs {
+			pat.cols[i] = off
+			if d := pat.segs[i].dfa; d != nil {
+				off += int32(d.NumStates())
+			} else {
+				off++
+			}
+		}
+		pat.totalCols = int(off)
+	}
+	return nil
+}
+
+// predAdmits reports whether objects of class cls could ever satisfy
+// the predicate. It mirrors the evaluator exactly (objstore attribute
+// resolution plus pred.Compare coercion): "self" requires the class
+// itself to be a type-compatible primitive; any other attribute must
+// resolve — on the class or, inherited, on a superclass — to an
+// attribute edge whose primitive target is type-compatible with the
+// literal. Everything else is predicate-false by construction, so the
+// search may prune it.
+func predAdmits(s *schema.Schema, p *pred.Predicate, cls schema.ClassID) bool {
+	allowed := p.AllowedPrimitives()
+	if p.Attr == "self" {
+		c := s.Class(cls)
+		if !c.Primitive {
+			return false
+		}
+		for _, n := range allowed {
+			if c.Name == n {
+				return true
+			}
+		}
+		return false
+	}
+	rel, ok := s.OutRel(cls, p.Attr)
+	if !ok {
+		for _, super := range s.Supers(cls) {
+			if rel, ok = s.OutRel(super, p.Attr); ok {
+				break
+			}
+		}
+	}
+	if !ok {
+		return false
+	}
+	to := s.Class(rel.To)
+	if !to.Primitive {
+		return false
+	}
+	for _, n := range allowed {
+		if to.Name == n {
+			return true
+		}
+	}
+	return false
 }

@@ -6,16 +6,30 @@ import (
 
 	"pathcomplete/internal/label"
 	"pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/schema"
 )
 
 // ExplainStep is one row of a completion's derivation: the traversed
-// relationship and the running label after composing it.
+// relationship, its CON-table row (the composed connector of the
+// prefix before the edge ∘ the edge's own connector = the composed
+// connector after), and the running label. Rel identifies the exact
+// schema edge, making every row a provenance record: the set of Rel
+// values over all rows is the completion's edge set.
 type ExplainStep struct {
 	// Step renders the traversal, e.g. "@>grad" or ".take".
 	Step string
 	// From and To name the classes at the edge's ends.
 	From, To string
-	// Conn is the composed connector of the whole prefix so far.
+	// Rel is the ID of the traversed schema edge.
+	Rel schema.RelID
+	// EdgeConn is the edge's own connector — the right operand of the
+	// CON-table row this step applied.
+	EdgeConn string
+	// PrevConn is the composed connector of the prefix before this
+	// edge — the left operand of the CON-table row.
+	PrevConn string
+	// Conn is the composed connector of the whole prefix so far — the
+	// row's output.
 	Conn string
 	// SemLen is the semantic length of the prefix so far.
 	SemLen int
@@ -24,20 +38,26 @@ type ExplainStep struct {
 // ExplainPath derives a completion step by step: for each edge, the
 // composed connector (via the CON_c table) and the semantic length
 // after the restructuring rules of Section 3.3.2. The final row's
-// connector and length are the completion's label.
+// connector and length are the completion's label, so replaying
+// label.Con over the reported edges reproduces the label the search
+// ranked — the replay check of the explain API's provenance contract.
 func ExplainPath(r *pathexpr.Resolved) []ExplainStep {
 	s := r.Schema
 	l := label.Identity()
 	steps := make([]ExplainStep, 0, len(r.Rels))
 	for _, rid := range r.Rels {
 		rel := s.Rel(rid)
+		prev := l.Conn().String()
 		l = label.Con(l, label.MustEdge(rel.Conn))
 		steps = append(steps, ExplainStep{
-			Step:   rel.Conn.String() + rel.Name,
-			From:   s.Class(rel.From).Name,
-			To:     s.Class(rel.To).Name,
-			Conn:   l.Conn().String(),
-			SemLen: l.SemLen(),
+			Step:     rel.Conn.String() + rel.Name,
+			From:     s.Class(rel.From).Name,
+			To:       s.Class(rel.To).Name,
+			Rel:      rid,
+			EdgeConn: rel.Conn.String(),
+			PrevConn: prev,
+			Conn:     l.Conn().String(),
+			SemLen:   l.SemLen(),
 		})
 	}
 	return steps

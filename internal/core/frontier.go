@@ -79,6 +79,15 @@ func (c *Completer) NewFrontier(e pathexpr.Expr) (*Frontier, error) {
 	if len(e.Steps) == 0 || !e.Steps[len(e.Steps)-1].Gap {
 		return nil, fmt.Errorf("core: frontier requires an expression ending in a ~ gap, got %q", e.String())
 	}
+	// Constrained gaps and segment predicates are one-shot query
+	// features: a frontier varies the final anchor under a fixed base,
+	// and its cell cache is keyed by anchor alone, so annotations
+	// anywhere in the expression would silently alias cells.
+	for _, st := range e.Steps {
+		if st.Constraint != "" || st.Pred != "" {
+			return nil, fmt.Errorf("core: frontier does not support constrained or predicate steps, got %q", e.String())
+		}
+	}
 	rc, ok := c.s.ClassByName(e.Root)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown root class %q", e.Root)

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pathcomplete/internal/gapre"
 	"pathcomplete/internal/label"
 	"pathcomplete/internal/pathexpr"
 	"pathcomplete/internal/schema"
@@ -48,7 +49,87 @@ func EnumerateConsistent(s *schema.Schema, e pathexpr.Expr, opts Options, limit 
 	if err != nil {
 		return nil, err
 	}
-	return enumerate(s, pat, opts, limit)
+	return enumerateAnnotated(s, pat, opts, limit)
+}
+
+// enumerateAnnotated is the definitional reference for annotated
+// (regex-constrained or predicate-carrying) patterns: enumerate the
+// UNCONSTRAINED Ψ on the stripped pattern, then post-filter by an
+// independent engine — the stdlib regexp matcher over fragment
+// spellings plus per-class predicate admissibility — over every
+// possible gap segmentation of each path. The optimized kernel, which
+// prunes via the determinized automaton product inside the search, is
+// property-tested against this. Unannotated patterns pass straight
+// through to the plain enumerator. limit bounds the pre-filter
+// enumeration.
+func enumerateAnnotated(s *schema.Schema, pat *pattern, opts Options, limit int) ([]*pathexpr.Resolved, error) {
+	if !pat.annotated() {
+		return enumerate(s, pat, opts, limit)
+	}
+	all, err := enumerate(s, pat.stripped(), opts, limit)
+	if err != nil {
+		return nil, err
+	}
+	refs := make([]*gapre.Ref, len(pat.segs))
+	for i := range pat.segs {
+		if c := pat.segs[i].constraint; c != "" {
+			if refs[i], err = gapre.NewRef(c); err != nil {
+				return nil, fmt.Errorf("core: gap constraint %q: %w", c, err)
+			}
+		}
+	}
+	out := all[:0]
+	for _, r := range all {
+		if matchAnnotated(s, pat, refs, r.Rels, 0, 0) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// matchAnnotated reports whether some segmentation of the edge
+// sequence rels[i:] against pattern segments pat.segs[seg:] satisfies
+// every gap-end condition, regex constraint, and predicate. It is the
+// declarative counterpart of the kernel's in-search pruning: a path
+// belongs to the constrained Ψ iff at least one of its gap splits
+// passes.
+func matchAnnotated(s *schema.Schema, pat *pattern, refs []*gapre.Ref, rels []schema.RelID, i, seg int) bool {
+	if seg == len(pat.segs) {
+		return i == len(rels)
+	}
+	if i == len(rels) {
+		return false
+	}
+	sgmt := &pat.segs[seg]
+	if sgmt.kind == segExplicit {
+		rel := s.Rel(rels[i])
+		if rel.Name != sgmt.name || rel.Conn != sgmt.conn {
+			return false
+		}
+		if sgmt.predOK != nil && !sgmt.predOK[rel.To] {
+			return false
+		}
+		return matchAnnotated(s, pat, refs, rels, i+1, seg+1)
+	}
+	for j := i; j < len(rels); j++ {
+		rel := s.Rel(rels[j])
+		var ends bool
+		if sgmt.kind == segGapName {
+			ends = rel.Name == sgmt.name || rel.To == sgmt.class
+		} else {
+			ends = rel.To == sgmt.class
+		}
+		if ends && (sgmt.predOK == nil || sgmt.predOK[rel.To]) {
+			if (refs[seg] == nil || refs[seg].Match(pathexpr.SpellFragment(s, rels[i:j+1]))) &&
+				matchAnnotated(s, pat, refs, rels, j+1, seg+1) {
+				return true
+			}
+		}
+		if s.Class(rel.To).Primitive {
+			return false // the gap cannot continue through a primitive
+		}
+	}
+	return false
 }
 
 func enumerate(s *schema.Schema, pat *pattern, opts Options, limit int) ([]*pathexpr.Resolved, error) {
@@ -120,7 +201,7 @@ func NaiveComplete(s *schema.Schema, e pathexpr.Expr, opts Options, limit int) (
 	if err != nil {
 		return nil, err
 	}
-	all, err := enumerate(s, pat, opts, limit)
+	all, err := enumerateAnnotated(s, pat, opts, limit)
 	if err != nil {
 		return nil, err
 	}
@@ -131,10 +212,14 @@ func NaiveComplete(s *schema.Schema, e pathexpr.Expr, opts Options, limit int) (
 		keys[i] = labels[i].Key()
 	}
 	best := label.AggStar(keys, opts.e())
+	support := NewEdgeSet(s.NumRels())
 	var found []Completion
 	for i, r := range all {
 		if containsKey(best, keys[i]) {
 			found = append(found, Completion{Path: r, Label: labels[i]})
+			for _, rid := range r.Rels {
+				support.Add(rid)
+			}
 		}
 	}
 	if !opts.NoPreemption {
@@ -157,5 +242,6 @@ func NaiveComplete(s *schema.Schema, e pathexpr.Expr, opts Options, limit int) (
 		Completions: found,
 		Best:        best,
 		Stats:       Stats{Enumerated: len(all)},
+		Support:     support,
 	}, nil
 }

@@ -46,10 +46,17 @@ import (
 // parallelEligible reports whether the parallel path applies: it is
 // opted into (Parallel >= 2), no single-threaded-by-contract tracer is
 // attached, no traversal-order-dependent budget (MaxCalls, MaxPaths)
-// is set, and the root actually has branches to fan out.
+// is set, the pattern carries no regex constraint (the widened
+// automaton-product state would have to be threaded through the branch
+// seeding; constrained queries stay sequential), and the root actually
+// has branches to fan out. Pushed-down predicates do not gate: they
+// are baked into the compiled transition index the branches share.
 func (c *Completer) parallelEligible(pat *pattern, cp *compiled) bool {
 	o := &c.opts
 	if o.Parallel < 2 || o.Tracer != nil || o.MaxCalls > 0 || o.MaxPaths > 0 {
+		return false
+	}
+	if pat.cols != nil {
 		return false
 	}
 	_, kids := cp.moves(pat.root, 0)
@@ -134,7 +141,7 @@ func (c *Completer) runParallel(ctx context.Context, pat *pattern, cp *compiled)
 	acc.visited[root] = true
 	acc.stats.Calls++ // the root visit, counted once as in the sequential sweep
 	if !acc.opts.NoEarlyTarget {
-		acc.offerAll(comps, label.IncIdentity(), label.Identity())
+		acc.offerAll(0, 0, comps, label.IncIdentity(), label.Identity())
 	}
 	seed := append([]label.Key(nil), acc.bestT...)
 	var shared *sharedBound
@@ -183,7 +190,7 @@ func (c *Completer) runParallel(ctx context.Context, pat *pattern, cp *compiled)
 		}
 	}
 	if acc.opts.NoEarlyTarget {
-		acc.offerAll(comps, label.IncIdentity(), label.Identity())
+		acc.offerAll(0, 0, comps, label.IncIdentity(), label.Identity())
 	}
 	acc.visited[root] = false
 	res := acc.assemble()
@@ -225,7 +232,9 @@ func (c *Completer) runBranch(ctx context.Context, pat *pattern, cp *compiled, t
 	}
 	en.visited[u] = true
 	en.path = append(en.path, tr.rel.ID)
-	en.traverse(u, tr.toSeg, lu, label.Identity())
+	// q = 0: constrained patterns never reach the parallel path (see
+	// parallelEligible), so every segment's automaton state is trivial.
+	en.traverse(u, tr.toSeg, 0, lu, label.Identity())
 	en.path = en.path[:len(en.path)-1]
 	en.visited[u] = false // restore the all-false pool invariant
 

@@ -1,0 +1,131 @@
+package core
+
+// Provenance: which schema edges produced an answer. Every completion
+// already carries its exact edge sequence (pathexpr.Resolved.Rels);
+// this file adds the compact set view — a bitmap over relationship IDs
+// — that the explain API exposes per completion and the closure layer
+// uses for edge-granular invalidation on schema reload: a materialized
+// cell whose support bitmap is disjoint from the set of removed edges
+// (and whose schema saw no additions) is still the correct answer.
+//
+// The bitmaps are computed on demand from the resolved paths, never
+// during the search itself, so the allocation-free hot path is
+// untouched.
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"pathcomplete/internal/schema"
+)
+
+// EdgeSet is a bitmap over schema relationship IDs: bit r is set when
+// the relationship with ID r is in the set. The zero value is empty;
+// words are appended as needed.
+type EdgeSet []uint64
+
+// NewEdgeSet returns an empty set sized for a schema with numRels
+// relationship edges.
+func NewEdgeSet(numRels int) EdgeSet {
+	return make(EdgeSet, (numRels+63)/64)
+}
+
+// Add inserts one relationship ID, growing the set if needed.
+func (es *EdgeSet) Add(id schema.RelID) {
+	w := int(id) / 64
+	for w >= len(*es) {
+		*es = append(*es, 0)
+	}
+	(*es)[w] |= 1 << (uint(id) % 64)
+}
+
+// Has reports membership.
+func (es EdgeSet) Has(id schema.RelID) bool {
+	w := int(id) / 64
+	return w < len(es) && es[w]&(1<<(uint(id)%64)) != 0
+}
+
+// Union folds other into the set in place, growing it if needed.
+func (es *EdgeSet) Union(other EdgeSet) {
+	for len(*es) < len(other) {
+		*es = append(*es, 0)
+	}
+	for i, w := range other {
+		(*es)[i] |= w
+	}
+}
+
+// Intersects reports whether the two sets share any edge.
+func (es EdgeSet) Intersects(other EdgeSet) bool {
+	n := len(es)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if es[i]&other[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of edges in the set.
+func (es EdgeSet) Count() int {
+	n := 0
+	for _, w := range es {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IDs returns the members in ascending order.
+func (es EdgeSet) IDs() []schema.RelID {
+	out := make([]schema.RelID, 0, es.Count())
+	for wi, w := range es {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, schema.RelID(wi*64+b))
+			w &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// Hex renders the bitmap as lowercase hex, least-significant word
+// first, 16 digits per word — the compact wire form of the explain
+// API. An empty set renders as "0".
+func (es EdgeSet) Hex() string {
+	if len(es) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for _, w := range es {
+		fmt.Fprintf(&b, "%016x", w)
+	}
+	return b.String()
+}
+
+// EdgesOf returns the edge set of one resolved path.
+func EdgesOf(s *schema.Schema, rels []schema.RelID) EdgeSet {
+	es := NewEdgeSet(s.NumRels())
+	for _, r := range rels {
+		es.Add(r)
+	}
+	return es
+}
+
+// SupportEdges returns the union of the edge sets of every completion
+// in the result — the edges the answer depends on for its presence.
+// (Its optimality additionally depends on absent competitors, which is
+// why reuse-on-reload also requires that no edges were added; see
+// internal/closure.)
+func SupportEdges(s *schema.Schema, res *Result) EdgeSet {
+	es := NewEdgeSet(s.NumRels())
+	for _, c := range res.Completions {
+		for _, r := range c.Path.Rels {
+			es.Add(r)
+		}
+	}
+	return es
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pathcomplete/internal/connector"
+	"pathcomplete/internal/gapre"
 	"pathcomplete/internal/label"
 	"pathcomplete/internal/pathexpr"
 	"pathcomplete/internal/schema"
@@ -63,9 +64,17 @@ type engine struct {
 	// int(cls)*numSegs+seg. Slots keep their backing arrays across
 	// searches; dirty lists the touched indices so reset is O(touched),
 	// not O(classes × segments).
-	bestTab [][]label.Key
-	dirty   []int32
-	numSegs int
+	//
+	// For regex-constrained patterns the state space is the product
+	// with the constraint automata, so the table widens: the index
+	// becomes int(cls)*totalCols + cols[seg] + automaton state (cols
+	// and totalCols mirror pattern.cols/totalCols; cols stays nil — and
+	// the layout identical to the unconstrained one — otherwise).
+	bestTab   [][]label.Key
+	dirty     []int32
+	numSegs   int
+	cols      []int32
+	totalCols int
 
 	bestT []label.Key
 	path  []schema.RelID
@@ -112,7 +121,13 @@ func (en *engine) prepare(ctx context.Context, pat *pattern, cp *compiled, opts 
 	en.stop = StopNone
 	en.shared = nil
 	en.numSegs = len(pat.segs)
-	if need := len(en.visited) * en.numSegs; cap(en.bestTab) < need {
+	en.cols = pat.cols
+	en.totalCols = pat.totalCols
+	need := len(en.visited) * en.numSegs
+	if en.cols != nil {
+		need = len(en.visited) * en.totalCols
+	}
+	if cap(en.bestTab) < need {
 		en.bestTab = make([][]label.Key, need)
 	} else {
 		en.bestTab = en.bestTab[:need]
@@ -145,7 +160,7 @@ func (en *engine) release() {
 
 func (en *engine) run() *Result {
 	en.visited[en.pat.root] = true
-	en.traverse(en.pat.root, 0, label.IncIdentity(), label.Identity())
+	en.traverse(en.pat.root, 0, 0, label.IncIdentity(), label.Identity())
 	en.visited[en.pat.root] = false
 	return en.assemble()
 }
@@ -174,11 +189,13 @@ func (en *engine) stopNow() bool {
 
 // traverse is the recursive routine of Algorithm 2. v is the current
 // class, seg the next pattern segment, lv the incremental label of the
-// path from the root to v (whose edges are on en.path). tlv is the
-// full sequence-carrying label, maintained only while tracing (the
-// tracer interface reports exact labels); with a nil tracer it stays
-// the identity and costs nothing.
-func (en *engine) traverse(v schema.ClassID, seg int, lv label.Inc, tlv label.Label) {
+// path from the root to v (whose edges are on en.path). q is the state
+// of segment seg's constraint automaton over the fragment consumed so
+// far (always 0 when the segment is unconstrained — a new segment
+// starts its automaton fresh). tlv is the full sequence-carrying label,
+// maintained only while tracing (the tracer interface reports exact
+// labels); with a nil tracer it stays the identity and costs nothing.
+func (en *engine) traverse(v schema.ClassID, seg int, q int32, lv label.Inc, tlv label.Label) {
 	if en.stop != StopNone {
 		return // a bound already tripped: unwind without exploring
 	}
@@ -206,7 +223,7 @@ func (en *engine) traverse(v schema.ClassID, seg int, lv label.Inc, tlv label.La
 	// Lines (2)–(5): explore moves that complete the expression before
 	// ordinary children, so best[T] can prune as early as possible.
 	if !en.opts.NoEarlyTarget {
-		en.offerAll(comps, lv, tlv)
+		en.offerAll(seg, q, comps, lv, tlv)
 	}
 	for i := range kids {
 		if en.stop != StopNone {
@@ -219,6 +236,28 @@ func (en *engine) traverse(v schema.ClassID, seg int, lv label.Inc, tlv label.La
 				en.tracer.OnPrune(PruneCycle, tr.rel, tr.toSeg, tlv)
 			}
 			continue // line (8): acyclicity
+		}
+		// Constraint-automaton product: a move within a constrained gap
+		// must keep the automaton alive; a move that ends the gap must
+		// land it in an accepting state. The next segment (constrained
+		// or not) starts its own automaton at state 0.
+		nq := int32(0)
+		if d := en.pat.segs[seg].dfa; d != nil {
+			step := d.Step(q, int(tr.rel.ID))
+			if tr.toSeg == seg {
+				if step == gapre.Dead {
+					if en.tracer != nil {
+						en.tracer.OnPrune(PruneConstraint, tr.rel, tr.toSeg, tlv)
+					}
+					continue
+				}
+				nq = step
+			} else if !d.Accepting(step) {
+				if en.tracer != nil {
+					en.tracer.OnPrune(PruneConstraint, tr.rel, tr.toSeg, tlv)
+				}
+				continue
+			}
 		}
 		lu := lv.Extend(tr.rel.Conn)
 		key := lu.Key()
@@ -239,6 +278,12 @@ func (en *engine) traverse(v schema.ClassID, seg int, lv label.Inc, tlv label.La
 			// optionally with one unit of semantic-length slack, with
 			// the caution-set escape hatch.
 			idx := int(u)*en.numSegs + tr.toSeg
+			if en.cols != nil {
+				idx = int(u)*en.totalCols + int(en.cols[tr.toSeg])
+				if tr.toSeg == seg {
+					idx += int(nq)
+				}
+			}
 			slot := en.bestTab[idx]
 			testKey := key
 			if en.opts.SemLenSlack && testKey.SemLen > 0 {
@@ -273,12 +318,12 @@ func (en *engine) traverse(v schema.ClassID, seg int, lv label.Inc, tlv label.La
 		}
 		en.visited[u] = true
 		en.path = append(en.path, tr.rel.ID)
-		en.traverse(u, tr.toSeg, lu, tlu)
+		en.traverse(u, tr.toSeg, nq, lu, tlu)
 		en.path = en.path[:len(en.path)-1]
 		en.visited[u] = false
 	}
 	if en.opts.NoEarlyTarget {
-		en.offerAll(comps, lv, tlv)
+		en.offerAll(seg, q, comps, lv, tlv)
 	}
 }
 
@@ -299,7 +344,12 @@ func (en *engine) cautionSet(c connector.Connector) connector.Set {
 	return connector.Caution(c)
 }
 
-func (en *engine) offerAll(comps []trans, lv label.Inc, tlv label.Label) {
+// offerAll offers every completing move at (v, seg). q is the state of
+// segment seg's constraint automaton: a completing edge must land the
+// automaton in an accepting state, or the fragment it spells violates
+// the constraint.
+func (en *engine) offerAll(seg int, q int32, comps []trans, lv label.Inc, tlv label.Label) {
+	d := en.pat.segs[seg].dfa
 	for i := range comps {
 		tr := &comps[i]
 		if en.visited[tr.rel.To] {
@@ -307,6 +357,12 @@ func (en *engine) offerAll(comps []trans, lv label.Inc, tlv label.Label) {
 				en.tracer.OnPrune(PruneCycle, tr.rel, len(en.pat.segs), tlv)
 			}
 			continue // the completed expression would be cyclic
+		}
+		if d != nil && !d.Accepting(d.Step(q, int(tr.rel.ID))) {
+			if en.tracer != nil {
+				en.tracer.OnPrune(PruneConstraint, tr.rel, len(en.pat.segs), tlv)
+			}
+			continue
 		}
 		en.offer(tr.rel, lv.Extend(tr.rel.Conn), tlv)
 	}
@@ -461,7 +517,12 @@ func dynTransitions(s *schema.Schema, pat *pattern, opts *Options, v schema.Clas
 	switch sgmt.kind {
 	case segExplicit:
 		if rel, ok := s.OutRel(v, sgmt.name); ok && rel.Conn == sgmt.conn {
-			add(trans{rel: rel, toSeg: seg + 1})
+			// Pushed-down predicate: an end class that cannot carry the
+			// attribute is predicate-false by construction, so the move
+			// is inadmissible.
+			if sgmt.predOK == nil || sgmt.predOK[rel.To] {
+				add(trans{rel: rel, toSeg: seg + 1})
+			}
 		}
 	case segGapName, segGapClass:
 		if s.Class(v).Primitive {
@@ -474,6 +535,11 @@ func dynTransitions(s *schema.Schema, pat *pattern, opts *Options, v schema.Clas
 				ends = rel.Name == sgmt.name || rel.To == sgmt.class
 			} else {
 				ends = rel.To == sgmt.class
+			}
+			// Pushed-down predicate: the gap may still pass through the
+			// class, but cannot end there.
+			if ends && sgmt.predOK != nil && !sgmt.predOK[rel.To] {
+				ends = false
 			}
 			// Domain knowledge (Section 5.2): excluded classes may not
 			// appear on a gap's path — neither as intermediate classes
@@ -507,6 +573,15 @@ func dynTransitions(s *schema.Schema, pat *pattern, opts *Options, v schema.Clas
 // sequence, which equals the traversal-time label because Con is
 // associative.
 func (en *engine) assemble() *Result {
+	// The support set is taken from en.found — every witness of the
+	// final best set, before the preemption/specificity filters below
+	// drop any of them from Completions (see Result.Support).
+	support := NewEdgeSet(en.s.NumRels())
+	for _, f := range en.found {
+		for _, r := range f.rels {
+			support.Add(r)
+		}
+	}
 	found := make([]Completion, 0, len(en.found))
 	for _, f := range en.found {
 		resolved, err := pathexpr.FromRels(en.s, en.pat.root, f.rels)
@@ -549,5 +624,6 @@ func (en *engine) assemble() *Result {
 		Exhausted:   en.stop == StopMaxCalls,
 		Aborted:     en.stop != StopNone,
 		StopReason:  en.stop,
+		Support:     support,
 	}
 }

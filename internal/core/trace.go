@@ -40,6 +40,10 @@ const (
 	// anyway because of a caution-set intersection (Section 4.1). Not
 	// a prune — the event records the near miss.
 	CautionSave
+	// PruneConstraint: the edge would kill the gap's constraint
+	// automaton, or end the gap with its automaton in a non-accepting
+	// state — the fragment it spells cannot match the ~(RE)~ pattern.
+	PruneConstraint
 )
 
 // String returns the stable event-kind name used in JSON traces.
@@ -53,6 +57,8 @@ func (k PruneKind) String() string {
 		return "prune_bestU"
 	case CautionSave:
 		return "caution_save"
+	case PruneConstraint:
+		return "prune_constraint"
 	default:
 		return fmt.Sprintf("prune_kind(%d)", int(k))
 	}

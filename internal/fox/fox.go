@@ -120,7 +120,7 @@ func (in *Interp) Query(src string) (*Answer, error) {
 	}
 	sort.Slice(ans.Objects, func(i, j int) bool { return ans.Objects[i] < ans.Objects[j] })
 	if pred != nil {
-		ans.Objects = pred.filter(in.store, ans.Objects)
+		ans.Objects = filterObjects(pred, in.store, ans.Objects)
 	}
 	ans.Values = in.store.Values(ans.Objects)
 	return ans, nil

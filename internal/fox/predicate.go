@@ -14,225 +14,76 @@ package fox
 // other attribute name compares the final objects' (possibly
 // inherited) attribute values, with exists semantics when an attribute
 // is multi-valued.
+//
+// The predicate core itself (grammar, literals, comparison semantics)
+// lives in internal/pred so the search kernel can share it for
+// pushed-down segment predicates; fox re-exports the types its
+// callers already use.
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 
 	"pathcomplete/internal/objstore"
+	"pathcomplete/internal/pred"
 )
 
 // Op is a comparison operator.
-type Op int
+type Op = pred.Op
 
 // The comparison operators.
 const (
-	OpEq Op = iota
-	OpNe
-	OpLt
-	OpLe
-	OpGt
-	OpGe
+	OpEq = pred.OpEq
+	OpNe = pred.OpNe
+	OpLt = pred.OpLt
+	OpLe = pred.OpLe
+	OpGt = pred.OpGt
+	OpGe = pred.OpGe
 )
-
-var opSymbols = map[string]Op{
-	"=": OpEq, "==": OpEq, "!=": OpNe, "<>": OpNe,
-	"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
-}
-
-var opNames = map[Op]string{
-	OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
-}
 
 // Predicate is a where clause: attribute, operator, literal. The
 // attribute "self" refers to the result values themselves.
-type Predicate struct {
-	Attr  string
-	Op    Op
-	Value any // int64, float64, string, or bool
-}
-
-// String renders the predicate in query syntax.
-func (p *Predicate) String() string {
-	if s, ok := p.Value.(string); ok {
-		return fmt.Sprintf("%s %s %q", p.Attr, opNames[p.Op], s)
-	}
-	return fmt.Sprintf("%s %s %v", p.Attr, opNames[p.Op], p.Value)
-}
+type Predicate = pred.Predicate
 
 // splitQuery separates the path expression part from an optional where
 // clause.
-func splitQuery(src string) (exprSrc string, pred *Predicate, err error) {
+func splitQuery(src string) (exprSrc string, p *Predicate, err error) {
 	idx := strings.Index(src, " where ")
 	if idx < 0 {
 		return src, nil, nil
 	}
 	exprSrc = strings.TrimSpace(src[:idx])
-	pred, err = parsePredicate(strings.TrimSpace(src[idx+len(" where "):]))
-	return exprSrc, pred, err
-}
-
-// parsePredicate parses "attr op literal".
-func parsePredicate(src string) (*Predicate, error) {
-	fields := splitPredicate(src)
-	if len(fields) != 3 {
-		return nil, fmt.Errorf("fox: where clause must be `attr op literal`, got %q", src)
-	}
-	op, ok := opSymbols[fields[1]]
-	if !ok {
-		return nil, fmt.Errorf("fox: unknown operator %q", fields[1])
-	}
-	val, err := parseLiteral(fields[2])
+	p, err = pred.Parse(strings.TrimSpace(src[idx+len(" where "):]))
 	if err != nil {
-		return nil, err
+		return exprSrc, nil, fmt.Errorf("fox: %w", err)
 	}
-	return &Predicate{Attr: fields[0], Op: op, Value: val}, nil
+	return exprSrc, p, nil
 }
 
-// splitPredicate tokenizes the clause, keeping quoted strings intact.
-func splitPredicate(src string) []string {
-	var out []string
-	i := 0
-	for i < len(src) {
-		switch c := src[i]; {
-		case c == ' ' || c == '\t':
-			i++
-		case c == '"':
-			j := i + 1
-			for j < len(src) && src[j] != '"' {
-				j++
-			}
-			if j < len(src) {
-				j++
-			}
-			out = append(out, src[i:j])
-			i = j
-		default:
-			j := i
-			for j < len(src) && src[j] != ' ' && src[j] != '\t' {
-				j++
-			}
-			out = append(out, src[i:j])
-			i = j
-		}
-	}
-	return out
-}
-
-// parseLiteral parses a predicate literal: quoted string, boolean,
-// integer, or real.
-func parseLiteral(src string) (any, error) {
-	if len(src) >= 2 && src[0] == '"' && src[len(src)-1] == '"' {
-		return src[1 : len(src)-1], nil
-	}
-	switch src {
-	case "true":
-		return true, nil
-	case "false":
-		return false, nil
-	}
-	if n, err := strconv.ParseInt(src, 10, 64); err == nil {
-		return n, nil
-	}
-	if f, err := strconv.ParseFloat(src, 64); err == nil {
-		return f, nil
-	}
-	return nil, fmt.Errorf("fox: cannot parse literal %q (use a quoted string, a number, or true/false)", src)
-}
-
-// filter applies the predicate to evaluated objects. Unknown
+// filterObjects applies the predicate to evaluated objects. Unknown
 // attributes and type mismatches make the predicate false for that
 // object rather than failing the query — selection over heterogeneous
 // results is best-effort, as in the universal-relation tradition.
-func (p *Predicate) filter(st *objstore.Store, oids []objstore.OID) []objstore.OID {
+func filterObjects(p *Predicate, st *objstore.Store, oids []objstore.OID) []objstore.OID {
 	var out []objstore.OID
 	for _, oid := range oids {
-		var vals []any
-		if p.Attr == "self" {
-			obj := st.Object(oid)
-			if st.Schema().Class(obj.Class).Primitive {
-				vals = []any{obj.Value}
-			}
-		} else if vs, err := st.AttrValues(oid, p.Attr); err == nil {
-			vals = vs
-		}
-		for _, v := range vals {
-			if compare(v, p.Op, p.Value) {
-				out = append(out, oid)
-				break
-			}
+		if predicateHolds(p, st, oid) {
+			out = append(out, oid)
 		}
 	}
 	return out
 }
 
-// compare evaluates `a op b` with numeric coercion between integers
-// and reals; strings compare lexicographically; booleans support only
-// equality.
-func compare(a any, op Op, b any) bool {
-	if af, aok := toFloat(a); aok {
-		bf, bok := toFloat(b)
-		if !bok {
-			return false
+// predicateHolds evaluates the predicate for one object.
+func predicateHolds(p *Predicate, st *objstore.Store, oid objstore.OID) bool {
+	var vals []any
+	if p.Attr == "self" {
+		obj := st.Object(oid)
+		if st.Schema().Class(obj.Class).Primitive {
+			vals = []any{obj.Value}
 		}
-		switch op {
-		case OpEq:
-			return af == bf
-		case OpNe:
-			return af != bf
-		case OpLt:
-			return af < bf
-		case OpLe:
-			return af <= bf
-		case OpGt:
-			return af > bf
-		case OpGe:
-			return af >= bf
-		}
-		return false
+	} else if vs, err := st.AttrValues(oid, p.Attr); err == nil {
+		vals = vs
 	}
-	switch av := a.(type) {
-	case string:
-		bv, ok := b.(string)
-		if !ok {
-			return false
-		}
-		switch op {
-		case OpEq:
-			return av == bv
-		case OpNe:
-			return av != bv
-		case OpLt:
-			return av < bv
-		case OpLe:
-			return av <= bv
-		case OpGt:
-			return av > bv
-		case OpGe:
-			return av >= bv
-		}
-	case bool:
-		bv, ok := b.(bool)
-		if !ok {
-			return false
-		}
-		switch op {
-		case OpEq:
-			return av == bv
-		case OpNe:
-			return av != bv
-		}
-	}
-	return false
-}
-
-func toFloat(v any) (float64, bool) {
-	switch x := v.(type) {
-	case int64:
-		return float64(x), true
-	case float64:
-		return x, true
-	}
-	return 0, false
+	return p.Matches(vals)
 }

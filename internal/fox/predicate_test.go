@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"pathcomplete/internal/core"
+	"pathcomplete/internal/pred"
 	"pathcomplete/internal/uni"
 )
 
@@ -115,13 +116,13 @@ func TestPredicateParsing(t *testing.T) {
 		{`flag == true`, Predicate{Attr: "flag", Op: OpEq, Value: true}},
 	}
 	for _, tc := range cases {
-		got, err := parsePredicate(tc.src)
+		got, err := pred.Parse(tc.src)
 		if err != nil {
-			t.Errorf("parsePredicate(%q): %v", tc.src, err)
+			t.Errorf("pred.Parse(%q): %v", tc.src, err)
 			continue
 		}
 		if *got != tc.want {
-			t.Errorf("parsePredicate(%q) = %+v, want %+v", tc.src, *got, tc.want)
+			t.Errorf("pred.Parse(%q) = %+v, want %+v", tc.src, *got, tc.want)
 		}
 	}
 }
@@ -138,13 +139,13 @@ func TestPredicateString(t *testing.T) {
 }
 
 func TestCompareMismatches(t *testing.T) {
-	if compare("x", OpEq, int64(1)) || compare(int64(1), OpEq, "x") {
+	if pred.Compare("x", OpEq, int64(1)) || pred.Compare(int64(1), OpEq, "x") {
 		t.Error("cross-type compare should be false")
 	}
-	if compare(true, OpLt, false) {
+	if pred.Compare(true, OpLt, false) {
 		t.Error("ordered compare on booleans should be false")
 	}
-	if !compare(int64(2), OpEq, 2.0) {
+	if !pred.Compare(int64(2), OpEq, 2.0) {
 		t.Error("integer/real coercion failed")
 	}
 	if p := (Predicate{Attr: "a", Op: OpGe, Value: int64(1)}); !strings.Contains(p.String(), ">=") {

@@ -1,0 +1,154 @@
+package gapre
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// A small edge vocabulary shaped like a schema's: first-position
+// tokens are bare relationship names, later positions prepend the
+// edge's connector symbol.
+var (
+	relNames = []string{"advisor", "student", "name", "taken_by", "dept", "enrolled"}
+	relConns = []string{".", "@>", ".", "$>", "<$", "<@"}
+)
+
+func vocab() (first, rest []string) {
+	for i, n := range relNames {
+		first = append(first, n)
+		rest = append(rest, relConns[i]+n)
+	}
+	return
+}
+
+// spell renders a symbol sequence the way the kernel spells a gap
+// fragment: first edge bare, later edges with connector prefix.
+func spell(syms []int) string {
+	var b strings.Builder
+	for i, s := range syms {
+		if i == 0 {
+			b.WriteString(relNames[s])
+		} else {
+			b.WriteString(relConns[s] + relNames[s])
+		}
+	}
+	return b.String()
+}
+
+// TestMachineMatchesRef drives the determinized Machine and the
+// stdlib-regexp Ref over the same random fragments: two independent
+// regex engines must bless exactly the same fragments.
+func TestMachineMatchesRef(t *testing.T) {
+	patterns := []string{
+		`.*`,
+		`.+`,
+		`advisor.*`,
+		`.*name`,
+		`advisor\..*`,
+		`(advisor|student).*`,
+		`.*@>.*`,
+		`[a-z_]+`,
+		`advisor(\.[a-z_]+)*`,
+		`.*taken_by.*`,
+		`(.*student)?.*name`,
+		`\$>.*|advisor.*`,
+		`.{0,12}`,
+		`(a|ad|adv).*r.*`,
+		`^advisor.*$`,
+		`.*(dept|enrolled)`,
+	}
+	first, rest := vocab()
+	rng := rand.New(rand.NewSource(7))
+	for _, pat := range patterns {
+		rx, err := Compile(pat)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", pat, err)
+		}
+		m, err := Determinize(rx, first, rest)
+		if err != nil {
+			t.Fatalf("Determinize(%q): %v", pat, err)
+		}
+		ref, err := NewRef(pat)
+		if err != nil {
+			t.Fatalf("NewRef(%q): %v", pat, err)
+		}
+		for trial := 0; trial < 400; trial++ {
+			n := 1 + rng.Intn(5)
+			syms := make([]int, n)
+			for i := range syms {
+				syms[i] = rng.Intn(len(relNames))
+			}
+			q := int32(0)
+			for _, s := range syms {
+				q = m.Step(q, s)
+				if q == Dead {
+					break
+				}
+			}
+			got := m.Accepting(q)
+			want := ref.Match(spell(syms))
+			if got != want {
+				t.Fatalf("pattern %q fragment %q: machine=%v ref=%v", pat, spell(syms), got, want)
+			}
+		}
+	}
+}
+
+// TestUniversal checks the vacuous-constraint detector that powers
+// the `.*` degeneracy guarantee.
+func TestUniversal(t *testing.T) {
+	first, rest := vocab()
+	cases := []struct {
+		pat       string
+		universal bool
+	}{
+		{`.*`, true},
+		{`.+`, true},
+		{`(?s).*`, true},
+		{`advisor.*`, false},
+		{`.*name`, false},
+		{`[a-z_@><$.]*`, true},
+		{`.{1,2}`, false}, // long fragments exceed two runes
+	}
+	for _, c := range cases {
+		rx, err := Compile(c.pat)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", c.pat, err)
+		}
+		m, err := Determinize(rx, first, rest)
+		if err != nil {
+			t.Fatalf("Determinize(%q): %v", c.pat, err)
+		}
+		if got := m.Universal(); got != c.universal {
+			t.Errorf("Universal(%q) = %v, want %v", c.pat, got, c.universal)
+		}
+	}
+}
+
+// TestCompileRejectsWordBoundary pins the unsupported-assertion error.
+func TestCompileRejectsWordBoundary(t *testing.T) {
+	for _, pat := range []string{`\badvisor`, `advisor\B.*`} {
+		if _, err := Compile(pat); err == nil {
+			t.Errorf("Compile(%q): expected error", pat)
+		}
+	}
+	if _, err := Compile(`(`); err == nil {
+		t.Error("Compile(`(`): expected syntax error")
+	}
+}
+
+// TestStateCap rejects constraints that blow up under subset
+// construction rather than building unbounded tables.
+func TestStateCap(t *testing.T) {
+	// (a|aa){64} style blowups are hard to hit over a tiny alphabet;
+	// instead pin the cap with a generous counted repetition.
+	rx, err := Compile(`.{0,600}advisor.{0,600}`)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	first, rest := vocab()
+	if _, err := Determinize(rx, first, rest); err == nil {
+		t.Skip("constraint stayed under the cap on this vocabulary")
+	}
+}

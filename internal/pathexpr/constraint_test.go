@@ -1,0 +1,137 @@
+package pathexpr_test
+
+import (
+	"strings"
+	"testing"
+
+	. "pathcomplete/internal/pathexpr"
+	"pathcomplete/internal/uni"
+)
+
+func TestParseConstrainedGap(t *testing.T) {
+	cases := []struct {
+		src        string
+		constraint string
+		name       string
+	}{
+		{`ta ~(advisor.*)~ name`, `advisor.*`, "name"},
+		{`ta~(advisor.*)~name`, `advisor.*`, "name"},
+		{`ta ~( a\)b )~ name`, ` a\)b `, "name"},
+		{`ta ~([)(])~ name`, `[)(]`, "name"},
+		{`ta ~((a|b)c*)~ name`, `(a|b)c*`, "name"},
+		{`a.b~(x@>.*)~c`, `x@>.*`, "c"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		last := e.Steps[len(e.Steps)-1]
+		if !last.Gap || last.Constraint != c.constraint || last.Name != c.name {
+			t.Errorf("Parse(%q) last step = %+v", c.src, last)
+		}
+		if !e.Constrained() {
+			t.Errorf("Parse(%q).Constrained() = false", c.src)
+		}
+		again, err := Parse(e.String())
+		if err != nil || again.String() != e.String() {
+			t.Errorf("round trip of %q via %q failed: %v", c.src, e.String(), err)
+		}
+	}
+}
+
+func TestParseConstraintErrors(t *testing.T) {
+	for _, src := range []string{
+		`ta ~(advisor.*~ name`,  // unterminated paren
+		`ta ~(advisor.*) name`,  // missing closing tilde
+		`ta ~()~ name`,          // empty constraint
+		`ta ~([a-)~ name`,       // unterminated class
+		`ta ~(\badvisor)~ name`, // word boundary unsupported
+		`ta ~((a)~ name`,        // unbalanced group
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseStepPredicate(t *testing.T) {
+	e, err := Parse(`department ~ course[credits > 3]`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := e.Steps[0].Pred; got != "credits > 3" {
+		t.Errorf("Pred = %q", got)
+	}
+	if !e.Constrained() {
+		t.Error("Constrained() = false")
+	}
+	if s := e.String(); s != "department~course[credits > 3]" {
+		t.Errorf("String() = %q", s)
+	}
+	e2, err := Parse(`ta.advisor[self = "Yezdi"].name`)
+	if err != nil {
+		t.Fatalf("Parse explicit pred: %v", err)
+	}
+	if e2.Steps[0].Pred != `self = "Yezdi"` {
+		t.Errorf("explicit Pred = %q", e2.Steps[0].Pred)
+	}
+	for _, src := range []string{
+		`root[x = 1]~name`,        // root predicate
+		`a~b[credits >]`,          // malformed clause
+		`a~b[x = "unterminated`,   // unterminated string
+		`a~b[x = "a\"b"]`,         // unrepresentable literal
+		`a~b[credits ~ 3]`,        // unknown operator
+		`a~b[credits > nonsense]`, // bad literal
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestConsistentWithConstraint(t *testing.T) {
+	s := uni.New()
+	// ta @>grad @>student @>person .name — the flagship completion.
+	r, err := Resolve(s, MustParse("ta@>grad@>student@>person.name"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	frag := SpellFragment(s, r.Rels)
+	if frag != "grad@>student@>person.name" {
+		t.Fatalf("SpellFragment = %q", frag)
+	}
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{`ta ~(grad.*)~ name`, true},
+		{`ta ~(.*person\.name)~ name`, true},
+		{`ta ~(advisor.*)~ name`, false},
+		{`ta ~(.*)~ name`, true},
+		{`ta ~(grad)~ name`, false}, // constraint must cover the full fragment
+	}
+	for _, c := range cases {
+		inc := MustParse(c.expr)
+		if got := r.ConsistentWith(inc); got != c.want {
+			t.Errorf("ConsistentWith(%q) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestSpellFragmentSingleEdge(t *testing.T) {
+	s := uni.New()
+	r, err := Resolve(s, MustParse("student.take"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if got := SpellFragment(s, r.Rels); got != "take" {
+		t.Errorf("SpellFragment = %q", got)
+	}
+	if got := SpellFragment(s, nil); got != "" {
+		t.Errorf("SpellFragment(nil) = %q", got)
+	}
+	if !strings.Contains(MustParse(`ta ~(x)~ name`).String(), "~(x)~") {
+		t.Error("constrained gap did not render")
+	}
+}

@@ -28,6 +28,16 @@ func FuzzParse(f *testing.F) {
 		"a $> b",
 		"a\t~\nname",
 		"café~naïve", // non-ASCII rejected cleanly
+		`ta ~(advisor.*)~ name`,
+		`ta ~( a\)b )~ name`,
+		`ta ~([)(])~ name`,
+		`ta ~()~ name`,
+		`ta ~(advisor~ name`,
+		`department ~ course[credits > 3]`,
+		`ta.advisor[self = "Yezdi"].name`,
+		`a~b[credits >]`,
+		`a~b[x = "unterminated`,
+		`a~(x)~b[y != 2.5]`,
 	} {
 		f.Add(seed)
 	}

@@ -16,6 +16,20 @@
 //
 //	ta ~ name
 //	department ~ course . teacher
+//
+// A gap may carry a regular-expression constraint between its tilde
+// and a second tilde before the anchor, restricting which paths may
+// fill it (see internal/gapre for the fragment spelling the regex
+// matches against):
+//
+//	ta ~(advisor.*)~ name
+//
+// Any step — gap or explicit — may carry a bracketed predicate that
+// the query layer pushes down into the search, restricting the
+// segment's end class to ones that can satisfy it:
+//
+//	department ~ course[credits > 3]
+//	ta ~ name[self = "Yezdi"]
 package pathexpr
 
 import (
@@ -23,7 +37,9 @@ import (
 	"strings"
 
 	"pathcomplete/internal/connector"
+	"pathcomplete/internal/gapre"
 	"pathcomplete/internal/label"
+	"pathcomplete/internal/pred"
 	"pathcomplete/internal/schema"
 )
 
@@ -35,14 +51,48 @@ type Step struct {
 	Gap  bool
 	Conn connector.Connector
 	Name string
+	// Constraint is the regular expression of a constrained gap
+	// (`~(RE)~name`), verbatim as written; empty means unconstrained.
+	// Only gap steps may carry one.
+	Constraint string
+	// Pred is the step's pushed-down predicate (`name[attr op lit]`)
+	// in canonical form; empty means none.
+	Pred string
 }
 
-// String renders the step in query syntax, e.g. "@>grad" or "~name".
+// String renders the step in query syntax, e.g. "@>grad", "~name",
+// "~(advisor.*)~name", or "~course[credits > 3]".
 func (st Step) String() string {
+	var sb strings.Builder
 	if st.Gap {
-		return "~" + st.Name
+		sb.WriteByte('~')
+		if st.Constraint != "" {
+			sb.WriteByte('(')
+			sb.WriteString(st.Constraint)
+			sb.WriteString(")~")
+		}
+	} else {
+		sb.WriteString(st.Conn.String())
 	}
-	return st.Conn.String() + st.Name
+	sb.WriteString(st.Name)
+	if st.Pred != "" {
+		sb.WriteByte('[')
+		sb.WriteString(st.Pred)
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// Constrained reports whether the expression carries any gap
+// constraint or step predicate — i.e. whether its answers are a
+// restriction of the bare expression's.
+func (e Expr) Constrained() bool {
+	for _, st := range e.Steps {
+		if st.Constraint != "" || st.Pred != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // Expr is a parsed path expression: a root class name followed by
@@ -97,6 +147,9 @@ func Parse(src string) (Expr, error) {
 	if toks[0].kind != tokIdent {
 		return Expr{}, fmt.Errorf("pathexpr: expression must start with a class name, got %q", toks[0].text)
 	}
+	if toks[0].pred != "" {
+		return Expr{}, fmt.Errorf("pathexpr: offset %d: root class %q may not carry a predicate", toks[0].pos, toks[0].text)
+	}
 	e := Expr{Root: toks[0].text}
 	i := 1
 	for i < len(toks) {
@@ -107,11 +160,11 @@ func Parse(src string) (Expr, error) {
 		if i+1 >= len(toks) || toks[i+1].kind != tokIdent {
 			return Expr{}, fmt.Errorf("pathexpr: offset %d: connector %q must be followed by a relationship name", op.pos, op.text)
 		}
-		name := toks[i+1].text
+		name := toks[i+1]
 		if op.kind == tokTilde {
-			e.Steps = append(e.Steps, Step{Gap: true, Name: name})
+			e.Steps = append(e.Steps, Step{Gap: true, Name: name.text, Constraint: op.constraint, Pred: name.pred})
 		} else {
-			e.Steps = append(e.Steps, Step{Conn: op.conn, Name: name})
+			e.Steps = append(e.Steps, Step{Conn: op.conn, Name: name.text, Pred: name.pred})
 		}
 		i += 2
 	}
@@ -136,10 +189,12 @@ const (
 )
 
 type token struct {
-	kind tokKind
-	text string
-	pos  int
-	conn connector.Connector
+	kind       tokKind
+	text       string
+	pos        int
+	conn       connector.Connector
+	constraint string // tokTilde: the regex of `~(RE)~`, "" when bare
+	pred       string // tokIdent: canonical `[attr op lit]` body, "" when absent
 }
 
 func lex(src string) ([]token, error) {
@@ -151,8 +206,29 @@ func lex(src string) ([]token, error) {
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			i++
 		case c == '~':
-			toks = append(toks, token{kind: tokTilde, text: "~", pos: i})
+			tok := token{kind: tokTilde, text: "~", pos: i}
 			i++
+			// `~(RE)~` — a constrained gap. Parens have no other role
+			// in the grammar, so whitespace before `(` is permitted.
+			if j := skipSpace(src, i); j < len(src) && src[j] == '(' {
+				re, next, err := scanConstraint(src, j)
+				if err != nil {
+					return nil, err
+				}
+				next = skipSpace(src, next)
+				if next >= len(src) || src[next] != '~' {
+					return nil, fmt.Errorf("pathexpr: offset %d: gap constraint must be closed by a second ~", j)
+				}
+				if re == "" {
+					return nil, fmt.Errorf("pathexpr: offset %d: empty gap constraint", j)
+				}
+				if _, err := gapre.Compile(re); err != nil {
+					return nil, fmt.Errorf("pathexpr: offset %d: %v", j, err)
+				}
+				tok.constraint = re
+				i = next + 1
+			}
+			toks = append(toks, tok)
 		case c == '.':
 			toks = append(toks, token{kind: tokConn, text: ".", pos: i, conn: connector.CAssoc})
 			i++
@@ -165,13 +241,108 @@ func lex(src string) ([]token, error) {
 			for j < len(src) && isIdentPart(src[j]) {
 				j++
 			}
-			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: i})
+			tok := token{kind: tokIdent, text: src[i:j], pos: i}
 			i = j
+			// `name[attr op lit]` — a pushed-down step predicate.
+			if k := skipSpace(src, i); k < len(src) && src[k] == '[' {
+				raw, next, err := scanPred(src, k)
+				if err != nil {
+					return nil, err
+				}
+				p, err := pred.Parse(raw)
+				if err != nil {
+					return nil, fmt.Errorf("pathexpr: offset %d: %v", k, err)
+				}
+				tok.pred = p.Canon()
+				i = next
+			}
+			toks = append(toks, tok)
 		default:
 			return nil, fmt.Errorf("pathexpr: offset %d: unexpected character %q", i, string(c))
 		}
 	}
 	return toks, nil
+}
+
+func skipSpace(src string, i int) int {
+	for i < len(src) {
+		switch src[i] {
+		case ' ', '\t', '\n', '\r':
+			i++
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+// scanConstraint scans a parenthesized gap regex starting at the `(`
+// at src[i], honoring regex escapes and character classes so that a
+// `)` inside either does not close the constraint. It returns the
+// regex text and the index just past the closing paren.
+func scanConstraint(src string, i int) (re string, next int, err error) {
+	depth := 1
+	j := i + 1
+	for j < len(src) {
+		switch src[j] {
+		case '\\':
+			j += 2
+			continue
+		case '[':
+			k := j + 1
+			if k < len(src) && src[k] == '^' {
+				k++
+			}
+			if k < len(src) && src[k] == ']' {
+				k++ // leading ] is a literal inside a class
+			}
+			for k < len(src) && src[k] != ']' {
+				if src[k] == '\\' {
+					k++
+				}
+				k++
+			}
+			if k >= len(src) {
+				return "", 0, fmt.Errorf("pathexpr: offset %d: unterminated character class in gap constraint", j)
+			}
+			j = k + 1
+			continue
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return src[i+1 : j], j + 1, nil
+			}
+		}
+		j++
+	}
+	return "", 0, fmt.Errorf("pathexpr: offset %d: unterminated gap constraint", i)
+}
+
+// scanPred scans a bracketed predicate starting at the `[` at src[i],
+// keeping quoted strings intact. It returns the raw clause and the
+// index just past the closing bracket.
+func scanPred(src string, i int) (raw string, next int, err error) {
+	j := i + 1
+	for j < len(src) {
+		switch src[j] {
+		case '"':
+			k := j + 1
+			for k < len(src) && src[k] != '"' {
+				k++
+			}
+			if k >= len(src) {
+				return "", 0, fmt.Errorf("pathexpr: offset %d: unterminated string in predicate", j)
+			}
+			j = k + 1
+			continue
+		case ']':
+			return src[i+1 : j], j + 1, nil
+		}
+		j++
+	}
+	return "", 0, fmt.Errorf("pathexpr: offset %d: unterminated predicate", i)
 }
 
 func isConnPair(s string) bool {
@@ -319,15 +490,29 @@ func (r *Resolved) Acyclic() bool {
 // consistent with the incomplete expression inc (Section 2.2.2): same
 // root, and the steps of r match inc's steps in order, where a ~ step
 // matches one or more relationships of which the last is named with
-// the gap's name.
+// the gap's name. A constrained gap additionally requires the
+// spelling of its fragment (SpellFragment) to match the constraint;
+// step predicates are a semantic restriction evaluated by the search
+// kernel and do not participate in syntactic consistency.
 func (r *Resolved) ConsistentWith(inc Expr) bool {
 	if r.Schema.Class(r.Root).Name != inc.Root {
 		return false
 	}
-	return matchSteps(r.Schema, r.Rels, inc.Steps)
+	var refs []*gapre.Ref
+	for _, st := range inc.Steps {
+		var f *gapre.Ref
+		if st.Gap && st.Constraint != "" {
+			var err error
+			if f, err = gapre.NewRef(st.Constraint); err != nil {
+				return false
+			}
+		}
+		refs = append(refs, f)
+	}
+	return matchSteps(r.Schema, r.Rels, inc.Steps, refs)
 }
 
-func matchSteps(s *schema.Schema, rels []schema.RelID, steps []Step) bool {
+func matchSteps(s *schema.Schema, rels []schema.RelID, steps []Step, refs []*gapre.Ref) bool {
 	if len(steps) == 0 {
 		return len(rels) == 0
 	}
@@ -340,7 +525,7 @@ func matchSteps(s *schema.Schema, rels []schema.RelID, steps []Step) bool {
 		if rel.Name != st.Name || rel.Conn != st.Conn {
 			return false
 		}
-		return matchSteps(s, rels[1:], steps[1:])
+		return matchSteps(s, rels[1:], steps[1:], refs[1:])
 	}
 	// A gap consumes i >= 1 relationships, the last of which either
 	// carries the gap's name or ends at a class with that name (since
@@ -351,9 +536,29 @@ func matchSteps(s *schema.Schema, rels []schema.RelID, steps []Step) bool {
 		if r.Name != st.Name && s.Class(r.To).Name != st.Name {
 			continue
 		}
-		if matchSteps(s, rels[i:], steps[1:]) {
+		if refs[0] != nil && !refs[0].Match(SpellFragment(s, rels[:i])) {
+			continue
+		}
+		if matchSteps(s, rels[i:], steps[1:], refs[1:]) {
 			return true
 		}
 	}
 	return false
+}
+
+// SpellFragment renders the constraint spelling of a gap fragment:
+// the path expression text of the edge sequence with its leading
+// connector dropped — the first edge contributes its name, every
+// later edge its connector symbol followed by its name. This is the
+// string a gap constraint regex matches against (see internal/gapre).
+func SpellFragment(s *schema.Schema, rels []schema.RelID) string {
+	var sb strings.Builder
+	for i, rid := range rels {
+		rel := s.Rel(rid)
+		if i > 0 {
+			sb.WriteString(rel.Conn.String())
+		}
+		sb.WriteString(rel.Name)
+	}
+	return sb.String()
 }

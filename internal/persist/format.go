@@ -49,8 +49,10 @@ import (
 
 // magic opens every snapshot file; the trailing digits are the format
 // version, so a version bump reads as a magic mismatch and the old
-// file is quarantined rather than misparsed.
-const magic = "PCSNAP01"
+// file is quarantined rather than misparsed. Version 02 added the
+// per-cell Support edge bitmap (the invalidation footprint that
+// powers edge-granular closure reuse across reloads).
+const magic = "PCSNAP02"
 
 // FileSuffix is the extension of a live snapshot file in the data
 // directory.
@@ -128,6 +130,11 @@ type Cell struct {
 	Exhausted      bool
 	Aborted        bool
 	StopReason     string
+	// Support is the cell's invalidation footprint (core.EdgeSet
+	// words), preserved so a restored index can seed edge-granular
+	// reuse on the next reload exactly like a freshly built one.
+	Support    []uint64
+	NilSupport bool
 }
 
 // Fingerprint renders every core.Options field that can change an
@@ -200,6 +207,10 @@ func captureCell(root schema.ClassID, res *core.Result) Cell {
 		Exhausted:      res.Exhausted,
 		Aborted:        res.Aborted,
 		StopReason:     string(res.StopReason),
+		NilSupport:     res.Support == nil,
+	}
+	if res.Support != nil {
+		c.Support = append([]uint64{}, res.Support...)
 	}
 	if res.Completions != nil {
 		c.Completions = make([][]schema.RelID, len(res.Completions))
@@ -310,6 +321,9 @@ func restoreCell(s *schema.Schema, c Cell) (*core.Result, error) {
 	}
 	if !c.NilBest {
 		res.Best = append([]label.Key{}, c.Best...)
+	}
+	if !c.NilSupport {
+		res.Support = core.EdgeSet(append([]uint64{}, c.Support...))
 	}
 	return res, nil
 }
@@ -437,6 +451,17 @@ func RestoreImage(data []byte, name string, s *schema.Schema, opts core.Options,
 			res.Exhausted = d.bool()
 			res.Aborted = d.bool()
 			res.StopReason = core.StopReason(d.str())
+			nilSup := d.bool()
+			nsup := d.count()
+			if !nilSup && d.err == nil {
+				res.Support = make(core.EdgeSet, 0, nsup)
+			}
+			for k := 0; k < nsup && d.err == nil; k++ {
+				w := d.u64()
+				if !nilSup {
+					res.Support = append(res.Support, w)
+				}
+			}
 			if d.err == nil {
 				cells[root] = res
 			}
@@ -527,6 +552,11 @@ func encodeCell(e *enc, c Cell) {
 	e.bool(c.Exhausted)
 	e.bool(c.Aborted)
 	e.str(c.StopReason)
+	e.bool(c.NilSupport)
+	e.u64(uint64(len(c.Support)))
+	for _, w := range c.Support {
+		e.u64(w)
+	}
 }
 
 // imageCursor verifies the magic and the trailing checksum of one
@@ -648,6 +678,17 @@ func decodeCell(d *dec) Cell {
 	c.Exhausted = d.bool()
 	c.Aborted = d.bool()
 	c.StopReason = d.str()
+	c.NilSupport = d.bool()
+	nsup := d.count()
+	if !c.NilSupport && d.err == nil {
+		c.Support = make([]uint64, 0, nsup)
+	}
+	for i := 0; i < nsup && d.err == nil; i++ {
+		w := d.u64()
+		if !c.NilSupport {
+			c.Support = append(c.Support, w)
+		}
+	}
 	return c
 }
 

@@ -149,8 +149,13 @@ func (r *Registry) nextGen() uint64 { return r.gen.Add(1) }
 
 // newSnapshot builds a snapshot (with its long-lived Completer) at a
 // fresh generation, holding the registry's own reference, and — when
-// closure warming is enabled — queues its all-pairs build.
-func (r *Registry) newSnapshot(name string, s *schema.Schema, store *objstore.Store) *Snapshot {
+// closure warming is enabled — queues its all-pairs build. prev, when
+// non-nil, is the snapshot this one supersedes under the same name;
+// its ready closure (if any) seeds edge-granular cell reuse. The
+// predecessor's index and schema are captured here, synchronously,
+// because the upcoming swap cancels the old handle and drops its
+// index pointer.
+func (r *Registry) newSnapshot(name string, s *schema.Schema, store *objstore.Store, prev *Snapshot) *Snapshot {
 	sn := &Snapshot{
 		name:  name,
 		gen:   r.nextGen(),
@@ -161,7 +166,15 @@ func (r *Registry) newSnapshot(name string, s *schema.Schema, store *objstore.St
 	}
 	sn.refs.Store(1) // the table's reference
 	r.live.Add(1)
-	r.warmClosure(sn)
+	var prevIx *closure.Index
+	var prevSchema *schema.Schema
+	if prev != nil {
+		if h := prev.cl.Load(); h != nil {
+			prevIx = h.Index()
+			prevSchema = prev.s
+		}
+	}
+	r.warmClosure(sn, prevIx, prevSchema)
 	return sn
 }
 
@@ -176,7 +189,7 @@ func (r *Registry) newSnapshot(name string, s *schema.Schema, store *objstore.St
 // superseded snapshot still drains. A freshly warmed (not restored)
 // closure is persisted from the same watcher goroutine before the pin
 // drops, so the index it serializes cannot be retired under it.
-func (r *Registry) warmClosure(sn *Snapshot) {
+func (r *Registry) warmClosure(sn *Snapshot, prevIx *closure.Index, prevSchema *schema.Schema) {
 	b := r.closure
 	if b == nil {
 		sn.cl.Store(closure.Disabled("closure disabled"))
@@ -199,7 +212,7 @@ func (r *Registry) warmClosure(sn *Snapshot) {
 			}
 		}
 	}
-	h := b.Warm(sn.name, sn.gen, sn.cmp)
+	h := b.WarmReusing(sn.name, sn.gen, sn.cmp, prevIx, prevSchema)
 	sn.cl.Store(h)
 	go func() {
 		<-h.Done()
@@ -264,7 +277,7 @@ func (r *Registry) EnableClosure(b *closure.Builder) {
 	}
 	for _, sn := range r.tab.Load().byName {
 		if h := sn.cl.Load(); h == nil || h.Status().State == closure.StateDisabled {
-			r.warmClosure(sn)
+			r.warmClosure(sn, nil, nil)
 		}
 	}
 }
@@ -310,7 +323,7 @@ func (r *Registry) Install(name string, s *schema.Schema, store *objstore.Store)
 	for n, sn := range cur.byName {
 		next.byName[n] = sn
 	}
-	sn := r.newSnapshot(name, s, store)
+	sn := r.newSnapshot(name, s, store, cur.byName[name])
 	next.byName[name] = sn
 	next.names = sortedNames(next.byName)
 	if next.defaultName == "" {
@@ -423,7 +436,7 @@ func (r *Registry) Reload() error {
 	cur := r.tab.Load()
 	next := &table{byName: make(map[string]*Snapshot, len(loaded))}
 	for name, s := range loaded {
-		next.byName[name] = r.newSnapshot(name, s, nil)
+		next.byName[name] = r.newSnapshot(name, s, nil, cur.byName[name])
 	}
 	next.names = sortedNames(next.byName)
 	if _, ok := next.byName[cur.defaultName]; ok {

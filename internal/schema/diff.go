@@ -1,0 +1,97 @@
+package schema
+
+// Schema diffing for edge-granular invalidation. A reloaded schema is
+// a fresh *Schema with freshly assigned dense IDs, so nothing upstream
+// can compare RelIDs across generations directly; the stable identity
+// of a relationship edge is its EdgeKey — endpoint class names,
+// relationship name, and connector. Diff aligns two schemas on that
+// identity and reports what changed, plus the old→new RelID remapping
+// that lets answers resolved against the old schema be rehydrated
+// against the new one when their supporting edges all survived.
+
+// EdgeKey is the generation-stable identity of a relationship edge.
+// A connector change shows up as a removed key plus an added key: a
+// re-labeled edge composes differently in the CON tables, so any
+// answer that traversed it must be recomputed, exactly like a
+// deletion.
+type EdgeKey struct {
+	From string
+	Name string
+	To   string
+	Conn string
+}
+
+// keyOf renders the stable identity of one edge of s.
+func keyOf(s *Schema, r Rel) EdgeKey {
+	return EdgeKey{
+		From: s.classes[r.From].Name,
+		Name: r.Name,
+		To:   s.classes[r.To].Name,
+		Conn: r.Conn.String(),
+	}
+}
+
+// SchemaDiff reports how next differs from prev, in terms a consumer
+// holding answers computed against prev can act on.
+type SchemaDiff struct {
+	// ClassesEqual is true when both schemas have the same classes in
+	// the same ID order with the same primitive flags — the
+	// precondition for any cross-generation reuse, since ClassIDs are
+	// baked into resolved paths.
+	ClassesEqual bool
+	// Added holds edges present in next but not prev.
+	Added []EdgeKey
+	// Removed holds edges present in prev but not next (including
+	// connector changes, reported as removed+added).
+	Removed []EdgeKey
+	// RemovedIDs holds the prev-generation RelIDs of Removed, for
+	// intersection with support bitmaps computed against prev.
+	RemovedIDs []RelID
+	// RelMap maps each prev RelID to the next-generation RelID of the
+	// same EdgeKey, or NoRel when the edge was removed or re-labeled.
+	RelMap []RelID
+}
+
+// Unchanged reports whether the two schemas are structurally
+// identical: same classes and the same edge set under EdgeKey
+// identity.
+func (d *SchemaDiff) Unchanged() bool {
+	return d.ClassesEqual && len(d.Added) == 0 && len(d.Removed) == 0
+}
+
+// Diff compares two schemas and returns the edge-level change report.
+func Diff(prev, next *Schema) *SchemaDiff {
+	d := &SchemaDiff{ClassesEqual: len(prev.classes) == len(next.classes)}
+	if d.ClassesEqual {
+		for i, c := range prev.classes {
+			n := next.classes[i]
+			if c.Name != n.Name || c.Primitive != n.Primitive {
+				d.ClassesEqual = false
+				break
+			}
+		}
+	}
+	nextByKey := make(map[EdgeKey]RelID, len(next.rels))
+	for _, r := range next.rels {
+		nextByKey[keyOf(next, r)] = r.ID
+	}
+	matched := make([]bool, len(next.rels))
+	d.RelMap = make([]RelID, len(prev.rels))
+	for _, r := range prev.rels {
+		k := keyOf(prev, r)
+		if id, ok := nextByKey[k]; ok {
+			d.RelMap[r.ID] = id
+			matched[id] = true
+		} else {
+			d.RelMap[r.ID] = NoRel
+			d.Removed = append(d.Removed, k)
+			d.RemovedIDs = append(d.RemovedIDs, r.ID)
+		}
+	}
+	for _, r := range next.rels {
+		if !matched[r.ID] {
+			d.Added = append(d.Added, keyOf(next, r))
+		}
+	}
+	return d
+}

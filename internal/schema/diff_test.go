@@ -1,0 +1,206 @@
+package schema
+
+import (
+	"reflect"
+	"testing"
+)
+
+func diffBase(t *testing.T) *Schema {
+	t.Helper()
+	b := NewBuilder("base")
+	b.Isa("grad", "student")
+	b.HasPart("dept", "course", "offers", "offered_by")
+	b.Assoc("student", "course", "takes", "taken_by")
+	b.Attr("course", "credits", "I")
+	b.Attr("student", "name", "C")
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestDiffIdentical: two independent builds of the same declarations
+// are Unchanged, with an identity RelMap.
+func TestDiffIdentical(t *testing.T) {
+	a, b := diffBase(t), diffBase(t)
+	d := Diff(a, b)
+	if !d.Unchanged() || !d.ClassesEqual {
+		t.Fatalf("identical schemas diff: %+v", d)
+	}
+	if len(d.RelMap) != a.NumRels() {
+		t.Fatalf("RelMap len = %d, want %d", len(d.RelMap), a.NumRels())
+	}
+	for old, now := range d.RelMap {
+		if RelID(old) != now {
+			t.Errorf("RelMap[%d] = %d, want identity", old, now)
+		}
+	}
+}
+
+// TestDiffRemoval: dropping one declaration removes both directions of
+// the pair, shifts every later RelID, and the RelMap tracks the shift
+// by EdgeKey identity.
+func TestDiffRemoval(t *testing.T) {
+	a := diffBase(t)
+	b := NewBuilder("base")
+	b.Isa("grad", "student")
+	b.HasPart("dept", "course", "offers", "offered_by")
+	// takes/taken_by dropped.
+	b.Attr("course", "credits", "I")
+	b.Attr("student", "name", "C")
+	next, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(a, next)
+	if !d.ClassesEqual {
+		t.Fatal("classes diverged on an edge-only change")
+	}
+	if len(d.Added) != 0 {
+		t.Fatalf("Added = %v, want none", d.Added)
+	}
+	if len(d.Removed) != 2 || len(d.RemovedIDs) != 2 {
+		t.Fatalf("Removed = %v (ids %v), want the takes/taken_by pair", d.Removed, d.RemovedIDs)
+	}
+	names := map[string]bool{}
+	for _, k := range d.Removed {
+		names[k.Name] = true
+	}
+	if !names["takes"] || !names["taken_by"] {
+		t.Fatalf("Removed = %v, want takes and taken_by", d.Removed)
+	}
+	// Every surviving old edge maps to the new edge with the same key.
+	for _, r := range a.Rels() {
+		now := d.RelMap[r.ID]
+		if now == NoRel {
+			if r.Name != "takes" && r.Name != "taken_by" {
+				t.Errorf("surviving edge %s.%s unmapped", a.Class(r.From).Name, r.Name)
+			}
+			continue
+		}
+		nr := next.Rel(now)
+		if keyOf(a, r) != keyOf(next, nr) {
+			t.Errorf("RelMap[%d]=%d crosses identities: %+v vs %+v", r.ID, now, keyOf(a, r), keyOf(next, nr))
+		}
+	}
+}
+
+// TestDiffConnChange: re-labeling an edge (HasPart → Assoc) reads as a
+// removal plus an addition — it composes differently, exactly like a
+// delete.
+func TestDiffConnChange(t *testing.T) {
+	a := diffBase(t)
+	b := NewBuilder("base")
+	b.Isa("grad", "student")
+	b.Assoc("dept", "course", "offers", "offered_by") // was HasPart
+	b.Assoc("student", "course", "takes", "taken_by")
+	b.Attr("course", "credits", "I")
+	b.Attr("student", "name", "C")
+	next, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(a, next)
+	if !d.ClassesEqual {
+		t.Fatal("classes diverged on a connector-only change")
+	}
+	if len(d.Removed) != 2 || len(d.Added) != 2 {
+		t.Fatalf("Removed=%v Added=%v, want the offers pair on both sides", d.Removed, d.Added)
+	}
+	for _, k := range d.Removed {
+		if k.Name != "offers" && k.Name != "offered_by" {
+			t.Errorf("unexpected removal %+v", k)
+		}
+	}
+}
+
+// TestDiffClassChange: adding a class breaks ClassesEqual (IDs shift),
+// independent of the edge report.
+func TestDiffClassChange(t *testing.T) {
+	a := diffBase(t)
+	b := NewBuilder("base")
+	b.Class("alumni")
+	b.Isa("grad", "student")
+	b.HasPart("dept", "course", "offers", "offered_by")
+	b.Assoc("student", "course", "takes", "taken_by")
+	b.Attr("course", "credits", "I")
+	b.Attr("student", "name", "C")
+	next, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(a, next)
+	if d.ClassesEqual {
+		t.Fatal("ClassesEqual with an extra class")
+	}
+	if d.Unchanged() {
+		t.Fatal("Unchanged with an extra class")
+	}
+}
+
+// TestDiffAddition: a brand-new edge shows up in Added only.
+func TestDiffAddition(t *testing.T) {
+	a := diffBase(t)
+	b := NewBuilder("base")
+	b.Isa("grad", "student")
+	b.HasPart("dept", "course", "offers", "offered_by")
+	b.Assoc("student", "course", "takes", "taken_by")
+	b.Assoc("student", "dept", "major", "majors")
+	b.Attr("course", "credits", "I")
+	b.Attr("student", "name", "C")
+	next, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(a, next)
+	if !d.ClassesEqual || len(d.Removed) != 0 {
+		t.Fatalf("diff = %+v, want addition-only", d)
+	}
+	if len(d.Added) != 2 {
+		t.Fatalf("Added = %v, want the major pair", d.Added)
+	}
+	if d.Unchanged() {
+		t.Fatal("Unchanged with added edges")
+	}
+}
+
+// TestDiffReorder: the same declarations in a different order keep
+// every EdgeKey matched (RelMap total, nothing added or removed) even
+// though the dense IDs differ.
+func TestDiffReorder(t *testing.T) {
+	a := diffBase(t)
+	b := NewBuilder("base")
+	// Classes must be created in the same order for ClassesEqual; the
+	// relationship declarations are shuffled.
+	b.Class("grad")
+	b.Class("student")
+	b.Class("dept")
+	b.Class("course")
+	b.Attr("student", "name", "C")
+	b.Assoc("student", "course", "takes", "taken_by")
+	b.Isa("grad", "student")
+	b.HasPart("dept", "course", "offers", "offered_by")
+	b.Attr("course", "credits", "I")
+	next, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(a, next)
+	if !d.Unchanged() {
+		t.Fatalf("reorder diff: %+v", d)
+	}
+	ids := map[RelID]bool{}
+	for old, now := range d.RelMap {
+		if now == NoRel {
+			t.Fatalf("RelMap[%d] unmapped in a reorder", old)
+		}
+		if ids[now] {
+			t.Fatalf("RelMap maps two old edges to %d", now)
+		}
+		ids[now] = true
+		if !reflect.DeepEqual(keyOf(a, a.Rel(RelID(old))), keyOf(next, next.Rel(now))) {
+			t.Fatalf("RelMap[%d]=%d crosses identities", old, now)
+		}
+	}
+}

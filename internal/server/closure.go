@@ -78,7 +78,12 @@ func (sv *Server) closureEligible(req CompleteRequest, opts core.Options) bool {
 // error); eligible reports whether the expression shape qualified,
 // so the caller can distinguish a miss from a fallback.
 func (sv *Server) closureLookup(sn *registry.Snapshot, e pathexpr.Expr) (res *core.Result, ok, eligible bool) {
-	if len(e.Steps) != 1 || !e.Steps[0].Gap {
+	// An annotated gap (regex constraint) or a pushed-down predicate
+	// changes the answer set: the index only materializes the
+	// unconstrained cells, so those queries must fall through to the
+	// kernel.
+	if len(e.Steps) != 1 || !e.Steps[0].Gap ||
+		e.Steps[0].Constraint != "" || e.Steps[0].Pred != "" {
 		return nil, false, false
 	}
 	ix := sn.Closure().Index()

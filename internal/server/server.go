@@ -82,7 +82,7 @@ import (
 var Routes = []string{
 	"/healthz", "/readyz", "/schema", "/schemas", "/schemas/reload", "/stats",
 	"/metrics", "/buildinfo", "/complete", "/completeBatch", "/evaluate",
-	"/v1/complete", "/v1/completeBatch", "/v1/evaluate",
+	"/v1/complete", "/v1/completeBatch", "/v1/evaluate", "/v1/explain",
 	"/v1/schemas", "/v1/schemas/{name}", "/v1/schemas/reload",
 	"/v1/traces", "/v1/traces/{id}", "/v1/queries/slow", "/v1/sessions",
 	"/debug/pprof/",
@@ -112,6 +112,11 @@ type Server struct {
 	// depWarned tracks which deprecated routes already logged their
 	// one-time warning.
 	depWarned sync.Map
+
+	// legacyRoutes selects how the pre-/v1 surface is served: LegacyOn,
+	// LegacyWarn (the default when empty), or LegacyOff (410 Gone). Set
+	// via SetLegacyRoutes before serving.
+	legacyRoutes string
 
 	// sessions counts open interactive sessions against
 	// Limits.MaxSessions.
@@ -298,6 +303,8 @@ func (sv *Server) HandlerWith(cfg HandlerConfig) http.Handler {
 	mux.HandleFunc("POST /v1/complete", sv.handleComplete)
 	mux.HandleFunc("POST /v1/completeBatch", sv.handleCompleteBatch)
 	mux.HandleFunc("POST /v1/evaluate", sv.handleEvaluate)
+	mux.HandleFunc("GET /v1/explain", sv.handleExplain)
+	mux.HandleFunc("POST /v1/explain", sv.handleExplain)
 	mux.HandleFunc("GET /v1/schemas", sv.handleSchemas)
 	mux.HandleFunc("GET /v1/schemas/{name}", sv.handleSchemaByName)
 	mux.HandleFunc("POST /v1/schemas/reload", sv.handleReload)
@@ -1161,17 +1168,25 @@ func (sv *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 // exprShape renders an expression with every identifier replaced by
 // "_" — "ta~name" becomes "_~_" — the name-free pattern shape the
 // slow-query log reports, so slow entries group by structure (gap
-// count, connectors) rather than by specific class names.
+// count, connectors, annotations) rather than by specific class names.
+// Gap regex constraints render as ~(_)~ and pushed-down predicates as
+// a trailing [_]: "ta~(grad.*)~name[self = \"x\"]" becomes "_~(_)~_[_]".
 func exprShape(e pathexpr.Expr) string {
 	var sb strings.Builder
 	sb.WriteByte('_')
 	for _, st := range e.Steps {
-		if st.Gap {
+		switch {
+		case st.Gap && st.Constraint != "":
+			sb.WriteString("~(_)~")
+		case st.Gap:
 			sb.WriteByte('~')
-		} else {
+		default:
 			sb.WriteString(st.Conn.String())
 		}
 		sb.WriteByte('_')
+		if st.Pred != "" {
+			sb.WriteString("[_]")
+		}
 	}
 	return sb.String()
 }
@@ -1217,6 +1232,7 @@ func (sv *Server) jsonError(w http.ResponseWriter, r *http.Request, status int, 
 		sv.writeJSON(w, r, status, Envelope{
 			Error: &APIError{Code: errCode(status), Message: msg},
 			Meta: &Meta{
+				ApiVersion: APIVersion,
 				TraceID:    obs.SpanFromContext(r.Context()).TraceID(),
 				DurationMs: float64(sinceStart(r)) / float64(time.Millisecond),
 			},

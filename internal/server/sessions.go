@@ -30,6 +30,15 @@ func (sv *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 			"/v1/sessions speaks WebSocket: reconnect with an upgrade handshake")
 		return
 	}
+	// Resolve the schema name while a JSON error is still possible: an
+	// unknown ?schema= must answer the same 404 unknown_schema envelope
+	// as every other endpoint, not fail after the upgrade has consumed
+	// the handshake.
+	if probe, ok := sv.resolveSchema(w, r, r.URL.Query().Get("schema")); !ok {
+		return
+	} else {
+		probe.Release()
+	}
 	// Reserve a session slot first (CAS loop: the cap must hold under a
 	// connect stampede), so an over-limit client is refused with plain
 	// HTTP while that is still possible.

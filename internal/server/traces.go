@@ -63,7 +63,8 @@ func (sv *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 		sv.writeJSON(w, r, http.StatusNotFound, Envelope{
 			Error: &APIError{Code: CodeNotFound,
 				Message: "no retained trace with id " + id + " (evicted, or never sampled/retained)"},
-			Meta: &Meta{DurationMs: float64(sinceStart(r)) / float64(time.Millisecond)},
+			Meta: &Meta{ApiVersion: APIVersion,
+				DurationMs: float64(sinceStart(r)) / float64(time.Millisecond)},
 		})
 		return
 	}

@@ -20,12 +20,14 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"strings"
 	"time"
 
 	"pathcomplete/internal/closure"
 	"pathcomplete/internal/obs"
+	"pathcomplete/internal/pathexpr"
 	"pathcomplete/internal/registry"
 	"pathcomplete/internal/sdl"
 
@@ -41,6 +43,7 @@ var V1Paths = []string{
 	"/v1/complete",
 	"/v1/completeBatch",
 	"/v1/evaluate",
+	"/v1/explain",
 	"/v1/queries/slow",
 	"/v1/schemas",
 	"/v1/schemas/{name}",
@@ -70,6 +73,10 @@ const (
 
 // Meta is the response metadata of a v1 envelope.
 type Meta struct {
+	// ApiVersion is the major version of the response contract, "1" on
+	// every v1 envelope — success and error alike — so a client can
+	// verify which surface answered without inspecting the request URL.
+	ApiVersion string `json:"apiVersion,omitempty"`
 	// Schema and Generation identify the pinned snapshot, when the
 	// endpoint is snapshot-scoped.
 	Schema     string `json:"schema,omitempty"`
@@ -79,6 +86,11 @@ type Meta struct {
 	Engine string `json:"engine,omitempty"`
 	// CacheHit reports a memo-cache hit.
 	CacheHit bool `json:"cacheHit,omitempty"`
+	// Constrained reports that the query's expression carried a gap
+	// regex constraint or a pushed-down predicate — the annotated query
+	// shapes that bypass the closure index and memoize under their own
+	// cache keys.
+	Constrained bool `json:"constrained,omitempty"`
 	// TraceID is the hex trace ID of this request when it is being
 	// recorded by the span pipeline — the key for /v1/traces/{id} and
 	// the /metrics exemplars. Absent when the request was not selected.
@@ -144,19 +156,36 @@ func (sv *Server) respond(w http.ResponseWriter, r *http.Request, status int, da
 	if meta == nil {
 		meta = &Meta{}
 	}
+	meta.ApiVersion = APIVersion
 	meta.TraceID = obs.SpanFromContext(r.Context()).TraceID()
 	meta.DurationMs = float64(sinceStart(r)) / float64(time.Millisecond)
 	sv.writeJSON(w, r, status, Envelope{Data: data, Meta: meta})
 }
 
+// APIVersion is the major version every v1 envelope stamps in
+// meta.apiVersion.
+const APIVersion = "1"
+
 // completeMeta builds the envelope metadata for one completed query.
 func completeMeta(sn *registry.Snapshot, c completed) *Meta {
 	return &Meta{
-		Schema:     sn.Name(),
-		Generation: sn.Generation(),
-		Engine:     c.engine,
-		CacheHit:   c.cached,
+		Schema:      sn.Name(),
+		Generation:  sn.Generation(),
+		Engine:      c.engine,
+		CacheHit:    c.cached,
+		Constrained: exprConstrained(c.expr),
 	}
+}
+
+// exprConstrained reports whether the expression carries any gap regex
+// constraint or pushed-down predicate.
+func exprConstrained(e pathexpr.Expr) bool {
+	for _, st := range e.Steps {
+		if st.Constraint != "" || st.Pred != "" {
+			return true
+		}
+	}
+	return false
 }
 
 // SchemaDetailJSON is the data payload of GET /v1/schemas/{name}: the
@@ -233,21 +262,75 @@ var deprecatedSuccessor = map[string]string{
 	"/schema":         "/v1/schemas/{name}",
 }
 
-// deprecate stamps legacy-route responses and counts them. The log
-// warning fires once per route per process — enough to show up in
-// operator logs without flooding them on a chatty legacy client.
+// Legacy-route serving modes (SetLegacyRoutes, pathserve
+// -legacy-routes).
+const (
+	// LegacyOn serves legacy routes with only the Deprecation and
+	// successor Link headers — no Sunset, no warning log.
+	LegacyOn = "on"
+	// LegacyWarn (the default) additionally announces the retirement
+	// date via an RFC 8594 Sunset header and logs a one-time warning
+	// per route.
+	LegacyWarn = "warn"
+	// LegacyOff retires the legacy surface: requests get 410 Gone with
+	// the legacy {"error": ...} body naming the v1 successor.
+	LegacyOff = "off"
+)
+
+// LegacySunset is the announced retirement date of the legacy
+// (pre-/v1) surface, in the RFC 8594 Sunset header's HTTP-date form.
+const LegacySunset = "Thu, 31 Dec 2026 23:59:59 GMT"
+
+// SetLegacyRoutes selects how the legacy (pre-/v1) routes are served:
+// LegacyOn, LegacyWarn (the default), or LegacyOff. Call before
+// serving traffic.
+func (sv *Server) SetLegacyRoutes(mode string) error {
+	switch mode {
+	case LegacyOn, LegacyWarn, LegacyOff:
+		sv.legacyRoutes = mode
+		return nil
+	}
+	return fmt.Errorf("unknown legacy-routes mode %q (want on, warn, or off)", mode)
+}
+
+// legacyMode returns the configured legacy-route mode, defaulting to
+// LegacyWarn.
+func (sv *Server) legacyMode() string {
+	if sv.legacyRoutes == "" {
+		return LegacyWarn
+	}
+	return sv.legacyRoutes
+}
+
+// deprecate stamps legacy-route responses and counts them, honoring
+// the configured mode: "on" stamps Deprecation + Link only, "warn"
+// (default) adds the RFC 8594 Sunset date and a one-time log warning
+// per route, "off" answers 410 Gone without serving. Every mode keeps
+// the per-route metric, so operators can watch legacy traffic drain
+// before flipping to off.
 func (sv *Server) deprecate(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if succ, ok := deprecatedSuccessor[r.URL.Path]; ok {
+			mode := sv.legacyMode()
 			w.Header().Set("Deprecation", "true")
 			w.Header().Set("Link", "<"+succ+`>; rel="successor-version"`)
+			if mode != LegacyOn {
+				w.Header().Set("Sunset", LegacySunset)
+			}
 			sv.met.deprecated.With(r.URL.Path).Inc()
-			if _, warned := sv.depWarned.LoadOrStore(r.URL.Path, true); !warned && sv.logger != nil {
-				sv.logger.LogAttrs(r.Context(), slog.LevelWarn, "deprecated route in use",
-					slog.String("route", r.URL.Path),
-					slog.String("successor", succ),
-					slog.String("id", w.Header().Get(obs.RequestIDHeader)),
-				)
+			if mode == LegacyOff {
+				sv.jsonError(w, r, http.StatusGone,
+					"legacy route "+r.URL.Path+" is retired: use "+succ)
+				return
+			}
+			if mode == LegacyWarn {
+				if _, warned := sv.depWarned.LoadOrStore(r.URL.Path, true); !warned && sv.logger != nil {
+					sv.logger.LogAttrs(r.Context(), slog.LevelWarn, "deprecated route in use",
+						slog.String("route", r.URL.Path),
+						slog.String("successor", succ),
+						slog.String("id", w.Header().Get(obs.RequestIDHeader)),
+					)
+				}
 			}
 		}
 		next.ServeHTTP(w, r)

@@ -301,6 +301,10 @@ func TestLegacyDeprecation(t *testing.T) {
 		if got := resp.Header.Get("Link"); got != wantLink {
 			t.Errorf("%s: Link = %q, want %q", route, got, wantLink)
 		}
+		// The default mode is warn: the retirement date is announced.
+		if got := resp.Header.Get("Sunset"); got != LegacySunset {
+			t.Errorf("%s: Sunset = %q, want %q", route, got, LegacySunset)
+		}
 		if got := sv.met.deprecated.With(route).Value(); got != 1 {
 			t.Errorf("%s: deprecation count = %d, want 1", route, got)
 		}
@@ -346,10 +350,12 @@ func TestV1ClosureServing(t *testing.T) {
 	// Fall-through shapes all answer engine=search with the same
 	// completions.
 	for name, reqBody := range map[string]string{
-		"traced":    `{"expr":"ta~name","trace":true}`,
-		"budgeted":  `{"expr":"ta~name","timeoutMs":5000}`,
-		"e-overrid": `{"expr":"ta~name","e":2}`,
-		"multi-gap": `{"expr":"ta~name.self"}`, // not single-gap shaped
+		"traced":      `{"expr":"ta~name","trace":true}`,
+		"budgeted":    `{"expr":"ta~name","timeoutMs":5000}`,
+		"e-overrid":   `{"expr":"ta~name","e":2}`,
+		"multi-gap":   `{"expr":"ta~name.self"}`,            // not single-gap shaped
+		"constrained": `{"expr":"ta~(.*)~name"}`,            // annotated gap, even degenerate
+		"predicated":  `{"expr":"ta~name[self != \"zz\"]"}`, // pushed-down predicate
 	} {
 		resp, body := post(t, ts+"/v1/complete", reqBody)
 		if resp.StatusCode != http.StatusOK {
